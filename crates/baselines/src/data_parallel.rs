@@ -1,0 +1,113 @@
+//! Data parallelism (Fig. 1(c)): the whole graph on single processors,
+//! consecutive data sets dealt round-robin to replica groups.
+//!
+//! Processors are dealt by descending speed into `⌊m/(ε+1)⌋` groups of
+//! `ε+1` members. Each incoming data set goes to one group (round-robin);
+//! all group members execute the complete task graph on it (active
+//! replication). As the paper notes, this assumes consecutive data sets
+//! are independent — an assumption the pipelined model does not make.
+//!
+//! Two throughput figures are reported: the *optimistic* one counts, per
+//! group, the fastest member (in the absence of failures the result is
+//! taken from it; the paper's `T = 2/40 = 1/20` on Fig. 1), and the
+//! *guaranteed* one counts the slowest member (active replication must
+//! keep every copy current for the failure guarantee to persist).
+
+use ltf_graph::TaskGraph;
+use ltf_platform::{Platform, ProcId};
+
+/// Outcome of the data-parallel strategy.
+#[derive(Debug, Clone)]
+pub struct DataParallelOutcome {
+    /// Replica groups of `ε+1` processors; items are dealt round-robin.
+    pub groups: Vec<Vec<ProcId>>,
+    /// Whole-graph execution time on each group's fastest member.
+    pub group_fast_time: Vec<f64>,
+    /// Whole-graph execution time on each group's slowest member.
+    pub group_slow_time: Vec<f64>,
+    /// `Σ_groups 1 / fast_time` — the paper's "maximum throughput in the
+    /// absence of failures".
+    pub throughput_optimistic: f64,
+    /// `Σ_groups 1 / slow_time` — sustainable with every replica current.
+    pub throughput_guaranteed: f64,
+    /// Latency of a data set in the absence of failures (fastest member of
+    /// the fastest group).
+    pub latency: f64,
+}
+
+/// Run the data-parallel baseline with fault-tolerance degree `epsilon`.
+/// Left-over processors (`m mod (ε+1)`) stay idle.
+///
+/// # Panics
+/// If `m < ε + 1`.
+pub fn data_parallel(g: &TaskGraph, p: &Platform, epsilon: u8) -> DataParallelOutcome {
+    let nrep = epsilon as usize + 1;
+    assert!(p.num_procs() >= nrep, "need at least ε+1 processors");
+    let n_groups = p.num_procs() / nrep;
+    let by_speed = p.procs_by_speed_desc();
+    let mut groups: Vec<Vec<ProcId>> = vec![Vec::new(); n_groups];
+    for (i, u) in by_speed.into_iter().take(n_groups * nrep).enumerate() {
+        groups[i % n_groups].push(u);
+    }
+    let total = g.total_exec();
+    let time_on = |u: ProcId| total / p.speed(u);
+    let group_fast_time: Vec<f64> = groups
+        .iter()
+        .map(|grp| grp.iter().map(|&u| time_on(u)).fold(f64::INFINITY, f64::min))
+        .collect();
+    let group_slow_time: Vec<f64> = groups
+        .iter()
+        .map(|grp| grp.iter().map(|&u| time_on(u)).fold(0.0f64, f64::max))
+        .collect();
+    DataParallelOutcome {
+        throughput_optimistic: group_fast_time.iter().map(|t| 1.0 / t).sum(),
+        throughput_guaranteed: group_slow_time.iter().map(|t| 1.0 / t).sum(),
+        latency: group_fast_time.iter().copied().fold(f64::INFINITY, f64::min),
+        groups,
+        group_fast_time,
+        group_slow_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::generate::fig1_diamond;
+
+    #[test]
+    fn fig1c_reproduced() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let out = data_parallel(&g, &p, 1);
+        // Two groups, each {fast (1.5), slow (1)}: fast time 40, slow 60.
+        assert_eq!(out.groups.len(), 2);
+        assert_eq!(out.group_fast_time, vec![40.0, 40.0]);
+        assert_eq!(out.group_slow_time, vec![60.0, 60.0]);
+        // The paper's "maximum throughput" 2/40 = 1/20.
+        assert!((out.throughput_optimistic - 0.05).abs() < 1e-12);
+        assert!((out.throughput_guaranteed - 2.0 / 60.0).abs() < 1e-12);
+        assert_eq!(out.latency, 40.0);
+    }
+
+    #[test]
+    fn no_replication_one_proc_groups() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let out = data_parallel(&g, &p, 0);
+        assert_eq!(out.groups.len(), 4);
+        // 2 fast + 2 slow processors: 2/40 + 2/60.
+        let expect = 2.0 / 40.0 + 2.0 / 60.0;
+        assert!((out.throughput_optimistic - expect).abs() < 1e-12);
+        assert_eq!(out.throughput_optimistic, out.throughput_guaranteed);
+    }
+
+    #[test]
+    fn leftover_procs_idle() {
+        let g = fig1_diamond();
+        let p = Platform::homogeneous(5, 1.0, 1.0);
+        let out = data_parallel(&g, &p, 1);
+        assert_eq!(out.groups.len(), 2);
+        let used: usize = out.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(used, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Task parallelism (Fig. 1(b)): list-schedule the whole DAG per data set
+//! and repeat serially for the stream, with `ε+1` replica lanes.
+//!
+//! The platform is dealt into `ε+1` disjoint processor *lanes* by
+//! descending speed (lane `k` receives the processors ranked
+//! `k, k+(ε+1), k+2(ε+1), …` — for the Fig. 1 platform this yields the
+//! paper's mirror lanes `{P1, P2}` and `{P3, P4}`). Every lane executes
+//! every data set with a HEFT list schedule; a new data set starts only
+//! when the previous one finished (no pipelining), so the sustainable
+//! throughput is `1 / max_lane_makespan` and — in the absence of failures —
+//! the latency is the fastest lane's makespan.
+
+use crate::makespan::{heft, MakespanSchedule};
+use ltf_graph::TaskGraph;
+use ltf_platform::{Platform, ProcId};
+
+/// Outcome of the task-parallel strategy.
+#[derive(Debug, Clone)]
+pub struct TaskParallelOutcome {
+    /// Processor lanes (lane `k` hosts replica `k` of every task).
+    pub lanes: Vec<Vec<ProcId>>,
+    /// Per-lane list schedule.
+    pub lane_schedules: Vec<MakespanSchedule>,
+    /// Latency in the absence of failures: the fastest lane's makespan.
+    pub latency: f64,
+    /// Sustainable throughput with active replication: every lane must
+    /// finish every item, so `1 / max_lane_makespan`.
+    pub throughput: f64,
+}
+
+/// Run the task-parallel baseline with fault-tolerance degree `epsilon`.
+///
+/// # Panics
+/// If `m < ε + 1` (not enough processors for disjoint lanes).
+pub fn task_parallel(g: &TaskGraph, p: &Platform, epsilon: u8) -> TaskParallelOutcome {
+    let nrep = epsilon as usize + 1;
+    assert!(
+        p.num_procs() >= nrep,
+        "need at least ε+1 processors for disjoint replica lanes"
+    );
+    let by_speed = p.procs_by_speed_desc();
+    let mut lanes: Vec<Vec<ProcId>> = vec![Vec::new(); nrep];
+    for (i, u) in by_speed.into_iter().enumerate() {
+        lanes[i % nrep].push(u);
+    }
+    let lane_schedules: Vec<MakespanSchedule> =
+        lanes.iter().map(|lane| heft(g, p, lane)).collect();
+    let latency = lane_schedules
+        .iter()
+        .map(|s| s.makespan)
+        .fold(f64::INFINITY, f64::min);
+    let worst = lane_schedules
+        .iter()
+        .map(|s| s.makespan)
+        .fold(0.0f64, f64::max);
+    TaskParallelOutcome {
+        lanes,
+        lane_schedules,
+        latency,
+        throughput: 1.0 / worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::generate::fig1_diamond;
+
+    #[test]
+    fn fig1b_reproduced() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let out = task_parallel(&g, &p, 1);
+        // Mirror lanes {P1, P2} and {P3, P4}; both reach the paper's L=39.
+        assert_eq!(out.lanes.len(), 2);
+        assert_eq!(out.lanes[0], vec![ProcId(0), ProcId(1)]);
+        assert_eq!(out.lanes[1], vec![ProcId(2), ProcId(3)]);
+        assert!((out.latency - 39.0).abs() < 1e-9, "latency {}", out.latency);
+        assert!(
+            (out.throughput - 1.0 / 39.0).abs() < 1e-12,
+            "throughput {}",
+            out.throughput
+        );
+    }
+
+    #[test]
+    fn no_replication_uses_all_procs() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let out = task_parallel(&g, &p, 0);
+        assert_eq!(out.lanes.len(), 1);
+        assert_eq!(out.lanes[0].len(), 4);
+        // With all four processors the list schedule does at least as well
+        // as the two-processor lane.
+        assert!(out.latency <= 39.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε+1")]
+    fn too_few_procs_panics() {
+        let g = fig1_diamond();
+        let p = Platform::homogeneous(1, 1.0, 1.0);
+        task_parallel(&g, &p, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 1 (paper §1): the motivating comparison of task parallelism, data
+//! parallelism, and pipelined execution on the 4-task diamond. Prints the
+//! reproduced values, then times each strategy.
+
+use criterion::{black_box, Criterion};
+use ltf_baselines::{data_parallel, task_parallel};
+use ltf_bench::quick_criterion;
+use ltf_core::{rltf_schedule, AlgoConfig};
+use ltf_graph::generate::fig1_diamond;
+use ltf_platform::Platform;
+
+fn print_reproduction() {
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+    let tp = task_parallel(&g, &p, 1);
+    let dp = data_parallel(&g, &p, 1);
+    let s = rltf_schedule(&g, &p, &AlgoConfig::new(1, 30.0)).expect("pipelined");
+    eprintln!("\n=== fig1 reproduction (paper values in parentheses) ===");
+    eprintln!(
+        "task parallelism : L = {:.0} (39), T = 1/{:.0} (1/39)",
+        tp.latency,
+        1.0 / tp.throughput
+    );
+    eprintln!(
+        "data parallelism : T = 1/{:.0} (1/20) optimistic",
+        1.0 / dp.throughput_optimistic
+    );
+    eprintln!(
+        "pipelined        : L = {:.0} (90), T = 1/{:.0} (1/30), S = {} (2)\n",
+        s.latency_upper_bound(),
+        s.period(),
+        s.num_stages()
+    );
+}
+
+fn main() {
+    print_reproduction();
+    let mut c: Criterion = quick_criterion();
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("task_parallel", |b| {
+        b.iter(|| task_parallel(black_box(&g), black_box(&p), 1))
+    });
+    group.bench_function("data_parallel", |b| {
+        b.iter(|| data_parallel(black_box(&g), black_box(&p), 1))
+    });
+    let cfg = AlgoConfig::new(1, 30.0);
+    group.bench_function("pipelined_rltf", |b| {
+        b.iter(|| rltf_schedule(black_box(&g), black_box(&p), black_box(&cfg)).unwrap())
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,50 @@
+//! Fig. 2 (paper §4.3): the worked LTF vs R-LTF example. Prints the
+//! outcomes on the reconstruction and the variant, then times both
+//! heuristics on the variant instance.
+
+use criterion::{black_box, Criterion};
+use ltf_bench::quick_criterion;
+use ltf_core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_graph::generate::{fig2_workflow, fig2_workflow_variant};
+use ltf_platform::Platform;
+
+fn print_reproduction() {
+    let cfg = AlgoConfig::with_throughput(1, 0.05);
+    eprintln!("\n=== fig2 reproduction ===");
+    for (name, g) in [
+        ("reconstruction", fig2_workflow()),
+        ("variant E(t2)=3", fig2_workflow_variant()),
+    ] {
+        for m in [8usize, 10] {
+            let p = Platform::homogeneous(m, 1.0, 1.0);
+            let fmt = |r: Result<ltf_schedule::Schedule, ltf_core::ScheduleError>| match r {
+                Ok(s) => format!("S={} L={:.0}", s.num_stages(), s.latency_upper_bound()),
+                Err(_) => "fails".into(),
+            };
+            eprintln!(
+                "{name:<16} m={m:<2}: LTF {:<12} R-LTF {}",
+                fmt(ltf_schedule(&g, &p, &cfg)),
+                fmt(rltf_schedule(&g, &p, &cfg))
+            );
+        }
+    }
+    eprintln!("(paper: R-LTF m=8 S=3 L=100; LTF m=8 fails; LTF m=10 S=4 L=140)\n");
+}
+
+fn main() {
+    print_reproduction();
+    let mut c: Criterion = quick_criterion();
+    let g = fig2_workflow_variant();
+    let p = Platform::homogeneous(8, 1.0, 1.0);
+    let cfg = AlgoConfig::with_throughput(1, 0.05);
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("ltf_variant_m8", |b| {
+        b.iter(|| ltf_schedule(black_box(&g), black_box(&p), black_box(&cfg)).unwrap())
+    });
+    group.bench_function("rltf_variant_m8", |b| {
+        b.iter(|| rltf_schedule(black_box(&g), black_box(&p), black_box(&cfg)).unwrap())
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Fig. 3 (paper §5, ε = 1): latency bounds, latency under one crash, and
+//! fault-tolerance overhead across the granularity sweep. Prints a reduced
+//! sweep's three panels, then times one full sweep point (generation +
+//! R-LTF + LTF + fault-free reference + crash analysis).
+
+use criterion::{black_box, Criterion};
+use ltf_bench::quick_criterion;
+use ltf_experiments::figures::{panel, sweep, Panel, SweepConfig};
+use ltf_experiments::runner::measure_instance;
+use ltf_experiments::workload::PaperWorkload;
+
+fn print_reproduction() {
+    let cfg = SweepConfig {
+        graphs_per_point: 10,
+        granularities: vec![0.2, 0.6, 1.0, 1.4, 2.0],
+        crash_draws: 5,
+        ..Default::default()
+    };
+    let data = sweep(1, 1, &cfg);
+    eprintln!("\n=== fig3 reproduction (reduced: 10 graphs/point) ===");
+    for p in [Panel::Bounds, Panel::Crashes, Panel::Overhead] {
+        let fig = panel(&data, p);
+        eprintln!("--- {} — {}", fig.id, fig.title);
+        eprint!("{}", fig.to_csv());
+    }
+    eprintln!();
+}
+
+fn main() {
+    print_reproduction();
+    let mut c: Criterion = quick_criterion();
+    let wl = PaperWorkload::paper(1, 1.0);
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("sweep_point_eps1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            measure_instance(black_box(&wl), seed, 1, 5)
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

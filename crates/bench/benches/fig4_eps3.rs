@@ -1,0 +1,42 @@
+//! Fig. 4 (paper §5, ε = 3): the granularity sweep with quadruple
+//! replication and two-crash executions. Prints a reduced sweep's three
+//! panels, then times one sweep point.
+
+use criterion::{black_box, Criterion};
+use ltf_bench::quick_criterion;
+use ltf_experiments::figures::{panel, sweep, Panel, SweepConfig};
+use ltf_experiments::runner::measure_instance;
+use ltf_experiments::workload::PaperWorkload;
+
+fn print_reproduction() {
+    let cfg = SweepConfig {
+        graphs_per_point: 8,
+        granularities: vec![0.2, 0.6, 1.0, 1.4, 2.0],
+        crash_draws: 5,
+        ..Default::default()
+    };
+    let data = sweep(3, 2, &cfg);
+    eprintln!("\n=== fig4 reproduction (reduced: 8 graphs/point) ===");
+    for p in [Panel::Bounds, Panel::Crashes, Panel::Overhead] {
+        let fig = panel(&data, p);
+        eprintln!("--- {} — {}", fig.id, fig.title);
+        eprint!("{}", fig.to_csv());
+    }
+    eprintln!();
+}
+
+fn main() {
+    print_reproduction();
+    let mut c: Criterion = quick_criterion();
+    let wl = PaperWorkload::paper(3, 1.0);
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("sweep_point_eps3", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            measure_instance(black_box(&wl), seed, 2, 5)
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -1,0 +1,45 @@
+//! Simulator throughput: items pushed through the discrete-event ASAP
+//! engine and the synchronous window model per second, plus the failure
+//! analysis used by the crash experiments.
+
+use criterion::{black_box, Criterion};
+use ltf_bench::quick_criterion;
+use ltf_core::{rltf_schedule, AlgoConfig};
+use ltf_experiments::workload::{gen_instance, PaperWorkload};
+use ltf_schedule::{failures, CrashSet};
+use ltf_sim::{asap, synchronous, AsapConfig, SynchronousConfig};
+
+fn main() {
+    let mut c: Criterion = quick_criterion();
+    let wl = PaperWorkload::paper(1, 1.0);
+    let inst = gen_instance(&wl, 3);
+    let cfg = AlgoConfig::new(1, inst.period).seeded(3);
+    let sched = rltf_schedule(&inst.graph, &inst.platform, &cfg).expect("feasible");
+    eprintln!(
+        "\nsim bench schedule: v={} S={} comms={}\n",
+        inst.graph.num_tasks(),
+        sched.num_stages(),
+        sched.comm_count()
+    );
+
+    let mut group = c.benchmark_group("sim");
+    group.bench_function("asap_100_items", |b| {
+        let cfg = AsapConfig::new(100);
+        b.iter(|| asap(black_box(&inst.graph), black_box(&sched), black_box(&cfg)))
+    });
+    group.bench_function("synchronous_100_items", |b| {
+        let cfg = SynchronousConfig::new(100);
+        b.iter(|| synchronous(black_box(&inst.graph), black_box(&sched), black_box(&cfg)))
+    });
+    group.bench_function("crash_analysis_single", |b| {
+        let crash = CrashSet::from_procs(&[ltf_platform::ProcId(3)], 20);
+        b.iter(|| {
+            failures::effective_latency(black_box(&inst.graph), black_box(&sched), &crash)
+        })
+    });
+    group.bench_function("crash_analysis_all_pairs", |b| {
+        b.iter(|| failures::tolerates_all_crashes(black_box(&inst.graph), &sched, 20, 1))
+    });
+    group.finish();
+    c.final_summary();
+}

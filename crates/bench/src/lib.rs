@@ -1,0 +1,20 @@
+//! Shared helpers for the Criterion benches (see `benches/`).
+//!
+//! Every bench regenerates the data behind one of the paper's figures (the
+//! series are printed to stderr before timing starts) and then times the
+//! computational kernel involved, so `cargo bench` doubles as the
+//! reproduction harness at reduced sample counts. The full-scale figures
+//! come from the `ltf-experiments` CLI.
+
+use criterion::Criterion;
+
+/// Criterion configuration shared by all benches: small samples, short
+/// measurement windows — the kernels are deterministic and the suite has
+/// many of them.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .configure_from_args()
+}

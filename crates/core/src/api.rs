@@ -1,0 +1,68 @@
+//! Public entry points: LTF, R-LTF and the fault-free reference schedule.
+
+use crate::config::{AlgoConfig, AlgoKind, ScheduleError};
+use crate::convert;
+use crate::driver::{self, Policy};
+use crate::engine::Engine;
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+use ltf_schedule::Schedule;
+
+/// The **LTF** algorithm (paper §4.1, Algorithm 4.1): forward chunked list
+/// mapping with the one-to-one replication procedure and minimum-finish-
+/// time processor selection, under the throughput constraint
+/// `T = 1/cfg.period` and fault-tolerance degree `cfg.epsilon`.
+///
+/// Fails with [`ScheduleError::Infeasible`] when some replica cannot be
+/// placed without exceeding the period — the behaviour the paper
+/// demonstrates on the Fig. 2 example with 8 processors.
+pub fn ltf_schedule(
+    g: &TaskGraph,
+    p: &Platform,
+    cfg: &AlgoConfig,
+) -> Result<Schedule, ScheduleError> {
+    let mut engine = Engine::new(g, p, cfg);
+    driver::run(&mut engine, cfg, Policy::Ltf)?;
+    Ok(convert::forward_schedule(engine, g, p, cfg.epsilon, cfg.period))
+}
+
+/// The **R-LTF** algorithm (paper §4.2): bottom-up traversal of the
+/// application graph guided by Rule 1 (never grow the pipeline stage count
+/// when avoidable) and Rule 2 (one-to-one replica spreading on linear chain
+/// sections), minimizing the pipeline latency `L = (2S − 1)/T`.
+pub fn rltf_schedule(
+    g: &TaskGraph,
+    p: &Platform,
+    cfg: &AlgoConfig,
+) -> Result<Schedule, ScheduleError> {
+    let rev = g.reversed();
+    let mut engine = Engine::new(&rev, p, cfg);
+    driver::run(&mut engine, cfg, Policy::Rltf)?;
+    Ok(convert::reversed_schedule(engine, g, p, cfg.epsilon, cfg.period))
+}
+
+/// Dispatch by [`AlgoKind`].
+pub fn schedule_with(
+    kind: AlgoKind,
+    g: &TaskGraph,
+    p: &Platform,
+    cfg: &AlgoConfig,
+) -> Result<Schedule, ScheduleError> {
+    match kind {
+        AlgoKind::Ltf => ltf_schedule(g, p, cfg),
+        AlgoKind::Rltf => rltf_schedule(g, p, cfg),
+    }
+}
+
+/// The **fault-free reference schedule** of §5: R-LTF without replication
+/// (`ε = 0`), assuming a completely safe system. The paper's overhead
+/// metric is `(L_algo − L_FF) / L_FF` against this schedule's latency.
+pub fn fault_free_reference(
+    g: &TaskGraph,
+    p: &Platform,
+    period: f64,
+    seed: u64,
+) -> Result<Schedule, ScheduleError> {
+    let cfg = AlgoConfig::new(0, period).seeded(seed);
+    rltf_schedule(g, p, &cfg)
+}

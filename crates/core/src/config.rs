@@ -1,0 +1,168 @@
+//! Algorithm configuration and errors.
+
+use ltf_graph::TaskId;
+
+/// Configuration shared by LTF and R-LTF.
+#[derive(Debug, Clone)]
+pub struct AlgoConfig {
+    /// Fault-tolerance degree ε: the schedule must survive any ε processor
+    /// failures; every task is replicated ε+1 times.
+    pub epsilon: u8,
+    /// Iteration period `Δ = 1/T` (the inverse of the desired throughput).
+    pub period: f64,
+    /// Chunk size `B`: how many ready tasks are mapped per round. The paper
+    /// sets `B = m` (working with a subset of critical ready tasks gives a
+    /// better load balance than one-at-a-time list scheduling). `None`
+    /// defaults to `m`.
+    pub chunk_size: Option<usize>,
+    /// Seed for the random tie-breaking of the head function `H(ℓ)`.
+    pub seed: u64,
+    /// Enable the one-to-one mapping procedure (Algorithm 4.2). Disabling
+    /// it forces every replica through the receive-from-all fallback — the
+    /// `(ε+1)²`-communications regime the paper's §4 warns about. Ablation
+    /// knob; default `true`.
+    pub use_one_to_one: bool,
+    /// R-LTF only: enable Rule 1 (prefer placements that do not grow the
+    /// pipeline stage count). Ablation knob; default `true`.
+    pub rule1: bool,
+    /// R-LTF only: enable Rule 2 (one-to-one mapping across linear chain
+    /// sections). Ablation knob; default `true`.
+    pub rule2: bool,
+    /// R-LTF only: break stage ties towards processors already in use.
+    /// In reverse time the finish value carries no latency meaning, so
+    /// minimum-finish tie-breaking would scatter stage-tied replicas over
+    /// fresh processors and destroy every upstream co-location
+    /// opportunity. Ablation knob; default `true`.
+    pub cluster_ties: bool,
+}
+
+impl AlgoConfig {
+    /// Standard configuration for a period `Δ` and fault-tolerance `ε`.
+    pub fn new(epsilon: u8, period: f64) -> Self {
+        Self {
+            epsilon,
+            period,
+            chunk_size: None,
+            seed: 0xC0FFEE,
+            use_one_to_one: true,
+            rule1: true,
+            rule2: true,
+            cluster_ties: true,
+        }
+    }
+
+    /// Configuration from a desired throughput `T` (period `1/T`).
+    pub fn with_throughput(epsilon: u8, throughput: f64) -> Self {
+        assert!(throughput > 0.0, "throughput must be positive");
+        Self::new(epsilon, 1.0 / throughput)
+    }
+
+    /// Builder-style seed override.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of replicas per task, `ε + 1`.
+    pub fn replicas(&self) -> usize {
+        self.epsilon as usize + 1
+    }
+}
+
+/// Why an algorithm could not produce a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// No processor can host this replica without violating the throughput
+    /// constraint (paper §4.1: "the algorithm fails if no processor can
+    /// accommodate the task"). LTF genuinely fails this way on the worked
+    /// example of Fig. 2 with m = 8.
+    Infeasible {
+        /// Task whose replica could not be placed.
+        task: TaskId,
+        /// Replica copy number (0-based).
+        copy: u8,
+    },
+    /// Fewer processors than replicas: `m < ε + 1` makes distinct placement
+    /// impossible.
+    TooFewProcessors {
+        /// Required processor count (`ε + 1`).
+        needed: usize,
+        /// Available processor count `m`.
+        available: usize,
+    },
+    /// Invalid configuration (non-positive period, …).
+    BadConfig(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Infeasible { task, copy } => write!(
+                f,
+                "throughput constraint unsatisfiable: no processor can host copy {} of {task}",
+                copy + 1
+            ),
+            ScheduleError::TooFewProcessors { needed, available } => write!(
+                f,
+                "need at least {needed} processors for ε+1 replicas, have {available}"
+            ),
+            ScheduleError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Which of the paper's two heuristics to run (used by the searches and
+/// the experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    /// LTF (§4.1): forward traversal, minimum-finish-time placement.
+    Ltf,
+    /// R-LTF (§4.2): bottom-up traversal, stage-count-first placement.
+    Rltf,
+}
+
+impl std::fmt::Display for AlgoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoKind::Ltf => write!(f, "LTF"),
+            AlgoKind::Rltf => write!(f, "R-LTF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_conversion() {
+        let c = AlgoConfig::with_throughput(1, 0.05);
+        assert_eq!(c.period, 20.0);
+        assert_eq!(c.replicas(), 2);
+        assert!(c.use_one_to_one && c.rule1 && c.rule2);
+    }
+
+    #[test]
+    fn seeded_builder() {
+        let c = AlgoConfig::new(0, 1.0).seeded(7);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::Infeasible {
+            task: TaskId(6),
+            copy: 0,
+        };
+        assert!(e.to_string().contains("t6"));
+        let e = ScheduleError::TooFewProcessors {
+            needed: 4,
+            available: 2,
+        };
+        assert!(e.to_string().contains('4'));
+        assert_eq!(AlgoKind::Ltf.to_string(), "LTF");
+        assert_eq!(AlgoKind::Rltf.to_string(), "R-LTF");
+    }
+}

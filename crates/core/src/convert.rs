@@ -1,0 +1,130 @@
+//! Conversion of engine state into a canonical forward [`Schedule`].
+//!
+//! LTF schedules the application graph directly, so its engine state *is*
+//! the forward schedule. R-LTF schedules the reversed graph `Ĝ`; mapping
+//! its decisions back requires reflecting the timeline
+//! (`t ↦ T_ref − t`, which preserves one-port disjointness, causality and
+//! load sums) and transposing each communication pair: a replica of `x`
+//! *receiving* from a replica of `y` in `Ĝ` is the same replica of `x`
+//! *sending* to that replica of `y` along the original edge `x → y`
+//! (edge ids are shared between `G` and `Ĝ`).
+
+use crate::engine::Engine;
+use ltf_graph::{EdgeId, TaskGraph};
+use ltf_platform::Platform;
+use ltf_schedule::{CommEvent, ReplicaId, Schedule, ScheduleData, SourceChoice};
+
+/// Build the schedule when the engine ran on the original graph (LTF).
+pub(crate) fn forward_schedule(
+    engine: Engine<'_>,
+    g: &TaskGraph,
+    p: &Platform,
+    epsilon: u8,
+    period: f64,
+) -> Schedule {
+    let (proc_of, start, finish, sources, comm_events) = engine.into_parts();
+    Schedule::new(
+        g,
+        p,
+        ScheduleData {
+            epsilon,
+            period,
+            proc_of,
+            start,
+            finish,
+            sources,
+            comm_events,
+        },
+    )
+}
+
+/// Build the schedule when the engine ran on `g.reversed()` (R-LTF).
+///
+/// `g` is the ORIGINAL application graph.
+pub(crate) fn reversed_schedule(
+    engine: Engine<'_>,
+    g: &TaskGraph,
+    p: &Platform,
+    epsilon: u8,
+    period: f64,
+) -> Schedule {
+    let nrep = epsilon as usize + 1;
+    let n = g.num_tasks() * nrep;
+    let (proc_of, start_rev, finish_rev, sources_rev, events_rev) = engine.into_parts();
+
+    // Reflection reference: everything must stay ≥ 0 after the flip.
+    let t_ref = start_rev
+        .iter()
+        .chain(finish_rev.iter())
+        .chain(events_rev.iter().flat_map(|e| [&e.start, &e.finish]))
+        .fold(0.0f64, |a, &b| a.max(b));
+
+    let start: Vec<f64> = finish_rev.iter().map(|&f| t_ref - f).collect();
+    let finish: Vec<f64> = start_rev.iter().map(|&s| t_ref - s).collect();
+
+    // Transpose the source relation: replica (x, i) receiving from (y, j)
+    // over Ĝ-edge e  ⇒  forward source of (y, j) on original edge e is i.
+    let mut fwd_sources: Vec<Vec<SourceChoice>> = (0..n).map(|_| Vec::new()).collect();
+    for (ridx, choices) in sources_rev.iter().enumerate() {
+        let x_rep = ReplicaId::from_dense(ridx, nrep);
+        for choice in choices {
+            // Original edge: x -> y (Ĝ in-edge of x shares the id).
+            let y = g.edge(choice.edge).dst;
+            debug_assert_eq!(g.edge(choice.edge).src, x_rep.task);
+            for &j in &choice.sources {
+                let tgt = ReplicaId::new(y, j).dense(nrep);
+                push_source(&mut fwd_sources[tgt], choice.edge, x_rep.copy);
+            }
+        }
+    }
+    // Deterministic ordering: per replica follow the graph's in-edge order.
+    for (ridx, list) in fwd_sources.iter_mut().enumerate() {
+        let rep = ReplicaId::from_dense(ridx, nrep);
+        let order = g.pred_edges(rep.task);
+        list.sort_by_key(|c| order.iter().position(|&e| e == c.edge).unwrap_or(usize::MAX));
+        for c in list.iter_mut() {
+            c.sources.sort_unstable();
+        }
+    }
+
+    let comm_events: Vec<CommEvent> = events_rev
+        .iter()
+        .map(|e| CommEvent {
+            edge: e.edge,
+            src: e.dst,
+            dst: e.src,
+            src_proc: e.dst_proc,
+            dst_proc: e.src_proc,
+            start: t_ref - e.finish,
+            finish: t_ref - e.start,
+        })
+        .collect();
+
+    Schedule::new(
+        g,
+        p,
+        ScheduleData {
+            epsilon,
+            period,
+            proc_of,
+            start,
+            finish,
+            sources: fwd_sources,
+            comm_events,
+        },
+    )
+}
+
+fn push_source(list: &mut Vec<SourceChoice>, edge: EdgeId, copy: u8) {
+    match list.iter_mut().find(|c| c.edge == edge) {
+        Some(c) => {
+            if !c.sources.contains(&copy) {
+                c.sources.push(copy);
+            }
+        }
+        None => list.push(SourceChoice {
+            edge,
+            sources: vec![copy],
+        }),
+    }
+}

@@ -1,0 +1,559 @@
+//! The chunked mapping loop shared by LTF (Algorithm 4.1) and R-LTF, with
+//! the one-to-one mapping procedure (Algorithm 4.2).
+//!
+//! Each round selects a chunk `β` of up to `B` highest-priority ready tasks
+//! (the paper sets `B = m`) and places the `ε+1` copies of every chunk
+//! task.
+//!
+//! ### Replica-validity discipline (crash cones)
+//!
+//! The paper gates the one-to-one procedure on *singleton processors* and
+//! locked sets. That test is a local proxy for the real invariant — no
+//! single processor failure may silence two copies of the same task,
+//! transitively through single-source feeding chains. We enforce the exact
+//! invariant instead (`DESIGN.md` §2.4):
+//!
+//! * **LTF (forward)**: every replica carries its *crash cone* — the set
+//!   of processors whose individual failure silences it: its host plus,
+//!   per in-edge, the cone of its single source (one-to-one) or the
+//!   intersection of all sources' cones (receive-from-all, which is empty
+//!   once the predecessor's copies have disjoint cones). A new copy must
+//!   keep its cone disjoint from its siblings' cones.
+//! * **R-LTF (reverse)**: cones cannot be evaluated bottom-up (a replica's
+//!   feeders are scheduled after it), so the engine tracks the dual
+//!   objects: the *downstream closure* `D(r)` (replicas transitively fed
+//!   by `r` through single-source pairings, fixed at placement) and the
+//!   hosts of every replica known to feed each replica (`ushost`). A
+//!   placement on processor `u` is admissible iff (a) its combined
+//!   downstream closure never contains two copies of one task and (b) `u`
+//!   does not appear among the upstream hosts of any *sibling copy* of a
+//!   task in that closure. To keep the receive-from-all semantics exact,
+//!   R-LTF decides per *task* (not per copy) between an all-one-to-one
+//!   perfect matching and an all-receive-from-all placement, using an
+//!   engine snapshot to roll back the losing attempt.
+//!
+//! Both disciplines are verified by exhaustive crash enumeration in the
+//! test suite.
+//!
+//! ### Placement policy
+//!
+//! * **LTF**: copy `N` of every chunk task before copy `N+1` of any
+//!   (the paper's interleaved order); per copy, one-to-one placement
+//!   (heads ranked by communication finish time, processor with minimum
+//!   finish time) whenever a cone-disjoint single-source candidate exists,
+//!   otherwise the receive-from-all fallback on the minimum-finish-time
+//!   processor satisfying condition (1).
+//! * **R-LTF**: per chunk task, both task-level modes are attempted;
+//!   Rule 1 prefers the one yielding the smaller global stage count,
+//!   Rule 2 breaks stage ties towards one-to-one spreading on linear chain
+//!   sections, and remaining ties go to the earlier aggregate finish time.
+
+use crate::config::{AlgoConfig, ScheduleError};
+use crate::engine::{Engine, Probe, ProcMask, ReplicaSet, SourcePlan};
+use ltf_graph::traversal::ReadyTracker;
+use ltf_graph::{levels, TaskGraph, TaskId, Weights};
+use ltf_platform::AverageWeightsInput;
+use ltf_schedule::{ReplicaId, EPS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Placement policy: the only behavioural difference between the two
+/// heuristics once the traversal direction is fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Policy {
+    Ltf,
+    Rltf,
+}
+
+/// Run the chunked mapping loop to completion.
+pub(crate) fn run(
+    engine: &mut Engine<'_>,
+    cfg: &AlgoConfig,
+    policy: Policy,
+) -> Result<(), ScheduleError> {
+    let g = engine.g;
+    let p = engine.p;
+    if p.num_procs() < cfg.replicas() {
+        return Err(ScheduleError::TooFewProcessors {
+            needed: cfg.replicas(),
+            available: p.num_procs(),
+        });
+    }
+    if !(cfg.period.is_finite() && cfg.period > 0.0) {
+        return Err(ScheduleError::BadConfig(format!(
+            "period must be positive, got {}",
+            cfg.period
+        )));
+    }
+
+    // Platform-averaged priorities tℓ + bℓ (§2); tℓ is refined online with
+    // actual finish times as the partial clustering takes shape ("update
+    // priority values of its successors").
+    let exec: Vec<f64> = g.tasks().map(|t| g.exec(t)).collect();
+    let volume: Vec<f64> = g.edge_ids().map(|e| g.edge(e).volume).collect();
+    let avg = p.average_weights(&AverageWeightsInput {
+        exec: &exec,
+        volume: &volume,
+    });
+    let w = Weights::new(avg.node.clone(), avg.edge.clone());
+    let bl = levels::bottom_levels(g, &w);
+    let tl = levels::top_levels(g, &w);
+    let mut prio: Vec<f64> = tl.iter().zip(&bl).map(|(a, b)| a + b).collect();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tracker = ReadyTracker::new(g);
+    let mut alpha: Vec<TaskId> = g.entries().to_vec();
+    let chunk_cap = cfg.chunk_size.unwrap_or(p.num_procs()).max(1);
+
+    while !alpha.is_empty() {
+        // Select the chunk β of up to B highest-priority ready tasks.
+        let mut beta = Vec::with_capacity(chunk_cap.min(alpha.len()));
+        while beta.len() < chunk_cap && !alpha.is_empty() {
+            let idx = head_index(&alpha, &prio, &mut rng);
+            beta.push(alpha.swap_remove(idx));
+        }
+
+        match policy {
+            Policy::Ltf => {
+                let mut ctxs: Vec<LtfCtx> = beta.iter().map(|&t| LtfCtx::new(t)).collect();
+                for copy in 0..engine.nrep as u8 {
+                    for ctx in &mut ctxs {
+                        ltf_place_copy(engine, cfg, ctx, copy)?;
+                    }
+                }
+            }
+            Policy::Rltf => {
+                for &t in &beta {
+                    rltf_place_task(engine, cfg, t, &tracker)?;
+                }
+            }
+        }
+
+        for &t in &beta {
+            for s in tracker.complete(g, t) {
+                alpha.push(s);
+            }
+            // Dynamic top-level refinement: successors inherit the actual
+            // task finish plus the averaged edge weight.
+            let tfin = engine.task_finish(t);
+            for &eid in g.succ_edges(t) {
+                let s = g.edge(eid).dst;
+                let cand = tfin + avg.edge[eid.index()] + bl[s.index()];
+                if cand > prio[s.index()] {
+                    prio[s.index()] = cand;
+                }
+            }
+        }
+    }
+    debug_assert!(engine.all_placed(), "ready loop ended early");
+    debug_assert!(tracker.all_done(g), "tasks left unscheduled");
+    Ok(())
+}
+
+/// The head function `H(ℓ)`: index of a maximum-priority task, ties broken
+/// randomly (paper §2).
+fn head_index(alpha: &[TaskId], prio: &[f64], rng: &mut StdRng) -> usize {
+    debug_assert!(!alpha.is_empty());
+    let best = alpha
+        .iter()
+        .map(|t| prio[t.index()])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let tied: Vec<usize> = (0..alpha.len())
+        .filter(|&i| prio[alpha[i].index()] >= best - EPS)
+        .collect();
+    tied[rng.gen_range(0..tied.len())]
+}
+
+// ---------------------------------------------------------------------------
+// LTF (forward direction): per-copy crash-cone discipline.
+// ---------------------------------------------------------------------------
+
+/// Per-chunk-task state for LTF: the union of the crash cones of the
+/// already placed copies (the exact form of the paper's locked set `P̄`).
+struct LtfCtx {
+    task: TaskId,
+    used: ProcMask,
+}
+
+impl LtfCtx {
+    fn new(task: TaskId) -> Self {
+        Self { task, used: 0 }
+    }
+}
+
+fn ltf_place_copy(
+    engine: &mut Engine<'_>,
+    cfg: &AlgoConfig,
+    ctx: &mut LtfCtx,
+    copy: u8,
+) -> Result<(), ScheduleError> {
+    let t = ctx.task;
+    // Fair-share cone budget: with ε+1 lanes on m processors a copy whose
+    // crash cone exceeds ⌈m/(ε+1)⌉ processors starves its later siblings
+    // of cone-free hosts.
+    let cone_budget = engine.p.num_procs().div_ceil(engine.nrep) as u32;
+    let chosen = ltf_best_placement(engine, ctx, copy, cone_budget, cfg.use_one_to_one);
+    let Some((probe, plan)) = chosen else {
+        if std::env::var_os("LTF_DEBUG").is_some() {
+            let m = engine.p.num_procs();
+            let free = (0..m).filter(|&u| ctx.used >> u & 1 == 0).count();
+            eprintln!(
+                "LTF fail: task {t} copy {copy} in_deg {} | cone-free procs {free}/{m} used={:#x}",
+                engine.g.in_degree(t),
+                ctx.used
+            );
+        }
+        return Err(ScheduleError::Infeasible { task: t, copy });
+    };
+    ctx.used |= probe.kill;
+    engine.commit(t, copy, &probe, &plan);
+    Ok(())
+}
+
+/// LTF placement for one copy: probe every processor outside the task's
+/// used cone with a per-edge source plan, and keep the placement with the
+/// earliest finish time (budget-respecting cones preferred).
+///
+/// The per-edge plan generalizes Algorithm 4.2: an edge uses the
+/// cone-disjoint head with the earliest communication finish onto the
+/// candidate (lane-aligned copies preferred — wandering lanes inflate the
+/// crash cones until no cone-disjoint placement is left, matching the
+/// copy-wise pairing of the paper's worked traces) as long as the
+/// accumulated cone stays within the fair-share budget; otherwise the edge
+/// falls back to receive-from-all, which contributes nothing to the cone
+/// (the intersection of the predecessor's disjoint cones is empty) at the
+/// price of `ε+1` messages. With `one_to_one` disabled every edge uses
+/// receive-from-all (the `(ε+1)²` ablation).
+fn ltf_best_placement(
+    engine: &Engine<'_>,
+    ctx: &LtfCtx,
+    copy: u8,
+    cone_budget: u32,
+    one_to_one: bool,
+) -> Option<(Probe, SourcePlan)> {
+    let g = engine.g;
+    let t = ctx.task;
+    let pred_edges = g.pred_edges(t);
+    let mut best: Option<(Probe, SourcePlan)> = None;
+
+    for u in engine.p.procs() {
+        if ctx.used >> u.index() & 1 == 1 {
+            continue;
+        }
+        let mut plan = Vec::with_capacity(pred_edges.len());
+        let mut acc_kill: ProcMask = 1u128 << u.index();
+        for &eid in pred_edges.iter() {
+            let pred = g.edge(eid).src;
+            let mut pick: Option<(bool, f64, u8)> = None;
+            if one_to_one {
+                for c in 0..engine.nrep as u8 {
+                    let k = engine.kill_of(pred, c);
+                    if k & ctx.used != 0 {
+                        continue;
+                    }
+                    if (acc_kill | k).count_ones() > cone_budget {
+                        continue;
+                    }
+                    let src = ReplicaId::new(pred, c);
+                    let key = (c != copy, engine.arrival_estimate(eid, src, u), c);
+                    if pick.is_none_or(|p| key < p) {
+                        pick = Some(key);
+                    }
+                }
+            }
+            match pick {
+                Some((_, _, c)) => {
+                    acc_kill |= engine.kill_of(pred, c);
+                    plan.push((eid, vec![c]));
+                }
+                // No affordable single source: receive from every copy
+                // (cone contribution: the empty intersection).
+                None => plan.push((eid, (0..engine.nrep as u8).collect())),
+            }
+        }
+        let plan = SourcePlan { per_edge: plan };
+        let Some(probe) = engine.probe(t, copy, u, &plan) else {
+            continue;
+        };
+        if probe.kill & ctx.used != 0 {
+            continue;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| probe.finish < b.finish - EPS)
+        {
+            best = Some((probe, plan));
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// R-LTF (reverse direction): task-level modes with downstream closures.
+// ---------------------------------------------------------------------------
+
+/// Outcome summary of a task-level placement attempt.
+struct AttemptScore {
+    max_stage: u32,
+    total_finish: f64,
+}
+
+fn rltf_place_task(
+    engine: &mut Engine<'_>,
+    cfg: &AlgoConfig,
+    t: TaskId,
+    tracker: &ReadyTracker,
+) -> Result<(), ScheduleError> {
+    let before = engine.clone();
+
+    let oto_score = if cfg.use_one_to_one {
+        rltf_try_one_to_one(engine, t, cfg.cluster_ties)
+    } else {
+        None
+    };
+    let oto_state = oto_score.is_some().then(|| engine.clone());
+    // A failed attempt leaves partial placements behind: always restart
+    // the receive-from-all attempt from the snapshot.
+    *engine = before;
+    let rfa_score = rltf_try_receive_from_all(engine, t, cfg.cluster_ties);
+
+    match (oto_score, rfa_score) {
+        (None, None) => {
+            // Leave the engine in the (failed, partially mutated) RFA
+            // state; the caller aborts anyway.
+            Err(ScheduleError::Infeasible { task: t, copy: 0 })
+        }
+        (Some(_), None) => {
+            *engine = oto_state.expect("saved with score");
+            Ok(())
+        }
+        (None, Some(_)) => Ok(()), // engine already holds the RFA state
+        (Some(o), Some(r)) => {
+            let pick_oto = if cfg.rule1 && o.max_stage != r.max_stage {
+                // Rule 1: the mode with the smaller global stage count.
+                o.max_stage < r.max_stage
+            } else if cfg.rule2 && rule2_condition(engine.g, t, tracker) {
+                // Rule 2: linear chain sections spread one-to-one.
+                true
+            } else {
+                // One-to-one also wins finish-time ties: it costs fewer
+                // messages.
+                o.total_finish <= r.total_finish + EPS
+            };
+            if pick_oto {
+                *engine = oto_state.expect("saved with score");
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The paper's Rule 2 condition, evaluated on the scheduling-direction
+/// graph: `t` has a single predecessor `t'` (its unique successor in the
+/// application graph), and every successor of `t'` (sibling of `t` in the
+/// application graph) has `t'` as its only predecessor and is already
+/// scheduled or ready.
+fn rule2_condition(g: &TaskGraph, t: TaskId, tracker: &ReadyTracker) -> bool {
+    if g.in_degree(t) != 1 {
+        return false;
+    }
+    let tp = g.preds(t).next().expect("in-degree 1");
+    g.succs(tp)
+        .all(|s| g.in_degree(s) == 1 && (tracker.is_done(s) || tracker.is_ready(s)))
+}
+
+/// Attempt to place all copies of `t` with one-to-one pairings forming a
+/// perfect matching per in-edge. Mutates the engine; on failure the caller
+/// restores the snapshot.
+fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Option<AttemptScore> {
+    let g = engine.g;
+    let nrep = engine.nrep;
+    let pred_edges: Vec<_> = g.pred_edges(t).to_vec();
+    // Unconsumed head copies per in-edge (perfect matching across copies).
+    let mut remaining: Vec<Vec<u8>> = pred_edges
+        .iter()
+        .map(|_| (0..nrep as u8).collect())
+        .collect();
+
+    let mut max_stage = 0u32;
+    let mut total_finish = 0.0f64;
+
+    for copy in 0..nrep as u8 {
+        let rep_dense = ReplicaId::new(t, copy).dense(nrep);
+        let mut best: Option<(Probe, SourcePlan, Vec<u8>, ReplicaSet, ProcMask)> = None;
+
+        for u in engine.p.procs() {
+            // Head per in-edge: smallest (stage contribution, arrival)
+            // among unconsumed copies.
+            let mut plan = Vec::with_capacity(pred_edges.len());
+            let mut heads = Vec::with_capacity(pred_edges.len());
+            let mut ok = true;
+            for (i, &eid) in pred_edges.iter().enumerate() {
+                let pred = g.edge(eid).src;
+                let mut pick: Option<(u32, f64, u8)> = None;
+                for &c in &remaining[i] {
+                    let src = ReplicaId::new(pred, c);
+                    let key = (
+                        engine.stage_contribution(src, u),
+                        engine.arrival_estimate(eid, src, u),
+                        c,
+                    );
+                    if pick.is_none_or(|p| key < p) {
+                        pick = Some(key);
+                    }
+                }
+                match pick {
+                    Some((_, _, c)) => {
+                        plan.push((eid, vec![c]));
+                        heads.push(c);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                break; // no heads left for some edge: no copy can pair
+            }
+
+            // Downstream closure of the would-be replica, and the validity
+            // checks (no two copies of one task downstream; host outside
+            // every sibling's upstream hosts).
+            let mut dset = ReplicaSet::with_capacity(engine.num_replicas());
+            dset.insert(rep_dense);
+            for (i, &eid) in pred_edges.iter().enumerate() {
+                let pred = g.edge(eid).src;
+                let head = ReplicaId::new(pred, heads[i]).dense(nrep);
+                dset.union_with(&engine.down[head]);
+            }
+            if closure_has_copy_conflict(&dset, nrep) {
+                continue;
+            }
+            let forbid = forbidden_hosts(engine, &dset, nrep);
+            if forbid >> u.index() & 1 == 1 {
+                continue;
+            }
+
+            let plan = SourcePlan { per_edge: plan };
+            let Some(probe) = engine.probe(t, copy, u, &plan) else {
+                continue;
+            };
+            // Stage first; then prefer processors already in use — in
+            // reverse time the finish value carries no latency meaning,
+            // and spreading stage-tied replicas across fresh processors
+            // would deny every upstream task a co-location target (its
+            // consumers would sit on different processors, forcing a new
+            // stage per level). Finish time breaks the remaining ties.
+            let key = (probe.stage, cluster && !engine.proc_used(u), probe.finish);
+            let better = best.as_ref().is_none_or(|(b, ..)| {
+                key < (b.stage, cluster && !engine.proc_used(b.proc), b.finish)
+            });
+            if better {
+                best = Some((probe, plan, heads, dset, forbid));
+            }
+        }
+
+        let (probe, plan, heads, dset, _) = best?;
+        // Consume the heads.
+        for (i, &c) in heads.iter().enumerate() {
+            remaining[i].retain(|&x| x != c);
+        }
+        max_stage = max_stage.max(probe.stage);
+        total_finish += probe.finish;
+        let host = probe.proc;
+        engine.commit(t, copy, &probe, &plan);
+        engine.down[rep_dense] = dset;
+        register_upstream_host(engine, rep_dense, host.index(), nrep);
+    }
+
+    Some(AttemptScore {
+        max_stage: max_stage.max(engine.max_stage),
+        total_finish,
+    })
+}
+
+/// Attempt to place all copies of `t` receive-from-all. Mutates the
+/// engine; on failure the caller restores the snapshot.
+fn rltf_try_receive_from_all(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Option<AttemptScore> {
+    let nrep = engine.nrep;
+    let plan = SourcePlan::receive_from_all(engine.g, t, nrep);
+    let mut max_stage = 0u32;
+    let mut total_finish = 0.0f64;
+
+    for copy in 0..nrep as u8 {
+        let rep_dense = ReplicaId::new(t, copy).dense(nrep);
+        // Sibling upstream hosts are forbidden (their crash must not be
+        // able to take out this copy as well).
+        let forbid = engine.allush[t.index()];
+        let mut best: Option<Probe> = None;
+        for u in engine.p.procs() {
+            if forbid >> u.index() & 1 == 1 {
+                continue;
+            }
+            let Some(probe) = engine.probe(t, copy, u, &plan) else {
+                continue;
+            };
+            // Same clustering tie-break as the one-to-one attempt.
+            let key = (probe.stage, cluster && !engine.proc_used(u), probe.finish);
+            let better = best
+                .as_ref()
+                .is_none_or(|b| key < (b.stage, cluster && !engine.proc_used(b.proc), b.finish));
+            if better {
+                best = Some(probe);
+            }
+        }
+        let probe = best?;
+        max_stage = max_stage.max(probe.stage);
+        total_finish += probe.finish;
+        let host = probe.proc;
+        engine.commit(t, copy, &probe, &plan);
+        let mut dset = ReplicaSet::with_capacity(engine.num_replicas());
+        dset.insert(rep_dense);
+        engine.down[rep_dense] = dset;
+        register_upstream_host(engine, rep_dense, host.index(), nrep);
+    }
+
+    Some(AttemptScore {
+        max_stage: max_stage.max(engine.max_stage),
+        total_finish,
+    })
+}
+
+/// `true` when the closure contains two distinct copies of some task.
+fn closure_has_copy_conflict(dset: &ReplicaSet, nrep: usize) -> bool {
+    let mut last_task = usize::MAX;
+    for idx in dset.iter() {
+        let task = idx / nrep;
+        if task == last_task {
+            return true; // dense indices of one task are contiguous
+        }
+        last_task = task;
+    }
+    false
+}
+
+/// Hosts that the new replica must avoid: for every replica `(y, j)` in
+/// its downstream closure, the upstream hosts already registered for the
+/// *sibling* copies of `y`.
+fn forbidden_hosts(engine: &Engine<'_>, dset: &ReplicaSet, nrep: usize) -> ProcMask {
+    let mut forbid: ProcMask = 0;
+    for idx in dset.iter() {
+        let task = idx / nrep;
+        // Disjointness invariant lets us subtract this copy's own hosts.
+        forbid |= engine.allush[task] & !engine.ushost[idx];
+    }
+    forbid
+}
+
+/// Register `host` as an upstream host of every replica fed by `rep`
+/// (including itself).
+fn register_upstream_host(engine: &mut Engine<'_>, rep: usize, host: usize, nrep: usize) {
+    let bit: ProcMask = 1 << host;
+    let dset = std::mem::take(&mut engine.down[rep]);
+    for idx in dset.iter() {
+        engine.ushost[idx] |= bit;
+        engine.allush[idx / nrep] |= bit;
+    }
+    engine.down[rep] = dset;
+}

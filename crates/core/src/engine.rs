@@ -1,0 +1,556 @@
+//! The contention-aware scheduling engine shared by LTF and R-LTF.
+//!
+//! The engine holds the partially-built schedule in its *scheduling
+//! direction*: LTF runs it directly on the application graph, R-LTF on the
+//! reversed graph (a bottom-up traversal of `G` is a forward traversal of
+//! `Ĝ`; edge ids are shared, so decisions map back one-to-one — see
+//! [`crate::convert`]).
+//!
+//! Placement works in two phases: [`Engine::probe`] computes, without
+//! mutating anything, where a replica would land on a candidate processor —
+//! start/finish times under insertion-based compute scheduling, the
+//! one-port link reservations for its incoming messages, the resulting
+//! pipeline stage, and whether condition (1) (the throughput constraint)
+//! holds. [`Engine::commit`] then applies the chosen probe.
+
+use crate::config::AlgoConfig;
+use ltf_graph::{EdgeId, TaskGraph, TaskId};
+use ltf_platform::{Platform, ProcId};
+use ltf_schedule::intervals::earliest_common_fit;
+use ltf_schedule::{CommEvent, IntervalSet, ReplicaId, SourceChoice, EPS};
+
+/// Which predecessor copies feed each in-edge of a replica being placed.
+#[derive(Debug, Clone)]
+pub(crate) struct SourcePlan {
+    /// `(in-edge, copies of the predecessor task on that edge)`.
+    pub per_edge: Vec<(EdgeId, Vec<u8>)>,
+}
+
+impl SourcePlan {
+    /// Receive-from-all plan: every copy of every predecessor.
+    pub fn receive_from_all(g: &TaskGraph, t: TaskId, nrep: usize) -> Self {
+        Self {
+            per_edge: g
+                .pred_edges(t)
+                .iter()
+                .map(|&e| (e, (0..nrep as u8).collect()))
+                .collect(),
+        }
+    }
+}
+
+/// One planned (not yet committed) incoming message.
+#[derive(Debug, Clone, Copy)]
+struct PlannedComm {
+    edge: EdgeId,
+    src: ReplicaId,
+    src_proc: ProcId,
+    start: f64,
+    dur: f64,
+}
+
+/// Set of processors as a bitmask (the engine asserts `m ≤ 128`).
+pub(crate) type ProcMask = u128;
+
+/// A set of replicas (dense indices) as a growable bitset. Used to track
+/// downstream closures through single-source feeding chains.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct ReplicaSet {
+    words: Vec<u64>,
+}
+
+impl ReplicaSet {
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    pub fn insert(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    pub fn union_with(&mut self, other: &ReplicaSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Iterate the contained dense indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Result of probing one `(replica, processor)` placement.
+#[derive(Debug, Clone)]
+pub(crate) struct Probe {
+    /// Candidate processor.
+    pub proc: ProcId,
+    /// Computed start time (insertion-based).
+    pub start: f64,
+    /// Computed finish time `F_u(t)`.
+    pub finish: f64,
+    /// Pipeline stage the replica would get (scheduling-direction).
+    pub stage: u32,
+    /// Crash cone: processors whose single failure would silence this
+    /// replica (its host, plus — through single-source edges — the cones
+    /// of its designated producers).
+    pub kill: ProcMask,
+    planned: Vec<PlannedComm>,
+}
+
+/// Partially-built schedule state.
+#[derive(Clone)]
+pub(crate) struct Engine<'a> {
+    pub g: &'a TaskGraph,
+    pub p: &'a Platform,
+    pub period: f64,
+    pub nrep: usize,
+    placed: Vec<bool>,
+    proc_of: Vec<ProcId>,
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    stage: Vec<u32>,
+    sources: Vec<Vec<SourceChoice>>,
+    comm_events: Vec<CommEvent>,
+    sigma: Vec<f64>,
+    cin: Vec<f64>,
+    cout: Vec<f64>,
+    cpu: Vec<IntervalSet>,
+    send: Vec<IntervalSet>,
+    recv: Vec<IntervalSet>,
+    /// Crash cone of each placed replica (see [`Probe::kill`]); meaningful
+    /// in forward (LTF) mode, where predecessors are placed first.
+    kill: Vec<ProcMask>,
+    /// Reverse (R-LTF) mode: downstream closure of each replica — the set
+    /// of replicas it transitively feeds through single-source edges
+    /// (in application-graph direction). Fixed at placement time.
+    pub down: Vec<ReplicaSet>,
+    /// Reverse mode: hosts of the upstream closure gathered so far for
+    /// each replica (its own host plus the hosts of every replica known to
+    /// feed it through single-source chains).
+    pub ushost: Vec<ProcMask>,
+    /// Reverse mode: per task, the union of `ushost` over its copies.
+    pub allush: Vec<ProcMask>,
+    /// Largest stage assigned so far (scheduling-direction); drives R-LTF's
+    /// Rule 1.
+    pub max_stage: u32,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(g: &'a TaskGraph, p: &'a Platform, cfg: &AlgoConfig) -> Self {
+        let nrep = cfg.replicas();
+        let n = g.num_tasks() * nrep;
+        let m = p.num_procs();
+        assert!(m <= 128, "ProcMask supports up to 128 processors");
+        Self {
+            g,
+            p,
+            period: cfg.period,
+            nrep,
+            placed: vec![false; n],
+            proc_of: vec![ProcId(0); n],
+            start: vec![0.0; n],
+            finish: vec![0.0; n],
+            stage: vec![0; n],
+            sources: vec![Vec::new(); n],
+            comm_events: Vec::new(),
+            sigma: vec![0.0; m],
+            cin: vec![0.0; m],
+            cout: vec![0.0; m],
+            cpu: vec![IntervalSet::new(); m],
+            send: vec![IntervalSet::new(); m],
+            recv: vec![IntervalSet::new(); m],
+            kill: vec![0; n],
+            down: vec![ReplicaSet::with_capacity(n); n],
+            ushost: vec![0; n],
+            allush: vec![0; g.num_tasks()],
+            max_stage: 0,
+        }
+    }
+
+    /// Total number of replicas (`v · (ε+1)`).
+    #[inline]
+    pub fn num_replicas(&self) -> usize {
+        self.placed.len()
+    }
+
+    #[inline]
+    pub fn dense(&self, t: TaskId, copy: u8) -> usize {
+        ReplicaId::new(t, copy).dense(self.nrep)
+    }
+
+    /// Test helper: whether a replica has been committed.
+    #[cfg(test)]
+    pub fn is_placed(&self, t: TaskId, copy: u8) -> bool {
+        self.placed[self.dense(t, copy)]
+    }
+
+    /// Test helper: host of a committed replica.
+    #[cfg(test)]
+    pub fn proc_of(&self, t: TaskId, copy: u8) -> ProcId {
+        self.proc_of[self.dense(t, copy)]
+    }
+
+    /// Latest finish time over the copies of `t` (used for dynamic priority
+    /// updates).
+    pub fn task_finish(&self, t: TaskId) -> f64 {
+        (0..self.nrep)
+            .map(|c| self.finish[self.dense(t, c as u8)])
+            .fold(0.0, f64::max)
+    }
+
+    /// Crash cone of a placed replica.
+    #[inline]
+    pub fn kill_of(&self, t: TaskId, copy: u8) -> ProcMask {
+        self.kill[self.dense(t, copy)]
+    }
+
+    /// Whether any replica has been committed to `u` yet (drives R-LTF's
+    /// clustering tie-break).
+    #[inline]
+    pub fn proc_used(&self, u: ProcId) -> bool {
+        self.sigma[u.index()] > 0.0
+    }
+
+
+    /// Estimated arrival time of data from a placed source replica onto
+    /// processor `u`, ignoring port queueing (used to rank one-to-one
+    /// heads, the paper's sort of `B(t_i)` by communication finish times).
+    pub fn arrival_estimate(&self, edge: EdgeId, src: ReplicaId, u: ProcId) -> f64 {
+        let sidx = src.dense(self.nrep);
+        debug_assert!(self.placed[sidx], "source not placed");
+        let h = self.proc_of[sidx];
+        let vol = self.g.edge(edge).volume;
+        self.finish[sidx] + self.p.comm_time(vol, h, u)
+    }
+
+    /// Stage the replica would take from a single source over `edge` when
+    /// hosted on `u`.
+    pub fn stage_contribution(&self, src: ReplicaId, u: ProcId) -> u32 {
+        let sidx = src.dense(self.nrep);
+        self.stage[sidx] + u32::from(self.proc_of[sidx] != u)
+    }
+
+    /// Probe placing copy `copy` of `t` on `u` with the given sources.
+    /// Returns `None` when condition (1) — the throughput constraint —
+    /// would be violated. Does not mutate the engine.
+    pub fn probe(&self, t: TaskId, _copy: u8, u: ProcId, plan: &SourcePlan) -> Option<Probe> {
+        let ui = u.index();
+        let exec = self.p.exec_time(self.g.exec(t), u);
+        if self.sigma[ui] + exec > self.period + EPS {
+            return None;
+        }
+
+        // Flatten and order incoming transfers by producer finish time so
+        // the port reservations are deterministic.
+        let mut items: Vec<(EdgeId, ReplicaId)> = Vec::new();
+        for (edge, copies) in &plan.per_edge {
+            let pred = self.g.edge(*edge).src;
+            for &c in copies {
+                items.push((*edge, ReplicaId::new(pred, c)));
+            }
+        }
+        items.sort_by(|a, b| {
+            let fa = self.finish[a.1.dense(self.nrep)];
+            let fb = self.finish[b.1.dense(self.nrep)];
+            fa.partial_cmp(&fb)
+                .expect("finite times")
+                .then(a.0.cmp(&b.0))
+                .then(a.1.copy.cmp(&b.1.copy))
+        });
+
+        let m = self.p.num_procs();
+        let mut recv_scratch: Option<IntervalSet> = None;
+        let mut send_scratch: Vec<Option<IntervalSet>> = vec![None; m];
+        let mut cout_add = vec![0.0f64; m];
+        let mut cin_add = 0.0f64;
+        let mut ready = 0.0f64;
+        let mut stage = 1u32;
+        let mut planned = Vec::new();
+
+        // Crash cone: host plus, per in-edge, the intersection of the
+        // sources' cones (a single crash starves the edge only when it is
+        // in every source's cone; with a single source this is its cone).
+        let mut kill: ProcMask = 1u128 << ui;
+        for (edge, copies) in &plan.per_edge {
+            let pred = self.g.edge(*edge).src;
+            let mut edge_kill: ProcMask = !0;
+            for &c in copies {
+                edge_kill &= self.kill[self.dense(pred, c)];
+            }
+            if !copies.is_empty() {
+                kill |= edge_kill;
+            }
+        }
+
+        for (edge, src) in items {
+            let sidx = src.dense(self.nrep);
+            debug_assert!(self.placed[sidx], "predecessor replica not placed");
+            let h = self.proc_of[sidx];
+            if h == u {
+                ready = ready.max(self.finish[sidx]);
+                stage = stage.max(self.stage[sidx]);
+                continue;
+            }
+            stage = stage.max(self.stage[sidx] + 1);
+            let dur = self.p.comm_time(self.g.edge(edge).volume, h, u);
+            if dur <= EPS {
+                // Zero-volume transfer: crosses processors (η = 1) but
+                // occupies no port time.
+                ready = ready.max(self.finish[sidx]);
+                continue;
+            }
+            let hs = send_scratch[h.index()].get_or_insert_with(|| self.send[h.index()].clone());
+            let rs = recv_scratch.get_or_insert_with(|| self.recv[ui].clone());
+            let st = earliest_common_fit(hs, rs, self.finish[sidx], dur);
+            hs.insert(st, st + dur);
+            rs.insert(st, st + dur);
+            cin_add += dur;
+            cout_add[h.index()] += dur;
+            if self.cout[h.index()] + cout_add[h.index()] > self.period + EPS {
+                return None;
+            }
+            planned.push(PlannedComm {
+                edge,
+                src,
+                src_proc: h,
+                start: st,
+                dur,
+            });
+            ready = ready.max(st + dur);
+        }
+        if self.cin[ui] + cin_add > self.period + EPS {
+            return None;
+        }
+
+        let start = self.cpu[ui].next_fit(ready, exec);
+        Some(Probe {
+            proc: u,
+            start,
+            finish: start + exec,
+            stage,
+            kill,
+            planned,
+        })
+    }
+
+    /// Apply a probe: place the replica, reserve ports and CPU, record the
+    /// communication events and the source structure.
+    pub fn commit(&mut self, t: TaskId, copy: u8, probe: &Probe, plan: &SourcePlan) {
+        let r = self.dense(t, copy);
+        assert!(!self.placed[r], "replica committed twice");
+        let u = probe.proc;
+        let ui = u.index();
+        let rep = ReplicaId::new(t, copy);
+
+        self.placed[r] = true;
+        self.proc_of[r] = u;
+        self.start[r] = probe.start;
+        self.finish[r] = probe.finish;
+        self.stage[r] = probe.stage;
+        self.kill[r] = probe.kill;
+        self.max_stage = self.max_stage.max(probe.stage);
+
+        self.sigma[ui] += probe.finish - probe.start;
+        self.cpu[ui].insert(probe.start, probe.finish);
+
+        for pc in &probe.planned {
+            self.send[pc.src_proc.index()].insert(pc.start, pc.start + pc.dur);
+            self.recv[ui].insert(pc.start, pc.start + pc.dur);
+            self.cout[pc.src_proc.index()] += pc.dur;
+            self.cin[ui] += pc.dur;
+            self.comm_events.push(CommEvent {
+                edge: pc.edge,
+                src: pc.src,
+                dst: rep,
+                src_proc: pc.src_proc,
+                dst_proc: u,
+                start: pc.start,
+                finish: pc.start + pc.dur,
+            });
+        }
+
+        self.sources[r] = plan
+            .per_edge
+            .iter()
+            .map(|(edge, copies)| SourceChoice {
+                edge: *edge,
+                sources: copies.clone(),
+            })
+            .collect();
+    }
+
+    /// `true` once every replica of every task is placed.
+    pub fn all_placed(&self) -> bool {
+        self.placed.iter().all(|&b| b)
+    }
+
+    /// Consume the engine into its raw parts
+    /// `(proc_of, start, finish, sources, comm_events)`.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Vec<ProcId>,
+        Vec<f64>,
+        Vec<f64>,
+        Vec<Vec<SourceChoice>>,
+        Vec<CommEvent>,
+    ) {
+        (
+            self.proc_of,
+            self.start,
+            self.finish,
+            self.sources,
+            self.comm_events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::GraphBuilder;
+
+    fn chain2() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(4.0);
+        let t1 = b.add_task(2.0);
+        b.add_edge(t0, t1, 3.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn probe_and_commit_entry_task() {
+        let g = chain2();
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 10.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let plan = SourcePlan { per_edge: vec![] };
+        let probe = e.probe(TaskId(0), 0, ProcId(0), &plan).unwrap();
+        assert_eq!(probe.start, 0.0);
+        assert_eq!(probe.finish, 4.0);
+        assert_eq!(probe.stage, 1);
+        e.commit(TaskId(0), 0, &probe, &plan);
+        assert!(e.is_placed(TaskId(0), 0));
+        assert_eq!(e.proc_of(TaskId(0), 0), ProcId(0));
+        assert_eq!(e.task_finish(TaskId(0)), 4.0);
+    }
+
+    #[test]
+    fn probe_cross_processor_comm() {
+        let g = chain2();
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 10.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = SourcePlan { per_edge: vec![] };
+        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        e.commit(TaskId(0), 0, &pr, &empty);
+
+        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
+        // Remote placement: message of duration 3 after t0 ends at 4.
+        let pr = e.probe(TaskId(1), 0, ProcId(1), &plan).unwrap();
+        assert_eq!(pr.start, 7.0);
+        assert_eq!(pr.finish, 9.0);
+        assert_eq!(pr.stage, 2);
+        // Local placement: no message.
+        let pr_local = e.probe(TaskId(1), 0, ProcId(0), &plan).unwrap();
+        assert_eq!(pr_local.start, 4.0);
+        assert_eq!(pr_local.stage, 1);
+    }
+
+    #[test]
+    fn probe_rejects_compute_overload() {
+        let g = chain2();
+        let p = Platform::homogeneous(1, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 5.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = SourcePlan { per_edge: vec![] };
+        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        e.commit(TaskId(0), 0, &pr, &empty);
+        // 4 + 2 = 6 > 5: infeasible.
+        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
+        assert!(e.probe(TaskId(1), 0, ProcId(0), &plan).is_none());
+    }
+
+    #[test]
+    fn probe_rejects_io_overload() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        b.add_edge(t0, t1, 6.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 5.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = SourcePlan { per_edge: vec![] };
+        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        e.commit(TaskId(0), 0, &pr, &empty);
+        // Message of 6 > period 5 on both ports: remote infeasible,
+        // local fine.
+        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
+        assert!(e.probe(TaskId(1), 0, ProcId(1), &plan).is_none());
+        assert!(e.probe(TaskId(1), 0, ProcId(0), &plan).is_some());
+    }
+
+    #[test]
+    fn one_port_serializes_probes() {
+        // Two predecessors on distinct processors both send to u: the
+        // receive port must serialize the two messages.
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2.0);
+        let c = b.add_task(2.0);
+        let t = b.add_task(1.0);
+        b.add_edge(a, t, 4.0);
+        b.add_edge(c, t, 4.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(3, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 10.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = SourcePlan { per_edge: vec![] };
+        for (task, proc) in [(a, ProcId(0)), (c, ProcId(1))] {
+            let pr = e.probe(task, 0, proc, &empty).unwrap();
+            e.commit(task, 0, &pr, &empty);
+        }
+        let plan = SourcePlan::receive_from_all(&g, t, 1);
+        let pr = e.probe(t, 0, ProcId(2), &plan).unwrap();
+        // Both messages ready at 2, each lasts 4; serialized on the
+        // receive port: arrivals at 6 and 10.
+        assert_eq!(pr.start, 10.0);
+        assert_eq!(pr.planned.len(), 2);
+        let (s0, s1) = (pr.planned[0].start, pr.planned[1].start);
+        assert_eq!(s0.min(s1), 2.0);
+        assert_eq!(s0.max(s1), 6.0);
+    }
+
+    #[test]
+    fn arrival_estimate_and_stage_contribution() {
+        let g = chain2();
+        let p = Platform::homogeneous(2, 1.0, 2.0);
+        let cfg = AlgoConfig::new(0, 20.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = SourcePlan { per_edge: vec![] };
+        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        e.commit(TaskId(0), 0, &pr, &empty);
+        let src = ReplicaId::new(TaskId(0), 0);
+        // Volume 3 × delay 2 = 6 after finish 4.
+        assert_eq!(e.arrival_estimate(EdgeId(0), src, ProcId(1)), 10.0);
+        assert_eq!(e.arrival_estimate(EdgeId(0), src, ProcId(0)), 4.0);
+        assert_eq!(e.stage_contribution(src, ProcId(0)), 1);
+        assert_eq!(e.stage_contribution(src, ProcId(1)), 2);
+    }
+}

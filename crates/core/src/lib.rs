@@ -1,0 +1,44 @@
+//! The LTF and R-LTF scheduling algorithms of
+//! *"Optimizing the Latency of Streaming Applications under Throughput and
+//! Reliability Constraints"* (Benoit, Hakem, Robert, 2009).
+//!
+//! Both heuristics map every task of a streaming workflow DAG — replicated
+//! `ε+1` times to survive `ε` fail-silent/fail-stop processor failures —
+//! onto a heterogeneous one-port platform so that the prescribed throughput
+//! `T` is met (condition (1): per-processor compute and per-port
+//! communication loads fit the period `Δ = 1/T`), while minimizing the
+//! pipeline latency `L = (2S − 1)/T`:
+//!
+//! * [`ltf_schedule()`](ltf_schedule()) — **LTF** (Algorithm 4.1): forward chunked traversal
+//!   by priority `tℓ + bℓ`, one-to-one replica mapping (Algorithm 4.2)
+//!   while singleton processors remain, minimum-finish-time placement.
+//! * [`rltf_schedule`] — **R-LTF**: the same machinery driven bottom-up,
+//!   with Rule 1 (prefer placements that keep the pipeline stage count
+//!   from growing) and Rule 2 (one-to-one spreading across linear chain
+//!   sections). The paper's evaluation shows R-LTF dominating LTF.
+//! * [`fault_free_reference`] — R-LTF with `ε = 0`, the baseline used to
+//!   measure the fault-tolerance overhead.
+//! * [`search`] — the conclusion's "symmetric" objectives: maximize
+//!   throughput under a latency budget, maximize ε, minimize processors.
+//!
+//! ```
+//! use ltf_core::{rltf_schedule, AlgoConfig};
+//! use ltf_graph::generate::fig2_workflow_variant;
+//! use ltf_platform::Platform;
+//!
+//! let g = fig2_workflow_variant();
+//! let p = Platform::homogeneous(8, 1.0, 1.0);
+//! let cfg = AlgoConfig::with_throughput(1, 0.05); // ε = 1, T = 0.05
+//! let sched = rltf_schedule(&g, &p, &cfg).unwrap();
+//! assert!(sched.latency_upper_bound() <= 140.0);
+//! ```
+
+mod api;
+mod config;
+mod convert;
+mod driver;
+mod engine;
+pub mod search;
+
+pub use api::{fault_free_reference, ltf_schedule, rltf_schedule, schedule_with};
+pub use config::{AlgoConfig, AlgoKind, ScheduleError};

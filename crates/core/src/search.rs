@@ -1,0 +1,185 @@
+//! Objective-space searches around the core heuristics.
+//!
+//! The paper's conclusion lists "symmetric" problems: maximizing throughput
+//! for a given latency and failure count, and maximizing the number of
+//! supported failures for given latency/throughput. These searches drive
+//! the heuristics as oracles:
+//!
+//! * [`min_period`] — smallest feasible period (largest throughput),
+//!   optionally under a latency budget, by exponential + binary search;
+//! * [`max_epsilon`] — largest fault-tolerance degree schedulable at a
+//!   given period (and optional latency budget);
+//! * [`min_processors`] — smallest prefix of the platform that still
+//!   schedules the workload.
+//!
+//! The heuristics are not monotone oracles in general, so the results are
+//! best-effort (exact for the search points actually probed); this matches
+//! how the binary-search-over-period technique is used in the literature
+//! (Hoang & Rabaey).
+
+use crate::api::schedule_with;
+use crate::config::{AlgoConfig, AlgoKind};
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+use ltf_schedule::Schedule;
+
+/// Options for [`min_period`].
+#[derive(Debug, Clone)]
+pub struct MinPeriodOptions {
+    /// Which heuristic to drive.
+    pub kind: AlgoKind,
+    /// Fault-tolerance degree.
+    pub epsilon: u8,
+    /// Optional latency budget: candidate schedules whose guaranteed
+    /// latency exceeds it are treated as infeasible.
+    pub max_latency: Option<f64>,
+    /// Binary search iterations after bracketing (relative precision
+    /// halves per iteration).
+    pub iterations: u32,
+    /// Tie-breaking seed passed to the heuristic.
+    pub seed: u64,
+}
+
+impl Default for MinPeriodOptions {
+    fn default() -> Self {
+        Self {
+            kind: AlgoKind::Rltf,
+            epsilon: 0,
+            max_latency: None,
+            iterations: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+fn try_period(
+    g: &TaskGraph,
+    p: &Platform,
+    opts: &MinPeriodOptions,
+    period: f64,
+) -> Option<Schedule> {
+    let cfg = AlgoConfig::new(opts.epsilon, period).seeded(opts.seed);
+    let sched = schedule_with(opts.kind, g, p, &cfg).ok()?;
+    if let Some(budget) = opts.max_latency {
+        if sched.latency_upper_bound() > budget {
+            return None;
+        }
+    }
+    Some(sched)
+}
+
+/// Smallest feasible period (i.e. maximal throughput) for the workload, as
+/// found by exponential bracketing plus binary search. Returns the period
+/// and the witnessing schedule, or `None` when even very long periods are
+/// infeasible (e.g. a latency budget that can never be met).
+pub fn min_period(
+    g: &TaskGraph,
+    p: &Platform,
+    opts: &MinPeriodOptions,
+) -> Option<(f64, Schedule)> {
+    // Absolute lower bound: every task must fit on its fastest processor,
+    // and the replicated total work must fit the aggregate capacity.
+    let per_task = g
+        .tasks()
+        .map(|t| g.exec(t) / p.max_speed())
+        .fold(0.0f64, f64::max);
+    let total_speed: f64 = p.procs().map(|u| p.speed(u)).sum();
+    let work_bound = (opts.epsilon as f64 + 1.0) * g.total_exec() / total_speed;
+    let lower = per_task.max(work_bound).max(f64::MIN_POSITIVE);
+
+    // Bracket a feasible period.
+    let mut hi = lower.max(1e-12);
+    let mut witness = None;
+    for _ in 0..60 {
+        if let Some(s) = try_period(g, p, opts, hi) {
+            witness = Some(s);
+            break;
+        }
+        hi *= 2.0;
+    }
+    let mut best = witness?;
+    let mut lo = lower;
+    let mut hi_p = best.period();
+    for _ in 0..opts.iterations {
+        let mid = 0.5 * (lo + hi_p);
+        if mid <= lo || mid >= hi_p {
+            break;
+        }
+        match try_period(g, p, opts, mid) {
+            Some(s) => {
+                hi_p = mid;
+                best = s;
+            }
+            None => lo = mid,
+        }
+    }
+    Some((best.period(), best))
+}
+
+/// Largest fault-tolerance degree ε for which the heuristic schedules the
+/// workload at the given period (scanning upward from 0 and returning the
+/// last success; stops at the first failure or at `m − 1`).
+pub fn max_epsilon(
+    g: &TaskGraph,
+    p: &Platform,
+    kind: AlgoKind,
+    period: f64,
+    max_latency: Option<f64>,
+    seed: u64,
+) -> Option<(u8, Schedule)> {
+    let mut best = None;
+    let cap = (p.num_procs() - 1).min(u8::MAX as usize) as u8;
+    for eps in 0..=cap {
+        let opts = MinPeriodOptions {
+            kind,
+            epsilon: eps,
+            max_latency,
+            seed,
+            ..Default::default()
+        };
+        match try_period(g, p, &opts, period) {
+            Some(s) => best = Some((eps, s)),
+            None => break,
+        }
+    }
+    best
+}
+
+/// Smallest processor-count prefix of `p` that schedules the workload
+/// (binary search assuming monotonicity in the processor count; exact at
+/// the probed points).
+pub fn min_processors(
+    g: &TaskGraph,
+    p: &Platform,
+    kind: AlgoKind,
+    epsilon: u8,
+    period: f64,
+    seed: u64,
+) -> Option<(usize, Schedule)> {
+    let opts = MinPeriodOptions {
+        kind,
+        epsilon,
+        max_latency: None,
+        seed,
+        ..Default::default()
+    };
+    let feasible = |m: usize| -> Option<Schedule> {
+        let sub = p.prefix(m);
+        try_period(g, &sub, &opts, period)
+    };
+    let full = feasible(p.num_procs())?;
+    let mut lo = epsilon as usize + 1; // need ε+1 distinct processors
+    let mut hi = p.num_procs();
+    let mut best = full;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match feasible(mid) {
+            Some(s) => {
+                best = s;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    Some((hi, best))
+}

@@ -1,0 +1,115 @@
+//! Terminal line-chart rendering for figures.
+
+use crate::stats::Figure;
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
+
+/// Render the figure as a fixed-size ASCII chart with a legend.
+pub fn render(fig: &Figure, width: usize, height: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "{} — {}", fig.id, fig.title).unwrap();
+
+    let pts: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| (p.x, p.mean)))
+        .collect();
+    if pts.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    // Pad the y range a little.
+    let pad = 0.05 * (y1 - y0);
+    y0 -= pad;
+    y1 += pad;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for p in &s.points {
+            let cx = ((p.x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((p.mean - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let yv = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+        writeln!(out, "{yv:>10.1} |{}", row.iter().collect::<String>()).unwrap();
+    }
+    writeln!(
+        out,
+        "{:>10} +{}",
+        "",
+        "-".repeat(width)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>10}  {:<.2}{}{:.2}   ({})",
+        "",
+        x0,
+        " ".repeat(width.saturating_sub(10)),
+        x1,
+        fig.xlabel
+    )
+    .unwrap();
+    for (si, s) in fig.series.iter().enumerate() {
+        writeln!(out, "    {} {}", MARKS[si % MARKS.len()], s.name).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Series, SeriesPoint};
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let fig = Figure {
+            id: "fig".into(),
+            title: "demo".into(),
+            xlabel: "Granularity".into(),
+            ylabel: "Latency".into(),
+            series: vec![Series {
+                name: "R-LTF".into(),
+                points: vec![
+                    SeriesPoint::from_sample(0.2, &[100.0]).unwrap(),
+                    SeriesPoint::from_sample(2.0, &[200.0]).unwrap(),
+                ],
+            }],
+        };
+        let text = render(&fig, 40, 10);
+        assert!(text.contains('*'));
+        assert!(text.contains("R-LTF"));
+        assert!(text.contains("Granularity"));
+    }
+
+    #[test]
+    fn empty_figure() {
+        let fig = Figure {
+            id: "e".into(),
+            title: "e".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        assert!(render(&fig, 20, 5).contains("no data"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness reproducing the paper's evaluation (§5).
+//!
+//! * [`workload`] — the calibrated random workload: 50–150-task layered
+//!   DAGs, 20 heterogeneous processors, granularity sweep, throughput
+//!   `1/(10(ε+1))`.
+//! * [`runner`] — per-instance measurement (LTF, R-LTF, fault-free
+//!   reference; latency bounds, effective latencies, crash draws) and a
+//!   crossbeam worker pool.
+//! * [`figures`] — the sweeps behind Figs. 3 and 4 and their three panels
+//!   (latency bounds / latency with crashes / overhead).
+//! * [`scaling`] — runtime scaling against `v`, `m`, `ε` (Theorem 1).
+//! * [`ablation`] — design ablations (Rule 1, Rule 2, one-to-one, chunk
+//!   size).
+//! * [`stats`], [`ascii`] — aggregation, CSV and terminal charts.
+//!
+//! The `ltf-experiments` binary exposes all of this on the command line;
+//! `cargo run -p ltf-experiments --release -- all` regenerates every
+//! figure of the paper.
+
+pub mod ablation;
+pub mod ascii;
+pub mod figures;
+pub mod runner;
+pub mod scaling;
+pub mod stats;
+pub mod workload;
+
+pub use figures::{panel, sweep, Panel, SweepConfig, SweepData};
+pub use runner::{measure_instance, parallel_map, RunRecord};
+pub use stats::{Figure, Series, SeriesPoint};
+pub use workload::{gen_instance, Instance, PaperWorkload};

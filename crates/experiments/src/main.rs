@@ -1,0 +1,250 @@
+//! Command-line entry point regenerating the paper's evaluation.
+//!
+//! ```text
+//! ltf-experiments <command> [--graphs N] [--seed S] [--out DIR]
+//!                 [--crash-draws K] [--util U] [--threads T] [--quick]
+//!
+//! commands:
+//!   fig1      motivating example (§1, Fig. 1): task/data/pipelined parallelism
+//!   fig2      worked example (§4.3, Fig. 2): LTF vs R-LTF traces
+//!   fig3      granularity sweep, ε = 1 (panels a, b, c + feasibility)
+//!   fig4      granularity sweep, ε = 3 (panels a, b, c + feasibility)
+//!   scaling   runtime scaling vs v, m, ε (Theorem 1)
+//!   ablation  design ablations (Rule 1 / Rule 2 / one-to-one / chunk)
+//!   all       everything above
+//! ```
+
+use ltf_experiments::ablation::{ablation, table as ablation_table, AblationConfig};
+use ltf_experiments::ascii;
+use ltf_experiments::figures::{feasibility, panel, sweep, Panel, SweepConfig};
+use ltf_experiments::scaling::{scaling_sweep, table as scaling_table, ScalingConfig};
+use ltf_experiments::stats::Figure;
+use std::path::{Path, PathBuf};
+
+struct Opts {
+    command: String,
+    graphs: usize,
+    seed: u64,
+    out: PathBuf,
+    crash_draws: usize,
+    utilization: f64,
+    threads: usize,
+    quick: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        command: String::new(),
+        graphs: 60,
+        seed: 0xB10B,
+        out: PathBuf::from("results"),
+        crash_draws: 10,
+        utilization: 0.25,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--graphs" => opts.graphs = next("--graphs").parse().expect("number"),
+            "--seed" => opts.seed = next("--seed").parse().expect("number"),
+            "--out" => opts.out = PathBuf::from(next("--out")),
+            "--crash-draws" => opts.crash_draws = next("--crash-draws").parse().expect("number"),
+            "--util" => opts.utilization = next("--util").parse().expect("number"),
+            "--threads" => opts.threads = next("--threads").parse().expect("number"),
+            "--quick" => opts.quick = true,
+            cmd if !cmd.starts_with('-') && opts.command.is_empty() => {
+                opts.command = cmd.to_string();
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if opts.command.is_empty() {
+        opts.command = "all".into();
+    }
+    opts
+}
+
+fn sweep_config(o: &Opts) -> SweepConfig {
+    let mut cfg = if o.quick {
+        SweepConfig::quick(o.graphs.min(8))
+    } else {
+        SweepConfig {
+            graphs_per_point: o.graphs,
+            ..Default::default()
+        }
+    };
+    cfg.seed = o.seed;
+    cfg.crash_draws = o.crash_draws;
+    cfg.utilization = o.utilization;
+    cfg.threads = o.threads;
+    cfg
+}
+
+fn save_figure(dir: &Path, fig: &Figure) {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let csv_path = dir.join(format!("{}.csv", fig.id));
+    std::fs::write(&csv_path, fig.to_csv()).expect("write csv");
+    let json_path = dir.join(format!("{}.json", fig.id));
+    std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(fig).expect("serialize"),
+    )
+    .expect("write json");
+    println!("{}", ascii::render(fig, 64, 18));
+    println!("  wrote {} and {}\n", csv_path.display(), json_path.display());
+}
+
+fn run_granularity_figure(o: &Opts, eps: u8, crashes: usize) {
+    let cfg = sweep_config(o);
+    let fignum = if eps == 1 { 3 } else { 4 };
+    eprintln!(
+        "running fig{fignum} sweep: ε={eps}, c={crashes}, {} graphs/point, {} points…",
+        cfg.graphs_per_point,
+        cfg.granularities.len()
+    );
+    let t0 = std::time::Instant::now();
+    let data = sweep(eps, crashes, &cfg);
+    eprintln!("sweep done in {:.1?}", t0.elapsed());
+    for p in [Panel::Bounds, Panel::Crashes, Panel::Overhead] {
+        save_figure(&o.out, &panel(&data, p));
+    }
+    save_figure(&o.out, &feasibility(&data));
+}
+
+fn run_fig1() {
+    use ltf_baselines::{data_parallel, task_parallel};
+    use ltf_core::{rltf_schedule, AlgoConfig};
+    use ltf_graph::generate::fig1_diamond;
+    use ltf_platform::Platform;
+
+    println!("=== Fig. 1: motivating example (4-task diamond, 4 processors) ===\n");
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+
+    let tp = task_parallel(&g, &p, 1);
+    println!(
+        "(b) task parallelism : latency {:.1}, throughput 1/{:.1}",
+        tp.latency,
+        1.0 / tp.throughput
+    );
+    let dp = data_parallel(&g, &p, 1);
+    println!(
+        "(c) data parallelism : latency {:.1}, optimistic throughput 1/{:.1} (guaranteed 1/{:.1})",
+        dp.latency,
+        1.0 / dp.throughput_optimistic,
+        1.0 / dp.throughput_guaranteed
+    );
+    // (d) pipelined execution at the paper's period 30.
+    let cfg = AlgoConfig::new(1, 30.0);
+    match rltf_schedule(&g, &p, &cfg) {
+        Ok(s) => println!(
+            "(d) pipelined (R-LTF): latency {:.1}, throughput 1/{:.1}, S = {}",
+            s.latency_upper_bound(),
+            s.period(),
+            s.num_stages()
+        ),
+        Err(e) => println!("(d) pipelined (R-LTF): infeasible ({e})"),
+    }
+    println!(
+        "\npaper's values: (b) L=39, T=1/39   (c) T=2/40=1/20   (d) L=90, T=1/30, S=2\n"
+    );
+}
+
+fn run_fig2() {
+    use ltf_core::{ltf_schedule, rltf_schedule, AlgoConfig};
+    use ltf_graph::generate::{fig2_workflow, fig2_workflow_variant};
+    use ltf_platform::Platform;
+
+    println!("=== Fig. 2: worked example (7 tasks, ε = 1, T = 0.05) ===\n");
+    let cfg = AlgoConfig::with_throughput(1, 0.05);
+    for (name, g) in [
+        ("reconstruction", fig2_workflow()),
+        ("variant E(t2)=3 (see DESIGN.md §2.10)", fig2_workflow_variant()),
+    ] {
+        println!("--- graph: {name} ---");
+        for m in [8usize, 10] {
+            let p = Platform::homogeneous(m, 1.0, 1.0);
+            for (algo, res) in [
+                ("LTF  ", ltf_schedule(&g, &p, &cfg)),
+                ("R-LTF", rltf_schedule(&g, &p, &cfg)),
+            ] {
+                match res {
+                    Ok(s) => println!(
+                        "  {algo} m={m:<2} S={} L={:<6.0} comms={:<2} procs={}",
+                        s.num_stages(),
+                        s.latency_upper_bound(),
+                        s.comm_count(),
+                        s.procs_used()
+                    ),
+                    Err(e) => println!("  {algo} m={m:<2} FAILS ({e})"),
+                }
+            }
+        }
+        println!();
+    }
+    println!("paper's values: R-LTF m=8: S=3 L=100; LTF m=8 fails; LTF m=10: S=4 L=140\n");
+}
+
+fn main() {
+    let o = parse_args();
+    match o.command.as_str() {
+        "fig1" => run_fig1(),
+        "fig2" => run_fig2(),
+        "fig3" => run_granularity_figure(&o, 1, 1),
+        "fig4" => run_granularity_figure(&o, 3, 2),
+        "scaling" => {
+            let mut cfg = ScalingConfig {
+                seed: o.seed,
+                threads: o.threads,
+                ..Default::default()
+            };
+            if o.quick {
+                cfg.task_counts = vec![25, 50];
+                cfg.proc_counts = vec![10];
+                cfg.epsilons = vec![0, 1];
+                cfg.reps = 2;
+            }
+            let pts = scaling_sweep(&cfg);
+            println!("{}", scaling_table(&pts));
+            std::fs::create_dir_all(&o.out).expect("create output dir");
+            let path = o.out.join("scaling.json");
+            std::fs::write(&path, serde_json::to_string_pretty(&pts).unwrap()).unwrap();
+            println!("wrote {}", path.display());
+        }
+        "ablation" => {
+            for eps in [1u8, 3] {
+                let cfg = AblationConfig {
+                    epsilon: eps,
+                    instances: if o.quick { 6 } else { 30 },
+                    seed: o.seed,
+                    threads: o.threads,
+                    ..Default::default()
+                };
+                let recs = ablation(&cfg);
+                println!("=== ablation, ε = {eps} ===\n{}", ablation_table(&recs));
+                std::fs::create_dir_all(&o.out).expect("create output dir");
+                let path = o.out.join(format!("ablation_eps{eps}.json"));
+                std::fs::write(&path, serde_json::to_string_pretty(&recs).unwrap()).unwrap();
+                println!("wrote {}\n", path.display());
+            }
+        }
+        "all" => {
+            run_fig1();
+            run_fig2();
+            run_granularity_figure(&o, 1, 1);
+            run_granularity_figure(&o, 3, 2);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!("commands: fig1 fig2 fig3 fig4 scaling ablation all");
+            std::process::exit(2);
+        }
+    }
+}

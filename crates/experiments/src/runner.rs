@@ -1,0 +1,236 @@
+//! Parallel experiment execution (crossbeam worker pool) and per-instance
+//! measurement records.
+
+use crate::workload::{gen_instance, Instance, PaperWorkload};
+use ltf_core::{fault_free_reference, schedule_with, AlgoConfig, AlgoKind};
+use ltf_schedule::{failures, CrashSet, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Everything measured on one (instance, algorithm) pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Instance seed.
+    pub seed: u64,
+    /// Target granularity of the instance.
+    pub granularity: f64,
+    /// Fault-tolerance degree.
+    pub epsilon: u8,
+    /// Algorithm name (`LTF`, `R-LTF`, `FF`).
+    pub algo: String,
+    /// Whether a schedule satisfying the throughput constraint was found.
+    pub feasible: bool,
+    /// Pipeline stage count `S` (0 when infeasible).
+    pub stages: u32,
+    /// Guaranteed latency `(2S − 1)·Δ`.
+    pub latency_ub: f64,
+    /// Effective latency with no failures.
+    pub latency_0: f64,
+    /// Mean effective latency over the crash draws (`None` when no draws
+    /// were requested or nothing survived).
+    pub latency_crash: Option<f64>,
+    /// Crash draws whose pattern was not survived (should stay 0 while
+    /// `c ≤ ε`).
+    pub crash_losses: usize,
+    /// Inter-processor messages per data set.
+    pub comms: usize,
+    /// Number of processors used.
+    pub procs_used: usize,
+    /// Scheduling wall time in microseconds.
+    pub sched_micros: u64,
+}
+
+/// Measure one algorithm on one instance, with `crash_draws` random crash
+/// sets of size `crashes` (drawn deterministically from `seed`).
+pub fn measure(
+    inst: &Instance,
+    kind: AlgoKind,
+    seed: u64,
+    granularity: f64,
+    crashes: usize,
+    crash_draws: usize,
+) -> RunRecord {
+    let cfg = AlgoConfig::new(inst.epsilon, inst.period).seeded(seed);
+    let t0 = Instant::now();
+    let sched = schedule_with(kind, &inst.graph, &inst.platform, &cfg);
+    let sched_micros = t0.elapsed().as_micros() as u64;
+    record_from(
+        sched.ok(),
+        inst,
+        &format!("{kind}"),
+        seed,
+        granularity,
+        crashes,
+        crash_draws,
+        sched_micros,
+    )
+}
+
+/// Measure the fault-free reference (R-LTF, ε = 0) on one instance.
+pub fn measure_fault_free(inst: &Instance, seed: u64, granularity: f64) -> RunRecord {
+    let t0 = Instant::now();
+    let sched = fault_free_reference(&inst.graph, &inst.platform, inst.period, seed);
+    let sched_micros = t0.elapsed().as_micros() as u64;
+    record_from(
+        sched.ok(),
+        inst,
+        "FF",
+        seed,
+        granularity,
+        0,
+        0,
+        sched_micros,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_from(
+    sched: Option<Schedule>,
+    inst: &Instance,
+    algo: &str,
+    seed: u64,
+    granularity: f64,
+    crashes: usize,
+    crash_draws: usize,
+    sched_micros: u64,
+) -> RunRecord {
+    let mut rec = RunRecord {
+        seed,
+        granularity,
+        epsilon: inst.epsilon,
+        algo: algo.to_string(),
+        feasible: false,
+        stages: 0,
+        latency_ub: 0.0,
+        latency_0: 0.0,
+        latency_crash: None,
+        crash_losses: 0,
+        comms: 0,
+        procs_used: 0,
+        sched_micros,
+    };
+    let Some(s) = sched else {
+        return rec;
+    };
+    let g = &inst.graph;
+    let m = inst.platform.num_procs();
+    rec.feasible = true;
+    rec.stages = s.num_stages();
+    rec.latency_ub = s.latency_upper_bound();
+    rec.latency_0 = failures::effective_latency(g, &s, &CrashSet::empty(m))
+        .expect("no-crash execution always produces");
+    rec.comms = s.comm_count();
+    rec.procs_used = s.procs_used();
+    if crashes > 0 && crash_draws > 0 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CA5E);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for _ in 0..crash_draws {
+            let cs = failures::sample_crash_set(m, crashes, &mut |b| rng.gen_range(0..b));
+            match failures::effective_latency(g, &s, &cs) {
+                Some(l) => {
+                    sum += l;
+                    n += 1;
+                }
+                None => rec.crash_losses += 1,
+            }
+        }
+        rec.latency_crash = (n > 0).then(|| sum / n as f64);
+    }
+    rec
+}
+
+/// All records for one instance seed: LTF, R-LTF and the fault-free
+/// reference.
+pub fn measure_instance(
+    cfg: &PaperWorkload,
+    seed: u64,
+    crashes: usize,
+    crash_draws: usize,
+) -> Vec<RunRecord> {
+    let inst = gen_instance(cfg, seed);
+    vec![
+        measure(&inst, AlgoKind::Rltf, seed, cfg.granularity, crashes, crash_draws),
+        measure(&inst, AlgoKind::Ltf, seed, cfg.granularity, crashes, crash_draws),
+        measure_fault_free(&inst, seed, cfg.granularity),
+    ]
+}
+
+/// Run `f` over every seed on a crossbeam worker pool (one worker per CPU,
+/// atomic work stealing); the output order matches `seeds`.
+pub fn parallel_map<T, F>(seeds: &[u64], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let n = seeds.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let f = &f;
+            let next = &next;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(seeds[i]))).expect("collector alive");
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+        out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    })
+    .expect("worker panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let seeds: Vec<u64> = (0..97).collect();
+        let out = parallel_map(&seeds, 8, |s| s * 2);
+        assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn measure_small_instance() {
+        let cfg = PaperWorkload {
+            tasks: (30, 30),
+            epsilon: 1,
+            granularity: 1.0,
+            ..Default::default()
+        };
+        let recs = measure_instance(&cfg, 5, 1, 4);
+        assert_eq!(recs.len(), 3);
+        let rltf = &recs[0];
+        assert_eq!(rltf.algo, "R-LTF");
+        if rltf.feasible {
+            assert!(rltf.stages >= 1);
+            assert!(rltf.latency_0 <= rltf.latency_ub + 1e-9);
+            assert_eq!(rltf.crash_losses, 0, "ε=1 must survive single crashes");
+            let lc = rltf.latency_crash.expect("crash draws requested");
+            assert!(lc + 1e-9 >= rltf.latency_0);
+            assert!(lc <= rltf.latency_ub + 1e-9);
+        }
+        let ff = &recs[2];
+        assert_eq!(ff.algo, "FF");
+        if ff.feasible && rltf.feasible {
+            assert!(ff.latency_ub <= rltf.latency_ub + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Mean of a sample (`None` when empty).
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample standard deviation (`None` for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// One aggregated point of a figure series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SeriesPoint {
+    /// The x coordinate (granularity, task count, …).
+    pub x: f64,
+    /// Sample mean of the metric.
+    pub mean: f64,
+    /// Sample standard deviation (0 for singleton samples).
+    pub std: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl SeriesPoint {
+    /// Aggregate a sample at `x`; `None` when the sample is empty.
+    pub fn from_sample(x: f64, xs: &[f64]) -> Option<Self> {
+        Some(Self {
+            x,
+            mean: mean(xs)?,
+            std: std_dev(xs).unwrap_or(0.0),
+            n: xs.len(),
+        })
+    }
+}
+
+/// A named data series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Series {
+    /// Legend label (matches the paper's figure legends).
+    pub name: String,
+    /// Aggregated points in x order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A complete figure: axes metadata plus its series.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Figure {
+    /// Short identifier, e.g. `fig3a`.
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// X axis label.
+    pub xlabel: String,
+    /// Y axis label.
+    pub ylabel: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as CSV: `x,series1,series2,…` with one row per x value.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        write!(s, "x").unwrap();
+        for series in &self.series {
+            write!(s, ",{}", series.name.replace(',', ";")).unwrap();
+        }
+        s.push('\n');
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|se| se.points.iter().map(|p| p.x))
+            .fold(Vec::new(), |mut acc, x| {
+                if !acc.iter().any(|&y: &f64| (y - x).abs() < 1e-12) {
+                    acc.push(x);
+                }
+                acc
+            });
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for x in xs {
+            write!(s, "{x:.4}").unwrap();
+            for series in &self.series {
+                match series
+                    .points
+                    .iter()
+                    .find(|p| (p.x - x).abs() < 1e-12)
+                {
+                    Some(p) => write!(s, ",{:.6}", p.mean).unwrap(),
+                    None => write!(s, ",").unwrap(),
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        let sd = std_dev(&[2.0, 4.0]).unwrap();
+        assert!((sd - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_point() {
+        assert!(SeriesPoint::from_sample(1.0, &[]).is_none());
+        let p = SeriesPoint::from_sample(1.0, &[3.0]).unwrap();
+        assert_eq!(p.mean, 3.0);
+        assert_eq!(p.std, 0.0);
+        assert_eq!(p.n, 1);
+    }
+
+    #[test]
+    fn csv_layout() {
+        let fig = Figure {
+            id: "t".into(),
+            title: "t".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![
+                Series {
+                    name: "a".into(),
+                    points: vec![SeriesPoint::from_sample(0.2, &[1.0]).unwrap()],
+                },
+                Series {
+                    name: "b".into(),
+                    points: vec![SeriesPoint::from_sample(0.4, &[2.0]).unwrap()],
+                },
+            ],
+        };
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert!(lines[1].starts_with("0.2000,1.000000,"));
+        assert!(lines[2].ends_with(",2.000000"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's random workload (§5), fully calibrated.
+//!
+//! Published parameters: 50–150 tasks, granularity swept from 0.2 to 2.0,
+//! `m = 20` processors, desired throughput `1/(10(ε+1))` (period `Δ = 20`
+//! for ε = 1, `Δ = 40` for ε = 3), message volumes in `[50, 150]`, link
+//! unit delays in `[0.5, 1]`, 60 random graphs per point.
+//!
+//! Unpublished parameters we calibrate (DESIGN.md §2.8): processor speeds
+//! in `[0.5, 1]`, base task execution times in `[50, 150]`, then two exact
+//! rescalings — granularity scaling of the execution times so `g(G, P)`
+//! hits the target, and a global time rescaling (execution times *and*
+//! volumes, preserving `g`) pinning the average replicated processor
+//! utilization `(ε+1)·ΣE·mean(1/s) / (m·Δ)` to a fixed `U*`.
+
+use ltf_graph::generate::{layered, LayeredConfig};
+use ltf_graph::TaskGraph;
+use ltf_platform::{HeterogeneousConfig, Platform};
+use ltf_schedule::granularity::granularity_scale_factor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload configuration (defaults reproduce §5).
+#[derive(Debug, Clone)]
+pub struct PaperWorkload {
+    /// Task count range (inclusive); paper: `[50, 150]`.
+    pub tasks: (usize, usize),
+    /// Number of processors; paper: 20.
+    pub procs: usize,
+    /// Fault-tolerance degree ε; paper: {1, 3}.
+    pub epsilon: u8,
+    /// Target granularity `g(G, P)`; paper sweeps 0.2–2.0.
+    pub granularity: f64,
+    /// Target average replicated processor utilization `U*`.
+    pub utilization: f64,
+    /// Message volume range; paper: `[50, 150]`.
+    pub volumes: (f64, f64),
+    /// Link unit delay range; paper: `[0.5, 1]`.
+    pub delays: (f64, f64),
+    /// Processor speed range (calibrated; heterogeneous).
+    pub speeds: (f64, f64),
+}
+
+impl Default for PaperWorkload {
+    fn default() -> Self {
+        Self {
+            tasks: (50, 150),
+            procs: 20,
+            epsilon: 1,
+            granularity: 1.0,
+            utilization: 0.25,
+            volumes: (50.0, 150.0),
+            delays: (0.5, 1.0),
+            speeds: (0.5, 1.0),
+        }
+    }
+}
+
+impl PaperWorkload {
+    /// Paper configuration for a given ε and granularity.
+    pub fn paper(epsilon: u8, granularity: f64) -> Self {
+        Self {
+            epsilon,
+            granularity,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's period `Δ = 10(ε+1)` (throughput `1/(10(ε+1))`).
+    pub fn period(&self) -> f64 {
+        10.0 * (self.epsilon as f64 + 1.0)
+    }
+}
+
+/// One generated problem instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The calibrated application graph.
+    pub graph: TaskGraph,
+    /// The random heterogeneous platform.
+    pub platform: Platform,
+    /// The required period `Δ`.
+    pub period: f64,
+    /// Fault-tolerance degree ε.
+    pub epsilon: u8,
+}
+
+/// Generate a calibrated instance. Deterministic in `(cfg, seed)`.
+pub fn gen_instance(cfg: &PaperWorkload, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let v = if cfg.tasks.0 == cfg.tasks.1 {
+        cfg.tasks.0
+    } else {
+        rng.gen_range(cfg.tasks.0..=cfg.tasks.1)
+    };
+    let gcfg = LayeredConfig {
+        tasks: v,
+        exec_range: (50.0, 150.0),
+        volume_range: cfg.volumes,
+        ..Default::default()
+    };
+    let mut graph = layered(&gcfg, &mut rng);
+    let platform = HeterogeneousConfig {
+        procs: cfg.procs,
+        speed_range: cfg.speeds,
+        delay_range: cfg.delays,
+        symmetric: true,
+    }
+    .build(&mut rng);
+
+    // Granularity scaling: execution times only.
+    if let Some(f) = granularity_scale_factor(&graph, &platform, cfg.granularity) {
+        graph.scale_exec_times(f);
+    }
+    // Utilization normalization: scale all times (preserving the
+    // granularity) so that the *binding* resource — aggregate compute or
+    // aggregate port time, whichever is scarcer — sits at `U*`. At small
+    // granularity the workload is communication-dominated and the port
+    // budget binds; pinning only the compute load would make the sweep's
+    // low-granularity points unschedulable for every heuristic.
+    let period = cfg.period();
+    let nrep = cfg.epsilon as f64 + 1.0;
+    let demand_compute = nrep * graph.total_exec() * platform.mean_inv_speed();
+    let demand_comm = nrep * graph.total_volume() * platform.mean_delay();
+    let capacity = cfg.procs as f64 * period;
+    let demand = demand_compute.max(demand_comm);
+    if demand > 0.0 {
+        let rho = cfg.utilization * capacity / demand;
+        graph.scale_exec_times(rho);
+        graph.scale_volumes(rho);
+    }
+
+    Instance {
+        graph,
+        platform,
+        period,
+        epsilon: cfg.epsilon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_schedule::granularity::granularity;
+
+    #[test]
+    fn calibration_hits_targets() {
+        for &g in &[0.2, 1.0, 2.0] {
+            for &eps in &[1u8, 3] {
+                let cfg = PaperWorkload::paper(eps, g);
+                let inst = gen_instance(&cfg, 42);
+                // Granularity exact.
+                let got = granularity(&inst.graph, &inst.platform);
+                assert!((got - g).abs() < 1e-9, "granularity {got} vs {g}");
+                // The binding resource (compute or port time) sits at U*.
+                let nrep = eps as f64 + 1.0;
+                let cap = 20.0 * inst.period;
+                let u_comp =
+                    nrep * inst.graph.total_exec() * inst.platform.mean_inv_speed() / cap;
+                let u_comm =
+                    nrep * inst.graph.total_volume() * inst.platform.mean_delay() / cap;
+                let u = u_comp.max(u_comm);
+                assert!((u - 0.25).abs() < 1e-9, "utilization {u}");
+                assert!(u_comp <= 0.25 + 1e-9 && u_comm <= 0.25 + 1e-9);
+                // Period per the paper.
+                assert_eq!(inst.period, 10.0 * (eps as f64 + 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn task_count_in_range() {
+        let cfg = PaperWorkload::default();
+        for seed in 0..10 {
+            let inst = gen_instance(&cfg, seed);
+            let v = inst.graph.num_tasks();
+            assert!((50..=150).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = PaperWorkload::paper(1, 0.8);
+        let a = gen_instance(&cfg, 7);
+        let b = gen_instance(&cfg, 7);
+        assert_eq!(a.graph.num_tasks(), b.graph.num_tasks());
+        assert_eq!(a.graph.total_exec(), b.graph.total_exec());
+        assert_eq!(a.platform.min_speed(), b.platform.min_speed());
+    }
+}

@@ -1,0 +1,240 @@
+//! Realistic streaming-application graphs.
+//!
+//! The paper motivates pipelined workflows with "video and audio encoding
+//! and decoding, DSP applications" (§1). These parameterized generators
+//! build the classic dataflow shapes of that domain with plausible
+//! relative costs, for use in examples, tests and benchmarks. All weights
+//! are in abstract time/volume units and scale with the parameters.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+
+/// An H.264-flavoured video encoder: per-frame slices are motion-estimated
+/// against the previous reconstructed frame, transformed and entropy-coded,
+/// then assembled into a bitstream task per frame.
+///
+/// Structure per frame `f` with `slices` slices:
+/// `split(f) → {me(f,s) → dct(f,s) → cabac(f,s)} → assemble(f)`, plus the
+/// inter-frame dependencies `assemble(f) → me(f+1, s)` (reference frame)
+/// and `split(f) → split(f+1)` (capture order).
+pub fn video_encoder(frames: usize, slices: usize) -> TaskGraph {
+    assert!(frames >= 1 && slices >= 1);
+    let mut b = GraphBuilder::with_capacity(
+        frames * (2 + 3 * slices),
+        frames * (4 * slices + 2),
+    );
+    let mut prev_assemble: Option<TaskId> = None;
+    let mut prev_split: Option<TaskId> = None;
+    for f in 0..frames {
+        let split = b.add_named_task(format!("split[{f}]"), 2.0);
+        if let Some(ps) = prev_split {
+            b.add_edge(ps, split, 0.5); // capture order
+        }
+        prev_split = Some(split);
+        let assemble = b.add_named_task(format!("assemble[{f}]"), 3.0);
+        for s in 0..slices {
+            let me = b.add_named_task(format!("me[{f},{s}]"), 10.0);
+            let dct = b.add_named_task(format!("dct[{f},{s}]"), 6.0);
+            let cabac = b.add_named_task(format!("cabac[{f},{s}]"), 4.0);
+            b.add_edge(split, me, 8.0); // raw slice
+            if let Some(prev) = prev_assemble {
+                b.add_edge(prev, me, 2.0); // reference frame fragment
+            }
+            b.add_edge(me, dct, 4.0);
+            b.add_edge(dct, cabac, 3.0);
+            b.add_edge(cabac, assemble, 1.0);
+        }
+        prev_assemble = Some(assemble);
+    }
+    b.build().expect("encoder graph is acyclic")
+}
+
+/// A radix-2 FFT dataflow of `2^log2n` points: `log2n` butterfly ranks of
+/// `2^(log2n-1)` butterflies each, plus bit-reversal input and output
+/// gather tasks. A classic DSP kernel with heavy all-to-all-ish traffic.
+pub fn fft(log2n: u32) -> TaskGraph {
+    assert!((1..=8).contains(&log2n), "supported sizes: 2^1..2^8");
+    let n = 1usize << log2n;
+    let half = n / 2;
+    let mut b = GraphBuilder::new();
+    let input = b.add_named_task("bitrev", 1.0);
+    // ranks[r][i] = butterfly i of rank r.
+    let mut prev: Vec<TaskId> = Vec::new();
+    for r in 0..log2n {
+        let mut cur = Vec::with_capacity(half);
+        for i in 0..half {
+            let t = b.add_named_task(format!("bfly[{r},{i}]"), 2.0);
+            cur.push(t);
+        }
+        if r == 0 {
+            for &t in &cur {
+                b.add_edge(input, t, 2.0);
+            }
+        } else {
+            // Butterfly i at rank r consumes the outputs of butterflies i
+            // and i ⊕ stride of the previous rank (stride = 2^(r−1) < n/2,
+            // so the two sources are always distinct).
+            let stride = 1usize << (r - 1);
+            for (i, &t) in cur.iter().enumerate() {
+                let lo = prev[i];
+                let hi = prev[(i + stride) % half];
+                b.add_edge(lo, t, 1.0);
+                if hi != lo {
+                    b.add_edge(hi, t, 1.0);
+                }
+            }
+        }
+        prev = cur;
+    }
+    let output = b.add_named_task("gather", 1.0);
+    for &t in &prev {
+        b.add_edge(t, output, 2.0);
+    }
+    b.build().expect("FFT dataflow is acyclic")
+}
+
+/// A wavefront/stencil sweep over a `width × steps` grid: cell `(i, j)`
+/// depends on `(i−1, j)` and `(i, j−1)` — the dependency pattern of
+/// dynamic programming and LU-style kernels.
+pub fn wavefront(width: usize, steps: usize) -> TaskGraph {
+    assert!(width >= 1 && steps >= 1);
+    let mut b = GraphBuilder::with_capacity(width * steps, 2 * width * steps);
+    let mut grid = vec![vec![TaskId(0); width]; steps];
+    for (j, row) in grid.iter_mut().enumerate() {
+        for (i, cell) in row.iter_mut().enumerate() {
+            *cell = b.add_named_task(format!("cell[{i},{j}]"), 3.0);
+        }
+    }
+    for j in 0..steps {
+        for i in 0..width {
+            if i > 0 {
+                b.add_edge(grid[j][i - 1], grid[j][i], 1.0);
+            }
+            if j > 0 {
+                b.add_edge(grid[j - 1][i], grid[j][i], 1.0);
+            }
+        }
+    }
+    b.build().expect("wavefront is acyclic")
+}
+
+/// A map-shuffle-reduce round: `splitter → mappers → reducers → merger`,
+/// with the all-to-all shuffle between mappers and reducers that stresses
+/// the one-port model.
+pub fn mapreduce(mappers: usize, reducers: usize) -> TaskGraph {
+    assert!(mappers >= 1 && reducers >= 1);
+    let mut b = GraphBuilder::with_capacity(
+        mappers + reducers + 2,
+        mappers + mappers * reducers + reducers,
+    );
+    let split = b.add_named_task("split", 2.0);
+    let maps: Vec<TaskId> = (0..mappers)
+        .map(|i| b.add_named_task(format!("map[{i}]"), 8.0))
+        .collect();
+    let reds: Vec<TaskId> = (0..reducers)
+        .map(|i| b.add_named_task(format!("reduce[{i}]"), 6.0))
+        .collect();
+    let merge = b.add_named_task("merge", 2.0);
+    for &m in &maps {
+        b.add_edge(split, m, 4.0);
+        for &r in &reds {
+            b.add_edge(m, r, 1.0); // shuffle fragment
+        }
+    }
+    for &r in &reds {
+        b.add_edge(r, merge, 2.0);
+    }
+    b.build().expect("mapreduce is acyclic")
+}
+
+/// A DSP analysis/synthesis filter bank: a polyphase split into `channels`
+/// sub-bands, independent per-channel chains of `depth` biquad stages, and
+/// a synthesis recombination — audio codecs and software radio in shape.
+pub fn filter_bank(channels: usize, depth: usize) -> TaskGraph {
+    assert!(channels >= 1 && depth >= 1);
+    let mut b = GraphBuilder::with_capacity(
+        channels * depth + 2,
+        channels * (depth + 1),
+    );
+    let analysis = b.add_named_task("analysis", 4.0);
+    let synthesis = b.add_named_task("synthesis", 4.0);
+    for c in 0..channels {
+        let mut prev = analysis;
+        for d in 0..depth {
+            let t = b.add_named_task(format!("biquad[{c},{d}]"), 3.0);
+            b.add_edge(prev, t, if d == 0 { 2.0 } else { 1.0 });
+            prev = t;
+        }
+        b.add_edge(prev, synthesis, 2.0);
+    }
+    b.build().expect("filter bank is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::depth;
+    use crate::width;
+
+    #[test]
+    fn video_encoder_shape() {
+        let g = video_encoder(3, 4);
+        assert_eq!(g.num_tasks(), 3 * (2 + 3 * 4));
+        // One entry (first split) reachable to everything; one exit (last
+        // assemble) plus possibly none else.
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        // Inter-frame dependency chains frames serially.
+        assert!(depth(&g) >= 3 * 4);
+    }
+
+    #[test]
+    fn video_encoder_single_frame() {
+        let g = video_encoder(1, 2);
+        assert_eq!(g.num_tasks(), 8);
+        assert_eq!(width(&g), 2);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft(3); // 8-point FFT
+        // 1 + 3 ranks × 4 butterflies + 1 = 14 tasks.
+        assert_eq!(g.num_tasks(), 14);
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        assert_eq!(depth(&g), 5); // bitrev + 3 ranks + gather
+        assert_eq!(width(&g), 4);
+    }
+
+    #[test]
+    fn wavefront_shape() {
+        let g = wavefront(4, 3);
+        assert_eq!(g.num_tasks(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2); // horizontal + vertical
+        // Single entry (0,0), single exit (3,2).
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        // Anti-diagonal width.
+        assert_eq!(width(&g), 3.min(4));
+        assert_eq!(depth(&g), 4 + 3 - 1);
+    }
+
+    #[test]
+    fn mapreduce_shape() {
+        let g = mapreduce(5, 3);
+        assert_eq!(g.num_tasks(), 10);
+        assert_eq!(g.num_edges(), 5 + 15 + 3);
+        assert_eq!(width(&g), 5);
+        assert_eq!(depth(&g), 4);
+    }
+
+    #[test]
+    fn filter_bank_shape() {
+        let g = filter_bank(6, 3);
+        assert_eq!(g.num_tasks(), 6 * 3 + 2);
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        assert_eq!(width(&g), 6);
+        assert_eq!(depth(&g), 5);
+    }
+}

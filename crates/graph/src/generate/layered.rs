@@ -1,0 +1,254 @@
+//! Random layered DAG generator.
+//!
+//! Mirrors the workload family used in the paper's §5 and the contention-
+//! aware fault-tolerant scheduling literature it builds on: `v` tasks spread
+//! over `L` layers, edges directed from lower to higher layers (hence
+//! acyclic by construction), every non-entry task has at least one
+//! predecessor in an earlier layer and every non-exit task at least one
+//! successor, plus random extra forward edges up to a target edge count.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use crate::ids::TaskId;
+use rand::Rng;
+
+/// Configuration for [`layered`].
+#[derive(Debug, Clone)]
+pub struct LayeredConfig {
+    /// Number of tasks `v`.
+    pub tasks: usize,
+    /// Number of layers; `None` chooses `max(2, round(sqrt(v) * 1.2))`,
+    /// which yields depths of 8–15 for the paper's 50–150-task graphs.
+    pub layers: Option<usize>,
+    /// Target edge count; `None` chooses `2 v` (literature-typical density).
+    pub target_edges: Option<usize>,
+    /// Probability that an extra edge skips exactly one layer.
+    pub skip_layer_prob: f64,
+    /// Task execution times drawn uniformly from this range.
+    pub exec_range: (f64, f64),
+    /// Edge data volumes drawn uniformly from this range (paper: `[50, 150]`).
+    pub volume_range: (f64, f64),
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        Self {
+            tasks: 100,
+            layers: None,
+            target_edges: None,
+            skip_layer_prob: 0.15,
+            exec_range: (50.0, 150.0),
+            volume_range: (50.0, 150.0),
+        }
+    }
+}
+
+impl LayeredConfig {
+    /// Convenience constructor fixing only the task count.
+    pub fn with_tasks(tasks: usize) -> Self {
+        Self {
+            tasks,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generate a random layered DAG. Deterministic given `rng` state.
+///
+/// # Panics
+/// If `cfg.tasks == 0` or a weight range is empty/invalid.
+pub fn layered<R: Rng>(cfg: &LayeredConfig, rng: &mut R) -> TaskGraph {
+    let v = cfg.tasks;
+    assert!(v > 0, "need at least one task");
+    let n_layers = cfg
+        .layers
+        .unwrap_or_else(|| ((v as f64).sqrt() * 1.2).round().max(2.0) as usize)
+        .clamp(1, v);
+    let target_edges = cfg.target_edges.unwrap_or(2 * v);
+
+    let mut b = GraphBuilder::with_capacity(v, target_edges);
+    let sample = |rng: &mut R, (lo, hi): (f64, f64)| -> f64 {
+        assert!(lo <= hi && lo >= 0.0, "invalid weight range");
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    };
+
+    // Assign every task a layer; force each layer to be non-empty by seeding
+    // one task per layer, then distribute the rest uniformly.
+    let mut layer_of: Vec<usize> = Vec::with_capacity(v);
+    for l in 0..n_layers.min(v) {
+        layer_of.push(l);
+    }
+    for _ in n_layers..v {
+        layer_of.push(rng.gen_range(0..n_layers));
+    }
+    // Shuffle so task ids are not correlated with layers.
+    for i in (1..layer_of.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        layer_of.swap(i, j);
+    }
+
+    let tasks: Vec<TaskId> = (0..v)
+        .map(|_| b.add_task(sample(rng, cfg.exec_range)))
+        .collect();
+    let mut by_layer: Vec<Vec<TaskId>> = vec![Vec::new(); n_layers];
+    for (i, &l) in layer_of.iter().enumerate() {
+        by_layer[l].push(tasks[i]);
+    }
+    // Drop empty trailing layers (possible when v < n_layers).
+    by_layer.retain(|l| !l.is_empty());
+    let n_layers = by_layer.len();
+
+    let mut edge_set = std::collections::HashSet::new();
+    let add_edge = |b: &mut GraphBuilder,
+                        rng: &mut R,
+                        src: TaskId,
+                        dst: TaskId,
+                        edge_set: &mut std::collections::HashSet<(TaskId, TaskId)>|
+     -> bool {
+        if src == dst || !edge_set.insert((src, dst)) {
+            return false;
+        }
+        let vol = sample(rng, cfg.volume_range);
+        b.add_edge(src, dst, vol);
+        true
+    };
+
+    // Connectivity: every task in layer k>0 receives from layer k-1; every
+    // task in layer k<last sends somewhere ahead.
+    for k in 1..n_layers {
+        for i in 0..by_layer[k].len() {
+            let dst = by_layer[k][i];
+            let src = by_layer[k - 1][rng.gen_range(0..by_layer[k - 1].len())];
+            add_edge(&mut b, rng, src, dst, &mut edge_set);
+        }
+    }
+    for k in 0..n_layers.saturating_sub(1) {
+        for i in 0..by_layer[k].len() {
+            let src = by_layer[k][i];
+            if edge_set.iter().any(|&(s, _)| s == src) {
+                continue;
+            }
+            let dst = by_layer[k + 1][rng.gen_range(0..by_layer[k + 1].len())];
+            add_edge(&mut b, rng, src, dst, &mut edge_set);
+        }
+    }
+
+    // Extra random forward edges up to the target density.
+    let mut attempts = 0usize;
+    let max_attempts = target_edges * 20 + 100;
+    while edge_set.len() < target_edges && attempts < max_attempts && n_layers > 1 {
+        attempts += 1;
+        let k = rng.gen_range(0..n_layers - 1);
+        let stride = if rng.gen_bool(cfg.skip_layer_prob) && k + 2 < n_layers {
+            2
+        } else {
+            1
+        };
+        let src = by_layer[k][rng.gen_range(0..by_layer[k].len())];
+        let dst = by_layer[k + stride][rng.gen_range(0..by_layer[k + stride].len())];
+        add_edge(&mut b, rng, src, dst, &mut edge_set);
+    }
+
+    b.build().expect("layered construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::depth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_task_count_and_ranges() {
+        let cfg = LayeredConfig {
+            tasks: 80,
+            exec_range: (50.0, 150.0),
+            volume_range: (50.0, 150.0),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = layered(&cfg, &mut rng);
+        assert_eq!(g.num_tasks(), 80);
+        for t in g.tasks() {
+            assert!((50.0..150.0).contains(&g.exec(t)));
+        }
+        for e in g.edge_ids() {
+            let vol = g.edge(e).volume;
+            assert!((50.0..150.0).contains(&vol));
+        }
+    }
+
+    #[test]
+    fn edge_density_near_target() {
+        let cfg = LayeredConfig::with_tasks(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = layered(&cfg, &mut rng);
+        // Target is 2v; generator should get close (within 25%).
+        assert!(g.num_edges() >= 150, "too sparse: {}", g.num_edges());
+        assert!(g.num_edges() <= 220, "too dense: {}", g.num_edges());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = LayeredConfig::with_tasks(60);
+        let g1 = layered(&cfg, &mut StdRng::seed_from_u64(99));
+        let g2 = layered(&cfg, &mut StdRng::seed_from_u64(99));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for (a, b) in g1.edge_ids().zip(g2.edge_ids()) {
+            assert_eq!(g1.edge(a).src, g2.edge(b).src);
+            assert_eq!(g1.edge(a).dst, g2.edge(b).dst);
+            assert_eq!(g1.edge(a).volume, g2.edge(b).volume);
+        }
+    }
+
+    #[test]
+    fn depth_matches_layer_budget() {
+        let cfg = LayeredConfig {
+            tasks: 100,
+            layers: Some(10),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = layered(&cfg, &mut rng);
+        assert!(depth(&g) <= 10, "depth {} exceeds layers", depth(&g));
+        assert!(depth(&g) >= 5, "depth {} suspiciously small", depth(&g));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let cfg = LayeredConfig {
+            tasks: 1,
+            ..Default::default()
+        };
+        let g = layered(&cfg, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g.num_tasks(), 1);
+        assert_eq!(g.num_edges(), 0);
+
+        let cfg = LayeredConfig {
+            tasks: 2,
+            layers: Some(2),
+            ..Default::default()
+        };
+        let g = layered(&cfg, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g.num_tasks(), 2);
+        assert!(g.num_edges() >= 1);
+    }
+
+    #[test]
+    fn every_middle_task_connected() {
+        let cfg = LayeredConfig::with_tasks(120);
+        let g = layered(&cfg, &mut StdRng::seed_from_u64(11));
+        for t in g.tasks() {
+            // No isolated tasks (a task is entry, exit, or internal, but
+            // never disconnected on both sides unless single-layer).
+            assert!(
+                g.in_degree(t) > 0 || g.out_degree(t) > 0,
+                "task {t} isolated"
+            );
+        }
+    }
+}

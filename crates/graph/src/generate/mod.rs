@@ -1,0 +1,26 @@
+//! Workload generators.
+//!
+//! * [`layered()`](layered) — the random layered DAGs used for the paper's evaluation
+//!   (§5: "randomly generated graphs, whose parameters are consistent with
+//!   those used in the literature").
+//! * [`series_parallel()`](series_parallel) — random series-parallel graphs (single
+//!   source/sink), the class for which R-LTF's Rule 2 provably reduces the
+//!   communication count to `e(ε+1)`.
+//! * `standard` — deterministic shapes: pipelines, fork-joins, trees,
+//!   the paper's Fig. 1 motivating diamond and the Fig. 2 worked example.
+//! * [`apps`] — realistic streaming applications from the paper's
+//!   motivating domains: video encoding, FFT/DSP kernels, wavefront
+//!   sweeps, map-reduce rounds, and filter banks.
+
+pub mod apps;
+
+mod layered;
+mod series_parallel;
+mod standard;
+
+pub use layered::{layered, LayeredConfig};
+pub use series_parallel::{series_parallel, SeriesParallelConfig};
+pub use standard::{
+    diamond, fig1_diamond, fig2_task, fig2_workflow, fig2_workflow_variant, fork_join, in_tree,
+    out_tree, pipeline,
+};

@@ -1,0 +1,157 @@
+//! Random series-parallel (SP) DAG generator.
+//!
+//! SP graphs (single source, single sink, built by recursive series and
+//! parallel compositions) are the class for which the paper notes that
+//! R-LTF's Rule 2, absent throughput constraints, reduces the number of
+//! replica communications to `e(ε+1)`. We generate them by repeatedly
+//! expanding a random edge: a *series* expansion splits `u → w` into
+//! `u → x → w`; a *parallel* expansion adds a fresh branch `u → x → w`.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+use rand::Rng;
+
+/// Configuration for [`series_parallel`].
+#[derive(Debug, Clone)]
+pub struct SeriesParallelConfig {
+    /// Total number of tasks (≥ 2: source and sink).
+    pub tasks: usize,
+    /// Probability of a *series* expansion (vs parallel) at each step.
+    pub series_prob: f64,
+    /// Task execution times drawn uniformly from this range.
+    pub exec_range: (f64, f64),
+    /// Edge data volumes drawn uniformly from this range.
+    pub volume_range: (f64, f64),
+}
+
+impl Default for SeriesParallelConfig {
+    fn default() -> Self {
+        Self {
+            tasks: 50,
+            series_prob: 0.6,
+            exec_range: (50.0, 150.0),
+            volume_range: (50.0, 150.0),
+        }
+    }
+}
+
+/// Generate a random series-parallel DAG with a single source and sink.
+pub fn series_parallel<R: Rng>(cfg: &SeriesParallelConfig, rng: &mut R) -> TaskGraph {
+    assert!(cfg.tasks >= 2, "SP graph needs source and sink");
+    let sample = |rng: &mut R, (lo, hi): (f64, f64)| -> f64 {
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    };
+
+    // Work on a mutable edge list of (src, dst) using local indices; weights
+    // drawn at the end so that edge insertion order does not skew them.
+    let mut exec: Vec<f64> = vec![
+        sample(rng, cfg.exec_range),
+        sample(rng, cfg.exec_range),
+    ];
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+
+    while exec.len() < cfg.tasks {
+        let pick = rng.gen_range(0..edges.len());
+        let (u, w) = edges[pick];
+        let x = exec.len();
+        exec.push(sample(rng, cfg.exec_range));
+        if rng.gen_bool(cfg.series_prob) {
+            // Series: u -> x -> w replaces u -> w.
+            edges[pick] = (u, x);
+            edges.push((x, w));
+        } else {
+            // Parallel: add u -> x -> w alongside u -> w.
+            edges.push((u, x));
+            edges.push((x, w));
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(exec.len(), edges.len());
+    let ids: Vec<_> = exec.iter().map(|&e| b.add_task(e)).collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(u, w) in &edges {
+        if seen.insert((u, w)) {
+            b.add_edge(ids[u], ids[w], sample(rng, cfg.volume_range));
+        }
+    }
+    b.build().expect("SP construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_source_and_sink() {
+        let cfg = SeriesParallelConfig {
+            tasks: 40,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let g = series_parallel(&cfg, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(g.num_tasks(), 40);
+            assert_eq!(g.entries().len(), 1, "seed {seed}: multiple sources");
+            assert_eq!(g.exits().len(), 1, "seed {seed}: multiple sinks");
+        }
+    }
+
+    #[test]
+    fn minimal_sp() {
+        let cfg = SeriesParallelConfig {
+            tasks: 2,
+            ..Default::default()
+        };
+        let g = series_parallel(&cfg, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn pure_series_is_a_chain() {
+        let cfg = SeriesParallelConfig {
+            tasks: 10,
+            series_prob: 1.0,
+            ..Default::default()
+        };
+        let g = series_parallel(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(crate::width(&g), 1);
+    }
+
+    #[test]
+    fn pure_parallel_is_a_fork_join() {
+        let cfg = SeriesParallelConfig {
+            tasks: 8,
+            series_prob: 0.0,
+            ..Default::default()
+        };
+        let g = series_parallel(&cfg, &mut StdRng::seed_from_u64(5));
+        // Expansions may nest (a parallel branch can itself be expanded),
+        // so the exact width varies; but with no series steps some pair of
+        // middles must be independent.
+        let w = crate::width(&g);
+        assert!((2..=6).contains(&w), "width {w} out of range");
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let cfg = SeriesParallelConfig {
+            tasks: 30,
+            exec_range: (10.0, 20.0),
+            volume_range: (1.0, 2.0),
+            ..Default::default()
+        };
+        let g = series_parallel(&cfg, &mut StdRng::seed_from_u64(9));
+        for t in g.tasks() {
+            assert!((10.0..20.0).contains(&g.exec(t)));
+        }
+        for e in g.edge_ids() {
+            assert!((1.0..2.0).contains(&g.edge(e).volume));
+        }
+    }
+}

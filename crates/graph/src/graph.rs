@@ -1,0 +1,556 @@
+//! The task graph structure and its builder.
+
+use crate::ids::{EdgeId, TaskId};
+
+/// A directed edge of the workflow: a FIFO channel from `src` to `dst`
+/// carrying `volume` units of data per stream item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Producing task.
+    pub src: TaskId,
+    /// Consuming task.
+    pub dst: TaskId,
+    /// Data volume transferred per data set (divided by link bandwidth to
+    /// obtain a communication time).
+    pub volume: f64,
+}
+
+/// Errors detected while building a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The edge set contains a cycle; the offending strongly-connected
+    /// remainder is reported by size only.
+    Cyclic {
+        /// Number of tasks involved in (or downstream of) cycles.
+        tasks_in_cycles: usize,
+    },
+    /// An edge references a task id that was never added.
+    UnknownTask(TaskId),
+    /// `src == dst`.
+    SelfLoop(TaskId),
+    /// The same `(src, dst)` pair was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// A task execution time or edge volume is negative, NaN or infinite.
+    InvalidWeight(String),
+    /// The graph has no tasks.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Cyclic { tasks_in_cycles } => {
+                write!(f, "graph is cyclic ({tasks_in_cycles} tasks on cycles)")
+            }
+            GraphError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            GraphError::SelfLoop(t) => write!(f, "self loop on task {t}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::InvalidWeight(msg) => write!(f, "invalid weight: {msg}"),
+            GraphError::Empty => write!(f, "graph has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for [`TaskGraph`].
+///
+/// ```
+/// use ltf_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let t0 = b.add_task(15.0);
+/// let t1 = b.add_task(20.0);
+/// b.add_edge(t0, t1, 2.0);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_tasks(), 2);
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    exec: Vec<f64>,
+    names: Vec<String>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with capacity for `v` tasks and `e` edges.
+    pub fn with_capacity(v: usize, e: usize) -> Self {
+        Self {
+            exec: Vec::with_capacity(v),
+            names: Vec::with_capacity(v),
+            edges: Vec::with_capacity(e),
+        }
+    }
+
+    /// Add a task with execution time `exec` (reference time at unit speed);
+    /// returns its dense id. The default display name is `t<i>`.
+    pub fn add_task(&mut self, exec: f64) -> TaskId {
+        let id = TaskId(self.exec.len() as u32);
+        self.exec.push(exec);
+        self.names.push(format!("t{}", id.0));
+        id
+    }
+
+    /// Add a task with an explicit display name.
+    pub fn add_named_task(&mut self, name: impl Into<String>, exec: f64) -> TaskId {
+        let id = self.add_task(exec);
+        self.names[id.index()] = name.into();
+        id
+    }
+
+    /// Add a FIFO edge carrying `volume` data units per stream item.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, volume: f64) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, volume });
+        id
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.exec.len()
+    }
+
+    /// Validate and freeze into a [`TaskGraph`].
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        TaskGraph::from_parts(self.exec, self.names, self.edges)
+    }
+}
+
+/// An immutable weighted DAG describing a streaming application.
+///
+/// Tasks are identified by dense [`TaskId`]s, edges by dense [`EdgeId`]s.
+/// Adjacency is stored in CSR form for cache-friendly traversal; a
+/// topological order is computed once at construction.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    exec: Vec<f64>,
+    names: Vec<String>,
+    edges: Vec<Edge>,
+    /// CSR offsets into `succ_edges`, length `v + 1`.
+    succ_off: Vec<u32>,
+    /// Edge ids grouped by source task.
+    succ_edges: Vec<EdgeId>,
+    /// CSR offsets into `pred_edges`, length `v + 1`.
+    pred_off: Vec<u32>,
+    /// Edge ids grouped by destination task.
+    pred_edges: Vec<EdgeId>,
+    /// A topological order of all tasks.
+    topo: Vec<TaskId>,
+    /// `topo_pos[t] =` position of `t` in `topo`.
+    topo_pos: Vec<u32>,
+    entries: Vec<TaskId>,
+    exits: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Build a graph from raw parts, validating weights and acyclicity.
+    pub fn from_parts(
+        exec: Vec<f64>,
+        names: Vec<String>,
+        edges: Vec<Edge>,
+    ) -> Result<Self, GraphError> {
+        let v = exec.len();
+        if v == 0 {
+            return Err(GraphError::Empty);
+        }
+        for (i, &x) in exec.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(GraphError::InvalidWeight(format!(
+                    "exec time of t{i} is {x}"
+                )));
+            }
+        }
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for e in &edges {
+            if e.src.index() >= v {
+                return Err(GraphError::UnknownTask(e.src));
+            }
+            if e.dst.index() >= v {
+                return Err(GraphError::UnknownTask(e.dst));
+            }
+            if e.src == e.dst {
+                return Err(GraphError::SelfLoop(e.src));
+            }
+            if !e.volume.is_finite() || e.volume < 0.0 {
+                return Err(GraphError::InvalidWeight(format!(
+                    "volume of {} -> {} is {}",
+                    e.src, e.dst, e.volume
+                )));
+            }
+            if !seen.insert((e.src, e.dst)) {
+                return Err(GraphError::DuplicateEdge(e.src, e.dst));
+            }
+        }
+
+        // CSR construction (counting sort by src, then by dst).
+        let mut succ_off = vec![0u32; v + 1];
+        let mut pred_off = vec![0u32; v + 1];
+        for e in &edges {
+            succ_off[e.src.index() + 1] += 1;
+            pred_off[e.dst.index() + 1] += 1;
+        }
+        for i in 0..v {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_edges = vec![EdgeId(0); edges.len()];
+        let mut pred_edges = vec![EdgeId(0); edges.len()];
+        let mut succ_fill = succ_off.clone();
+        let mut pred_fill = pred_off.clone();
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            succ_edges[succ_fill[e.src.index()] as usize] = id;
+            succ_fill[e.src.index()] += 1;
+            pred_edges[pred_fill[e.dst.index()] as usize] = id;
+            pred_fill[e.dst.index()] += 1;
+        }
+
+        // Kahn topological sort.
+        let mut indeg: Vec<u32> = vec![0; v];
+        for e in &edges {
+            indeg[e.dst.index()] += 1;
+        }
+        let mut queue: std::collections::VecDeque<TaskId> = (0..v as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(v);
+        while let Some(t) = queue.pop_front() {
+            topo.push(t);
+            let lo = succ_off[t.index()] as usize;
+            let hi = succ_off[t.index() + 1] as usize;
+            for &eid in &succ_edges[lo..hi] {
+                let d = edges[eid.index()].dst;
+                indeg[d.index()] -= 1;
+                if indeg[d.index()] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        if topo.len() != v {
+            return Err(GraphError::Cyclic {
+                tasks_in_cycles: v - topo.len(),
+            });
+        }
+        let mut topo_pos = vec![0u32; v];
+        for (pos, &t) in topo.iter().enumerate() {
+            topo_pos[t.index()] = pos as u32;
+        }
+
+        let entries = (0..v as u32)
+            .map(TaskId)
+            .filter(|t| pred_off[t.index()] == pred_off[t.index() + 1])
+            .collect();
+        let exits = (0..v as u32)
+            .map(TaskId)
+            .filter(|t| succ_off[t.index()] == succ_off[t.index() + 1])
+            .collect();
+
+        Ok(Self {
+            exec,
+            names,
+            edges,
+            succ_off,
+            succ_edges,
+            pred_off,
+            pred_edges,
+            topo,
+            topo_pos,
+            entries,
+            exits,
+        })
+    }
+
+    /// Number of tasks `v = |V|`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.exec.len()
+    }
+
+    /// Number of edges `e = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all task ids in increasing order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.num_tasks() as u32).map(TaskId)
+    }
+
+    /// Iterator over all edge ids in increasing order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// Execution time `E(t)` of `t` at unit processor speed.
+    #[inline]
+    pub fn exec(&self, t: TaskId) -> f64 {
+        self.exec[t.index()]
+    }
+
+    /// Display name of `t`.
+    #[inline]
+    pub fn name(&self, t: TaskId) -> &str {
+        &self.names[t.index()]
+    }
+
+    /// The edge record for `id`.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// Edge ids leaving `t` (the channels to `Γ⁺(t)`).
+    #[inline]
+    pub fn succ_edges(&self, t: TaskId) -> &[EdgeId] {
+        let lo = self.succ_off[t.index()] as usize;
+        let hi = self.succ_off[t.index() + 1] as usize;
+        &self.succ_edges[lo..hi]
+    }
+
+    /// Edge ids entering `t` (the channels from `Γ⁻(t)`).
+    #[inline]
+    pub fn pred_edges(&self, t: TaskId) -> &[EdgeId] {
+        let lo = self.pred_off[t.index()] as usize;
+        let hi = self.pred_off[t.index() + 1] as usize;
+        &self.pred_edges[lo..hi]
+    }
+
+    /// Immediate successors `Γ⁺(t)`.
+    pub fn succs(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succ_edges(t).iter().map(|e| self.edges[e.index()].dst)
+    }
+
+    /// Immediate predecessors `Γ⁻(t)`.
+    pub fn preds(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.pred_edges(t).iter().map(|e| self.edges[e.index()].src)
+    }
+
+    /// Out-degree `|Γ⁺(t)|`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> usize {
+        self.succ_edges(t).len()
+    }
+
+    /// In-degree `|Γ⁻(t)|`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.pred_edges(t).len()
+    }
+
+    /// Entry nodes (no predecessors).
+    #[inline]
+    pub fn entries(&self) -> &[TaskId] {
+        &self.entries
+    }
+
+    /// Exit nodes (no successors).
+    #[inline]
+    pub fn exits(&self) -> &[TaskId] {
+        &self.exits
+    }
+
+    /// A topological order over all tasks (stable across calls).
+    #[inline]
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Position of `t` within [`TaskGraph::topo_order`].
+    #[inline]
+    pub fn topo_position(&self, t: TaskId) -> usize {
+        self.topo_pos[t.index()] as usize
+    }
+
+    /// Total execution time `Σ_t E(t)` at unit speed.
+    pub fn total_exec(&self) -> f64 {
+        self.exec.iter().sum()
+    }
+
+    /// Total communication volume `Σ_e vol(e)`.
+    pub fn total_volume(&self) -> f64 {
+        self.edges.iter().map(|e| e.volume).sum()
+    }
+
+    /// The graph with every edge reversed. Task ids, edge ids, execution
+    /// times and volumes are preserved, so decisions made on the reversed
+    /// graph (bottom-up traversals, as in R-LTF) can be mapped back
+    /// one-to-one onto `self`.
+    pub fn reversed(&self) -> TaskGraph {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| Edge {
+                src: e.dst,
+                dst: e.src,
+                volume: e.volume,
+            })
+            .collect();
+        TaskGraph::from_parts(self.exec.clone(), self.names.clone(), edges)
+            .expect("reversal of a DAG is a DAG")
+    }
+
+    /// Multiply every execution time by `factor` (> 0). Used by the
+    /// experiment harness for granularity/utilization calibration.
+    pub fn scale_exec_times(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "bad scale factor");
+        for x in &mut self.exec {
+            *x *= factor;
+        }
+    }
+
+    /// Multiply every edge volume by `factor` (> 0).
+    pub fn scale_volumes(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "bad scale factor");
+        for e in &mut self.edges {
+            e.volume *= factor;
+        }
+    }
+
+    /// `true` if there is an edge `src -> dst`.
+    pub fn has_edge(&self, src: TaskId, dst: TaskId) -> bool {
+        self.succ_edges(src)
+            .iter()
+            .any(|e| self.edges[e.index()].dst == dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(2.0);
+        let t2 = b.add_task(3.0);
+        let t3 = b.add_task(4.0);
+        b.add_edge(t0, t1, 1.0);
+        b.add_edge(t0, t2, 2.0);
+        b.add_edge(t1, t3, 3.0);
+        b.add_edge(t2, t3, 4.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.entries(), &[TaskId(0)]);
+        assert_eq!(g.exits(), &[TaskId(3)]);
+        assert_eq!(g.total_exec(), 10.0);
+        assert_eq!(g.total_volume(), 10.0);
+    }
+
+    #[test]
+    fn adjacency() {
+        let g = diamond();
+        let succs: Vec<_> = g.succs(TaskId(0)).collect();
+        assert_eq!(succs, vec![TaskId(1), TaskId(2)]);
+        let preds: Vec<_> = g.preds(TaskId(3)).collect();
+        assert_eq!(preds, vec![TaskId(1), TaskId(2)]);
+        assert_eq!(g.out_degree(TaskId(0)), 2);
+        assert_eq!(g.in_degree(TaskId(0)), 0);
+        assert!(g.has_edge(TaskId(0), TaskId(1)));
+        assert!(!g.has_edge(TaskId(1), TaskId(0)));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        for eid in g.edge_ids() {
+            let e = g.edge(eid);
+            assert!(g.topo_position(e.src) < g.topo_position(e.dst));
+        }
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        b.add_edge(t0, t1, 1.0);
+        b.add_edge(t1, t0, 1.0);
+        assert!(matches!(b.build(), Err(GraphError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        b.add_edge(t0, t0, 1.0);
+        assert!(matches!(b.build(), Err(GraphError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        b.add_edge(t0, t1, 1.0);
+        b.add_edge(t0, t1, 2.0);
+        assert!(matches!(b.build(), Err(GraphError::DuplicateEdge(_, _))));
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_task(f64::NAN);
+        assert!(matches!(b.build(), Err(GraphError::InvalidWeight(_))));
+
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        b.add_edge(t0, t1, -3.0);
+        assert!(matches!(b.build(), Err(GraphError::InvalidWeight(_))));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(GraphBuilder::new().build(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn reversal_preserves_ids_and_weights() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.num_tasks(), g.num_tasks());
+        assert_eq!(r.num_edges(), g.num_edges());
+        for eid in g.edge_ids() {
+            let e = g.edge(eid);
+            let re = r.edge(eid);
+            assert_eq!(re.src, e.dst);
+            assert_eq!(re.dst, e.src);
+            assert_eq!(re.volume, e.volume);
+        }
+        assert_eq!(r.entries(), g.exits());
+        assert_eq!(r.exits(), g.entries());
+    }
+
+    #[test]
+    fn scaling() {
+        let mut g = diamond();
+        g.scale_exec_times(2.0);
+        g.scale_volumes(0.5);
+        assert_eq!(g.total_exec(), 20.0);
+        assert_eq!(g.total_volume(), 5.0);
+    }
+
+    #[test]
+    fn named_tasks() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_named_task("decode", 5.0);
+        let u = b.add_task(1.0);
+        b.add_edge(t, u, 1.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.name(t), "decode");
+        assert_eq!(g.name(u), "t1");
+    }
+}

@@ -1,0 +1,72 @@
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a task (node) in a [`crate::TaskGraph`].
+///
+/// Task ids are indices in `0..v` assigned in insertion order by
+/// [`crate::GraphBuilder::add_task`]; they index directly into the per-task
+/// arrays of every downstream structure (schedules, level vectors, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The task id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Dense identifier of a directed edge (FIFO channel) in a
+/// [`crate::TaskGraph`].
+///
+/// Edge ids are indices in `0..e` assigned in insertion order by
+/// [`crate::GraphBuilder::add_edge`]. Reversing a graph with
+/// [`crate::TaskGraph::reversed`] preserves edge ids, which lets bottom-up
+/// schedulers map their decisions back onto the original graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_display_and_index() {
+        let t = TaskId(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "t7");
+    }
+
+    #[test]
+    fn edge_id_display_and_index() {
+        let e = EdgeId(3);
+        assert_eq!(e.index(), 3);
+        assert_eq!(e.to_string(), "e3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(EdgeId(0) < EdgeId(9));
+    }
+}

@@ -1,0 +1,240 @@
+//! Top levels, bottom levels, and scheduling priorities.
+//!
+//! Following §2 of the paper: the *top level* `tℓ(t)` is the length of the
+//! longest path from an entry node to `t`, **excluding** `E(t)`; the *bottom
+//! level* `bℓ(t)` is the length of the longest path from `t` to an exit node,
+//! **including** `E(t)`. Task priorities are `tℓ(t) + bℓ(t)`. Path lengths
+//! sum node and edge weights; on a heterogeneous platform the weights are
+//! the platform-averaged execution and communication times (reference \[9\],
+//! HEFT-style averaging — see `ltf-platform::Platform::average_weights`).
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// Node and edge weights used for path-length computations.
+///
+/// `node[t]` is the (typically platform-averaged) execution time of task `t`
+/// and `edge[e]` the (typically platform-averaged) communication time of
+/// edge `e`. Construct with [`Weights::new`] or
+/// [`Weights::from_unit_speeds`].
+#[derive(Debug, Clone)]
+pub struct Weights {
+    /// Per-task weight, indexed by `TaskId`.
+    pub node: Vec<f64>,
+    /// Per-edge weight, indexed by `EdgeId`.
+    pub edge: Vec<f64>,
+}
+
+impl Weights {
+    /// Bundle explicit node/edge weight vectors (must match graph sizes).
+    pub fn new(node: Vec<f64>, edge: Vec<f64>) -> Self {
+        Self { node, edge }
+    }
+
+    /// Weights for a fully homogeneous reading of the graph: node weights
+    /// are the raw execution times and edge weights the raw volumes
+    /// (unit speed, unit bandwidth).
+    pub fn from_unit_speeds(g: &TaskGraph) -> Self {
+        Self {
+            node: g.tasks().map(|t| g.exec(t)).collect(),
+            edge: g.edge_ids().map(|e| g.edge(e).volume).collect(),
+        }
+    }
+
+    fn check(&self, g: &TaskGraph) {
+        assert_eq!(self.node.len(), g.num_tasks(), "node weight count");
+        assert_eq!(self.edge.len(), g.num_edges(), "edge weight count");
+    }
+}
+
+/// Top level `tℓ(t)` of every task: longest weighted path from an entry node
+/// to `t`, excluding `E(t)` itself. Entry nodes have `tℓ = 0`.
+pub fn top_levels(g: &TaskGraph, w: &Weights) -> Vec<f64> {
+    w.check(g);
+    let mut tl = vec![0.0f64; g.num_tasks()];
+    for &t in g.topo_order() {
+        for &eid in g.succ_edges(t) {
+            let e = g.edge(eid);
+            let cand = tl[t.index()] + w.node[t.index()] + w.edge[eid.index()];
+            if cand > tl[e.dst.index()] {
+                tl[e.dst.index()] = cand;
+            }
+        }
+    }
+    tl
+}
+
+/// Bottom level `bℓ(t)` of every task: longest weighted path from `t` to an
+/// exit node, including `E(t)`. Exit nodes have `bℓ = E(t)`.
+pub fn bottom_levels(g: &TaskGraph, w: &Weights) -> Vec<f64> {
+    w.check(g);
+    let mut bl = vec![0.0f64; g.num_tasks()];
+    for &t in g.topo_order().iter().rev() {
+        let mut best = 0.0f64;
+        for &eid in g.succ_edges(t) {
+            let e = g.edge(eid);
+            let cand = w.edge[eid.index()] + bl[e.dst.index()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[t.index()] = w.node[t.index()] + best;
+    }
+    bl
+}
+
+/// Task priorities `tℓ(t) + bℓ(t)` (larger = more critical).
+pub fn priorities(g: &TaskGraph, w: &Weights) -> Vec<f64> {
+    let tl = top_levels(g, w);
+    let bl = bottom_levels(g, w);
+    tl.iter().zip(&bl).map(|(a, b)| a + b).collect()
+}
+
+/// Length of the critical path (the maximum `bℓ` over entry nodes, which
+/// equals the maximum priority value).
+pub fn critical_path_length(g: &TaskGraph, w: &Weights) -> f64 {
+    let bl = bottom_levels(g, w);
+    g.entries()
+        .iter()
+        .map(|t| bl[t.index()])
+        .fold(0.0, f64::max)
+}
+
+/// Unweighted depth of the graph: the number of tasks on the longest chain.
+pub fn depth(g: &TaskGraph) -> usize {
+    let mut d = vec![1usize; g.num_tasks()];
+    let mut best = 1;
+    for &t in g.topo_order() {
+        for s in g.succs(t) {
+            if d[t.index()] + 1 > d[s.index()] {
+                d[s.index()] = d[t.index()] + 1;
+                best = best.max(d[s.index()]);
+            }
+        }
+    }
+    best.max(1)
+}
+
+/// Longest-path layering: `layer[t]` = unweighted longest distance (in
+/// edges) from any entry node. Entry nodes are at layer 0.
+pub fn layering(g: &TaskGraph) -> Vec<usize> {
+    let mut layer = vec![0usize; g.num_tasks()];
+    for &t in g.topo_order() {
+        for s in g.succs(t) {
+            layer[s.index()] = layer[s.index()].max(layer[t.index()] + 1);
+        }
+    }
+    layer
+}
+
+/// The tasks of each critical path bucket: `tasks_by_layer[k]` holds the
+/// tasks whose [`layering`] value is `k`.
+pub fn tasks_by_layer(g: &TaskGraph) -> Vec<Vec<TaskId>> {
+    let layer = layering(g);
+    let depth = layer.iter().copied().max().unwrap_or(0);
+    let mut out = vec![Vec::new(); depth + 1];
+    for t in g.tasks() {
+        out[layer[t.index()]].push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// The Fig. 2-style chain t0 -> t1 -> t2 with uniform weights.
+    fn chain() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(10.0);
+        let t1 = b.add_task(20.0);
+        let t2 = b.add_task(30.0);
+        b.add_edge(t0, t1, 5.0);
+        b.add_edge(t1, t2, 5.0);
+        b.build().unwrap()
+    }
+
+    fn diamond() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(15.0);
+        let t1 = b.add_task(15.0);
+        let t2 = b.add_task(15.0);
+        let t3 = b.add_task(15.0);
+        b.add_edge(t0, t1, 2.0);
+        b.add_edge(t0, t2, 2.0);
+        b.add_edge(t1, t3, 2.0);
+        b.add_edge(t2, t3, 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_levels() {
+        let g = chain();
+        let w = Weights::from_unit_speeds(&g);
+        let tl = top_levels(&g, &w);
+        assert_eq!(tl, vec![0.0, 15.0, 40.0]);
+        let bl = bottom_levels(&g, &w);
+        assert_eq!(bl, vec![70.0, 55.0, 30.0]);
+        let pr = priorities(&g, &w);
+        // Every node of a chain lies on the critical path.
+        assert_eq!(pr, vec![70.0, 70.0, 70.0]);
+        assert_eq!(critical_path_length(&g, &w), 70.0);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let g = diamond();
+        let w = Weights::from_unit_speeds(&g);
+        let tl = top_levels(&g, &w);
+        assert_eq!(tl, vec![0.0, 17.0, 17.0, 34.0]);
+        let bl = bottom_levels(&g, &w);
+        assert_eq!(bl, vec![49.0, 32.0, 32.0, 15.0]);
+        assert_eq!(critical_path_length(&g, &w), 49.0);
+    }
+
+    #[test]
+    fn depth_and_layering() {
+        let g = diamond();
+        assert_eq!(depth(&g), 3);
+        assert_eq!(layering(&g), vec![0, 1, 1, 2]);
+        let by_layer = tasks_by_layer(&g);
+        assert_eq!(by_layer.len(), 3);
+        assert_eq!(by_layer[0], vec![TaskId(0)]);
+        assert_eq!(by_layer[1], vec![TaskId(1), TaskId(2)]);
+        assert_eq!(by_layer[2], vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn single_node() {
+        let mut b = GraphBuilder::new();
+        b.add_task(7.0);
+        let g = b.build().unwrap();
+        let w = Weights::from_unit_speeds(&g);
+        assert_eq!(top_levels(&g, &w), vec![0.0]);
+        assert_eq!(bottom_levels(&g, &w), vec![7.0]);
+        assert_eq!(depth(&g), 1);
+        assert_eq!(critical_path_length(&g, &w), 7.0);
+    }
+
+    #[test]
+    fn priority_peaks_on_critical_path() {
+        // Two parallel branches of different lengths: priorities on the long
+        // branch strictly dominate.
+        let mut b = GraphBuilder::new();
+        let s = b.add_task(1.0);
+        let long = b.add_task(100.0);
+        let short = b.add_task(1.0);
+        let t = b.add_task(1.0);
+        b.add_edge(s, long, 1.0);
+        b.add_edge(s, short, 1.0);
+        b.add_edge(long, t, 1.0);
+        b.add_edge(short, t, 1.0);
+        let g = b.build().unwrap();
+        let w = Weights::from_unit_speeds(&g);
+        let pr = priorities(&g, &w);
+        assert!(pr[long.index()] > pr[short.index()]);
+        assert_eq!(pr[s.index()], pr[long.index()]);
+        assert_eq!(pr[t.index()], pr[long.index()]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Weighted DAG application model for streaming workflows.
+//!
+//! This crate implements the application-side framework of
+//! *"Optimizing the Latency of Streaming Applications under Throughput and
+//! Reliability Constraints"* (Benoit, Hakem, Robert, 2009), §2:
+//!
+//! * [`TaskGraph`] — a weighted directed acyclic graph `G = (V, E)` whose
+//!   nodes carry execution times `E(t)` and whose edges carry the data volume
+//!   transferred between tasks over FIFO channels,
+//! * [`levels`] — top levels `tℓ(t)`, bottom levels `bℓ(t)` and the task
+//!   priorities `tℓ(t) + bℓ(t)` used by the scheduling heuristics,
+//! * [`width()`](width()) — the exact graph width `ω` (maximum antichain), computed via
+//!   Dilworth's theorem and Hopcroft–Karp matching,
+//! * [`generate`] — workload generators: the random layered DAGs used by the
+//!   paper's evaluation, series-parallel graphs, and the worked examples of
+//!   the paper's §1 (Fig. 1) and §4.3 (Fig. 2).
+//!
+//! Graphs are immutable after construction through [`GraphBuilder`] except
+//! for uniform weight re-scaling, which the experiment harness uses to pin
+//! the granularity `g(G, P)` of an instance (see `ltf-experiments`).
+
+pub mod dot;
+pub mod generate;
+pub mod graph;
+pub mod levels;
+pub mod traversal;
+pub mod width;
+
+mod ids;
+
+pub use graph::{Edge, GraphBuilder, GraphError, TaskGraph};
+pub use ids::{EdgeId, TaskId};
+pub use levels::{bottom_levels, critical_path_length, priorities, top_levels, Weights};
+pub use width::width;

@@ -1,0 +1,181 @@
+//! Traversal utilities: ready-set tracking for list scheduling.
+//!
+//! The LTF/R-LTF algorithms maintain a list `α` of *ready* tasks — tasks
+//! whose predecessors have all been scheduled (§2). [`ReadyTracker`]
+//! encapsulates the in-degree bookkeeping; bottom-up traversals simply run a
+//! tracker over [`crate::TaskGraph::reversed`].
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// Incremental ready-set tracker over a DAG.
+///
+/// Starts with all entry tasks ready; [`ReadyTracker::complete`] marks a
+/// task scheduled and returns the successors that became ready.
+#[derive(Debug, Clone)]
+pub struct ReadyTracker {
+    remaining_preds: Vec<u32>,
+    done: Vec<bool>,
+    n_done: usize,
+}
+
+impl ReadyTracker {
+    /// Create a tracker; the initial ready set is `g.entries()`.
+    pub fn new(g: &TaskGraph) -> Self {
+        let remaining_preds = g.tasks().map(|t| g.in_degree(t) as u32).collect();
+        Self {
+            remaining_preds,
+            done: vec![false; g.num_tasks()],
+            n_done: 0,
+        }
+    }
+
+    /// Tasks that are ready right now (unscheduled, all preds scheduled).
+    /// `O(v)`; prefer consuming the return value of [`ReadyTracker::complete`]
+    /// in hot loops.
+    pub fn ready_tasks(&self, g: &TaskGraph) -> Vec<TaskId> {
+        g.tasks()
+            .filter(|t| !self.done[t.index()] && self.remaining_preds[t.index()] == 0)
+            .collect()
+    }
+
+    /// `true` if `t` is ready (unscheduled with no unscheduled predecessor).
+    pub fn is_ready(&self, t: TaskId) -> bool {
+        !self.done[t.index()] && self.remaining_preds[t.index()] == 0
+    }
+
+    /// `true` if `t` has been completed.
+    pub fn is_done(&self, t: TaskId) -> bool {
+        self.done[t.index()]
+    }
+
+    /// Mark `t` scheduled; returns the successors that just became ready.
+    ///
+    /// # Panics
+    /// If `t` is not currently ready (double-scheduling or missing preds).
+    pub fn complete(&mut self, g: &TaskGraph, t: TaskId) -> Vec<TaskId> {
+        assert!(self.is_ready(t), "task {t} completed while not ready");
+        self.done[t.index()] = true;
+        self.n_done += 1;
+        let mut newly = Vec::new();
+        for s in g.succs(t) {
+            let r = &mut self.remaining_preds[s.index()];
+            *r -= 1;
+            if *r == 0 {
+                newly.push(s);
+            }
+        }
+        newly
+    }
+
+    /// Number of completed tasks.
+    pub fn num_done(&self) -> usize {
+        self.n_done
+    }
+
+    /// `true` when every task has been completed.
+    pub fn all_done(&self, g: &TaskGraph) -> bool {
+        self.n_done == g.num_tasks()
+    }
+}
+
+/// Ancestors of `t` (every task that can reach `t`), in topological order.
+pub fn ancestors(g: &TaskGraph, t: TaskId) -> Vec<TaskId> {
+    let mut mark = vec![false; g.num_tasks()];
+    mark[t.index()] = true;
+    for &u in g.topo_order().iter().rev() {
+        if g.succs(u).any(|s| mark[s.index()]) {
+            mark[u.index()] = true;
+        }
+    }
+    mark[t.index()] = false;
+    g.topo_order()
+        .iter()
+        .copied()
+        .filter(|u| mark[u.index()])
+        .collect()
+}
+
+/// Descendants of `t` (every task reachable from `t`), in topological order.
+pub fn descendants(g: &TaskGraph, t: TaskId) -> Vec<TaskId> {
+    let mut mark = vec![false; g.num_tasks()];
+    mark[t.index()] = true;
+    for &u in g.topo_order() {
+        if g.preds(u).any(|p| mark[p.index()]) {
+            mark[u.index()] = true;
+        }
+    }
+    mark[t.index()] = false;
+    g.topo_order()
+        .iter()
+        .copied()
+        .filter(|u| mark[u.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(1.0);
+        let t3 = b.add_task(1.0);
+        b.add_edge(t0, t1, 1.0);
+        b.add_edge(t0, t2, 1.0);
+        b.add_edge(t1, t3, 1.0);
+        b.add_edge(t2, t3, 1.0);
+        (b.build().unwrap(), [t0, t1, t2, t3])
+    }
+
+    #[test]
+    fn ready_progression() {
+        let (g, [t0, t1, t2, t3]) = diamond();
+        let mut rt = ReadyTracker::new(&g);
+        assert_eq!(rt.ready_tasks(&g), vec![t0]);
+        assert!(!rt.is_ready(t3));
+
+        let newly = rt.complete(&g, t0);
+        assert_eq!(newly, vec![t1, t2]);
+        assert!(rt.is_ready(t1) && rt.is_ready(t2));
+
+        assert_eq!(rt.complete(&g, t1), vec![]);
+        assert_eq!(rt.complete(&g, t2), vec![t3]);
+        assert_eq!(rt.complete(&g, t3), vec![]);
+        assert!(rt.all_done(&g));
+        assert_eq!(rt.num_done(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn premature_complete_panics() {
+        let (g, [_, _, _, t3]) = diamond();
+        let mut rt = ReadyTracker::new(&g);
+        rt.complete(&g, t3);
+    }
+
+    #[test]
+    fn reverse_traversal_via_reversed_graph() {
+        let (g, [t0, t1, t2, t3]) = diamond();
+        let r = g.reversed();
+        let mut rt = ReadyTracker::new(&r);
+        assert_eq!(rt.ready_tasks(&r), vec![t3]);
+        let newly = rt.complete(&r, t3);
+        assert_eq!(newly, vec![t1, t2]);
+        rt.complete(&r, t1);
+        assert_eq!(rt.complete(&r, t2), vec![t0]);
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let (g, [t0, t1, t2, t3]) = diamond();
+        assert_eq!(ancestors(&g, t3), vec![t0, t1, t2]);
+        assert_eq!(descendants(&g, t0), vec![t1, t2, t3]);
+        assert_eq!(ancestors(&g, t0), vec![]);
+        assert_eq!(descendants(&g, t3), vec![]);
+        assert_eq!(descendants(&g, t1), vec![t3]);
+    }
+}

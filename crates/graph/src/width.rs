@@ -1,0 +1,246 @@
+//! Exact graph width `ω`: the maximum number of pairwise-independent tasks.
+//!
+//! §2 of the paper bounds the ready-list size by the width `ω` of the task
+//! graph (the maximum antichain). By Dilworth's theorem the maximum
+//! antichain of a DAG equals `v − M`, where `M` is a maximum matching in the
+//! bipartite *reachability* graph (left copy of every task, right copy of
+//! every task, an arc `i → j` whenever `j` is reachable from `i`). We build
+//! the transitive closure with bitsets and run Hopcroft–Karp.
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// Transitive closure as row bitsets: bit `j` of row `i` is set iff `j` is
+/// reachable from `i` by a non-empty path.
+pub fn transitive_closure(g: &TaskGraph) -> Vec<Vec<u64>> {
+    let v = g.num_tasks();
+    let words = v.div_ceil(64);
+    let mut reach = vec![vec![0u64; words]; v];
+    for &t in g.topo_order().iter().rev() {
+        // Collect successors first to avoid borrowing `reach[t]` while
+        // reading `reach[s]`.
+        let ti = t.index();
+        for s in g.succs(t).collect::<Vec<_>>() {
+            let si = s.index();
+            reach[ti][si / 64] |= 1u64 << (si % 64);
+            // reach[t] |= reach[s]
+            let (a, b) = if ti < si {
+                let (lo, hi) = reach.split_at_mut(si);
+                (&mut lo[ti], &hi[0])
+            } else {
+                let (lo, hi) = reach.split_at_mut(ti);
+                (&mut hi[0], &lo[si])
+            };
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x |= *y;
+            }
+        }
+    }
+    reach
+}
+
+/// Maximum-cardinality matching in a bipartite graph given as adjacency
+/// bitset rows (`adj[l]` = bitset of right vertices adjacent to left `l`).
+/// Returns the matching size. Hopcroft–Karp, `O(E √V)`.
+fn hopcroft_karp(adj: &[Vec<u64>], n_right: usize) -> usize {
+    const NIL: u32 = u32::MAX;
+    let n_left = adj.len();
+    let mut match_l = vec![NIL; n_left];
+    let mut match_r = vec![NIL; n_right];
+    let mut dist = vec![u32::MAX; n_left];
+    let mut queue = std::collections::VecDeque::new();
+    let mut matching = 0usize;
+
+    let right_iter = |row: &[u64]| {
+        let row = row.to_vec();
+        (0..n_right).filter(move |&j| row[j / 64] >> (j % 64) & 1 == 1)
+    };
+
+    loop {
+        // BFS phase: layer free left vertices.
+        queue.clear();
+        for l in 0..n_left {
+            if match_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l as u32);
+            } else {
+                dist[l] = u32::MAX;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(l) = queue.pop_front() {
+            for r in right_iter(&adj[l as usize]) {
+                let ml = match_r[r];
+                if ml == NIL {
+                    found_augmenting = true;
+                } else if dist[ml as usize] == u32::MAX {
+                    dist[ml as usize] = dist[l as usize] + 1;
+                    queue.push_back(ml);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: find vertex-disjoint augmenting paths.
+        fn try_augment(
+            l: usize,
+            adj: &[Vec<u64>],
+            n_right: usize,
+            match_l: &mut [u32],
+            match_r: &mut [u32],
+            dist: &mut [u32],
+        ) -> bool {
+            for r in 0..n_right {
+                if adj[l][r / 64] >> (r % 64) & 1 == 0 {
+                    continue;
+                }
+                let ml = match_r[r];
+                if ml == u32::MAX
+                    || (dist[ml as usize] == dist[l].wrapping_add(1)
+                        && try_augment(ml as usize, adj, n_right, match_l, match_r, dist))
+                {
+                    match_l[l] = r as u32;
+                    match_r[r] = l as u32;
+                    return true;
+                }
+            }
+            dist[l] = u32::MAX;
+            false
+        }
+        for l in 0..n_left {
+            if match_l[l] == NIL
+                && try_augment(l, adj, n_right, &mut match_l, &mut match_r, &mut dist)
+            {
+                matching += 1;
+            }
+        }
+    }
+    matching
+}
+
+/// Exact width `ω` of the DAG: the size of a maximum antichain
+/// (largest set of pairwise-independent tasks).
+///
+/// ```
+/// use ltf_graph::{GraphBuilder, width};
+/// let mut b = GraphBuilder::new();
+/// let s = b.add_task(1.0);
+/// let a = b.add_task(1.0);
+/// let b2 = b.add_task(1.0);
+/// let t = b.add_task(1.0);
+/// b.add_edge(s, a, 1.0);
+/// b.add_edge(s, b2, 1.0);
+/// b.add_edge(a, t, 1.0);
+/// b.add_edge(b2, t, 1.0);
+/// assert_eq!(width(&b.build().unwrap()), 2);
+/// ```
+pub fn width(g: &TaskGraph) -> usize {
+    let v = g.num_tasks();
+    let closure = transitive_closure(g);
+    let matching = hopcroft_karp(&closure, v);
+    v - matching
+}
+
+/// `true` iff `a` and `b` are independent (neither reaches the other).
+pub fn independent(closure: &[Vec<u64>], a: TaskId, b: TaskId) -> bool {
+    let get = |i: usize, j: usize| closure[i][j / 64] >> (j % 64) & 1 == 1;
+    a != b && !get(a.index(), b.index()) && !get(b.index(), a.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let ts: Vec<_> = (0..n).map(|_| b.add_task(1.0)).collect();
+        for w in ts.windows(2) {
+            b.add_edge(w[0], w[1], 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    fn independent_set(n: usize) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_task(1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_width_is_one() {
+        assert_eq!(width(&chain(1)), 1);
+        assert_eq!(width(&chain(7)), 1);
+    }
+
+    #[test]
+    fn antichain_width_is_v() {
+        assert_eq!(width(&independent_set(5)), 5);
+    }
+
+    #[test]
+    fn fork_join_width() {
+        // s -> {a1..a4} -> t : width 4.
+        let mut b = GraphBuilder::new();
+        let s = b.add_task(1.0);
+        let mids: Vec<_> = (0..4).map(|_| b.add_task(1.0)).collect();
+        let t = b.add_task(1.0);
+        for &m in &mids {
+            b.add_edge(s, m, 1.0);
+            b.add_edge(m, t, 1.0);
+        }
+        assert_eq!(width(&b.build().unwrap()), 4);
+    }
+
+    #[test]
+    fn two_chains_width_two() {
+        // Two disjoint chains of length 3.
+        let mut b = GraphBuilder::new();
+        let a: Vec<_> = (0..3).map(|_| b.add_task(1.0)).collect();
+        let c: Vec<_> = (0..3).map(|_| b.add_task(1.0)).collect();
+        for w in a.windows(2) {
+            b.add_edge(w[0], w[1], 1.0);
+        }
+        for w in c.windows(2) {
+            b.add_edge(w[0], w[1], 1.0);
+        }
+        assert_eq!(width(&b.build().unwrap()), 2);
+    }
+
+    #[test]
+    fn closure_and_independence() {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(1.0);
+        b.add_edge(t0, t1, 1.0);
+        b.add_edge(t1, t2, 1.0);
+        let g = b.build().unwrap();
+        let c = transitive_closure(&g);
+        // t2 reachable from t0 transitively.
+        assert!(c[0][0] >> 2 & 1 == 1);
+        assert!(!independent(&c, TaskId(0), TaskId(2)));
+        assert!(!independent(&c, TaskId(0), TaskId(0)));
+    }
+
+    #[test]
+    fn layered_grid_width() {
+        // 3 layers x 3 tasks, fully connected between consecutive layers:
+        // width is the layer size.
+        let mut b = GraphBuilder::new();
+        let layers: Vec<Vec<_>> = (0..3)
+            .map(|_| (0..3).map(|_| b.add_task(1.0)).collect())
+            .collect();
+        for k in 0..2 {
+            for &x in &layers[k] {
+                for &y in &layers[k + 1] {
+                    b.add_edge(x, y, 1.0);
+                }
+            }
+        }
+        assert_eq!(width(&b.build().unwrap()), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests on the DAG model.
+
+use ltf_graph::generate::{layered, series_parallel, LayeredConfig, SeriesParallelConfig};
+use ltf_graph::levels::{bottom_levels, depth, layering, top_levels};
+use ltf_graph::traversal::{ancestors, descendants, ReadyTracker};
+use ltf_graph::width::{independent, transitive_closure};
+use ltf_graph::{width, GraphBuilder, TaskGraph, TaskId, Weights};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: random DAG by sampling forward edges over `0..n` (edges only
+/// from lower to higher id, hence acyclic).
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let ids: Vec<TaskId> = (0..n).map(|_| b.add_task(rng.gen_range(0.5..4.0))).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.25) {
+                    b.add_edge(ids[i], ids[j], rng.gen_range(0.1..3.0));
+                }
+            }
+        }
+        b.build().expect("forward edges are acyclic")
+    })
+}
+
+/// Strategy: generator-made graphs (layered and series-parallel).
+fn arb_generated() -> impl Strategy<Value = TaskGraph> {
+    (4usize..60, any::<u64>(), any::<bool>()).prop_map(|(n, seed, sp)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if sp {
+            series_parallel(
+                &SeriesParallelConfig {
+                    tasks: n.max(2),
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        } else {
+            layered(&LayeredConfig::with_tasks(n), &mut rng)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_order_is_consistent(g in arb_dag()) {
+        let mut seen = vec![false; g.num_tasks()];
+        for &t in g.topo_order() {
+            for p in g.preds(t) {
+                prop_assert!(seen[p.index()], "pred after successor");
+            }
+            seen[t.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn levels_grow_along_edges(g in arb_dag()) {
+        let w = Weights::from_unit_speeds(&g);
+        let tl = top_levels(&g, &w);
+        let bl = bottom_levels(&g, &w);
+        for eid in g.edge_ids() {
+            let e = g.edge(eid);
+            // tℓ(dst) ≥ tℓ(src) + E(src) + vol(e).
+            prop_assert!(tl[e.dst.index()] + 1e-9 >=
+                tl[e.src.index()] + g.exec(e.src) + e.volume);
+            // bℓ(src) ≥ vol(e) + bℓ(dst) + own exec − …
+            prop_assert!(bl[e.src.index()] + 1e-9 >=
+                g.exec(e.src) + e.volume + bl[e.dst.index()]);
+        }
+        // Bottom level of any task at least its own execution time.
+        for t in g.tasks() {
+            prop_assert!(bl[t.index()] + 1e-12 >= g.exec(t));
+        }
+    }
+
+    #[test]
+    fn reversal_is_involutive(g in arb_generated()) {
+        let rr = g.reversed().reversed();
+        prop_assert_eq!(rr.num_tasks(), g.num_tasks());
+        prop_assert_eq!(rr.num_edges(), g.num_edges());
+        for eid in g.edge_ids() {
+            prop_assert_eq!(rr.edge(eid).src, g.edge(eid).src);
+            prop_assert_eq!(rr.edge(eid).dst, g.edge(eid).dst);
+        }
+        // Levels swap roles under reversal.
+        let w = Weights::from_unit_speeds(&g);
+        let rev = g.reversed();
+        let wr = Weights::from_unit_speeds(&rev);
+        let bl = bottom_levels(&g, &w);
+        let tl_rev = top_levels(&rev, &wr);
+        for t in g.tasks() {
+            // bℓ(t) = tℓ_rev(t) + E(t).
+            prop_assert!((bl[t.index()] - tl_rev[t.index()] - g.exec(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn width_bounds_and_witness(g in arb_dag()) {
+        let w = width(&g);
+        prop_assert!(w >= 1 && w <= g.num_tasks());
+        // Width at least the largest layer (layers are antichains... layers
+        // from longest-path layering need not be antichains in general, but
+        // entry set is one).
+        let entries = g.entries().len();
+        prop_assert!(w >= entries.min(g.num_tasks()));
+        // Chains bound: width 1 implies a total order.
+        if w == 1 {
+            let c = transitive_closure(&g);
+            for a in g.tasks() {
+                for b in g.tasks() {
+                    if a != b {
+                        prop_assert!(!independent(&c, a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ready_tracker_consumes_topologically(g in arb_generated()) {
+        let mut rt = ReadyTracker::new(&g);
+        let order = g.topo_order().to_vec();
+        for &t in &order {
+            prop_assert!(rt.is_ready(t));
+            rt.complete(&g, t);
+        }
+        prop_assert!(rt.all_done(&g));
+    }
+
+    #[test]
+    fn ancestors_descendants_are_dual(g in arb_dag()) {
+        for t in g.tasks() {
+            for a in ancestors(&g, t) {
+                prop_assert!(descendants(&g, a).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_consistent_with_layering(g in arb_generated()) {
+        let l = layering(&g);
+        let d = depth(&g);
+        prop_assert_eq!(d, l.iter().max().unwrap() + 1);
+    }
+
+    #[test]
+    fn scaling_preserves_structure(g in arb_generated(), f in 0.1f64..10.0) {
+        let mut scaled = g.clone();
+        scaled.scale_exec_times(f);
+        scaled.scale_volumes(f);
+        prop_assert!((scaled.total_exec() - g.total_exec() * f).abs()
+            < 1e-6 * (1.0 + scaled.total_exec()));
+        prop_assert!((scaled.total_volume() - g.total_volume() * f).abs()
+            < 1e-6 * (1.0 + scaled.total_volume()));
+        prop_assert_eq!(scaled.topo_order(), g.topo_order());
+    }
+}

@@ -1,0 +1,130 @@
+//! Random platform builders for experiments.
+
+use crate::platform::Platform;
+use rand::Rng;
+
+/// Configuration for random heterogeneous platforms, following the paper's
+/// §5: link unit delays drawn uniformly from `[0.5, 1]`; processor speeds
+/// (not specified by the paper) default to the same heterogeneity band.
+#[derive(Debug, Clone)]
+pub struct HeterogeneousConfig {
+    /// Number of processors (the paper uses `m = 20`).
+    pub procs: usize,
+    /// Processor speeds drawn uniformly from this range.
+    pub speed_range: (f64, f64),
+    /// Link unit delays drawn uniformly from this range (paper: `[0.5, 1]`).
+    pub delay_range: (f64, f64),
+    /// When `true`, `d_kh = d_hk` (symmetric links). The one-port model is
+    /// bidirectional, so symmetric delays are the natural default.
+    pub symmetric: bool,
+}
+
+impl Default for HeterogeneousConfig {
+    fn default() -> Self {
+        Self {
+            procs: 20,
+            speed_range: (0.5, 1.0),
+            delay_range: (0.5, 1.0),
+            symmetric: true,
+        }
+    }
+}
+
+impl HeterogeneousConfig {
+    /// Build a random platform from this configuration.
+    pub fn build<R: Rng>(&self, rng: &mut R) -> Platform {
+        let m = self.procs;
+        assert!(m >= 1);
+        let sample = |rng: &mut R, (lo, hi): (f64, f64)| -> f64 {
+            assert!(lo <= hi && lo > 0.0, "invalid range");
+            if lo == hi {
+                lo
+            } else {
+                rng.gen_range(lo..hi)
+            }
+        };
+        let speeds: Vec<f64> = (0..m).map(|_| sample(rng, self.speed_range)).collect();
+        let mut delays = vec![0.0; m * m];
+        for k in 0..m {
+            for h in 0..m {
+                if k == h {
+                    continue;
+                }
+                if self.symmetric && k > h {
+                    delays[k * m + h] = delays[h * m + k];
+                } else {
+                    delays[k * m + h] = sample(rng, self.delay_range);
+                }
+            }
+        }
+        Platform::from_parts(speeds, delays)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::ProcId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respected() {
+        let cfg = HeterogeneousConfig::default();
+        let p = cfg.build(&mut StdRng::seed_from_u64(42));
+        assert_eq!(p.num_procs(), 20);
+        for u in p.procs() {
+            assert!((0.5..1.0).contains(&p.speed(u)));
+        }
+        for k in p.procs() {
+            for h in p.procs() {
+                if k != h {
+                    assert!((0.5..1.0).contains(&p.unit_delay(k, h)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_delays() {
+        let cfg = HeterogeneousConfig {
+            procs: 6,
+            ..Default::default()
+        };
+        let p = cfg.build(&mut StdRng::seed_from_u64(1));
+        for k in p.procs() {
+            for h in p.procs() {
+                assert_eq!(p.unit_delay(k, h), p.unit_delay(h, k));
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_allowed() {
+        let cfg = HeterogeneousConfig {
+            procs: 8,
+            symmetric: false,
+            ..Default::default()
+        };
+        let p = cfg.build(&mut StdRng::seed_from_u64(2));
+        let asym = p.procs().any(|k| {
+            p.procs()
+                .any(|h| k != h && p.unit_delay(k, h) != p.unit_delay(h, k))
+        });
+        assert!(asym, "expected at least one asymmetric pair");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = HeterogeneousConfig::default();
+        let p1 = cfg.build(&mut StdRng::seed_from_u64(7));
+        let p2 = cfg.build(&mut StdRng::seed_from_u64(7));
+        for u in p1.procs() {
+            assert_eq!(p1.speed(u), p2.speed(u));
+        }
+        assert_eq!(
+            p1.unit_delay(ProcId(0), ProcId(1)),
+            p2.unit_delay(ProcId(0), ProcId(1))
+        );
+    }
+}

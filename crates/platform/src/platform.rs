@@ -1,0 +1,334 @@
+//! The platform structure.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a processor, `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// The processor id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // 1-based in display to match the paper's P1..Pm convention.
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// A fully-interconnected heterogeneous platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    speeds: Vec<f64>,
+    /// Row-major `m × m` unit message delays; `delay[u][u] = 0`.
+    delays: Vec<f64>,
+}
+
+impl Platform {
+    /// Build from explicit speeds and a unit-delay matrix (row-major,
+    /// `delays[k*m + h]` = unit delay from `P_k` to `P_h`).
+    ///
+    /// # Panics
+    /// If sizes mismatch, any speed is ≤ 0, any delay is negative, or a
+    /// diagonal delay is non-zero.
+    pub fn from_parts(speeds: Vec<f64>, delays: Vec<f64>) -> Self {
+        let m = speeds.len();
+        assert!(m > 0, "platform needs at least one processor");
+        assert!(m <= u16::MAX as usize, "too many processors");
+        assert_eq!(delays.len(), m * m, "delay matrix size");
+        for (i, &s) in speeds.iter().enumerate() {
+            assert!(s.is_finite() && s > 0.0, "speed of P{} is {s}", i + 1);
+        }
+        for k in 0..m {
+            for h in 0..m {
+                let d = delays[k * m + h];
+                assert!(d.is_finite() && d >= 0.0, "delay P{}->P{} is {d}", k + 1, h + 1);
+                if k == h {
+                    assert!(d == 0.0, "self-delay of P{} must be zero", k + 1);
+                }
+            }
+        }
+        Self { speeds, delays }
+    }
+
+    /// Fully homogeneous platform: `m` processors of speed `speed`, all
+    /// links with unit delay `delay`.
+    pub fn homogeneous(m: usize, speed: f64, delay: f64) -> Self {
+        let mut delays = vec![delay; m * m];
+        for u in 0..m {
+            delays[u * m + u] = 0.0;
+        }
+        Self::from_parts(vec![speed; m], delays)
+    }
+
+    /// The 4-processor platform of the paper's Fig. 1 example:
+    /// `s1 = s3 = 1.5`, `s2 = s4 = 1`, all links unit bandwidth.
+    pub fn fig1_platform() -> Self {
+        let speeds = vec![1.5, 1.0, 1.5, 1.0];
+        let m = 4;
+        let mut delays = vec![1.0; m * m];
+        for u in 0..m {
+            delays[u * m + u] = 0.0;
+        }
+        Self::from_parts(speeds, delays)
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Iterator over processor ids `P1..Pm`.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.num_procs() as u16).map(ProcId)
+    }
+
+    /// Speed `s_u` of processor `u`.
+    #[inline]
+    pub fn speed(&self, u: ProcId) -> f64 {
+        self.speeds[u.index()]
+    }
+
+    /// Unit message delay of link `l_kh` (0 when `k == h`).
+    #[inline]
+    pub fn unit_delay(&self, k: ProcId, h: ProcId) -> f64 {
+        self.delays[k.index() * self.num_procs() + h.index()]
+    }
+
+    /// Execution time of a task with reference cost `exec` on `u`:
+    /// `exec / s_u`.
+    #[inline]
+    pub fn exec_time(&self, exec: f64, u: ProcId) -> f64 {
+        exec / self.speeds[u.index()]
+    }
+
+    /// Communication time for `volume` data units from `k` to `h`
+    /// (zero when co-located).
+    #[inline]
+    pub fn comm_time(&self, volume: f64, k: ProcId, h: ProcId) -> f64 {
+        volume * self.unit_delay(k, h)
+    }
+
+    /// The slowest execution time of a reference cost over all processors:
+    /// `exec / min_u s_u`. Used by the granularity `g(G, P)`.
+    pub fn slowest_exec_time(&self, exec: f64) -> f64 {
+        exec / self.min_speed()
+    }
+
+    /// The slowest communication time of a volume over all distinct pairs:
+    /// `volume · max_{k≠h} d_kh`.
+    pub fn slowest_comm_time(&self, volume: f64) -> f64 {
+        volume * self.max_delay()
+    }
+
+    /// Minimum processor speed.
+    pub fn min_speed(&self) -> f64 {
+        self.speeds.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum processor speed.
+    pub fn max_speed(&self) -> f64 {
+        self.speeds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean of `1/s_u` (the HEFT-style expected slowdown of a unit task).
+    pub fn mean_inv_speed(&self) -> f64 {
+        self.speeds.iter().map(|s| 1.0 / s).sum::<f64>() / self.num_procs() as f64
+    }
+
+    /// Maximum unit delay over distinct processor pairs (0 for `m = 1`).
+    pub fn max_delay(&self) -> f64 {
+        let m = self.num_procs();
+        let mut best = 0.0f64;
+        for k in 0..m {
+            for h in 0..m {
+                if k != h {
+                    best = best.max(self.delays[k * m + h]);
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean unit delay over distinct processor pairs (0 for `m = 1`).
+    pub fn mean_delay(&self) -> f64 {
+        let m = self.num_procs();
+        if m < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for k in 0..m {
+            for h in 0..m {
+                if k != h {
+                    sum += self.delays[k * m + h];
+                }
+            }
+        }
+        sum / (m * (m - 1)) as f64
+    }
+
+    /// The fastest processor id (ties broken by lowest id).
+    pub fn fastest_proc(&self) -> ProcId {
+        let mut best = ProcId(0);
+        for u in self.procs() {
+            if self.speed(u) > self.speed(best) {
+                best = u;
+            }
+        }
+        best
+    }
+
+    /// Processor ids sorted by decreasing speed (stable for equal speeds).
+    pub fn procs_by_speed_desc(&self) -> Vec<ProcId> {
+        let mut ids: Vec<ProcId> = self.procs().collect();
+        ids.sort_by(|a, b| {
+            self.speed(*b)
+                .partial_cmp(&self.speed(*a))
+                .expect("speeds are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        ids
+    }
+
+    /// A sub-platform keeping only the first `m` processors (used by
+    /// processor-count searches).
+    pub fn prefix(&self, m: usize) -> Platform {
+        assert!(m >= 1 && m <= self.num_procs());
+        let old_m = self.num_procs();
+        let speeds = self.speeds[..m].to_vec();
+        let mut delays = vec![0.0; m * m];
+        for k in 0..m {
+            for h in 0..m {
+                delays[k * m + h] = self.delays[k * old_m + h];
+            }
+        }
+        Platform::from_parts(speeds, delays)
+    }
+
+    /// HEFT-style averaged weights for priority computation: node weight
+    /// `E(t) · mean(1/s)`, edge weight `vol · mean(delay)`.
+    pub fn average_weights(&self, g: &AverageWeightsInput<'_>) -> AverageWeights {
+        let inv = self.mean_inv_speed();
+        let del = self.mean_delay();
+        AverageWeights {
+            node: g.exec.iter().map(|e| e * inv).collect(),
+            edge: g.volume.iter().map(|v| v * del).collect(),
+        }
+    }
+}
+
+/// Borrowed task/edge reference costs for [`Platform::average_weights`].
+pub struct AverageWeightsInput<'a> {
+    /// Per-task reference execution costs.
+    pub exec: &'a [f64],
+    /// Per-edge data volumes.
+    pub volume: &'a [f64],
+}
+
+/// Platform-averaged node/edge weights (HEFT-style).
+#[derive(Debug, Clone)]
+pub struct AverageWeights {
+    /// `E(t) · mean_u(1/s_u)` per task.
+    pub node: Vec<f64>,
+    /// `vol(e) · mean_{k≠h}(d_kh)` per edge.
+    pub edge: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_basics() {
+        let p = Platform::homogeneous(4, 2.0, 0.5);
+        assert_eq!(p.num_procs(), 4);
+        assert_eq!(p.speed(ProcId(2)), 2.0);
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(1)), 0.5);
+        assert_eq!(p.unit_delay(ProcId(3), ProcId(3)), 0.0);
+        assert_eq!(p.exec_time(10.0, ProcId(0)), 5.0);
+        assert_eq!(p.comm_time(10.0, ProcId(0), ProcId(1)), 5.0);
+        assert_eq!(p.comm_time(10.0, ProcId(1), ProcId(1)), 0.0);
+    }
+
+    #[test]
+    fn fig1_platform_shape() {
+        let p = Platform::fig1_platform();
+        assert_eq!(p.num_procs(), 4);
+        assert_eq!(p.speed(ProcId(0)), 1.5);
+        assert_eq!(p.speed(ProcId(1)), 1.0);
+        assert_eq!(p.min_speed(), 1.0);
+        assert_eq!(p.max_speed(), 1.5);
+        assert_eq!(p.fastest_proc(), ProcId(0));
+        // Unit bandwidth everywhere: a volume-2 message takes 2 time units.
+        assert_eq!(p.comm_time(2.0, ProcId(0), ProcId(3)), 2.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = Platform::from_parts(
+            vec![1.0, 2.0],
+            vec![0.0, 0.25, 0.75, 0.0],
+        );
+        assert_eq!(p.min_speed(), 1.0);
+        assert_eq!(p.mean_inv_speed(), 0.75);
+        assert_eq!(p.max_delay(), 0.75);
+        assert_eq!(p.mean_delay(), 0.5);
+        assert_eq!(p.slowest_exec_time(4.0), 4.0);
+        assert_eq!(p.slowest_comm_time(4.0), 3.0);
+    }
+
+    #[test]
+    fn sorted_procs_and_prefix() {
+        let m = 3;
+        let mut delays = vec![0.8; m * m];
+        for u in 0..m {
+            delays[u * m + u] = 0.0;
+        }
+        let p = Platform::from_parts(vec![1.0, 3.0, 2.0], delays);
+        assert_eq!(
+            p.procs_by_speed_desc(),
+            vec![ProcId(1), ProcId(2), ProcId(0)]
+        );
+        let q = p.prefix(2);
+        assert_eq!(q.num_procs(), 2);
+        assert_eq!(q.speed(ProcId(1)), 3.0);
+        assert_eq!(q.unit_delay(ProcId(0), ProcId(1)), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_rejected() {
+        Platform::from_parts(vec![0.0], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-delay")]
+    fn nonzero_self_delay_rejected() {
+        Platform::from_parts(vec![1.0, 1.0], vec![0.1, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn average_weights() {
+        let p = Platform::from_parts(vec![1.0, 2.0], vec![0.0, 0.5, 0.5, 0.0]);
+        let exec = [10.0, 20.0];
+        let volume = [4.0];
+        let w = p.average_weights(&AverageWeightsInput {
+            exec: &exec,
+            volume: &volume,
+        });
+        assert_eq!(w.node, vec![7.5, 15.0]);
+        assert_eq!(w.edge, vec![2.0]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProcId(0).to_string(), "P1");
+        assert_eq!(ProcId(19).to_string(), "P20");
+    }
+}

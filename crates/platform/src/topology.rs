@@ -1,0 +1,190 @@
+//! Platforms derived from physical topologies.
+//!
+//! Paper §2: "we do not need physical links between processor pairs, we may
+//! have a switch, or even a path composed of several physical links to
+//! interconnect `P_k` and `P_h`; in the latter case we would retain the
+//! bandwidth of the slowest link in the path for the bandwidth of `l_kh`."
+//!
+//! [`Topology`] holds the physical links; [`Topology::into_platform`]
+//! derives the fully-connected logical platform by routing every pair along
+//! its *bottleneck-optimal* path — the path minimizing the maximum unit
+//! delay (equivalently, maximizing the slowest link's bandwidth), computed
+//! with a Dijkstra variant under the minimax metric.
+
+use crate::platform::Platform;
+
+/// A physical interconnect: undirected links with unit message delays.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    speeds: Vec<f64>,
+    /// `(a, b, unit_delay)` undirected physical links.
+    links: Vec<(usize, usize, f64)>,
+}
+
+impl Topology {
+    /// Start a topology over `speeds.len()` processors.
+    pub fn new(speeds: Vec<f64>) -> Self {
+        assert!(!speeds.is_empty());
+        Self {
+            speeds,
+            links: Vec::new(),
+        }
+    }
+
+    /// Add an undirected physical link with the given unit delay
+    /// (`= 1/bandwidth`).
+    ///
+    /// # Panics
+    /// On out-of-range endpoints, self-links, or non-positive delay.
+    pub fn link(mut self, a: usize, b: usize, unit_delay: f64) -> Self {
+        let m = self.speeds.len();
+        assert!(a < m && b < m && a != b, "bad link endpoints");
+        assert!(unit_delay.is_finite() && unit_delay > 0.0, "bad delay");
+        self.links.push((a, b, unit_delay));
+        self
+    }
+
+    /// Common shape: a linear chain `P1 - P2 - … - Pm` with uniform delay.
+    pub fn chain(speeds: Vec<f64>, unit_delay: f64) -> Self {
+        let m = speeds.len();
+        let mut t = Self::new(speeds);
+        for i in 0..m.saturating_sub(1) {
+            t = t.link(i, i + 1, unit_delay);
+        }
+        t
+    }
+
+    /// Common shape: a star around a switch-like hub processor 0 (delay per
+    /// spoke; the hub still computes).
+    pub fn star(speeds: Vec<f64>, unit_delay: f64) -> Self {
+        let m = speeds.len();
+        let mut t = Self::new(speeds);
+        for i in 1..m {
+            t = t.link(0, i, unit_delay);
+        }
+        t
+    }
+
+    /// Derive the fully-connected logical platform: the effective unit
+    /// delay between every pair is the minimax (bottleneck) path delay
+    /// through the physical links.
+    ///
+    /// Returns `None` when the topology is disconnected (some pair has no
+    /// path at all).
+    pub fn into_platform(self) -> Option<Platform> {
+        let m = self.speeds.len();
+        let mut adj = vec![Vec::<(usize, f64)>::new(); m];
+        for &(a, b, d) in &self.links {
+            adj[a].push((b, d));
+            adj[b].push((a, d));
+        }
+        let mut delays = vec![0.0f64; m * m];
+        for src in 0..m {
+            // Dijkstra under the minimax metric: dist[v] = the smallest
+            // achievable "largest link delay" on a path src → v.
+            let mut dist = vec![f64::INFINITY; m];
+            dist[src] = 0.0;
+            let mut done = vec![false; m];
+            for _ in 0..m {
+                let mut u = usize::MAX;
+                let mut best = f64::INFINITY;
+                for v in 0..m {
+                    if !done[v] && dist[v] < best {
+                        best = dist[v];
+                        u = v;
+                    }
+                }
+                if u == usize::MAX {
+                    break;
+                }
+                done[u] = true;
+                for &(v, d) in &adj[u] {
+                    let cand = dist[u].max(d);
+                    if cand < dist[v] {
+                        dist[v] = cand;
+                    }
+                }
+            }
+            for (v, &dv) in dist.iter().enumerate() {
+                if v != src {
+                    if !dv.is_finite() {
+                        return None;
+                    }
+                    delays[src * m + v] = dv;
+                }
+            }
+        }
+        Some(Platform::from_parts(self.speeds, delays))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::ProcId;
+
+    #[test]
+    fn chain_bottleneck_delays() {
+        // P1 -1- P2 -3- P3 -2- P4: effective delay = max along the chain.
+        let t = Topology::new(vec![1.0; 4])
+            .link(0, 1, 1.0)
+            .link(1, 2, 3.0)
+            .link(2, 3, 2.0);
+        let p = t.into_platform().expect("connected");
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(1)), 1.0);
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(2)), 3.0);
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(3)), 3.0);
+        assert_eq!(p.unit_delay(ProcId(2), ProcId(3)), 2.0);
+        // Symmetric.
+        assert_eq!(
+            p.unit_delay(ProcId(3), ProcId(0)),
+            p.unit_delay(ProcId(0), ProcId(3))
+        );
+    }
+
+    #[test]
+    fn redundant_path_takes_better_bottleneck() {
+        // Two routes 0 → 2: direct slow link (5) vs two fast hops (2, 2).
+        let t = Topology::new(vec![1.0; 3])
+            .link(0, 2, 5.0)
+            .link(0, 1, 2.0)
+            .link(1, 2, 2.0);
+        let p = t.into_platform().expect("connected");
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(2)), 2.0);
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let p = Topology::star(vec![1.0; 5], 0.5)
+            .into_platform()
+            .expect("connected");
+        // Spoke to spoke goes through the hub: bottleneck is still 0.5.
+        assert_eq!(p.unit_delay(ProcId(1), ProcId(4)), 0.5);
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(3)), 0.5);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let t = Topology::new(vec![1.0; 3]).link(0, 1, 1.0);
+        assert!(t.into_platform().is_none());
+    }
+
+    #[test]
+    fn chain_constructor() {
+        let p = Topology::chain(vec![1.0, 2.0, 1.0], 0.25)
+            .into_platform()
+            .expect("connected");
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(2)), 0.25);
+        assert_eq!(p.speed(ProcId(1)), 2.0);
+    }
+
+    #[test]
+    fn derived_platform_has_standard_invariants() {
+        let p = Topology::chain(vec![1.0; 4], 0.2)
+            .into_platform()
+            .expect("connected");
+        assert_eq!(p.num_procs(), 4);
+        assert_eq!(p.max_delay(), 0.2);
+        assert_eq!(p.unit_delay(ProcId(2), ProcId(2)), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Scheduled inter-processor communication events.
+
+use crate::replica::ReplicaId;
+use ltf_graph::EdgeId;
+use ltf_platform::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled message: replica `src` (on `src_proc`) sends the data of
+/// `edge` to replica `dst` (on `dst_proc`) during `[start, finish)` of the
+/// iteration timeline.
+///
+/// Under the bi-directional one-port model the event occupies the *send
+/// port* of `src_proc` and the *receive port* of `dst_proc` for its whole
+/// duration. Co-located transfers (`src_proc == dst_proc`) are free and are
+/// never materialized as events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommEvent {
+    /// The application edge whose data is carried.
+    pub edge: EdgeId,
+    /// Sending replica.
+    pub src: ReplicaId,
+    /// Receiving replica.
+    pub dst: ReplicaId,
+    /// Processor hosting `src`.
+    pub src_proc: ProcId,
+    /// Processor hosting `dst`.
+    pub dst_proc: ProcId,
+    /// Start time on the iteration timeline.
+    pub start: f64,
+    /// End time; `finish - start = volume · d_kh`.
+    pub finish: f64,
+}
+
+impl CommEvent {
+    /// Message duration.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::TaskId;
+
+    #[test]
+    fn duration() {
+        let ev = CommEvent {
+            edge: EdgeId(0),
+            src: ReplicaId::new(TaskId(0), 0),
+            dst: ReplicaId::new(TaskId(1), 1),
+            src_proc: ProcId(0),
+            dst_proc: ProcId(1),
+            start: 3.0,
+            finish: 7.5,
+        };
+        assert_eq!(ev.duration(), 4.5);
+    }
+}

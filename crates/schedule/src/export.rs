@@ -1,0 +1,225 @@
+//! Schedule export: ASCII Gantt charts and a JSON-friendly summary.
+
+use crate::schedule::Schedule;
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+use serde::Serialize;
+
+/// Render the within-iteration timeline as an ASCII Gantt chart, one row
+/// per processor (compute occupancy) plus send/receive port rows for
+/// processors with traffic. `width` columns cover `[0, horizon]`.
+pub fn gantt(g: &TaskGraph, p: &Platform, sched: &Schedule, width: usize) -> String {
+    use std::fmt::Write;
+    let width = width.max(10);
+    let horizon = sched
+        .replicas()
+        .map(|r| sched.finish(r))
+        .chain(sched.comm_events().iter().map(|e| e.finish))
+        .fold(sched.period(), f64::max);
+    let col = |t: f64| -> usize {
+        ((t / horizon) * width as f64).round().min(width as f64) as usize
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "iteration timeline, horizon {horizon:.2} (Δ = {:.2}); one column ≈ {:.2}",
+        sched.period(),
+        horizon / width as f64
+    )
+    .unwrap();
+    for u in p.procs() {
+        let reps = sched.replicas_on(u);
+        if reps.is_empty() {
+            continue;
+        }
+        let mut row = vec![b'.'; width];
+        for r in &reps {
+            let (a, b) = (col(sched.start(*r)), col(sched.finish(*r)));
+            let mark = (b'A' + (r.task.0 % 26) as u8) as char;
+            for cell in row.iter_mut().take(b.max(a + 1)).skip(a) {
+                *cell = mark as u8;
+            }
+        }
+        writeln!(out, "{u:>4} |{}|", String::from_utf8_lossy(&row)).unwrap();
+
+        let mut send = vec![b' '; width];
+        let mut recv = vec![b' '; width];
+        let mut any_send = false;
+        let mut any_recv = false;
+        for e in sched.comm_events() {
+            let (a, b) = (col(e.start), col(e.finish));
+            if e.src_proc == u {
+                any_send = true;
+                for cell in send.iter_mut().take(b.max(a + 1)).skip(a) {
+                    *cell = b'>';
+                }
+            }
+            if e.dst_proc == u {
+                any_recv = true;
+                for cell in recv.iter_mut().take(b.max(a + 1)).skip(a) {
+                    *cell = b'<';
+                }
+            }
+        }
+        if any_send {
+            writeln!(out, " out |{}|", String::from_utf8_lossy(&send)).unwrap();
+        }
+        if any_recv {
+            writeln!(out, "  in |{}|", String::from_utf8_lossy(&recv)).unwrap();
+        }
+    }
+    // Legend: letter -> task name (only for small graphs).
+    if g.num_tasks() <= 26 {
+        let names: Vec<String> = g
+            .tasks()
+            .map(|t| format!("{}={}", (b'A' + (t.0 % 26) as u8) as char, g.name(t)))
+            .collect();
+        writeln!(out, "legend: {}", names.join(" ")).unwrap();
+    }
+    out
+}
+
+/// Serializable schedule summary (placements, stages, loads, messages).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleSummary {
+    /// Fault-tolerance degree.
+    pub epsilon: u8,
+    /// Iteration period `Δ`.
+    pub period: f64,
+    /// Pipeline stage count `S`.
+    pub stages: u32,
+    /// Guaranteed latency `(2S − 1)·Δ`.
+    pub latency_upper_bound: f64,
+    /// Inter-processor messages per data set.
+    pub comm_count: usize,
+    /// Replica placements.
+    pub replicas: Vec<ReplicaSummary>,
+    /// Per-processor loads.
+    pub processors: Vec<ProcSummary>,
+}
+
+/// One replica's placement in the summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaSummary {
+    /// Task name.
+    pub task: String,
+    /// Copy number (1-based, as in the paper).
+    pub copy: u8,
+    /// Host processor (0-based index).
+    pub proc: u16,
+    /// Pipeline stage.
+    pub stage: u32,
+    /// Start/finish on the iteration timeline.
+    pub start: f64,
+    /// See `start`.
+    pub finish: f64,
+}
+
+/// One processor's loads in the summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProcSummary {
+    /// Processor index (0-based).
+    pub proc: u16,
+    /// Compute load `Σ_u`.
+    pub sigma: f64,
+    /// Input port load `C^I_u`.
+    pub cin: f64,
+    /// Output port load `C^O_u`.
+    pub cout: f64,
+}
+
+/// Build the serializable summary of a schedule.
+pub fn summarize(g: &TaskGraph, p: &Platform, sched: &Schedule) -> ScheduleSummary {
+    ScheduleSummary {
+        epsilon: sched.epsilon(),
+        period: sched.period(),
+        stages: sched.num_stages(),
+        latency_upper_bound: sched.latency_upper_bound(),
+        comm_count: sched.comm_count(),
+        replicas: sched
+            .replicas()
+            .map(|r| ReplicaSummary {
+                task: g.name(r.task).to_string(),
+                copy: r.copy + 1,
+                proc: sched.proc(r).0,
+                stage: sched.stage(r),
+                start: sched.start(r),
+                finish: sched.finish(r),
+            })
+            .collect(),
+        processors: p
+            .procs()
+            .map(|u| ProcSummary {
+                proc: u.0,
+                sigma: sched.sigma(u),
+                cin: sched.cin(u),
+                cout: sched.cout(u),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::SourceChoice;
+    use crate::schedule::ScheduleData;
+    use crate::CommEvent;
+    use crate::ReplicaId;
+    use ltf_graph::GraphBuilder;
+    use ltf_platform::ProcId;
+
+    fn sample() -> (TaskGraph, Platform, Schedule) {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_named_task("src", 4.0);
+        let t1 = b.add_named_task("dst", 2.0);
+        let e = b.add_edge(t0, t1, 3.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        let data = ScheduleData {
+            epsilon: 0,
+            period: 10.0,
+            proc_of: vec![ProcId(0), ProcId(1)],
+            start: vec![0.0, 7.0],
+            finish: vec![4.0, 9.0],
+            sources: vec![vec![], vec![SourceChoice::one(e, 0)]],
+            comm_events: vec![CommEvent {
+                edge: e,
+                src: ReplicaId::new(t0, 0),
+                dst: ReplicaId::new(t1, 0),
+                src_proc: ProcId(0),
+                dst_proc: ProcId(1),
+                start: 4.0,
+                finish: 7.0,
+            }],
+        };
+        let s = Schedule::new(&g, &p, data);
+        (g, p, s)
+    }
+
+    #[test]
+    fn gantt_shows_rows_and_ports() {
+        let (g, p, s) = sample();
+        let text = gantt(&g, &p, &s, 40);
+        assert!(text.contains("P1 |"));
+        assert!(text.contains("P2 |"));
+        assert!(text.contains(" out |"));
+        assert!(text.contains("  in |"));
+        assert!(text.contains('>'));
+        assert!(text.contains('<'));
+        assert!(text.contains("legend: A=src B=dst"));
+    }
+
+    #[test]
+    fn summary_roundtrips_to_json() {
+        let (g, p, s) = sample();
+        let sum = summarize(&g, &p, &s);
+        assert_eq!(sum.stages, 2);
+        assert_eq!(sum.replicas.len(), 2);
+        assert_eq!(sum.processors.len(), 2);
+        let json = serde_json::to_string(&sum).unwrap();
+        assert!(json.contains("\"task\":\"src\""));
+        assert!(json.contains("\"latency_upper_bound\":30.0"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Processor failure model: crash sets and schedule-level failure analysis.
+//!
+//! The paper targets ε arbitrary *fail-silent* (a faulty processor produces
+//! no output) and *fail-stop* (no recovery) processor failures. A
+//! [`CrashSet`] is the set of processors that fail during an execution; the
+//! analyses here answer (a) what latency the pipeline achieves given a
+//! crash set and (b) whether a schedule really tolerates *every* crash
+//! pattern of a given size.
+
+use crate::schedule::Schedule;
+use crate::stages;
+use ltf_graph::TaskGraph;
+use ltf_platform::ProcId;
+use rand_like::RngLike;
+
+/// A set of crashed processors over a platform of `m` processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSet {
+    bits: Vec<u64>,
+    m: usize,
+    count: usize,
+}
+
+impl CrashSet {
+    /// No failures.
+    pub fn empty(m: usize) -> Self {
+        Self {
+            bits: vec![0; m.div_ceil(64)],
+            m,
+            count: 0,
+        }
+    }
+
+    /// Crash set from explicit processor ids.
+    pub fn from_procs(procs: &[ProcId], m: usize) -> Self {
+        let mut s = Self::empty(m);
+        for &p in procs {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Mark `p` as crashed (idempotent).
+    pub fn insert(&mut self, p: ProcId) {
+        assert!(p.index() < self.m, "processor out of range");
+        let w = p.index() / 64;
+        let b = 1u64 << (p.index() % 64);
+        if self.bits[w] & b == 0 {
+            self.bits[w] |= b;
+            self.count += 1;
+        }
+    }
+
+    /// `true` iff `p` crashed.
+    #[inline]
+    pub fn contains(&self, p: ProcId) -> bool {
+        self.bits[p.index() / 64] >> (p.index() % 64) & 1 == 1
+    }
+
+    /// Number of crashed processors `c`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no processor crashed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Platform size this set was built for.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.m
+    }
+
+    /// The crashed processors in increasing id order.
+    pub fn procs(&self) -> Vec<ProcId> {
+        (0..self.m as u16)
+            .map(ProcId)
+            .filter(|p| self.contains(*p))
+            .collect()
+    }
+}
+
+/// Minimal abstraction over a random source so this crate does not depend
+/// on a specific `rand` version (only used for crash sampling).
+mod rand_like {
+    /// Anything that yields uniform integers below a bound.
+    pub trait RngLike {
+        /// Uniform value in `0..bound`.
+        fn below(&mut self, bound: usize) -> usize;
+    }
+
+    impl<F: FnMut(usize) -> usize> RngLike for F {
+        fn below(&mut self, bound: usize) -> usize {
+            self(bound)
+        }
+    }
+}
+
+pub use rand_like::RngLike as CrashRng;
+
+/// Sample `c` distinct crashed processors uniformly from `0..m`
+/// (paper §5: "processors that fail during the schedule process are chosen
+/// uniformly"). `rng` is any `FnMut(usize) -> usize` returning a uniform
+/// value below its argument, e.g. `|b| rand::Rng::gen_range(&mut r, 0..b)`.
+pub fn sample_crash_set<R: RngLike>(m: usize, c: usize, rng: &mut R) -> CrashSet {
+    assert!(c <= m, "cannot crash more processors than exist");
+    // Partial Fisher-Yates over processor ids.
+    let mut ids: Vec<u16> = (0..m as u16).collect();
+    let mut out = CrashSet::empty(m);
+    for i in 0..c {
+        let j = i + rng.below(m - i);
+        ids.swap(i, j);
+        out.insert(ProcId(ids[i]));
+    }
+    out
+}
+
+/// Iterate over all `C(m, c)` crash sets of exactly `c` processors.
+pub fn all_crash_sets(m: usize, c: usize) -> impl Iterator<Item = CrashSet> {
+    Combinations::new(m, c).map(move |combo| {
+        let procs: Vec<ProcId> = combo.iter().map(|&i| ProcId(i as u16)).collect();
+        CrashSet::from_procs(&procs, m)
+    })
+}
+
+struct Combinations {
+    m: usize,
+    c: usize,
+    cur: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    fn new(m: usize, c: usize) -> Self {
+        Self {
+            m,
+            c,
+            cur: (0..c).collect(),
+            done: c > m,
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let out = self.cur.clone();
+        // Advance to the next combination in lexicographic order.
+        let mut i = self.c;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.cur[i] < self.m - (self.c - i) {
+                self.cur[i] += 1;
+                for j in i + 1..self.c {
+                    self.cur[j] = self.cur[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Effective latency of `sched` when the processors in `crash` fail:
+/// `(2 S_eff − 1) · Δ` with the best-alive-source stage count, or `None`
+/// if some stream output cannot be produced (crash pattern not tolerated).
+pub fn effective_latency(g: &TaskGraph, sched: &Schedule, crash: &CrashSet) -> Option<f64> {
+    let s = effective_stage_count(g, sched, crash)?;
+    Some(stages::latency_for_stages(s, sched.period()))
+}
+
+/// Effective stage count under a crash set (see
+/// [`stages::effective_stage_count`]).
+pub fn effective_stage_count(g: &TaskGraph, sched: &Schedule, crash: &CrashSet) -> Option<u32> {
+    stages::effective_stage_count(
+        g,
+        sched.replicas_per_task(),
+        sched.proc_slice(),
+        sched.sources_slice(),
+        crash,
+    )
+}
+
+/// Exhaustively verify that `sched` produces all stream outputs under
+/// *every* crash set of exactly `c` processors. `O(C(m, c))` stage
+/// analyses — intended for tests and small `c`.
+pub fn tolerates_all_crashes(g: &TaskGraph, sched: &Schedule, m: usize, c: usize) -> bool {
+    all_crash_sets(m, c).all(|crash| effective_latency(g, sched, &crash).is_some())
+}
+
+/// The worst (largest) effective latency over every crash set of exactly
+/// `c` processors, or `None` if some pattern is not tolerated.
+pub fn worst_case_latency(g: &TaskGraph, sched: &Schedule, m: usize, c: usize) -> Option<f64> {
+    let mut worst = 0.0f64;
+    for crash in all_crash_sets(m, c) {
+        worst = worst.max(effective_latency(g, sched, &crash)?);
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_set_basics() {
+        let mut s = CrashSet::empty(20);
+        assert!(s.is_empty());
+        s.insert(ProcId(3));
+        s.insert(ProcId(19));
+        s.insert(ProcId(3)); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ProcId(3)));
+        assert!(!s.contains(ProcId(4)));
+        assert_eq!(s.procs(), vec![ProcId(3), ProcId(19)]);
+        assert_eq!(s.num_procs(), 20);
+    }
+
+    #[test]
+    fn crash_set_large_platform() {
+        let mut s = CrashSet::empty(130);
+        s.insert(ProcId(127));
+        s.insert(ProcId(128));
+        assert!(s.contains(ProcId(128)));
+        assert!(!s.contains(ProcId(129)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn combinations_count() {
+        assert_eq!(all_crash_sets(5, 2).count(), 10);
+        assert_eq!(all_crash_sets(20, 3).count(), 1140);
+        assert_eq!(all_crash_sets(4, 0).count(), 1);
+        assert_eq!(all_crash_sets(3, 3).count(), 1);
+        assert_eq!(all_crash_sets(2, 3).count(), 0);
+    }
+
+    #[test]
+    fn combinations_distinct_and_sized() {
+        let sets: Vec<_> = all_crash_sets(6, 2).collect();
+        assert_eq!(sets.len(), 15);
+        for s in &sets {
+            assert_eq!(s.len(), 2);
+        }
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                assert_ne!(sets[i], sets[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_produces_distinct_procs() {
+        // Deterministic fake RNG: always picks 0 (first remaining).
+        let mut rng = |_b: usize| 0usize;
+        let s = sample_crash_set(10, 4, &mut rng);
+        assert_eq!(s.len(), 4);
+        assert_eq!(
+            s.procs(),
+            vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash")]
+    fn oversized_sample_panics() {
+        let mut rng = |_b: usize| 0usize;
+        sample_crash_set(3, 4, &mut rng);
+    }
+}

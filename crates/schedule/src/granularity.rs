@@ -1,0 +1,94 @@
+//! Graph/platform granularity `g(G, P)` (paper §2).
+//!
+//! The granularity is the ratio of the sum of the *slowest* computation
+//! times of each task (`E(t) / min_u s_u`) to the sum of the *slowest*
+//! communication times along each edge (`vol(e) · max_{k≠h} d_kh`).
+//! Small granularity (< 1) means communication-dominated workloads; the
+//! paper sweeps `g` from 0.2 to 2.0.
+
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+
+/// Granularity `g(G, P)`. Returns `f64::INFINITY` for graphs with no
+/// (non-zero-volume) edges.
+pub fn granularity(g: &TaskGraph, p: &Platform) -> f64 {
+    let comp: f64 = g.tasks().map(|t| p.slowest_exec_time(g.exec(t))).sum();
+    let comm: f64 = g
+        .edge_ids()
+        .map(|e| p.slowest_comm_time(g.edge(e).volume))
+        .sum();
+    if comm == 0.0 {
+        f64::INFINITY
+    } else {
+        comp / comm
+    }
+}
+
+/// Multiplicative factor to apply to every task execution time so that the
+/// granularity becomes exactly `target`. Returns `None` when the graph has
+/// no communication (granularity undefined) or no computation.
+pub fn granularity_scale_factor(g: &TaskGraph, p: &Platform, target: f64) -> Option<f64> {
+    assert!(target.is_finite() && target > 0.0, "bad target granularity");
+    let current = granularity(g, p);
+    if !current.is_finite() || current == 0.0 {
+        return None;
+    }
+    Some(target / current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::GraphBuilder;
+
+    fn simple() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(10.0);
+        let t1 = b.add_task(20.0);
+        b.add_edge(t0, t1, 5.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn computed_from_slowest_resources() {
+        let g = simple();
+        // min speed 0.5 -> slowest comp = (10+20)/0.5 = 60.
+        // max delay 2.0 -> slowest comm = 5*2 = 10.
+        let p = Platform::from_parts(vec![0.5, 1.0], vec![0.0, 2.0, 1.0, 0.0]);
+        assert_eq!(granularity(&g, &p), 6.0);
+    }
+
+    #[test]
+    fn no_edges_is_infinite() {
+        let mut b = GraphBuilder::new();
+        b.add_task(1.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        assert_eq!(granularity(&g, &p), f64::INFINITY);
+    }
+
+    #[test]
+    fn scaling_hits_target_exactly() {
+        let mut g = simple();
+        let p = Platform::homogeneous(3, 1.0, 1.0);
+        for target in [0.2, 0.6, 1.0, 2.0] {
+            let f = granularity_scale_factor(&g, &p, target).unwrap();
+            let mut scaled = g.clone();
+            scaled.scale_exec_times(f);
+            let got = granularity(&scaled, &p);
+            assert!((got - target).abs() < 1e-12, "target {target}, got {got}");
+        }
+        // Original graph untouched by the probe above.
+        g.scale_exec_times(1.0);
+        assert_eq!(granularity(&g, &p), 6.0);
+    }
+
+    #[test]
+    fn scale_factor_none_without_comm() {
+        let mut b = GraphBuilder::new();
+        b.add_task(1.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        assert!(granularity_scale_factor(&g, &p, 1.0).is_none());
+    }
+}

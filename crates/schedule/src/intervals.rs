@@ -1,0 +1,197 @@
+//! Busy-interval sets with earliest-gap insertion.
+//!
+//! Used to serialize each processor's send port, receive port and compute
+//! resource. Intervals are half-open `[start, end)`; zero-length intervals
+//! are ignored. Insertion keeps the set sorted and non-overlapping.
+
+use crate::EPS;
+
+/// A sorted set of non-overlapping half-open busy intervals.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    ivs: Vec<(f64, f64)>,
+}
+
+impl IntervalSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of busy intervals.
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// `true` when no interval is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Total busy time.
+    pub fn total(&self) -> f64 {
+        self.ivs.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// The busy intervals, sorted by start.
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.ivs
+    }
+
+    /// `true` iff `[start, end)` does not intersect any busy interval
+    /// (with `EPS` slack at the boundaries).
+    pub fn is_free(&self, start: f64, end: f64) -> bool {
+        if end - start <= EPS {
+            return true;
+        }
+        // Binary search for the first interval ending after `start`.
+        let i = self.ivs.partition_point(|&(_, e)| e <= start + EPS);
+        match self.ivs.get(i) {
+            Some(&(s, _)) => s + EPS >= end,
+            None => true,
+        }
+    }
+
+    /// Earliest `τ ≥ ready` such that `[τ, τ + dur)` is free.
+    pub fn next_fit(&self, ready: f64, dur: f64) -> f64 {
+        if dur <= EPS {
+            return ready;
+        }
+        let mut t = ready;
+        let mut i = self.ivs.partition_point(|&(_, e)| e <= t + EPS);
+        loop {
+            match self.ivs.get(i) {
+                Some(&(s, e)) => {
+                    if s + EPS >= t + dur {
+                        return t;
+                    }
+                    t = t.max(e);
+                    i += 1;
+                }
+                None => return t,
+            }
+        }
+    }
+
+    /// Insert a busy interval. Zero-length intervals are ignored.
+    ///
+    /// # Panics
+    /// If the interval overlaps an existing one by more than `EPS`.
+    pub fn insert(&mut self, start: f64, end: f64) {
+        if end - start <= EPS {
+            return;
+        }
+        debug_assert!(start.is_finite() && end.is_finite() && end > start);
+        let i = self.ivs.partition_point(|&(s, _)| s < start);
+        if i > 0 {
+            let (_, pe) = self.ivs[i - 1];
+            assert!(pe <= start + EPS, "overlap with previous interval");
+        }
+        if let Some(&(ns, _)) = self.ivs.get(i) {
+            assert!(end <= ns + EPS, "overlap with next interval");
+        }
+        self.ivs.insert(i, (start, end));
+    }
+}
+
+/// Earliest `τ ≥ ready` such that `[τ, τ + dur)` is simultaneously free in
+/// both sets (used to co-reserve a send port and a receive port for one
+/// message). Alternates `next_fit` queries until a fixpoint is reached.
+pub fn earliest_common_fit(a: &IntervalSet, b: &IntervalSet, ready: f64, dur: f64) -> f64 {
+    let mut t = ready;
+    loop {
+        let t1 = a.next_fit(t, dur);
+        let t2 = b.next_fit(t1, dur);
+        if (t2 - t1).abs() <= EPS {
+            return t2;
+        }
+        t = t2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_fits_anywhere() {
+        let s = IntervalSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.next_fit(5.0, 3.0), 5.0);
+        assert!(s.is_free(0.0, 100.0));
+        assert_eq!(s.total(), 0.0);
+    }
+
+    #[test]
+    fn gap_insertion() {
+        let mut s = IntervalSet::new();
+        s.insert(0.0, 2.0);
+        s.insert(5.0, 7.0);
+        // Fits in the gap [2, 5).
+        assert_eq!(s.next_fit(0.0, 3.0), 2.0);
+        // Does not fit the gap: goes after the last interval.
+        assert_eq!(s.next_fit(0.0, 4.0), 7.0);
+        // Starting inside an interval pushes to its end.
+        assert_eq!(s.next_fit(1.0, 1.0), 2.0);
+        // Exact-fit gap.
+        s.insert(2.0, 4.0);
+        assert_eq!(s.next_fit(0.0, 1.0), 4.0);
+        assert_eq!(s.total(), 6.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn is_free_checks() {
+        let mut s = IntervalSet::new();
+        s.insert(2.0, 4.0);
+        assert!(s.is_free(0.0, 2.0));
+        assert!(s.is_free(4.0, 10.0));
+        assert!(!s.is_free(1.0, 3.0));
+        assert!(!s.is_free(3.0, 5.0));
+        assert!(!s.is_free(0.0, 10.0));
+        // Zero-length always free.
+        assert!(s.is_free(3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_insert_panics() {
+        let mut s = IntervalSet::new();
+        s.insert(0.0, 2.0);
+        s.insert(1.0, 3.0);
+    }
+
+    #[test]
+    fn zero_length_ignored() {
+        let mut s = IntervalSet::new();
+        s.insert(1.0, 1.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn common_fit() {
+        let mut a = IntervalSet::new();
+        let mut b = IntervalSet::new();
+        a.insert(0.0, 3.0);
+        b.insert(4.0, 6.0);
+        // dur 1: a free from 3, b busy [4,6) -> common at 3, ok (fits [3,4)).
+        assert_eq!(earliest_common_fit(&a, &b, 0.0, 1.0), 3.0);
+        // dur 2: a free from 3 but b blocks [4,6) -> 6.
+        assert_eq!(earliest_common_fit(&a, &b, 0.0, 2.0), 6.0);
+        // ready beyond everything.
+        assert_eq!(earliest_common_fit(&a, &b, 10.0, 2.0), 10.0);
+    }
+
+    #[test]
+    fn common_fit_interleaved() {
+        let mut a = IntervalSet::new();
+        let mut b = IntervalSet::new();
+        // Alternating busy windows force several fixpoint iterations.
+        a.insert(0.0, 1.0);
+        a.insert(2.0, 3.0);
+        a.insert(4.0, 5.0);
+        b.insert(1.0, 2.0);
+        b.insert(3.0, 4.0);
+        assert_eq!(earliest_common_fit(&a, &b, 0.0, 1.0), 5.0);
+    }
+}

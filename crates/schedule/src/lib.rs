@@ -1,0 +1,45 @@
+//! Replicated pipelined schedule representation and analysis.
+//!
+//! This crate defines the *output* format shared by every scheduling
+//! algorithm in the workspace and the analyses the paper performs on it:
+//!
+//! * [`Schedule`] — placement of the `ε+1` replicas of every task onto
+//!   processors, the replica-level communication structure (which copy of a
+//!   predecessor feeds which copy of a successor), scheduled communication
+//!   events, and the per-processor compute/IO loads `Σ_u`, `C^I_u`, `C^O_u`
+//!   of paper §4.
+//! * [`stages`] — pipeline stage numbers `S(t^(N))` (§4: stages record
+//!   processor changes along dependence paths) and the latency
+//!   `L = (2S − 1)/T`.
+//! * [`failures`] — the fail-silent/fail-stop processor crash model:
+//!   which replicas stay alive under a crash set, the effective latency of
+//!   an execution with `c` crashes, and exhaustive ε-crash validity checks.
+//! * [`validate()`](validate()) — a structural validator: replica placement rules,
+//!   throughput constraints, one-port serialization, causality and stage
+//!   consistency. Every algorithm's output is run through it in tests.
+//! * [`granularity()`](granularity()) — the graph/platform granularity `g(G, P)` of §2.
+//! * [`intervals`] — busy-interval bookkeeping with gap insertion, used by
+//!   the schedulers (`ltf-core`) and the simulator (`ltf-sim`) to enforce
+//!   the one-port model.
+//! * [`export`] — ASCII Gantt charts and JSON-friendly schedule summaries.
+
+pub mod comm;
+pub mod export;
+pub mod failures;
+pub mod granularity;
+pub mod intervals;
+pub mod replica;
+pub mod schedule;
+pub mod stages;
+pub mod validate;
+
+pub use comm::CommEvent;
+pub use failures::CrashSet;
+pub use granularity::granularity;
+pub use intervals::IntervalSet;
+pub use replica::{ReplicaId, SourceChoice};
+pub use schedule::{Schedule, ScheduleData};
+pub use validate::{validate, Violation};
+
+/// Absolute tolerance used in feasibility and validation comparisons.
+pub const EPS: f64 = 1e-6;

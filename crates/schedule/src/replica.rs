@@ -1,0 +1,121 @@
+//! Task replicas and their communication sources.
+//!
+//! With fault-tolerance degree `ε`, each task `t` is replicated into
+//! `B(t) = {t^(1), …, t^(ε+1)}` (paper §2); all copies are always executed
+//! (active replication). [`ReplicaId`] names one copy; [`SourceChoice`]
+//! records, for one in-edge of one replica, which copies of the predecessor
+//! task are scheduled to feed it.
+
+use ltf_graph::{EdgeId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One replica (copy) of a task: `copy` ranges over `0..=ε`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId {
+    /// The replicated task.
+    pub task: TaskId,
+    /// Copy number, `0..=ε` (the paper's superscript `(N)` minus one).
+    pub copy: u8,
+}
+
+impl ReplicaId {
+    /// Construct a replica id.
+    pub fn new(task: TaskId, copy: u8) -> Self {
+        Self { task, copy }
+    }
+
+    /// Dense index of this replica given `nrep = ε + 1` copies per task.
+    #[inline]
+    pub fn dense(self, nrep: usize) -> usize {
+        self.task.index() * nrep + self.copy as usize
+    }
+
+    /// Inverse of [`ReplicaId::dense`].
+    #[inline]
+    pub fn from_dense(idx: usize, nrep: usize) -> Self {
+        Self {
+            task: TaskId((idx / nrep) as u32),
+            copy: (idx % nrep) as u8,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // 1-based copy superscript, as in the paper's t3^(2).
+        write!(f, "{}^({})", self.task, self.copy + 1)
+    }
+}
+
+/// The replicas of a predecessor task feeding one replica along one edge.
+///
+/// A one-to-one mapped replica has exactly one source copy; a fallback
+/// (receive-from-all) replica lists every copy of the predecessor. An empty
+/// source list is invalid for a non-entry task and is rejected by
+/// [`crate::validate()`](crate::validate()).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceChoice {
+    /// The in-edge this choice covers.
+    pub edge: EdgeId,
+    /// Copy numbers of the predecessor task that send along `edge`.
+    pub sources: Vec<u8>,
+}
+
+impl SourceChoice {
+    /// Single-source (one-to-one) choice.
+    pub fn one(edge: EdgeId, copy: u8) -> Self {
+        Self {
+            edge,
+            sources: vec![copy],
+        }
+    }
+
+    /// Receive-from-all choice over `nrep` copies.
+    pub fn all(edge: EdgeId, nrep: u8) -> Self {
+        Self {
+            edge,
+            sources: (0..nrep).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let nrep = 4;
+        for task in 0..5u32 {
+            for copy in 0..nrep as u8 {
+                let r = ReplicaId::new(TaskId(task), copy);
+                assert_eq!(ReplicaId::from_dense(r.dense(nrep), nrep), r);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_is_contiguous() {
+        let nrep = 2;
+        let mut seen = [false; 6];
+        for task in 0..3u32 {
+            for copy in 0..2u8 {
+                seen[ReplicaId::new(TaskId(task), copy).dense(nrep)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_uses_paper_convention() {
+        assert_eq!(ReplicaId::new(TaskId(2), 1).to_string(), "t2^(2)");
+    }
+
+    #[test]
+    fn source_choice_constructors() {
+        let c = SourceChoice::one(EdgeId(3), 1);
+        assert_eq!(c.sources, vec![1]);
+        let a = SourceChoice::all(EdgeId(3), 3);
+        assert_eq!(a.sources, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Pipeline stage computation.
+//!
+//! Paper §4: entry replicas are in stage 1; for any other replica,
+//! `S(t^(N)) = max { S(src) + η }` over the predecessor replicas *involved
+//! in a communication with* `t^(N)`, where `η = 0` if the source shares the
+//! processor and `η = 1` otherwise. The pipeline latency follows as
+//! `L = (2S − 1)/T` (Hary & Özgüner's synchronous stage model: `S` compute
+//! windows interleaved with `S − 1` communication windows, each of length
+//! `Δ = 1/T`).
+//!
+//! Two stage notions coexist:
+//!
+//! * **guaranteed** ([`guaranteed_stages`]) — uses the *worst* recorded
+//!   source per in-edge. This bounds the execution whichever replicas end
+//!   up providing the data, i.e. under any tolerated failure pattern.
+//! * **effective** ([`effective_stages`]) — uses the *best alive* source
+//!   per in-edge for a given crash set; this is the latency actually
+//!   observed in an execution where those processors failed (paper §5's
+//!   "With c Crash" series, and "With 0 Crash" for the empty set).
+
+use crate::failures::CrashSet;
+use crate::replica::{ReplicaId, SourceChoice};
+use ltf_graph::{TaskGraph, TaskId};
+use ltf_platform::ProcId;
+
+/// Guaranteed (worst-source) stage for every replica, densely indexed.
+///
+/// Replicas of entry tasks get stage 1. Replicas whose source lists are
+/// empty on some in-edge are treated pessimistically as entry-like for that
+/// edge (the validator rejects such schedules separately).
+pub fn guaranteed_stages(
+    g: &TaskGraph,
+    nrep: usize,
+    proc_of: &[ProcId],
+    sources: &[Vec<SourceChoice>],
+) -> Vec<u32> {
+    let mut stage = vec![1u32; g.num_tasks() * nrep];
+    for &t in g.topo_order() {
+        for copy in 0..nrep {
+            let r = ReplicaId::new(t, copy as u8).dense(nrep);
+            let mut s = 1u32;
+            for choice in &sources[r] {
+                let pred = g.edge(choice.edge).src;
+                for &src_copy in &choice.sources {
+                    let src = ReplicaId::new(pred, src_copy).dense(nrep);
+                    let eta = u32::from(proc_of[src] != proc_of[r]);
+                    s = s.max(stage[src] + eta);
+                }
+            }
+            stage[r] = s;
+        }
+    }
+    stage
+}
+
+/// Outcome of the alive-replica analysis for one crash set.
+#[derive(Debug, Clone)]
+pub struct EffectiveStages {
+    /// Whether each replica (dense index) produces its output: its host
+    /// survives and every in-edge has at least one alive source.
+    pub alive: Vec<bool>,
+    /// Effective stage of each alive replica (meaningless when dead):
+    /// per in-edge the *earliest alive* source is used.
+    pub stage: Vec<u32>,
+}
+
+/// Alive-replica analysis under `crash` (paper §5: fail-silent/fail-stop
+/// processors chosen before the execution).
+pub fn effective_stages(
+    g: &TaskGraph,
+    nrep: usize,
+    proc_of: &[ProcId],
+    sources: &[Vec<SourceChoice>],
+    crash: &CrashSet,
+) -> EffectiveStages {
+    let n = g.num_tasks() * nrep;
+    let mut alive = vec![false; n];
+    let mut stage = vec![u32::MAX; n];
+    for &t in g.topo_order() {
+        for copy in 0..nrep {
+            let r = ReplicaId::new(t, copy as u8).dense(nrep);
+            if crash.contains(proc_of[r]) {
+                continue;
+            }
+            let mut ok = true;
+            let mut s = 1u32;
+            for choice in &sources[r] {
+                let pred = g.edge(choice.edge).src;
+                let mut best: Option<u32> = None;
+                for &src_copy in &choice.sources {
+                    let src = ReplicaId::new(pred, src_copy).dense(nrep);
+                    if !alive[src] {
+                        continue;
+                    }
+                    let eta = u32::from(proc_of[src] != proc_of[r]);
+                    let cand = stage[src] + eta;
+                    best = Some(best.map_or(cand, |b: u32| b.min(cand)));
+                }
+                match best {
+                    Some(b) => s = s.max(b),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                alive[r] = true;
+                stage[r] = s;
+            }
+        }
+    }
+    EffectiveStages { alive, stage }
+}
+
+/// Effective total stage count under `crash`: for every exit task take the
+/// fastest alive replica, then the maximum over exit tasks (all stream
+/// outputs must be produced). `None` when some exit task has no alive
+/// replica — i.e. the crash pattern exceeded what the replication degree
+/// protects against.
+pub fn effective_stage_count(
+    g: &TaskGraph,
+    nrep: usize,
+    proc_of: &[ProcId],
+    sources: &[Vec<SourceChoice>],
+    crash: &CrashSet,
+) -> Option<u32> {
+    let eff = effective_stages(g, nrep, proc_of, sources, crash);
+    let mut total = 1u32;
+    for &t in g.exits() {
+        let best = best_alive_stage(t, nrep, &eff)?;
+        total = total.max(best);
+    }
+    Some(total)
+}
+
+fn best_alive_stage(t: TaskId, nrep: usize, eff: &EffectiveStages) -> Option<u32> {
+    (0..nrep)
+        .filter_map(|copy| {
+            let r = ReplicaId::new(t, copy as u8).dense(nrep);
+            eff.alive[r].then_some(eff.stage[r])
+        })
+        .min()
+}
+
+/// Pipeline latency for a stage count: `L = (2S − 1) · Δ`.
+#[inline]
+pub fn latency_for_stages(stages: u32, period: f64) -> f64 {
+    (2.0 * stages as f64 - 1.0) * period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::GraphBuilder;
+
+    /// Chain t0 -> t1 -> t2, ε = 1 (2 copies). Copy 0 path fully on P1
+    /// (stage 1 throughout); copy 1 hops P2 -> P3 -> P4.
+    fn replicated_chain() -> (TaskGraph, Vec<ProcId>, Vec<Vec<SourceChoice>>) {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let t2 = b.add_task(1.0);
+        let e01 = b.add_edge(t0, t1, 1.0);
+        let e12 = b.add_edge(t1, t2, 1.0);
+        let g = b.build().unwrap();
+        let proc_of = vec![
+            ProcId(0), // t0^1
+            ProcId(1), // t0^2
+            ProcId(0), // t1^1
+            ProcId(2), // t1^2
+            ProcId(0), // t2^1
+            ProcId(3), // t2^2
+        ];
+        // One-to-one everywhere: copy k of each task feeds copy k of the next.
+        let sources = vec![
+            vec![],
+            vec![],
+            vec![SourceChoice::one(e01, 0)],
+            vec![SourceChoice::one(e01, 1)],
+            vec![SourceChoice::one(e12, 0)],
+            vec![SourceChoice::one(e12, 1)],
+        ];
+        (g, proc_of, sources)
+    }
+
+    #[test]
+    fn guaranteed_stage_counts() {
+        let (g, proc_of, sources) = replicated_chain();
+        let st = guaranteed_stages(&g, 2, &proc_of, &sources);
+        // Copy 0 never changes processor: all stage 1.
+        assert_eq!(st[0], 1);
+        assert_eq!(st[2], 1);
+        assert_eq!(st[4], 1);
+        // Copy 1 changes processor at every hop: stages 1, 2, 3.
+        assert_eq!(st[1], 1);
+        assert_eq!(st[3], 2);
+        assert_eq!(st[5], 3);
+    }
+
+    #[test]
+    fn effective_no_crash_takes_fastest_exit_replica() {
+        let (g, proc_of, sources) = replicated_chain();
+        let s = effective_stage_count(&g, 2, &proc_of, &sources, &CrashSet::empty(4)).unwrap();
+        // Exit t2's copies have stages {1, 3}: best alive = 1.
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn effective_with_crash_falls_back_to_surviving_copy() {
+        let (g, proc_of, sources) = replicated_chain();
+        // P1 hosts the whole fast copy: killing it leaves the 3-stage copy.
+        let crash = CrashSet::from_procs(&[ProcId(0)], 4);
+        let s = effective_stage_count(&g, 2, &proc_of, &sources, &crash).unwrap();
+        assert_eq!(s, 3);
+    }
+
+    #[test]
+    fn chain_kill_breaks_one_to_one_chain() {
+        let (g, proc_of, sources) = replicated_chain();
+        // Killing P3 starves t1^2 and hence t2^2; copy 1 chain dies but
+        // copy 0 survives.
+        let crash = CrashSet::from_procs(&[ProcId(2)], 4);
+        let eff = effective_stages(&g, 2, &proc_of, &sources, &crash);
+        assert!(eff.alive[0] && eff.alive[2] && eff.alive[4]);
+        assert!(eff.alive[1]); // t0^2 itself runs on P2 which survives
+        assert!(!eff.alive[3]); // t1^2 host crashed
+        assert!(!eff.alive[5]); // starved: its only source is dead
+        assert_eq!(
+            effective_stage_count(&g, 2, &proc_of, &sources, &crash),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn two_crashes_exceeding_replication_return_none() {
+        let (g, proc_of, sources) = replicated_chain();
+        // Kill both copies of the exit path: P1 (copy 0) and P4 (copy 1 exit).
+        let crash = CrashSet::from_procs(&[ProcId(0), ProcId(3)], 4);
+        assert_eq!(effective_stage_count(&g, 2, &proc_of, &sources, &crash), None);
+    }
+
+    #[test]
+    fn receive_from_all_uses_best_alive_source() {
+        // t0 (2 copies on P1, P2) -> t1 (copy 0 on P1, receive-from-all).
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(1.0);
+        let t1 = b.add_task(1.0);
+        let e = b.add_edge(t0, t1, 1.0);
+        let g = b.build().unwrap();
+        let proc_of = vec![ProcId(0), ProcId(1), ProcId(0), ProcId(2)];
+        let sources = vec![
+            vec![],
+            vec![],
+            vec![SourceChoice::all(e, 2)],
+            vec![SourceChoice::all(e, 2)],
+        ];
+        let st = guaranteed_stages(&g, 2, &proc_of, &sources);
+        // Guaranteed: worst source is remote -> stage 2 even for the
+        // co-located copy.
+        assert_eq!(st[2], 2);
+        assert_eq!(st[3], 2);
+        // Effective with no crash: co-located source gives stage 1.
+        let eff = effective_stages(&g, 2, &proc_of, &sources, &CrashSet::empty(3));
+        assert_eq!(eff.stage[2], 1);
+        assert_eq!(eff.stage[3], 2);
+        // Kill P1: t1^1 dies with its host; t1^2 falls back to the remote
+        // source that survives.
+        let crash = CrashSet::from_procs(&[ProcId(0)], 3);
+        let eff = effective_stages(&g, 2, &proc_of, &sources, &crash);
+        assert!(!eff.alive[2]);
+        assert!(eff.alive[3]);
+        assert_eq!(eff.stage[3], 2);
+    }
+
+    #[test]
+    fn latency_formula() {
+        assert_eq!(latency_for_stages(1, 20.0), 20.0);
+        assert_eq!(latency_for_stages(3, 20.0), 100.0);
+        assert_eq!(latency_for_stages(4, 20.0), 140.0);
+        assert_eq!(latency_for_stages(2, 30.0), 90.0); // Fig. 1(d)
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests on intervals, crash sets, and stage analyses.
+
+use ltf_schedule::failures::{all_crash_sets, sample_crash_set};
+use ltf_schedule::intervals::earliest_common_fit;
+use ltf_schedule::{CrashSet, IntervalSet};
+use ltf_platform::ProcId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interval_insertions_never_overlap(
+        reqs in prop::collection::vec((0.0f64..50.0, 0.1f64..5.0), 1..40)
+    ) {
+        let mut s = IntervalSet::new();
+        let mut placed = Vec::new();
+        for (ready, dur) in reqs {
+            let t = s.next_fit(ready, dur);
+            prop_assert!(t + 1e-12 >= ready);
+            prop_assert!(s.is_free(t, t + dur));
+            s.insert(t, t + dur);
+            placed.push((t, t + dur));
+        }
+        // Pairwise disjoint.
+        placed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in placed.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0 + 1e-6);
+        }
+        //
+
+        // Total busy time equals the sum of durations.
+        let total: f64 = placed.iter().map(|(a, b)| b - a).sum();
+        prop_assert!((s.total() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn next_fit_returns_first_gap(
+        busy in prop::collection::vec((0.0f64..40.0, 0.2f64..3.0), 0..12),
+        ready in 0.0f64..45.0,
+        dur in 0.1f64..4.0,
+    ) {
+        let mut s = IntervalSet::new();
+        for (start, len) in busy {
+            let t = s.next_fit(start, len);
+            s.insert(t, t + len);
+        }
+        let t = s.next_fit(ready, dur);
+        prop_assert!(s.is_free(t, t + dur));
+        // Minimality on a grid: no earlier admissible start at 0.05
+        // resolution (up to the EPS slack used by the set).
+        let mut probe = ready;
+        while probe < t - 1e-6 {
+            prop_assert!(!s.is_free(probe, probe + dur + 1e-5));
+            probe += 0.05;
+        }
+    }
+
+    #[test]
+    fn common_fit_is_free_in_both(
+        busy_a in prop::collection::vec((0.0f64..30.0, 0.2f64..2.0), 0..10),
+        busy_b in prop::collection::vec((0.0f64..30.0, 0.2f64..2.0), 0..10),
+        ready in 0.0f64..35.0,
+        dur in 0.1f64..3.0,
+    ) {
+        let mut a = IntervalSet::new();
+        for (start, len) in busy_a {
+            let t = a.next_fit(start, len);
+            a.insert(t, t + len);
+        }
+        let mut b = IntervalSet::new();
+        for (start, len) in busy_b {
+            let t = b.next_fit(start, len);
+            b.insert(t, t + len);
+        }
+        let t = earliest_common_fit(&a, &b, ready, dur);
+        prop_assert!(t + 1e-12 >= ready);
+        prop_assert!(a.is_free(t, t + dur));
+        prop_assert!(b.is_free(t, t + dur));
+    }
+
+    #[test]
+    fn crash_set_roundtrip(m in 1usize..40, picks in prop::collection::vec(0u16..40, 0..12)) {
+        let procs: Vec<ProcId> = picks.into_iter().filter(|p| (*p as usize) < m).map(ProcId).collect();
+        let cs = CrashSet::from_procs(&procs, m);
+        let mut expect: Vec<ProcId> = procs.clone();
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(cs.procs(), expect.clone());
+        prop_assert_eq!(cs.len(), expect.len());
+        for u in 0..m as u16 {
+            prop_assert_eq!(cs.contains(ProcId(u)), expect.contains(&ProcId(u)));
+        }
+    }
+
+    #[test]
+    fn sampled_crash_sets_have_exact_size(m in 1usize..30, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let c = rng.gen_range(0..=m);
+        let cs = sample_crash_set(m, c, &mut |b| rng.gen_range(0..b));
+        prop_assert_eq!(cs.len(), c);
+    }
+
+    #[test]
+    fn crash_enumeration_counts(m in 1usize..10, c in 0usize..4) {
+        let count = all_crash_sets(m, c).count();
+        // C(m, c)
+        let expect = if c > m { 0 } else {
+            (0..c).fold(1usize, |acc, i| acc * (m - i) / (i + 1))
+        };
+        prop_assert_eq!(count, expect);
+    }
+}

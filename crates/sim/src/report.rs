@@ -1,0 +1,89 @@
+//! Simulation outcome summary.
+
+/// Measurements from one simulated stream execution.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Latency of each data item (completion of the last stream output
+    /// minus its arrival time `k·Δ`); `None` when the item was lost — the
+    /// crash pattern exceeded what the replication degree protects.
+    pub item_latency: Vec<Option<f64>>,
+    /// Completion time of each produced item.
+    pub item_completion: Vec<Option<f64>>,
+    /// Simulated makespan (last completion).
+    pub makespan: f64,
+}
+
+impl SimReport {
+    /// Number of items that produced all stream outputs.
+    pub fn produced(&self) -> usize {
+        self.item_latency.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of lost items.
+    pub fn lost(&self) -> usize {
+        self.item_latency.len() - self.produced()
+    }
+
+    /// Mean latency over produced items (`None` when nothing was produced).
+    pub fn mean_latency(&self) -> Option<f64> {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for l in self.item_latency.iter().flatten() {
+            sum += l;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Maximum latency over produced items.
+    pub fn max_latency(&self) -> Option<f64> {
+        self.item_latency
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc: Option<f64>, l| {
+                Some(acc.map_or(l, |a| a.max(l)))
+            })
+    }
+
+    /// Average inter-completion interval in steady state (the achieved
+    /// period); `None` with fewer than two produced items.
+    pub fn achieved_period(&self) -> Option<f64> {
+        let comps: Vec<f64> = self.item_completion.iter().flatten().copied().collect();
+        if comps.len() < 2 {
+            return None;
+        }
+        Some((comps[comps.len() - 1] - comps[0]) / (comps.len() - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let r = SimReport {
+            item_latency: vec![Some(10.0), None, Some(20.0)],
+            item_completion: vec![Some(10.0), None, Some(30.0)],
+            makespan: 30.0,
+        };
+        assert_eq!(r.produced(), 2);
+        assert_eq!(r.lost(), 1);
+        assert_eq!(r.mean_latency(), Some(15.0));
+        assert_eq!(r.max_latency(), Some(20.0));
+        assert_eq!(r.achieved_period(), Some(20.0));
+    }
+
+    #[test]
+    fn empty() {
+        let r = SimReport {
+            item_latency: vec![None, None],
+            item_completion: vec![None, None],
+            makespan: 0.0,
+        };
+        assert_eq!(r.produced(), 0);
+        assert_eq!(r.mean_latency(), None);
+        assert_eq!(r.max_latency(), None);
+        assert_eq!(r.achieved_period(), None);
+    }
+}

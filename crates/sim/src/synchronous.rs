@@ -1,0 +1,188 @@
+//! Stage-synchronous execution discipline (the latency formula's model).
+
+use crate::report::SimReport;
+use ltf_graph::TaskGraph;
+use ltf_schedule::stages::{effective_stages, latency_for_stages};
+use ltf_schedule::{CrashSet, ReplicaId, Schedule};
+
+/// Configuration for [`synchronous`].
+#[derive(Debug, Clone)]
+pub struct SynchronousConfig {
+    /// Number of stream items to push through the pipeline.
+    pub items: usize,
+    /// Processors that are crashed for the whole run (fail-silent from the
+    /// start; use the ASAP simulator for mid-stream crashes).
+    pub crash: Option<CrashSet>,
+}
+
+impl SynchronousConfig {
+    /// Failure-free run over `items` data sets.
+    pub fn new(items: usize) -> Self {
+        Self { items, crash: None }
+    }
+
+    /// Run with the given crash set active from time 0.
+    pub fn with_crash(items: usize, crash: CrashSet) -> Self {
+        Self {
+            items,
+            crash: Some(crash),
+        }
+    }
+}
+
+/// Execute the schedule under the stage-synchronous discipline: item `k` is
+/// computed by stage-`s` replicas during window `k + 2(s−1)` (each window
+/// lasting `Δ`) and shipped during window `k + 2s − 1`; its latency is
+/// `(2·S_eff(k) − 1)·Δ` where `S_eff` is the stage of its earliest
+/// surviving exit replica. Capacity per window is guaranteed by the
+/// schedule's throughput constraints (`Σ_u, C^I_u, C^O_u ≤ Δ`), which the
+/// validator checks separately.
+pub fn synchronous(g: &TaskGraph, sched: &Schedule, cfg: &SynchronousConfig) -> SimReport {
+    let m = sched
+        .replicas()
+        .map(|r| sched.proc(r).index() + 1)
+        .max()
+        .unwrap_or(1);
+    let crash = cfg
+        .crash
+        .clone()
+        .unwrap_or_else(|| CrashSet::empty(m.max(1)));
+    let nrep = sched.replicas_per_task();
+    let proc_of: Vec<_> = sched.replicas().map(|r| sched.proc(r)).collect();
+    let sources: Vec<_> = sched
+        .replicas()
+        .map(|r| sched.sources(r).to_vec())
+        .collect();
+    let eff = effective_stages(g, nrep, &proc_of, &sources, &crash);
+
+    // Effective stage per item: all items share the static mapping.
+    let mut total: Option<u32> = Some(1);
+    for &t in g.exits() {
+        let best = (0..nrep)
+            .filter_map(|c| {
+                let r = ReplicaId::new(t, c as u8).dense(nrep);
+                eff.alive[r].then_some(eff.stage[r])
+            })
+            .min();
+        total = match (total, best) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+
+    let period = sched.period();
+    let latency = total.map(|s| latency_for_stages(s, period));
+    let mut item_latency = Vec::with_capacity(cfg.items);
+    let mut item_completion = Vec::with_capacity(cfg.items);
+    let mut makespan = 0.0f64;
+    for k in 0..cfg.items {
+        match latency {
+            Some(l) => {
+                let done = k as f64 * period + l;
+                item_latency.push(Some(l));
+                item_completion.push(Some(done));
+                makespan = makespan.max(done);
+            }
+            None => {
+                item_latency.push(None);
+                item_completion.push(None);
+            }
+        }
+    }
+    SimReport {
+        item_latency,
+        item_completion,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_platform::{Platform, ProcId};
+    use ltf_schedule::{CommEvent, ScheduleData, SourceChoice};
+
+    /// ε=1 chain t0 -> t1 on 4 procs, one-to-one lanes; stage 2 on both
+    /// lanes.
+    fn sample() -> (TaskGraph, Schedule) {
+        let mut b = ltf_graph::GraphBuilder::new();
+        let t0 = b.add_task(4.0);
+        let t1 = b.add_task(2.0);
+        let e = b.add_edge(t0, t1, 3.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(4, 1.0, 1.0);
+        let r00 = ReplicaId::new(t0, 0);
+        let r01 = ReplicaId::new(t0, 1);
+        let r10 = ReplicaId::new(t1, 0);
+        let r11 = ReplicaId::new(t1, 1);
+        let data = ScheduleData {
+            epsilon: 1,
+            period: 10.0,
+            proc_of: vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)],
+            start: vec![0.0, 0.0, 7.0, 7.0],
+            finish: vec![4.0, 4.0, 9.0, 9.0],
+            sources: vec![
+                vec![],
+                vec![],
+                vec![SourceChoice::one(e, 0)],
+                vec![SourceChoice::one(e, 1)],
+            ],
+            comm_events: vec![
+                CommEvent {
+                    edge: e,
+                    src: r00,
+                    dst: r10,
+                    src_proc: ProcId(0),
+                    dst_proc: ProcId(2),
+                    start: 4.0,
+                    finish: 7.0,
+                },
+                CommEvent {
+                    edge: e,
+                    src: r01,
+                    dst: r11,
+                    src_proc: ProcId(1),
+                    dst_proc: ProcId(3),
+                    start: 4.0,
+                    finish: 7.0,
+                },
+            ],
+        };
+        let s = Schedule::new(&g, &p, data);
+        (g, s)
+    }
+
+    #[test]
+    fn no_crash_matches_formula() {
+        let (g, s) = sample();
+        let rep = synchronous(&g, &s, &SynchronousConfig::new(5));
+        assert_eq!(rep.produced(), 5);
+        // S = 2, Δ = 10 -> L = 30 for every item.
+        for l in &rep.item_latency {
+            assert_eq!(*l, Some(30.0));
+        }
+        // Items complete Δ apart.
+        assert_eq!(rep.achieved_period(), Some(10.0));
+        assert_eq!(rep.makespan, 4.0 * 10.0 + 30.0);
+    }
+
+    #[test]
+    fn single_crash_keeps_all_items() {
+        let (g, s) = sample();
+        let crash = CrashSet::from_procs(&[ProcId(0)], 4);
+        let rep = synchronous(&g, &s, &SynchronousConfig::with_crash(5, crash));
+        assert_eq!(rep.produced(), 5);
+        assert_eq!(rep.item_latency[0], Some(30.0)); // surviving lane has S=2
+    }
+
+    #[test]
+    fn double_crash_loses_everything() {
+        let (g, s) = sample();
+        // Kill both exit hosts.
+        let crash = CrashSet::from_procs(&[ProcId(2), ProcId(3)], 4);
+        let rep = synchronous(&g, &s, &SynchronousConfig::with_crash(3, crash));
+        assert_eq!(rep.produced(), 0);
+        assert_eq!(rep.lost(), 3);
+        assert_eq!(rep.mean_latency(), None);
+    }
+}

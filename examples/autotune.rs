@@ -1,0 +1,86 @@
+//! The conclusion's "symmetric problems" in action: instead of fixing the
+//! throughput and minimizing latency, search the objective space —
+//! maximum throughput under a latency budget, maximum supported failures,
+//! and the smallest platform that still works.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use ltf_sched::core::search::{max_epsilon, min_period, min_processors, MinPeriodOptions};
+use ltf_sched::core::AlgoKind;
+use ltf_sched::graph::generate::{layered, LayeredConfig};
+use ltf_sched::platform::HeterogeneousConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let g = layered(
+        &LayeredConfig {
+            tasks: 40,
+            exec_range: (1.0, 3.0),
+            volume_range: (0.5, 2.0),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let p = HeterogeneousConfig {
+        procs: 12,
+        ..Default::default()
+    }
+    .build(&mut rng);
+    println!(
+        "workload: {} tasks, {} edges on {} processors\n",
+        g.num_tasks(),
+        g.num_edges(),
+        p.num_procs()
+    );
+
+    // 1. Maximum throughput (no latency budget) with ε = 1.
+    let opts = MinPeriodOptions {
+        kind: AlgoKind::Rltf,
+        epsilon: 1,
+        ..Default::default()
+    };
+    let (best_period, sched) = min_period(&g, &p, &opts).expect("some period is feasible");
+    println!(
+        "max throughput (ε=1)          : T = 1/{best_period:.2}  → S = {}, L = {:.1}",
+        sched.num_stages(),
+        sched.latency_upper_bound()
+    );
+
+    // 2. Maximum throughput under a latency budget of 8 periods.
+    let budget = 8.0 * best_period;
+    let opts_budget = MinPeriodOptions {
+        max_latency: Some(budget),
+        ..opts.clone()
+    };
+    if let Some((period, sched)) = min_period(&g, &p, &opts_budget) {
+        println!(
+            "max throughput, L ≤ {budget:<6.1}   : T = 1/{period:.2}  → S = {}, L = {:.1}",
+            sched.num_stages(),
+            sched.latency_upper_bound()
+        );
+    }
+
+    // 3. Maximum number of supported failures at a relaxed period.
+    let relaxed = 2.5 * best_period;
+    if let Some((eps, sched)) = max_epsilon(&g, &p, AlgoKind::Rltf, relaxed, None, 1) {
+        println!(
+            "max failures at Δ = {relaxed:<8.2}: ε = {eps}     → S = {}, L = {:.1}",
+            sched.num_stages(),
+            sched.latency_upper_bound()
+        );
+    }
+
+    // 4. Smallest platform prefix that still schedules ε = 1 at Δ = 2·best.
+    let period = 2.0 * best_period;
+    if let Some((m, sched)) = min_processors(&g, &p, AlgoKind::Rltf, 1, period, 1) {
+        println!(
+            "min processors at Δ = {period:<6.2}: m = {m}     → S = {}, L = {:.1}",
+            sched.num_stages(),
+            sched.latency_upper_bound()
+        );
+    }
+}

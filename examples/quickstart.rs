@@ -1,0 +1,74 @@
+//! Quickstart: build a workflow, schedule it fault-tolerantly, inspect the
+//! result, and verify it survives any single processor crash.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ltf_sched::core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_sched::graph::GraphBuilder;
+use ltf_sched::platform::Platform;
+use ltf_sched::schedule::{failures, validate, CrashSet};
+
+fn main() {
+    // A small image-processing workflow: two parallel filter chains that
+    // are fused and written out.
+    let mut b = GraphBuilder::new();
+    let decode = b.add_named_task("decode", 6.0);
+    let denoise = b.add_named_task("denoise", 8.0);
+    let edges_f = b.add_named_task("edges", 7.0);
+    let fuse = b.add_named_task("fuse", 5.0);
+    let encode = b.add_named_task("encode", 9.0);
+    b.add_edge(decode, denoise, 2.0);
+    b.add_edge(decode, edges_f, 2.0);
+    b.add_edge(denoise, fuse, 1.5);
+    b.add_edge(edges_f, fuse, 1.5);
+    b.add_edge(fuse, encode, 1.0);
+    let g = b.build().expect("acyclic workflow");
+
+    // Six processors, two fast; all links with unit delay 0.4.
+    let p = Platform::from_parts(
+        vec![2.0, 2.0, 1.0, 1.0, 1.0, 1.0],
+        {
+            let m = 6;
+            let mut d = vec![0.4; m * m];
+            for u in 0..m {
+                d[u * m + u] = 0.0;
+            }
+            d
+        },
+    );
+
+    // Tolerate one crash (ε = 1) while emitting a frame every 12 units.
+    let cfg = AlgoConfig::with_throughput(1, 1.0 / 12.0);
+
+    println!("=== R-LTF (latency-optimized) ===");
+    let sched = rltf_schedule(&g, &p, &cfg).expect("R-LTF finds a schedule");
+    validate(&g, &p, &sched).expect("schedule passes the validator");
+    print!("{}", sched.describe(&g, &p));
+    println!(
+        "guaranteed latency {:.1}; survives every single crash: {}\n",
+        sched.latency_upper_bound(),
+        failures::tolerates_all_crashes(&g, &sched, p.num_procs(), 1),
+    );
+
+    println!("=== LTF (finish-time greedy) ===");
+    match ltf_schedule(&g, &p, &cfg) {
+        Ok(s) => {
+            validate(&g, &p, &s).expect("schedule passes the validator");
+            print!("{}", s.describe(&g, &p));
+            println!("guaranteed latency {:.1}\n", s.latency_upper_bound());
+        }
+        Err(e) => println!("LTF failed: {e}\n"),
+    }
+
+    // What would one crash do to the delivered latency?
+    let l0 = failures::effective_latency(&g, &sched, &CrashSet::empty(6)).unwrap();
+    println!("R-LTF effective latency, no failures : {l0:.1}");
+    for victim in p.procs() {
+        let crash = CrashSet::from_procs(&[victim], 6);
+        if let Some(l) = failures::effective_latency(&g, &sched, &crash) {
+            println!("R-LTF effective latency, {victim} down: {l:.1}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's §4.3 worked example (Fig. 2): LTF vs R-LTF on the 7-task
+//! workflow, ε = 1, T = 0.05 (period 20), homogeneous processors.
+//!
+//! The archived report's figure graphics are not recoverable; DESIGN.md
+//! §2.10 explains the reconstruction and the `E(t2) = 3` variant on which
+//! the paper's exact claims hold end to end.
+//!
+//! ```text
+//! cargo run --release --example worked_example
+//! ```
+
+use ltf_sched::core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_sched::graph::generate::{fig2_workflow, fig2_workflow_variant};
+use ltf_sched::platform::Platform;
+use ltf_sched::schedule::validate;
+
+fn main() {
+    let cfg = AlgoConfig::with_throughput(1, 0.05);
+    for (name, g) in [
+        ("reconstruction (E(t2) = 6)", fig2_workflow()),
+        ("variant (E(t2) = 3)", fig2_workflow_variant()),
+    ] {
+        println!("=== {name} ===");
+        for m in [8usize, 10] {
+            let p = Platform::homogeneous(m, 1.0, 1.0);
+            for (label, res) in [
+                ("LTF  ", ltf_schedule(&g, &p, &cfg)),
+                ("R-LTF", rltf_schedule(&g, &p, &cfg)),
+            ] {
+                match res {
+                    Ok(s) => {
+                        validate(&g, &p, &s).expect("valid schedule");
+                        println!(
+                            "  {label} m={m:<2}: S = {}  L = {:<5.0} comms = {:<2} procs = {}",
+                            s.num_stages(),
+                            s.latency_upper_bound(),
+                            s.comm_count(),
+                            s.procs_used()
+                        );
+                        if m == 8 && label == "R-LTF" {
+                            print!("{}", s.describe(&g, &p));
+                        }
+                    }
+                    Err(e) => println!("  {label} m={m:<2}: fails — {e}"),
+                }
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper (on its original graph): R-LTF m=8 → S=3, L=100;\n\
+         LTF m=8 fails; LTF m=10 → S=4, L=140."
+    );
+}

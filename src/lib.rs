@@ -1,0 +1,64 @@
+//! # ltf-sched
+//!
+//! A from-scratch Rust implementation of
+//! *"Optimizing the Latency of Streaming Applications under Throughput and
+//! Reliability Constraints"* (Anne Benoit, Mourad Hakem, Yves Robert,
+//! 2009): the **LTF** and **R-LTF** heuristics that map a streaming
+//! workflow DAG — actively replicated to survive `ε` processor failures —
+//! onto a heterogeneous platform under the bi-directional one-port model,
+//! meeting a prescribed throughput while minimizing the pipeline latency
+//! `L = (2S − 1)/T`.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`graph`] — the weighted DAG application model and workload
+//!   generators (`ltf-graph`);
+//! * [`platform`] — heterogeneous processors and one-port links
+//!   (`ltf-platform`);
+//! * [`schedule`] — replicated schedule representation, pipeline stages,
+//!   validation, and the crash-failure analyses (`ltf-schedule`);
+//! * [`core`] — the LTF / R-LTF algorithms and the objective-space
+//!   searches (`ltf-core`);
+//! * [`baselines`] — task-parallel, data-parallel, and throughput-first
+//!   comparison strategies (`ltf-baselines`);
+//! * [`sim`] — discrete-event pipelined-execution simulation with crash
+//!   injection (`ltf-sim`);
+//! * [`experiments`] — the paper's full evaluation harness
+//!   (`ltf-experiments`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ltf_sched::core::{rltf_schedule, AlgoConfig};
+//! use ltf_sched::graph::GraphBuilder;
+//! use ltf_sched::platform::Platform;
+//! use ltf_sched::schedule::validate;
+//!
+//! // A 3-task video pipeline: capture -> encode -> publish.
+//! let mut b = GraphBuilder::new();
+//! let capture = b.add_named_task("capture", 4.0);
+//! let encode = b.add_named_task("encode", 9.0);
+//! let publish = b.add_named_task("publish", 3.0);
+//! b.add_edge(capture, encode, 2.0);
+//! b.add_edge(encode, publish, 1.0);
+//! let g = b.build().unwrap();
+//!
+//! // Four identical processors; survive any single failure (ε = 1)
+//! // while emitting a frame every 10 time units.
+//! let p = Platform::homogeneous(4, 1.0, 0.5);
+//! let cfg = AlgoConfig::with_throughput(1, 0.1);
+//! let sched = rltf_schedule(&g, &p, &cfg).unwrap();
+//!
+//! validate(&g, &p, &sched).unwrap();
+//! // Tasks cannot pair up within Δ = 10 (4+9, 9+3 > 10): three stages,
+//! // one per task, latency (2·3 − 1)·10 = 50.
+//! assert!(sched.latency_upper_bound() <= 50.0);
+//! ```
+
+pub use ltf_baselines as baselines;
+pub use ltf_core as core;
+pub use ltf_experiments as experiments;
+pub use ltf_graph as graph;
+pub use ltf_platform as platform;
+pub use ltf_schedule as schedule;
+pub use ltf_sim as sim;

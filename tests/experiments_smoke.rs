@@ -1,0 +1,109 @@
+//! End-to-end smoke of the evaluation harness: a miniature granularity
+//! sweep must produce every panel with the paper's qualitative shape.
+
+use ltf_sched::experiments::figures::{feasibility, panel, sweep, Panel, SweepConfig};
+use ltf_sched::experiments::scaling::{scaling_sweep, ScalingConfig};
+
+fn tiny() -> SweepConfig {
+    SweepConfig {
+        graphs_per_point: 6,
+        granularities: vec![0.4, 1.2, 2.0],
+        crash_draws: 3,
+        threads: 8,
+        seed: 0xFEED,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sweep_panels_complete_and_ordered() {
+    let data = sweep(1, 1, &tiny());
+    // All three algorithms on all points.
+    for (_, recs) in &data.by_granularity {
+        assert_eq!(recs.len(), 18); // 6 seeds × {R-LTF, LTF, FF}
+    }
+
+    let bounds = panel(&data, Panel::Bounds);
+    assert_eq!(bounds.series.len(), 4);
+    for s in &bounds.series {
+        assert_eq!(s.points.len(), 3, "missing points in {}", s.name);
+    }
+    // UpperBound ≥ 0-crash per algorithm.
+    for algo in 0..2 {
+        let zero = &bounds.series[algo * 2];
+        let ub = &bounds.series[algo * 2 + 1];
+        for (a, b) in zero.points.iter().zip(&ub.points) {
+            assert!(a.mean <= b.mean + 1e-9, "{}: bound below 0-crash", ub.name);
+        }
+    }
+    // R-LTF at or below LTF on the guaranteed bound (the paper's headline).
+    for (r, l) in bounds.series[1].points.iter().zip(&bounds.series[3].points) {
+        assert!(r.mean <= l.mean + 1e-9, "R-LTF above LTF at g = {}", r.x);
+    }
+
+    let crashes = panel(&data, Panel::Crashes);
+    for algo in 0..2 {
+        let zero = &crashes.series[algo * 2];
+        let with = &crashes.series[algo * 2 + 1];
+        for (a, b) in zero.points.iter().zip(&with.points) {
+            assert!(b.mean + 1e-9 >= a.mean, "crash latency below 0-crash");
+        }
+    }
+
+    let overhead = panel(&data, Panel::Overhead);
+    for s in &overhead.series {
+        for pt in &s.points {
+            assert!(pt.mean >= -1e-9, "negative overhead in {}", s.name);
+        }
+    }
+
+    let feas = feasibility(&data);
+    for s in &feas.series {
+        for pt in &s.points {
+            assert!((0.0..=100.0).contains(&pt.mean));
+        }
+    }
+}
+
+#[test]
+fn sweep_is_deterministic() {
+    let a = sweep(1, 1, &tiny());
+    let b = sweep(1, 1, &tiny());
+    let pa = panel(&a, Panel::Bounds);
+    let pb = panel(&b, Panel::Bounds);
+    for (sa, sb) in pa.series.iter().zip(&pb.series) {
+        for (x, y) in sa.points.iter().zip(&sb.points) {
+            assert_eq!(x.mean, y.mean);
+            assert_eq!(x.n, y.n);
+        }
+    }
+}
+
+#[test]
+fn csv_render_roundtrip() {
+    let data = sweep(1, 1, &tiny());
+    let fig = panel(&data, Panel::Bounds);
+    let csv = fig.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 4); // header + 3 granularities
+    assert!(lines[0].starts_with("x,R-LTF With 0 Crash"));
+    let ascii = ltf_sched::experiments::ascii::render(&fig, 60, 16);
+    assert!(ascii.contains("Granularity"));
+}
+
+#[test]
+fn scaling_sweep_runs() {
+    let cfg = ScalingConfig {
+        task_counts: vec![20, 40],
+        proc_counts: vec![8],
+        epsilons: vec![0, 1],
+        reps: 2,
+        threads: 8,
+        ..Default::default()
+    };
+    let pts = scaling_sweep(&cfg);
+    assert_eq!(pts.len(), 10); // 2 algos × (2 + 1 + 2)
+    for p in &pts {
+        assert!(p.micros > 0.0);
+    }
+}

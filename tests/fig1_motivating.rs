@@ -1,0 +1,66 @@
+//! End-to-end reproduction of the paper's §1 motivating example (Fig. 1):
+//! all three execution scenarios on the 4-task diamond.
+
+use ltf_sched::baselines::{data_parallel, task_parallel};
+use ltf_sched::core::{rltf_schedule, AlgoConfig};
+use ltf_sched::graph::generate::fig1_diamond;
+use ltf_sched::platform::Platform;
+use ltf_sched::schedule::validate;
+
+#[test]
+fn task_parallelism_matches_paper() {
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+    let out = task_parallel(&g, &p, 1);
+    // Paper: L = 39 and T = 1/39.
+    assert!((out.latency - 39.0).abs() < 1e-9, "L = {}", out.latency);
+    assert!((out.throughput - 1.0 / 39.0).abs() < 1e-12);
+    // Two disjoint mirror lanes.
+    assert_eq!(out.lanes.len(), 2);
+    let mut all: Vec<_> = out.lanes.concat();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), 4, "lanes must be disjoint");
+}
+
+#[test]
+fn data_parallelism_matches_paper() {
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+    let out = data_parallel(&g, &p, 1);
+    // Paper: maximum throughput 2/40 = 1/20 in the absence of failures.
+    assert!((out.throughput_optimistic - 0.05).abs() < 1e-12);
+    // Guaranteed rate is bounded by the slow members (period 60 each).
+    assert!((out.throughput_guaranteed - 1.0 / 30.0).abs() < 1e-12);
+    assert_eq!(out.latency, 40.0);
+}
+
+#[test]
+fn pipelined_execution_matches_paper() {
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+    // Paper: period 30 (stage {t1,t3} on a fast processor: load 20; stage
+    // {t2,t4} on a slow one: load 30), S = 2, L = 90.
+    let cfg = AlgoConfig::new(1, 30.0);
+    let s = rltf_schedule(&g, &p, &cfg).expect("pipelined mapping at T = 1/30");
+    validate(&g, &p, &s).expect("valid");
+    assert_eq!(s.num_stages(), 2, "paper's S = 2");
+    assert!((s.latency_upper_bound() - 90.0).abs() < 1e-9, "paper's L = 90");
+    // Each task is replicated once and copies sit on distinct processors.
+    assert_eq!(s.replicas_per_task(), 2);
+}
+
+#[test]
+fn pipelined_beats_task_parallel_throughput_and_loses_latency() {
+    // The trade-off the example illustrates.
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+    let tp = task_parallel(&g, &p, 1);
+    let cfg = AlgoConfig::new(1, 30.0);
+    let s = rltf_schedule(&g, &p, &cfg).unwrap();
+    assert!(1.0 / s.period() > tp.throughput, "pipelining raises throughput");
+    assert!(
+        s.latency_upper_bound() > tp.latency,
+        "pipelining pays with latency"
+    );
+}
