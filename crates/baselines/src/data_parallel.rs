@@ -53,7 +53,11 @@ pub fn data_parallel(g: &TaskGraph, p: &Platform, epsilon: u8) -> DataParallelOu
     let time_on = |u: ProcId| total / p.speed(u);
     let group_fast_time: Vec<f64> = groups
         .iter()
-        .map(|grp| grp.iter().map(|&u| time_on(u)).fold(f64::INFINITY, f64::min))
+        .map(|grp| {
+            grp.iter()
+                .map(|&u| time_on(u))
+                .fold(f64::INFINITY, f64::min)
+        })
         .collect();
     let group_slow_time: Vec<f64> = groups
         .iter()
@@ -62,7 +66,10 @@ pub fn data_parallel(g: &TaskGraph, p: &Platform, epsilon: u8) -> DataParallelOu
     DataParallelOutcome {
         throughput_optimistic: group_fast_time.iter().map(|t| 1.0 / t).sum(),
         throughput_guaranteed: group_slow_time.iter().map(|t| 1.0 / t).sum(),
-        latency: group_fast_time.iter().copied().fold(f64::INFINITY, f64::min),
+        latency: group_fast_time
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min),
         groups,
         group_fast_time,
         group_slow_time,

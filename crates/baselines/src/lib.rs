@@ -23,7 +23,7 @@ pub mod makespan;
 pub mod task_parallel;
 pub mod throughput_first;
 
-pub use data_parallel::{data_parallel, DataParallelOutcome};
-pub use makespan::{etf, heft, MakespanSchedule};
-pub use task_parallel::{task_parallel, TaskParallelOutcome};
-pub use throughput_first::throughput_first;
+pub use crate::data_parallel::{data_parallel, DataParallelOutcome};
+pub use crate::makespan::{etf, heft, MakespanSchedule};
+pub use crate::task_parallel::{task_parallel, TaskParallelOutcome};
+pub use crate::throughput_first::throughput_first;

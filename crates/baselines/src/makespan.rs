@@ -91,8 +91,7 @@ impl<'a> MapState<'a> {
                 ready = ready.max(self.finish[e.src.index()]);
                 continue;
             }
-            let hs =
-                send_scratch[h.index()].get_or_insert_with(|| self.send[h.index()].clone());
+            let hs = send_scratch[h.index()].get_or_insert_with(|| self.send[h.index()].clone());
             let rs = recv_scratch.get_or_insert_with(|| self.recv[u.index()].clone());
             let st = earliest_common_fit(hs, rs, self.finish[e.src.index()], dur);
             hs.insert(st, st + dur);
@@ -105,7 +104,14 @@ impl<'a> MapState<'a> {
         (start, start + exec, comms)
     }
 
-    fn commit(&mut self, t: TaskId, u: ProcId, start: f64, finish: f64, comms: &[(ProcId, f64, f64)]) {
+    fn commit(
+        &mut self,
+        t: TaskId,
+        u: ProcId,
+        start: f64,
+        finish: f64,
+        comms: &[(ProcId, f64, f64)],
+    ) {
         self.placed[t.index()] = true;
         self.proc_of[t.index()] = u;
         self.start[t.index()] = start;
@@ -284,7 +290,10 @@ mod tests {
         // valid schedule.
         for eid in g.edge_ids() {
             let e = g.edge(eid);
-            assert!(s.finish[e.src.index()] <= s.start[e.dst.index()] + 1e-9 || s.proc(e.src) != s.proc(e.dst));
+            assert!(
+                s.finish[e.src.index()] <= s.start[e.dst.index()] + 1e-9
+                    || s.proc(e.src) != s.proc(e.dst)
+            );
         }
     }
 

@@ -43,8 +43,7 @@ pub fn task_parallel(g: &TaskGraph, p: &Platform, epsilon: u8) -> TaskParallelOu
     for (i, u) in by_speed.into_iter().enumerate() {
         lanes[i % nrep].push(u);
     }
-    let lane_schedules: Vec<MakespanSchedule> =
-        lanes.iter().map(|lane| heft(g, p, lane)).collect();
+    let lane_schedules: Vec<MakespanSchedule> = lanes.iter().map(|lane| heft(g, p, lane)).collect();
     let latency = lane_schedules
         .iter()
         .map(|s| s.makespan)

@@ -12,9 +12,7 @@
 use ltf_graph::{levels, TaskGraph, TaskId, Weights};
 use ltf_platform::{AverageWeightsInput, Platform, ProcId};
 use ltf_schedule::intervals::earliest_common_fit;
-use ltf_schedule::{
-    CommEvent, IntervalSet, ReplicaId, Schedule, ScheduleData, SourceChoice, EPS,
-};
+use ltf_schedule::{CommEvent, IntervalSet, ReplicaId, Schedule, ScheduleData, SourceChoice, EPS};
 
 /// Error: some task cannot be placed without violating the period.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,11 +30,7 @@ impl std::fmt::Display for Infeasible {
 impl std::error::Error for Infeasible {}
 
 /// Map the graph without replication under period `period`.
-pub fn throughput_first(
-    g: &TaskGraph,
-    p: &Platform,
-    period: f64,
-) -> Result<Schedule, Infeasible> {
+pub fn throughput_first(g: &TaskGraph, p: &Platform, period: f64) -> Result<Schedule, Infeasible> {
     assert!(period.is_finite() && period > 0.0);
     let m = p.num_procs();
     let v = g.num_tasks();
@@ -77,10 +71,7 @@ pub fn throughput_first(
 
         // Candidate order: predecessor hosts first (cheapest), then all
         // processors by ascending compute load.
-        let mut cands: Vec<ProcId> = g
-            .preds(t)
-            .map(|pr| proc_of[pr.index()])
-            .collect();
+        let mut cands: Vec<ProcId> = g.preds(t).map(|pr| proc_of[pr.index()]).collect();
         let mut rest: Vec<ProcId> = p.procs().collect();
         rest.sort_by(|a, b| sigma[a.index()].partial_cmp(&sigma[b.index()]).unwrap());
         cands.extend(rest);
@@ -114,8 +105,7 @@ pub fn throughput_first(
                     ready_at = ready_at.max(finish[e.src.index()]);
                     continue;
                 }
-                let hs = send_scratch[h.index()]
-                    .get_or_insert_with(|| send[h.index()].clone());
+                let hs = send_scratch[h.index()].get_or_insert_with(|| send[h.index()].clone());
                 let st = earliest_common_fit(hs, &recv_scratch, finish[e.src.index()], dur);
                 hs.insert(st, st + dur);
                 recv_scratch.insert(st, st + dur);

@@ -33,7 +33,9 @@ fn main() {
     let variants: Vec<(&str, AlgoKind, Tweak)> = vec![
         ("rltf_full", AlgoKind::Rltf, |_| {}),
         ("rltf_no_rule1", AlgoKind::Rltf, |c| c.rule1 = false),
-        ("rltf_no_cluster", AlgoKind::Rltf, |c| c.cluster_ties = false),
+        ("rltf_no_cluster", AlgoKind::Rltf, |c| {
+            c.cluster_ties = false
+        }),
         ("ltf_full", AlgoKind::Ltf, |_| {}),
         ("ltf_chunk1", AlgoKind::Ltf, |c| c.chunk_size = Some(1)),
     ];

@@ -20,21 +20,17 @@ fn bench_axis<F: Fn(u64) -> PaperWorkload>(
         let inst = gen_instance(&wl, 0xBEEF ^ param);
         for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
             let cfg = AlgoConfig::new(wl.epsilon, inst.period).seeded(1);
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), param),
-                &param,
-                |b, _| {
-                    b.iter(|| {
-                        schedule_with(
-                            kind,
-                            black_box(&inst.graph),
-                            black_box(&inst.platform),
-                            black_box(&cfg),
-                        )
-                        .ok()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), param), &param, |b, _| {
+                b.iter(|| {
+                    schedule_with(
+                        kind,
+                        black_box(&inst.graph),
+                        black_box(&inst.platform),
+                        black_box(&cfg),
+                    )
+                    .ok()
+                })
+            });
         }
     }
     group.finish();
@@ -42,11 +38,13 @@ fn bench_axis<F: Fn(u64) -> PaperWorkload>(
 
 fn main() {
     let mut c: Criterion = quick_criterion();
-    bench_axis(&mut c, "scaling_tasks", &[50, 100, 200], |v| PaperWorkload {
-        tasks: (v as usize, v as usize),
-        epsilon: 1,
-        granularity: 1.0,
-        ..Default::default()
+    bench_axis(&mut c, "scaling_tasks", &[50, 100, 200], |v| {
+        PaperWorkload {
+            tasks: (v as usize, v as usize),
+            epsilon: 1,
+            granularity: 1.0,
+            ..Default::default()
+        }
     });
     bench_axis(&mut c, "scaling_procs", &[10, 20, 40], |m| PaperWorkload {
         tasks: (100, 100),
@@ -55,11 +53,13 @@ fn main() {
         granularity: 1.0,
         ..Default::default()
     });
-    bench_axis(&mut c, "scaling_epsilon", &[0, 1, 2, 3], |e| PaperWorkload {
-        tasks: (100, 100),
-        epsilon: e as u8,
-        granularity: 1.0,
-        ..Default::default()
+    bench_axis(&mut c, "scaling_epsilon", &[0, 1, 2, 3], |e| {
+        PaperWorkload {
+            tasks: (100, 100),
+            epsilon: e as u8,
+            granularity: 1.0,
+            ..Default::default()
+        }
     });
     c.final_summary();
 }

@@ -33,9 +33,7 @@ fn main() {
     });
     group.bench_function("crash_analysis_single", |b| {
         let crash = CrashSet::from_procs(&[ltf_platform::ProcId(3)], 20);
-        b.iter(|| {
-            failures::effective_latency(black_box(&inst.graph), black_box(&sched), &crash)
-        })
+        b.iter(|| failures::effective_latency(black_box(&inst.graph), black_box(&sched), &crash))
     });
     group.bench_function("crash_analysis_all_pairs", |b| {
         b.iter(|| failures::tolerates_all_crashes(black_box(&inst.graph), &sched, 20, 1))

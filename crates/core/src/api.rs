@@ -23,7 +23,13 @@ pub fn ltf_schedule(
 ) -> Result<Schedule, ScheduleError> {
     let mut engine = Engine::new(g, p, cfg);
     driver::run(&mut engine, cfg, Policy::Ltf)?;
-    Ok(convert::forward_schedule(engine, g, p, cfg.epsilon, cfg.period))
+    Ok(convert::forward_schedule(
+        engine,
+        g,
+        p,
+        cfg.epsilon,
+        cfg.period,
+    ))
 }
 
 /// The **R-LTF** algorithm (paper §4.2): bottom-up traversal of the
@@ -38,7 +44,13 @@ pub fn rltf_schedule(
     let rev = g.reversed();
     let mut engine = Engine::new(&rev, p, cfg);
     driver::run(&mut engine, cfg, Policy::Rltf)?;
-    Ok(convert::reversed_schedule(engine, g, p, cfg.epsilon, cfg.period))
+    Ok(convert::reversed_schedule(
+        engine,
+        g,
+        p,
+        cfg.epsilon,
+        cfg.period,
+    ))
 }
 
 /// Dispatch by [`AlgoKind`].

@@ -81,7 +81,12 @@ pub(crate) fn reversed_schedule(
     for (ridx, list) in fwd_sources.iter_mut().enumerate() {
         let rep = ReplicaId::from_dense(ridx, nrep);
         let order = g.pred_edges(rep.task);
-        list.sort_by_key(|c| order.iter().position(|&e| e == c.edge).unwrap_or(usize::MAX));
+        list.sort_by_key(|c| {
+            order
+                .iter()
+                .position(|&e| e == c.edge)
+                .unwrap_or(usize::MAX)
+        });
         for c in list.iter_mut() {
             c.sources.sort_unstable();
         }

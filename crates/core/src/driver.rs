@@ -475,7 +475,11 @@ fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Opt
 
 /// Attempt to place all copies of `t` receive-from-all. Mutates the
 /// engine; on failure the caller restores the snapshot.
-fn rltf_try_receive_from_all(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Option<AttemptScore> {
+fn rltf_try_receive_from_all(
+    engine: &mut Engine<'_>,
+    t: TaskId,
+    cluster: bool,
+) -> Option<AttemptScore> {
     let nrep = engine.nrep;
     let plan = SourcePlan::receive_from_all(engine.g, t, nrep);
     let mut max_stage = 0u32;

@@ -226,7 +226,6 @@ impl<'a> Engine<'a> {
         self.sigma[u.index()] > 0.0
     }
 
-
     /// Estimated arrival time of data from a placed source replica onto
     /// processor `u`, ignoring port queueing (used to rank one-to-one
     /// heads, the paper's sort of `B(t_i)` by communication finish times).

@@ -40,5 +40,5 @@ mod driver;
 mod engine;
 pub mod search;
 
-pub use api::{fault_free_reference, ltf_schedule, rltf_schedule, schedule_with};
-pub use config::{AlgoConfig, AlgoKind, ScheduleError};
+pub use crate::api::{fault_free_reference, ltf_schedule, rltf_schedule, schedule_with};
+pub use crate::config::{AlgoConfig, AlgoKind, ScheduleError};

@@ -72,11 +72,7 @@ fn try_period(
 /// found by exponential bracketing plus binary search. Returns the period
 /// and the witnessing schedule, or `None` when even very long periods are
 /// infeasible (e.g. a latency budget that can never be met).
-pub fn min_period(
-    g: &TaskGraph,
-    p: &Platform,
-    opts: &MinPeriodOptions,
-) -> Option<(f64, Schedule)> {
+pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Option<(f64, Schedule)> {
     // Absolute lower bound: every task must fit on its fastest processor,
     // and the replicated total work must fit the aggregate capacity.
     let per_task = g

@@ -23,12 +23,12 @@ struct Case {
 
 fn arb_case() -> impl Strategy<Value = Case> {
     (
-        6usize..28,   // tasks
-        4usize..12,   // processors
-        0u8..3,       // epsilon
-        any::<u64>(), // seed
-        any::<bool>(),// graph family
-        1.0f64..3.0,  // period slack multiplier
+        6usize..28,    // tasks
+        4usize..12,    // processors
+        0u8..3,        // epsilon
+        any::<u64>(),  // seed
+        any::<bool>(), // graph family
+        1.0f64..3.0,   // period slack multiplier
     )
         .prop_map(|(v, m, epsilon, seed, sp, slack)| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -63,8 +63,8 @@ fn arb_case() -> impl Strategy<Value = Case> {
             // Period sized from the replicated work so most cases are
             // feasible without being trivial.
             let nrep = epsilon as f64 + 1.0;
-            let base = nrep * graph.total_exec() * platform.mean_inv_speed()
-                / platform.num_procs() as f64;
+            let base =
+                nrep * graph.total_exec() * platform.mean_inv_speed() / platform.num_procs() as f64;
             let per_task = graph
                 .tasks()
                 .map(|t| graph.exec(t) / platform.max_speed())

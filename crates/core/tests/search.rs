@@ -73,7 +73,10 @@ fn min_period_latency_budget_respected() {
     };
     if let Some((period, sched)) = min_period(&g, &p, &constrained) {
         assert!(sched.latency_upper_bound() <= budget + 1e-9);
-        assert!(period + 1e-9 >= base_period, "budget cannot speed things up");
+        assert!(
+            period + 1e-9 >= base_period,
+            "budget cannot speed things up"
+        );
     }
 }
 
@@ -95,8 +98,7 @@ fn max_epsilon_monotone_wrt_period() {
 fn max_epsilon_witness_tolerates_its_degree() {
     let g = pipeline(4, 1.0, 0.1);
     let p = Platform::homogeneous(6, 1.0, 0.05);
-    let (eps, sched) =
-        max_epsilon(&g, &p, AlgoKind::Rltf, 30.0, None, 2).expect("feasible");
+    let (eps, sched) = max_epsilon(&g, &p, AlgoKind::Rltf, 30.0, None, 2).expect("feasible");
     assert!(eps >= 1);
     assert!(ltf_schedule::failures::tolerates_all_crashes(
         &g,

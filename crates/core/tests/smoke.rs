@@ -15,13 +15,8 @@ fn fig2_variant_rltf_three_stages_on_8_procs() {
     let p = Platform::homogeneous(8, 1.0, 1.0);
     let cfg = AlgoConfig::with_throughput(1, 0.05);
     let s = rltf_schedule(&g, &p, &cfg).expect("R-LTF schedules the variant on 8 procs");
-    validate(&g, &p, &s).unwrap_or_else(|v| {
-        panic!(
-            "invalid R-LTF schedule: {:?}\n{}",
-            v,
-            s.describe(&g, &p)
-        )
-    });
+    validate(&g, &p, &s)
+        .unwrap_or_else(|v| panic!("invalid R-LTF schedule: {:?}\n{}", v, s.describe(&g, &p)));
     eprintln!("R-LTF fig2-variant m=8:\n{}", s.describe(&g, &p));
     assert!(
         s.num_stages() <= 3,

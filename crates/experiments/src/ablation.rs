@@ -118,9 +118,7 @@ pub fn ablation(cfg: &AblationConfig) -> Vec<AblationRecord> {
         granularity: cfg.granularity,
         ..Default::default()
     };
-    let seeds: Vec<u64> = (0..cfg.instances)
-        .map(|k| cfg.seed ^ k as u64)
-        .collect();
+    let seeds: Vec<u64> = (0..cfg.instances).map(|k| cfg.seed ^ k as u64).collect();
 
     VARIANTS
         .iter()

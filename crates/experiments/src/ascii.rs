@@ -52,13 +52,7 @@ pub fn render(fig: &Figure, width: usize, height: usize) -> String {
         let yv = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
         writeln!(out, "{yv:>10.1} |{}", row.iter().collect::<String>()).unwrap();
     }
-    writeln!(
-        out,
-        "{:>10} +{}",
-        "",
-        "-".repeat(width)
-    )
-    .unwrap();
+    writeln!(out, "{:>10} +{}", "", "-".repeat(width)).unwrap();
     writeln!(
         out,
         "{:>10}  {:<.2}{}{:.2}   ({})",

@@ -105,10 +105,7 @@ pub fn sweep(epsilon: u8, crashes: usize, cfg: &SweepConfig) -> SweepData {
     }
 }
 
-fn collect<'a>(
-    recs: &'a [RunRecord],
-    algo: &'a str,
-) -> impl Iterator<Item = &'a RunRecord> + 'a {
+fn collect<'a>(recs: &'a [RunRecord], algo: &'a str) -> impl Iterator<Item = &'a RunRecord> + 'a {
     recs.iter().filter(move |r| r.algo == algo && r.feasible)
 }
 

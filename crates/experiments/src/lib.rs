@@ -25,7 +25,7 @@ pub mod scaling;
 pub mod stats;
 pub mod workload;
 
-pub use figures::{panel, sweep, Panel, SweepConfig, SweepData};
-pub use runner::{measure_instance, parallel_map, RunRecord};
-pub use stats::{Figure, Series, SeriesPoint};
-pub use workload::{gen_instance, Instance, PaperWorkload};
+pub use crate::figures::{panel, sweep, Panel, SweepConfig, SweepData};
+pub use crate::runner::{measure_instance, parallel_map, RunRecord};
+pub use crate::stats::{Figure, Series, SeriesPoint};
+pub use crate::workload::{gen_instance, Instance, PaperWorkload};

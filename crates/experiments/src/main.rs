@@ -11,7 +11,8 @@
 //!   fig4      granularity sweep, ε = 3 (panels a, b, c + feasibility)
 //!   scaling   runtime scaling vs v, m, ε (Theorem 1)
 //!   ablation  design ablations (Rule 1 / Rule 2 / one-to-one / chunk)
-//!   all       everything above
+//!   all       fig1 fig2 fig3 fig4 (the default; scaling and ablation
+//!             run long, so they stay opt-in)
 //! ```
 
 use ltf_experiments::ablation::{ablation, table as ablation_table, AblationConfig};
@@ -59,10 +60,18 @@ fn parse_args() -> Opts {
             "--util" => opts.utilization = next("--util").parse().expect("number"),
             "--threads" => opts.threads = next("--threads").parse().expect("number"),
             "--quick" => opts.quick = true,
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
             cmd if !cmd.starts_with('-') && opts.command.is_empty() => {
                 opts.command = cmd.to_string();
             }
-            other => panic!("unknown argument: {other}"),
+            other => {
+                eprintln!("unknown argument: {other}\n");
+                print_usage();
+                std::process::exit(2);
+            }
         }
     }
     if opts.command.is_empty() {
@@ -98,7 +107,11 @@ fn save_figure(dir: &Path, fig: &Figure) {
     )
     .expect("write json");
     println!("{}", ascii::render(fig, 64, 18));
-    println!("  wrote {} and {}\n", csv_path.display(), json_path.display());
+    println!(
+        "  wrote {} and {}\n",
+        csv_path.display(),
+        json_path.display()
+    );
 }
 
 fn run_granularity_figure(o: &Opts, eps: u8, crashes: usize) {
@@ -152,9 +165,7 @@ fn run_fig1() {
         ),
         Err(e) => println!("(d) pipelined (R-LTF): infeasible ({e})"),
     }
-    println!(
-        "\npaper's values: (b) L=39, T=1/39   (c) T=2/40=1/20   (d) L=90, T=1/30, S=2\n"
-    );
+    println!("\npaper's values: (b) L=39, T=1/39   (c) T=2/40=1/20   (d) L=90, T=1/30, S=2\n");
 }
 
 fn run_fig2() {
@@ -166,7 +177,10 @@ fn run_fig2() {
     let cfg = AlgoConfig::with_throughput(1, 0.05);
     for (name, g) in [
         ("reconstruction", fig2_workflow()),
-        ("variant E(t2)=3 (see DESIGN.md §2.10)", fig2_workflow_variant()),
+        (
+            "variant E(t2)=3 (see DESIGN.md §2.10)",
+            fig2_workflow_variant(),
+        ),
     ] {
         println!("--- graph: {name} ---");
         for m in [8usize, 10] {
@@ -190,6 +204,31 @@ fn run_fig2() {
         println!();
     }
     println!("paper's values: R-LTF m=8: S=3 L=100; LTF m=8 fails; LTF m=10: S=4 L=140\n");
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: ltf-experiments [COMMAND] [OPTIONS]\n\
+         \n\
+         commands:\n\
+         \x20 fig1       motivating example (4-task diamond)\n\
+         \x20 fig2       worked example (ε = 1, T = 0.05)\n\
+         \x20 fig3       granularity sweep, ε = 1, c = 1\n\
+         \x20 fig4       granularity sweep, ε = 3, c = 2\n\
+         \x20 scaling    runtime scaling over (v, m, ε)\n\
+         \x20 ablation   R-LTF rule ablations\n\
+         \x20 all        fig1 fig2 fig3 fig4 (default)\n\
+         \n\
+         options:\n\
+         \x20 --graphs N       graphs per sweep point (default 60)\n\
+         \x20 --seed N         base RNG seed\n\
+         \x20 --out DIR        output directory (default results/)\n\
+         \x20 --crash-draws N  sampled crash sets per instance (default 10)\n\
+         \x20 --util X         target platform utilization (default 0.25)\n\
+         \x20 --threads N      worker threads (default: all cores)\n\
+         \x20 --quick          reduced sizes for smoke runs\n\
+         \x20 --help, -h       this message"
+    );
 }
 
 fn main() {
@@ -242,8 +281,8 @@ fn main() {
             run_granularity_figure(&o, 3, 2);
         }
         other => {
-            eprintln!("unknown command: {other}");
-            eprintln!("commands: fig1 fig2 fig3 fig4 scaling ablation all");
+            eprintln!("unknown command: {other}\n");
+            print_usage();
             std::process::exit(2);
         }
     }

@@ -153,14 +153,28 @@ pub fn measure_instance(
 ) -> Vec<RunRecord> {
     let inst = gen_instance(cfg, seed);
     vec![
-        measure(&inst, AlgoKind::Rltf, seed, cfg.granularity, crashes, crash_draws),
-        measure(&inst, AlgoKind::Ltf, seed, cfg.granularity, crashes, crash_draws),
+        measure(
+            &inst,
+            AlgoKind::Rltf,
+            seed,
+            cfg.granularity,
+            crashes,
+            crash_draws,
+        ),
+        measure(
+            &inst,
+            AlgoKind::Ltf,
+            seed,
+            cfg.granularity,
+            crashes,
+            crash_draws,
+        ),
         measure_fault_free(&inst, seed, cfg.granularity),
     ]
 }
 
-/// Run `f` over every seed on a crossbeam worker pool (one worker per CPU,
-/// atomic work stealing); the output order matches `seeds`.
+/// Run `f` over every seed on a scoped worker pool (atomic work stealing
+/// over the seed indices); the output order matches `seeds`.
 pub fn parallel_map<T, F>(seeds: &[u64], threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -172,13 +186,13 @@ where
     }
     let threads = threads.max(1).min(n);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
-    crossbeam::thread::scope(|scope| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let f = &f;
             let next = &next;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -191,9 +205,10 @@ where
         for (i, v) in rx {
             out[i] = Some(v);
         }
-        out.into_iter().map(|v| v.expect("all slots filled")).collect()
+        out.into_iter()
+            .map(|v| v.expect("all slots filled"))
+            .collect()
     })
-    .expect("worker panicked")
 }
 
 #[cfg(test)]

@@ -81,7 +81,9 @@ fn measure_point(
         ..Default::default()
     };
     let seeds: Vec<u64> = (0..cfg.reps)
-        .map(|k| cfg.seed ^ ((v as u64) << 32) ^ ((m as u64) << 16) ^ ((epsilon as u64) << 8) ^ k as u64)
+        .map(|k| {
+            cfg.seed ^ ((v as u64) << 32) ^ ((m as u64) << 16) ^ ((epsilon as u64) << 8) ^ k as u64
+        })
         .collect();
     let results = parallel_map(&seeds, cfg.threads, |s| {
         let inst = gen_instance(&wl, s);

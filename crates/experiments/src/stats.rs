@@ -93,11 +93,7 @@ impl Figure {
         for x in xs {
             write!(s, "{x:.4}").unwrap();
             for series in &self.series {
-                match series
-                    .points
-                    .iter()
-                    .find(|p| (p.x - x).abs() < 1e-12)
-                {
+                match series.points.iter().find(|p| (p.x - x).abs() < 1e-12) {
                     Some(p) => write!(s, ",{:.6}", p.mean).unwrap(),
                     None => write!(s, ",").unwrap(),
                 }

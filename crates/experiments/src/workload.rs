@@ -154,10 +154,8 @@ mod tests {
                 // The binding resource (compute or port time) sits at U*.
                 let nrep = eps as f64 + 1.0;
                 let cap = 20.0 * inst.period;
-                let u_comp =
-                    nrep * inst.graph.total_exec() * inst.platform.mean_inv_speed() / cap;
-                let u_comm =
-                    nrep * inst.graph.total_volume() * inst.platform.mean_delay() / cap;
+                let u_comp = nrep * inst.graph.total_exec() * inst.platform.mean_inv_speed() / cap;
+                let u_comm = nrep * inst.graph.total_volume() * inst.platform.mean_delay() / cap;
                 let u = u_comp.max(u_comm);
                 assert!((u - 0.25).abs() < 1e-9, "utilization {u}");
                 assert!(u_comp <= 0.25 + 1e-9 && u_comm <= 0.25 + 1e-9);

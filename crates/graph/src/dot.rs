@@ -9,18 +9,16 @@ pub fn to_dot(g: &TaskGraph) -> String {
     let mut s = String::with_capacity(64 * g.num_tasks());
     s.push_str("digraph workflow {\n  rankdir=TB;\n  node [shape=box];\n");
     for t in g.tasks() {
-        writeln!(
-            s,
-            "  {} [label=\"{} ({:.3})\"];",
-            t.0,
-            g.name(t),
-            g.exec(t)
-        )
-        .unwrap();
+        writeln!(s, "  {} [label=\"{} ({:.3})\"];", t.0, g.name(t), g.exec(t)).unwrap();
     }
     for eid in g.edge_ids() {
         let e = g.edge(eid);
-        writeln!(s, "  {} -> {} [label=\"{:.3}\"];", e.src.0, e.dst.0, e.volume).unwrap();
+        writeln!(
+            s,
+            "  {} -> {} [label=\"{:.3}\"];",
+            e.src.0, e.dst.0, e.volume
+        )
+        .unwrap();
     }
     s.push_str("}\n");
     s

@@ -19,10 +19,7 @@ use crate::ids::TaskId;
 /// and `split(f) → split(f+1)` (capture order).
 pub fn video_encoder(frames: usize, slices: usize) -> TaskGraph {
     assert!(frames >= 1 && slices >= 1);
-    let mut b = GraphBuilder::with_capacity(
-        frames * (2 + 3 * slices),
-        frames * (4 * slices + 2),
-    );
+    let mut b = GraphBuilder::with_capacity(frames * (2 + 3 * slices), frames * (4 * slices + 2));
     let mut prev_assemble: Option<TaskId> = None;
     let mut prev_split: Option<TaskId> = None;
     for f in 0..frames {
@@ -152,10 +149,7 @@ pub fn mapreduce(mappers: usize, reducers: usize) -> TaskGraph {
 /// a synthesis recombination — audio codecs and software radio in shape.
 pub fn filter_bank(channels: usize, depth: usize) -> TaskGraph {
     assert!(channels >= 1 && depth >= 1);
-    let mut b = GraphBuilder::with_capacity(
-        channels * depth + 2,
-        channels * (depth + 1),
-    );
+    let mut b = GraphBuilder::with_capacity(channels * depth + 2, channels * (depth + 1));
     let analysis = b.add_named_task("analysis", 4.0);
     let synthesis = b.add_named_task("synthesis", 4.0);
     for c in 0..channels {
@@ -198,7 +192,7 @@ mod tests {
     #[test]
     fn fft_shape() {
         let g = fft(3); // 8-point FFT
-        // 1 + 3 ranks × 4 butterflies + 1 = 14 tasks.
+                        // 1 + 3 ranks × 4 butterflies + 1 = 14 tasks.
         assert_eq!(g.num_tasks(), 14);
         assert_eq!(g.entries().len(), 1);
         assert_eq!(g.exits().len(), 1);
@@ -211,7 +205,7 @@ mod tests {
         let g = wavefront(4, 3);
         assert_eq!(g.num_tasks(), 12);
         assert_eq!(g.num_edges(), 3 * 3 + 4 * 2); // horizontal + vertical
-        // Single entry (0,0), single exit (3,2).
+                                                  // Single entry (0,0), single exit (3,2).
         assert_eq!(g.entries().len(), 1);
         assert_eq!(g.exits().len(), 1);
         // Anti-diagonal width.

@@ -103,10 +103,10 @@ pub fn layered<R: Rng>(cfg: &LayeredConfig, rng: &mut R) -> TaskGraph {
 
     let mut edge_set = std::collections::HashSet::new();
     let add_edge = |b: &mut GraphBuilder,
-                        rng: &mut R,
-                        src: TaskId,
-                        dst: TaskId,
-                        edge_set: &mut std::collections::HashSet<(TaskId, TaskId)>|
+                    rng: &mut R,
+                    src: TaskId,
+                    dst: TaskId,
+                    edge_set: &mut std::collections::HashSet<(TaskId, TaskId)>|
      -> bool {
         if src == dst || !edge_set.insert((src, dst)) {
             return false;

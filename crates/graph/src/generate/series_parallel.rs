@@ -47,10 +47,7 @@ pub fn series_parallel<R: Rng>(cfg: &SeriesParallelConfig, rng: &mut R) -> TaskG
 
     // Work on a mutable edge list of (src, dst) using local indices; weights
     // drawn at the end so that edge insertion order does not skew them.
-    let mut exec: Vec<f64> = vec![
-        sample(rng, cfg.exec_range),
-        sample(rng, cfg.exec_range),
-    ];
+    let mut exec: Vec<f64> = vec![sample(rng, cfg.exec_range), sample(rng, cfg.exec_range)];
     let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
 
     while exec.len() < cfg.tasks {

@@ -514,7 +514,10 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert!(matches!(GraphBuilder::new().build(), Err(GraphError::Empty)));
+        assert!(matches!(
+            GraphBuilder::new().build(),
+            Err(GraphError::Empty)
+        ));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod width;
 
 mod ids;
 
-pub use graph::{Edge, GraphBuilder, GraphError, TaskGraph};
-pub use ids::{EdgeId, TaskId};
-pub use levels::{bottom_levels, critical_path_length, priorities, top_levels, Weights};
-pub use width::width;
+pub use crate::graph::{Edge, GraphBuilder, GraphError, TaskGraph};
+pub use crate::ids::{EdgeId, TaskId};
+pub use crate::levels::{bottom_levels, critical_path_length, priorities, top_levels, Weights};
+pub use crate::width::width;

@@ -16,7 +16,9 @@ fn arb_dag() -> impl Strategy<Value = TaskGraph> {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = GraphBuilder::new();
-        let ids: Vec<TaskId> = (0..n).map(|_| b.add_task(rng.gen_range(0.5..4.0))).collect();
+        let ids: Vec<TaskId> = (0..n)
+            .map(|_| b.add_task(rng.gen_range(0.5..4.0)))
+            .collect();
         for i in 0..n {
             for j in (i + 1)..n {
                 if rng.gen_bool(0.25) {

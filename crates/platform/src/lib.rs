@@ -17,6 +17,6 @@ pub mod builders;
 pub mod platform;
 pub mod topology;
 
-pub use builders::HeterogeneousConfig;
-pub use topology::Topology;
-pub use platform::{AverageWeights, AverageWeightsInput, Platform, ProcId};
+pub use crate::builders::HeterogeneousConfig;
+pub use crate::platform::{AverageWeights, AverageWeightsInput, Platform, ProcId};
+pub use crate::topology::Topology;

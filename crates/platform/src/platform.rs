@@ -47,7 +47,12 @@ impl Platform {
         for k in 0..m {
             for h in 0..m {
                 let d = delays[k * m + h];
-                assert!(d.is_finite() && d >= 0.0, "delay P{}->P{} is {d}", k + 1, h + 1);
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "delay P{}->P{} is {d}",
+                    k + 1,
+                    h + 1
+                );
                 if k == h {
                     assert!(d == 0.0, "self-delay of P{} must be zero", k + 1);
                 }
@@ -271,10 +276,7 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let p = Platform::from_parts(
-            vec![1.0, 2.0],
-            vec![0.0, 0.25, 0.75, 0.0],
-        );
+        let p = Platform::from_parts(vec![1.0, 2.0], vec![0.0, 0.25, 0.75, 0.0]);
         assert_eq!(p.min_speed(), 1.0);
         assert_eq!(p.mean_inv_speed(), 0.75);
         assert_eq!(p.max_delay(), 0.75);

@@ -16,9 +16,8 @@ pub fn gantt(g: &TaskGraph, p: &Platform, sched: &Schedule, width: usize) -> Str
         .map(|r| sched.finish(r))
         .chain(sched.comm_events().iter().map(|e| e.finish))
         .fold(sched.period(), f64::max);
-    let col = |t: f64| -> usize {
-        ((t / horizon) * width as f64).round().min(width as f64) as usize
-    };
+    let col =
+        |t: f64| -> usize { ((t / horizon) * width as f64).round().min(width as f64) as usize };
 
     let mut out = String::new();
     writeln!(

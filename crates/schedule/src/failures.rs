@@ -7,11 +7,11 @@
 //! crash set and (b) whether a schedule really tolerates *every* crash
 //! pattern of a given size.
 
+use self::rand_like::RngLike;
 use crate::schedule::Schedule;
 use crate::stages;
 use ltf_graph::TaskGraph;
 use ltf_platform::ProcId;
-use rand_like::RngLike;
 
 /// A set of crashed processors over a platform of `m` processors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,7 +100,7 @@ mod rand_like {
     }
 }
 
-pub use rand_like::RngLike as CrashRng;
+pub use self::rand_like::RngLike as CrashRng;
 
 /// Sample `c` distinct crashed processors uniformly from `0..m`
 /// (paper §5: "processors that fail during the schedule process are chosen
@@ -267,10 +267,7 @@ mod tests {
         let mut rng = |_b: usize| 0usize;
         let s = sample_crash_set(10, 4, &mut rng);
         assert_eq!(s.len(), 4);
-        assert_eq!(
-            s.procs(),
-            vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)]
-        );
+        assert_eq!(s.procs(), vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)]);
     }
 
     #[test]

@@ -33,13 +33,13 @@ pub mod schedule;
 pub mod stages;
 pub mod validate;
 
-pub use comm::CommEvent;
-pub use failures::CrashSet;
-pub use granularity::granularity;
-pub use intervals::IntervalSet;
-pub use replica::{ReplicaId, SourceChoice};
-pub use schedule::{Schedule, ScheduleData};
-pub use validate::{validate, Violation};
+pub use crate::comm::CommEvent;
+pub use crate::failures::CrashSet;
+pub use crate::granularity::granularity;
+pub use crate::intervals::IntervalSet;
+pub use crate::replica::{ReplicaId, SourceChoice};
+pub use crate::schedule::{Schedule, ScheduleData};
+pub use crate::validate::{validate, Violation};
 
 /// Absolute tolerance used in feasibility and validation comparisons.
 pub const EPS: f64 = 1e-6;

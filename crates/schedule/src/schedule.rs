@@ -257,10 +257,7 @@ impl Schedule {
 
     /// Replicas hosted on processor `u`, in start-time order.
     pub fn replicas_on(&self, u: ProcId) -> Vec<ReplicaId> {
-        let mut reps: Vec<ReplicaId> = self
-            .replicas()
-            .filter(|r| self.proc(*r) == u)
-            .collect();
+        let mut reps: Vec<ReplicaId> = self.replicas().filter(|r| self.proc(*r) == u).collect();
         reps.sort_by(|a, b| {
             self.start(*a)
                 .partial_cmp(&self.start(*b))

@@ -237,7 +237,10 @@ mod tests {
         let (g, proc_of, sources) = replicated_chain();
         // Kill both copies of the exit path: P1 (copy 0) and P4 (copy 1 exit).
         let crash = CrashSet::from_procs(&[ProcId(0), ProcId(3)], 4);
-        assert_eq!(effective_stage_count(&g, 2, &proc_of, &sources, &crash), None);
+        assert_eq!(
+            effective_stage_count(&g, 2, &proc_of, &sources, &crash),
+            None
+        );
     }
 
     #[test]

@@ -228,31 +228,19 @@ pub fn validate(g: &TaskGraph, p: &Platform, sched: &Schedule) -> Result<(), Vec
                                 continue;
                             }
                             match by_pair.get(&(r.dense(nrep), src.dense(nrep), eid.0)) {
-                                None => {
-                                    out.push(Violation::MissingCommEvent { dst: r, src })
-                                }
+                                None => out.push(Violation::MissingCommEvent { dst: r, src }),
                                 Some(&i) => {
                                     matched[i] = true;
                                     let ev = sched.comm_events()[i];
-                                    let want =
-                                        p.comm_time(g.edge(eid).volume, h, u);
+                                    let want = p.comm_time(g.edge(eid).volume, h, u);
                                     if (ev.duration() - want).abs() > EPS {
-                                        out.push(Violation::WrongCommDuration {
-                                            dst: r,
-                                            src,
-                                        });
+                                        out.push(Violation::WrongCommDuration { dst: r, src });
                                     }
                                     if ev.start < sched.finish(src) - EPS {
-                                        out.push(Violation::CommBeforeSourceFinish {
-                                            dst: r,
-                                            src,
-                                        });
+                                        out.push(Violation::CommBeforeSourceFinish { dst: r, src });
                                     }
                                     if ev.finish > rs + EPS {
-                                        out.push(Violation::ArrivalAfterStart {
-                                            dst: r,
-                                            src,
-                                        });
+                                        out.push(Violation::ArrivalAfterStart { dst: r, src });
                                     }
                                 }
                             }
@@ -415,11 +403,7 @@ mod tests {
         assert_eq!(s.comm_count(), 2);
     }
 
-    fn rebuild_with(
-        g: &TaskGraph,
-        p: &Platform,
-        f: impl FnOnce(&mut ScheduleData),
-    ) -> Schedule {
+    fn rebuild_with(g: &TaskGraph, p: &Platform, f: impl FnOnce(&mut ScheduleData)) -> Schedule {
         let (_, _, s) = good_schedule();
         let mut data = ScheduleData {
             epsilon: s.epsilon(),
@@ -465,7 +449,9 @@ mod tests {
             d.period = 2.5; // message takes 3 > 2.5 (and compute too)
         });
         let errs = validate(&g, &p, &s).unwrap_err();
-        assert!(errs.iter().any(|v| matches!(v, Violation::InputOverload { .. })));
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::InputOverload { .. })));
         assert!(errs
             .iter()
             .any(|v| matches!(v, Violation::OutputOverload { .. })));

@@ -1,9 +1,9 @@
 //! Property-based tests on intervals, crash sets, and stage analyses.
 
+use ltf_platform::ProcId;
 use ltf_schedule::failures::{all_crash_sets, sample_crash_set};
 use ltf_schedule::intervals::earliest_common_fit;
 use ltf_schedule::{CrashSet, IntervalSet};
-use ltf_platform::ProcId;
 use proptest::prelude::*;
 
 proptest! {

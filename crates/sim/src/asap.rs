@@ -71,8 +71,7 @@ pub fn asap(g: &TaskGraph, sched: &Schedule, cfg: &AsapConfig) -> SimReport {
         None => (None, f64::INFINITY),
     };
     let crashed = |proc: usize, time: f64| -> bool {
-        time > crash_at
-            && crash.is_some_and(|c| c.contains(ltf_platform::ProcId(proc as u16)))
+        time > crash_at && crash.is_some_and(|c| c.contains(ltf_platform::ProcId(proc as u16)))
     };
 
     // Static structure: per replica, the number of in-edges; per replica,
@@ -116,9 +115,7 @@ pub fn asap(g: &TaskGraph, sched: &Schedule, cfg: &AsapConfig) -> SimReport {
                 let pred = g.edge(choice.edge).src;
                 for &sc in &choice.sources {
                     let src = rep_of(pred, sc);
-                    if sched.proc(ReplicaId::new(pred, sc))
-                        == sched.proc(ReplicaId::new(t, c))
-                    {
+                    if sched.proc(ReplicaId::new(pred, sc)) == sched.proc(ReplicaId::new(t, c)) {
                         local_out[src].push((r as u32, choice.edge.0));
                     }
                 }
@@ -147,14 +144,12 @@ pub fn asap(g: &TaskGraph, sched: &Schedule, cfg: &AsapConfig) -> SimReport {
     let mut heap: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let key = |t: f64| -> u64 { t.to_bits() }; // times are non-negative finite
-    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-                    seq: &mut u64,
-                    t: f64,
-                    e: Event| {
-        debug_assert!(t.is_finite() && t >= 0.0);
-        *seq += 1;
-        heap.push(Reverse((key(t), *seq, e)));
-    };
+    let push =
+        |heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, seq: &mut u64, t: f64, e: Event| {
+            debug_assert!(t.is_finite() && t >= 0.0);
+            *seq += 1;
+            heap.push(Reverse((key(t), *seq, e)));
+        };
 
     // Admit entry jobs.
     for &t in g.entries() {
@@ -222,12 +217,7 @@ pub fn asap(g: &TaskGraph, sched: &Schedule, cfg: &AsapConfig) -> SimReport {
                     );
                 }
                 for &mi in &out_msgs[r] {
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        now,
-                        Event::MsgReady { ev: mi, item },
-                    );
+                    push(&mut heap, &mut seq, now, Event::MsgReady { ev: mi, item });
                 }
             }
             Event::MsgReady { ev, item } => {

@@ -26,6 +26,6 @@ pub mod asap;
 pub mod report;
 pub mod synchronous;
 
-pub use asap::{asap, AsapConfig};
-pub use report::SimReport;
-pub use synchronous::{synchronous, SynchronousConfig};
+pub use crate::asap::{asap, AsapConfig};
+pub use crate::report::SimReport;
+pub use crate::synchronous::{synchronous, SynchronousConfig};

@@ -18,7 +18,10 @@ fn main() {
     let apps: Vec<(&str, TaskGraph)> = vec![
         ("fft(16-point)", apps::fft(4)),
         ("filter_bank(8x4)", apps::filter_bank(8, 4)),
-        ("video_encoder(2 frames x 6 slices)", apps::video_encoder(2, 6)),
+        (
+            "video_encoder(2 frames x 6 slices)",
+            apps::video_encoder(2, 6),
+        ),
         ("mapreduce(6x4)", apps::mapreduce(6, 4)),
         ("wavefront(6x6)", apps::wavefront(6, 6)),
     ];
@@ -68,11 +71,17 @@ fn main() {
     let (best, _) = search::min_period(&g, &p, &opts).expect("feasible");
     let cfg = AlgoConfig::new(1, best / 0.7);
     let s = rltf_schedule(&g, &p, &cfg).expect("feasible");
-    println!("\nR-LTF on the 16-point FFT (ε = 1, Δ = {:.2}):", s.period());
+    println!(
+        "\nR-LTF on the 16-point FFT (ε = 1, Δ = {:.2}):",
+        s.period()
+    );
     print!("{}", gantt(&g, &p, &s, 72));
     let summary = summarize(&g, &p, &s);
     let json = serde_json::to_string_pretty(&summary).expect("serializable");
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/fft_schedule.json", &json).expect("write json");
-    println!("\nfull schedule exported to results/fft_schedule.json ({} bytes)", json.len());
+    println!(
+        "\nfull schedule exported to results/fft_schedule.json ({} bytes)",
+        json.len()
+    );
 }

@@ -75,9 +75,9 @@ fn main() {
             Some(l) => println!(
                 "  {c} crashes: {survived}/{total} patterns survived, worst latency {l:.1}"
             ),
-            None => println!(
-                "  {c} crashes: {survived}/{total} patterns survived (some outputs lost)"
-            ),
+            None => {
+                println!("  {c} crashes: {survived}/{total} patterns survived (some outputs lost)")
+            }
         }
     }
     println!("\nwithin ε the guarantee is absolute; beyond it, degradation is gradual.");

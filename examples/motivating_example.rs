@@ -7,8 +7,8 @@
 
 use ltf_sched::baselines::{data_parallel, task_parallel};
 use ltf_sched::core::{rltf_schedule, AlgoConfig};
-use ltf_sched::graph::generate::fig1_diamond;
 use ltf_sched::graph::dot::to_dot;
+use ltf_sched::graph::generate::fig1_diamond;
 use ltf_sched::platform::Platform;
 
 fn main() {

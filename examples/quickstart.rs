@@ -27,17 +27,14 @@ fn main() {
     let g = b.build().expect("acyclic workflow");
 
     // Six processors, two fast; all links with unit delay 0.4.
-    let p = Platform::from_parts(
-        vec![2.0, 2.0, 1.0, 1.0, 1.0, 1.0],
-        {
-            let m = 6;
-            let mut d = vec![0.4; m * m];
-            for u in 0..m {
-                d[u * m + u] = 0.0;
-            }
-            d
-        },
-    );
+    let p = Platform::from_parts(vec![2.0, 2.0, 1.0, 1.0, 1.0, 1.0], {
+        let m = 6;
+        let mut d = vec![0.4; m * m];
+        for u in 0..m {
+            d[u * m + u] = 0.0;
+        }
+        d
+    });
 
     // Tolerate one crash (ε = 1) while emitting a frame every 12 units.
     let cfg = AlgoConfig::with_throughput(1, 1.0 / 12.0);

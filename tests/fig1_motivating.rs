@@ -45,7 +45,10 @@ fn pipelined_execution_matches_paper() {
     let s = rltf_schedule(&g, &p, &cfg).expect("pipelined mapping at T = 1/30");
     validate(&g, &p, &s).expect("valid");
     assert_eq!(s.num_stages(), 2, "paper's S = 2");
-    assert!((s.latency_upper_bound() - 90.0).abs() < 1e-9, "paper's L = 90");
+    assert!(
+        (s.latency_upper_bound() - 90.0).abs() < 1e-9,
+        "paper's L = 90"
+    );
     // Each task is replicated once and copies sit on distinct processors.
     assert_eq!(s.replicas_per_task(), 2);
 }
@@ -58,7 +61,10 @@ fn pipelined_beats_task_parallel_throughput_and_loses_latency() {
     let tp = task_parallel(&g, &p, 1);
     let cfg = AlgoConfig::new(1, 30.0);
     let s = rltf_schedule(&g, &p, &cfg).unwrap();
-    assert!(1.0 / s.period() > tp.throughput, "pipelining raises throughput");
+    assert!(
+        1.0 / s.period() > tp.throughput,
+        "pipelining raises throughput"
+    );
     assert!(
         s.latency_upper_bound() > tp.latency,
         "pipelining pays with latency"

@@ -64,7 +64,10 @@ fn reconstruction_regression() {
     let ltf = ltf_schedule(&g, &p8, &cfg()).expect("LTF succeeds on m=8");
     validate(&g, &p8, &ltf).expect("valid");
     assert!(ltf.num_stages() >= 4);
-    assert!(rltf_schedule(&g, &p8, &cfg()).is_err(), "R-LTF fails on m=8");
+    assert!(
+        rltf_schedule(&g, &p8, &cfg()).is_err(),
+        "R-LTF fails on m=8"
+    );
 
     // With two more processors both succeed; R-LTF gets back under LTF.
     let p10 = Platform::homogeneous(10, 1.0, 1.0);
@@ -72,7 +75,10 @@ fn reconstruction_regression() {
     let rltf10 = rltf_schedule(&g, &p10, &cfg()).expect("R-LTF m=10");
     validate(&g, &p10, &rltf10).expect("valid");
     assert!(rltf10.num_stages() <= ltf10.num_stages());
-    assert!((rltf10.latency_upper_bound() - 140.0).abs() < 1e-9, "S = 4 → L = 140");
+    assert!(
+        (rltf10.latency_upper_bound() - 140.0).abs() < 1e-9,
+        "S = 4 → L = 140"
+    );
 }
 
 #[test]

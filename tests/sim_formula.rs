@@ -44,8 +44,7 @@ fn synchronous_simulation_equals_effective_latency() {
             // Every single crash: agreement again.
             for crash in failures::all_crash_sets(m, 1) {
                 let want = failures::effective_latency(&g, &s, &crash);
-                let run =
-                    synchronous(&g, &s, &SynchronousConfig::with_crash(3, crash));
+                let run = synchronous(&g, &s, &SynchronousConfig::with_crash(3, crash));
                 match want {
                     Some(l) => {
                         assert_eq!(run.produced(), 3);

@@ -59,9 +59,8 @@ fn schedules_validate_across_shapes_and_epsilons() {
                 let Ok(s) = schedule_with(kind, &g, &p, &cfg) else {
                     continue; // infeasibility is legitimate; validity is not optional
                 };
-                validate(&g, &p, &s).unwrap_or_else(|v| {
-                    panic!("{kind} on {name} (ε={eps}) invalid: {v:?}")
-                });
+                validate(&g, &p, &s)
+                    .unwrap_or_else(|v| panic!("{kind} on {name} (ε={eps}) invalid: {v:?}"));
                 assert!(s.achieved_throughput() + 1e-12 >= 1.0 / period);
                 assert_eq!(s.replicas_per_task(), eps as usize + 1);
                 checked += 1;
@@ -119,10 +118,7 @@ fn effective_latency_monotone_in_crashes() {
             if single.contains(ltf_sched::platform::ProcId(second)) {
                 continue;
             }
-            let pair = CrashSet::from_procs(
-                &[first, ltf_sched::platform::ProcId(second)],
-                8,
-            );
+            let pair = CrashSet::from_procs(&[first, ltf_sched::platform::ProcId(second)], 8);
             let l2 = failures::effective_latency(&g, &s, &pair).unwrap();
             assert!(l2 + 1e-9 >= l1, "latency shrank when adding a crash");
         }

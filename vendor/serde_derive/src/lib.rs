@@ -1,0 +1,252 @@
+//! Derive macros for the hermetic `serde` subset.
+//!
+//! `syn`/`quote` are unavailable offline, so the input is parsed directly
+//! from the raw [`proc_macro::TokenStream`]. Supported shapes — the only
+//! ones this workspace derives on:
+//!
+//! * named-field structs → `Value::Map` in declaration order,
+//! * tuple structs with one field (newtypes) → the inner value,
+//! * tuple structs with several fields → `Value::Seq`,
+//! * unit structs → `Value::Null`,
+//! * fieldless enums → `Value::Str(variant_name)`.
+//!
+//! Generic types and data-carrying enums are rejected with a compile error
+//! naming this file, so the gap is explicit rather than silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    FieldlessEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip one `#[...]` attribute (outer attributes precede the item and each
+/// field). `idx` sits on the `#`.
+fn skip_attr(tokens: &[TokenTree], mut idx: usize) -> usize {
+    idx += 1; // '#'
+    if matches!(&tokens[idx], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket) {
+        idx += 1;
+    }
+    idx
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+
+    let is_enum = loop {
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => idx = skip_attr(&tokens, idx),
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                idx += 1;
+                // `pub(crate)` and friends carry a parenthesized restriction.
+                if matches!(tokens.get(idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    idx += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            other => return Err(format!("unexpected token before struct/enum: {other:?}")),
+        }
+    };
+    idx += 1;
+
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    idx += 1;
+
+    if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match tokens.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_enum {
+                Shape::FieldlessEnum(parse_fieldless_variants(&name, &body)?)
+            } else {
+                Shape::Named(parse_named_fields(&body))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Shape::Tuple(count_tuple_fields(
+                &g.stream().into_iter().collect::<Vec<_>>(),
+            ))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => Shape::Unit,
+        other => return Err(format!("unsupported item body for `{name}`: {other:?}")),
+    };
+
+    Ok(Input { name, shape })
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < body.len() {
+        match &body[idx] {
+            TokenTree::Punct(p) if p.as_char() == '#' => idx = skip_attr(body, idx),
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                idx += 1;
+                if matches!(body.get(idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    idx += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                idx += 1;
+                // Skip `: Type` up to the next top-level comma. Angle
+                // brackets arrive as plain puncts, so track their depth to
+                // ignore commas inside `Vec<(A, B)>`-style types.
+                let mut angle: i32 = 0;
+                while idx < body.len() {
+                    match &body[idx] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            idx += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    idx += 1;
+                }
+            }
+            _ => idx += 1,
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count + 1).
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    for (i, tok) in body.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            // A trailing comma does not introduce a field.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && i + 1 < body.len() => {
+                count += 1
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_fieldless_variants(name: &str, body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < body.len() {
+        match &body[idx] {
+            TokenTree::Punct(p) if p.as_char() == '#' => idx = skip_attr(body, idx),
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                idx += 1;
+                match body.get(idx) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+                    // `= discriminant` runs to the next comma.
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        while idx < body.len()
+                            && !matches!(&body[idx], TokenTree::Punct(p) if p.as_char() == ',')
+                        {
+                            idx += 1;
+                        }
+                        idx += 1;
+                    }
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "vendored serde derive does not support data-carrying enum `{name}`"
+                        ))
+                    }
+                    other => return Err(format!("unexpected token in enum `{name}`: {other:?}")),
+                }
+            }
+            _ => idx += 1,
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let entries = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(::std::vec![{entries}])")
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::FieldlessEnum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .unwrap()
+}

@@ -1,0 +1,166 @@
+//! Hermetic JSON *writer* over the vendored [`serde`] data model.
+//!
+//! Implements [`to_string`] and [`to_string_pretty`] — the only entry
+//! points the workspace uses. Output follows RFC 8259: strings are escaped
+//! (`"`, `\`, control characters), non-finite floats serialize as `null`
+//! (matching the real `serde_json`'s lossy float handling in `Value`), and
+//! map key order is the struct's declaration order.
+
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serialization error. The writer itself is infallible, but the `Result`
+/// return keeps call sites source-compatible with the real `serde_json`.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                let mut s = format!("{f}");
+                // `1` would re-parse as an integer; keep the float type
+                // visible the way serde_json does ("1.0").
+                if !s.contains(['.', 'e', 'E']) {
+                    s.push_str(".0");
+                }
+                out.push_str(&s);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => write_compound(out, '[', ']', items.len(), indent, depth, |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Map(entries) => {
+            write_compound(out, '{', '}', entries.len(), indent, depth, |out, i| {
+                let (k, val) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_scalars_and_seqs() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+        assert_eq!(to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_map() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Seq(vec![Value::Bool(false)])),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&Raw(v)).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    false\n  ]\n}");
+    }
+}
