@@ -1,0 +1,189 @@
+//! Benchmark regression gate for CI.
+//!
+//! Compares a fresh `CRITERION_JSON` run against a checked-in baseline
+//! (`BENCH_scaling.json`) and fails when any shared benchmark regressed
+//! beyond the tolerance:
+//!
+//! ```text
+//! bench-gate <current.json> <baseline.json>
+//!            [--tolerance 0.25] [--normalize] [--stat median|min]
+//! ```
+//!
+//! Two flags tame cross-machine and sampling noise for CI smoke runs:
+//!
+//! * `--normalize` divides every current value by the median of the
+//!   current/baseline ratios before applying the tolerance. A uniformly
+//!   faster or slower machine shifts all ratios equally and is factored
+//!   out; the cost is that a change slowing *every* benchmark by the same
+//!   factor is invisible — acceptable on shared CI virtual machines whose
+//!   absolute timings are incomparable to the baseline hardware anyway.
+//! * `--stat min` gates on the best observed sample instead of the
+//!   median. For deterministic CPU-bound kernels the minimum is far more
+//!   stable across noisy runs (scheduling interference only ever adds
+//!   time), which keeps a tight tolerance meaningful at the smoke job's
+//!   small sample counts. Entries lacking `min_ns` fall back to the
+//!   median.
+//!
+//! Exit codes: 0 all within tolerance, 1 regression (or baseline entry
+//! missing from the current run), 2 usage/IO error. Benchmarks present
+//! only in the current run are reported but never fail the gate, so new
+//! benches can land before their baseline does.
+
+use ltf_bench::{parse_bench_json, BenchEntry};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench-gate <current.json> <baseline.json> \
+                     [--tolerance 0.25] [--normalize] [--stat median|min]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut normalize = false;
+    let mut use_min = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("bench-gate: --tolerance needs a numeric argument");
+                    return ExitCode::from(2);
+                };
+                tolerance = v;
+            }
+            "--normalize" => normalize = true,
+            "--stat" => match it.next().map(String::as_str) {
+                Some("median") => use_min = false,
+                Some("min") => use_min = true,
+                _ => {
+                    eprintln!("bench-gate: --stat needs 'median' or 'min'");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(a.clone()),
+        }
+    }
+    let [current_path, baseline_path] = files.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let read = |p: &str| -> Option<Vec<BenchEntry>> {
+        match std::fs::read_to_string(p) {
+            Ok(text) => Some(parse_bench_json(&text)),
+            Err(e) => {
+                eprintln!("bench-gate: cannot read {p}: {e}");
+                None
+            }
+        }
+    };
+    let Some(current) = read(current_path) else {
+        return ExitCode::from(2);
+    };
+    let Some(baseline) = read(baseline_path) else {
+        return ExitCode::from(2);
+    };
+    if baseline.is_empty() {
+        eprintln!("bench-gate: no entries parsed from baseline {baseline_path}");
+        return ExitCode::from(2);
+    }
+
+    let stat = |e: &BenchEntry| -> f64 {
+        if use_min {
+            e.min_ns.unwrap_or(e.median_ns)
+        } else {
+            e.median_ns
+        }
+    };
+    let stat_name = if use_min { "min" } else { "median" };
+
+    // Machine-speed normalization: the median current/baseline ratio over
+    // the shared entries estimates the uniform hardware factor.
+    let scale = if normalize {
+        let mut ratios: Vec<f64> = baseline
+            .iter()
+            .filter_map(|base| {
+                current
+                    .iter()
+                    .find(|c| c.name == base.name)
+                    .map(|c| stat(c) / stat(base))
+            })
+            .collect();
+        if ratios.is_empty() {
+            1.0
+        } else {
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            let s = ratios[ratios.len() / 2];
+            println!("machine-speed normalization: x{s:.3} (median current/baseline ratio)");
+            s
+        }
+    } else {
+        1.0
+    };
+
+    let mut failed = false;
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}  verdict  ({stat_name} ns/iter)",
+        "benchmark", "baseline", "current", "delta"
+    );
+    for base in &baseline {
+        let base_ns = stat(base);
+        match current.iter().find(|c| c.name == base.name) {
+            Some(cur) => {
+                let cur_ns = stat(cur);
+                let delta = cur_ns / (base_ns * scale) - 1.0;
+                let verdict = if delta > tolerance {
+                    failed = true;
+                    "REGRESSED"
+                } else if delta < -tolerance {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{:<28} {base_ns:>14.0} {cur_ns:>14.0} {:>+8.1}%  {verdict}",
+                    base.name,
+                    delta * 100.0
+                );
+            }
+            None => {
+                failed = true;
+                println!(
+                    "{:<28} {base_ns:>14.0} {:>14} {:>9}  MISSING",
+                    base.name, "-", "-"
+                );
+            }
+        }
+    }
+    for cur in &current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            println!(
+                "{:<28} {:>14} {:>14.0} {:>9}  new (no baseline)",
+                cur.name,
+                "-",
+                stat(cur),
+                "-"
+            );
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "bench-gate: FAILED — at least one benchmark regressed more than {:.0}% \
+             (or disappeared) vs {baseline_path}",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench-gate: ok — all {} baseline benchmarks within {:.0}%",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -5,16 +5,161 @@
 //! computational kernel involved, so `cargo bench` doubles as the
 //! reproduction harness at reduced sample counts. The full-scale figures
 //! come from the `ltf-experiments` CLI.
+//!
+//! Two environment variables drive the CI integration:
+//!
+//! * `LTF_BENCH_QUICK=1` shrinks sampling further (5 samples, ~0.5 s per
+//!   benchmark) for the smoke-test job;
+//! * `CRITERION_JSON=<path>` (handled by the criterion shim) writes the
+//!   results as JSON for the `bench-gate` regression check. Use it with a
+//!   single `--bench` target: each bench target is its own process and
+//!   overwrites the file, so a bare `cargo bench` would keep only the
+//!   last target's results.
 
 use criterion::Criterion;
 
 /// Criterion configuration shared by all benches: small samples, short
 /// measurement windows — the kernels are deterministic and the suite has
-/// many of them.
+/// many of them. `LTF_BENCH_QUICK=1` shrinks the windows further for CI
+/// smoke runs.
 pub fn quick_criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1200))
-        .configure_from_args()
+    let c = if std::env::var_os("LTF_BENCH_QUICK").is_some() {
+        Criterion::default()
+            .sample_size(5)
+            .warm_up_time(std::time::Duration::from_millis(100))
+            .measurement_time(std::time::Duration::from_millis(500))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .measurement_time(std::time::Duration::from_millis(1200))
+    };
+    c.configure_from_args()
+}
+
+/// One parsed benchmark entry: name, median, and (when present) the
+/// minimum of the per-sample means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark id, e.g. `scaling_tasks/LTF/200`.
+    pub name: String,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// Minimum ns/iter (best sample); `None` for hand-written baselines
+    /// that omit it.
+    pub min_ns: Option<f64>,
+}
+
+/// Parse the `{"entries": [{"name": ..., "median_ns": ...}]}` documents
+/// written by the criterion shim (and the checked-in `BENCH_*.json`
+/// baselines) without a JSON dependency: the format is fixed, so a scan
+/// for `"name"` keys with field lookups *bounded to each entry's segment*
+/// (the text before the next `"name"`) suffices. An entry without a
+/// parsable `median_ns` in its segment is dropped rather than paired with
+/// a later entry's value.
+///
+/// Used by the `bench-gate` binary; lives in the library so it is unit-
+/// and doc-testable.
+///
+/// ```
+/// let doc = r#"{"entries": [{"name": "g/A/1", "median_ns": 42.0}]}"#;
+/// let entries = ltf_bench::parse_bench_json(doc);
+/// assert_eq!(entries[0].name, "g/A/1");
+/// assert_eq!(entries[0].median_ns, 42.0);
+/// assert_eq!(entries[0].min_ns, None);
+/// ```
+pub fn parse_bench_json(text: &str) -> Vec<BenchEntry> {
+    /// Number following `"key":` within `segment`, if any. The leading
+    /// quote in the needle guards against suffix keys (`pre_pr_median_ns`
+    /// does not match `"median_ns"`).
+    fn field(segment: &str, key: &str) -> Option<f64> {
+        let needle = format!("\"{key}\"");
+        let after = &segment[segment.find(&needle)? + needle.len()..];
+        let after = &after[after.find(':')? + 1..];
+        let num: String = after
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        num.parse().ok()
+    }
+
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let Some(q1) = rest.find('"') else { break };
+        let Some(q2) = rest[q1 + 1..].find('"') else {
+            break;
+        };
+        let name = rest[q1 + 1..q1 + 1 + q2].to_string();
+        rest = &rest[q1 + 1 + q2 + 1..];
+        // Bound all field lookups to this entry's segment.
+        let segment = match rest.find("\"name\"") {
+            Some(next) => &rest[..next],
+            None => rest,
+        };
+        if let Some(median_ns) = field(segment, "median_ns") {
+            out.push(BenchEntry {
+                name,
+                median_ns,
+                min_ns: field(segment, "min_ns"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_output_shape() {
+        let doc = r#"{
+  "schema": "ltf-bench-v1",
+  "entries": [
+    {"name": "scaling_tasks/LTF/50", "median_ns": 1437331.3, "min_ns": 1265887.0, "max_ns": 1699975.3},
+    {"name": "scaling_tasks/R-LTF/50", "median_ns": 4505392.0, "min_ns": 4025046.0, "max_ns": 4940126.0}
+  ]
+}"#;
+        let entries = parse_bench_json(doc);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "scaling_tasks/LTF/50");
+        assert_eq!(entries[0].median_ns, 1437331.3);
+        assert_eq!(entries[0].min_ns, Some(1265887.0));
+        assert_eq!(entries[1].name, "scaling_tasks/R-LTF/50");
+    }
+
+    #[test]
+    fn tolerates_extra_fields_and_order() {
+        let doc = r#"{"entries": [
+            {"pre_pr_median_ns": 9.0, "name": "a/b", "median_ns": 1.5e3}
+        ]}"#;
+        let entries = parse_bench_json(doc);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "a/b");
+        assert_eq!(entries[0].median_ns, 1500.0);
+        assert_eq!(entries[0].min_ns, None);
+    }
+
+    #[test]
+    fn entry_without_median_is_dropped_not_mispaired() {
+        // "A" has no median in its own segment; it must not steal B's.
+        let doc = r#"{"entries": [
+            {"name": "A"},
+            {"name": "B", "median_ns": 5.0, "min_ns": 4.0}
+        ]}"#;
+        let entries = parse_bench_json(doc);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "B");
+        assert_eq!(entries[0].median_ns, 5.0);
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs() {
+        assert!(parse_bench_json("").is_empty());
+        assert!(parse_bench_json("{\"entries\": []}").is_empty());
+        assert!(parse_bench_json("\"name\": truncated").is_empty());
+    }
 }

@@ -4,6 +4,7 @@ use crate::config::{AlgoConfig, AlgoKind, ScheduleError};
 use crate::convert;
 use crate::driver::{self, Policy};
 use crate::engine::Engine;
+use crate::prio::LevelCache;
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
 use ltf_schedule::Schedule;
@@ -21,8 +22,18 @@ pub fn ltf_schedule(
     p: &Platform,
     cfg: &AlgoConfig,
 ) -> Result<Schedule, ScheduleError> {
+    let cache = LevelCache::compute(g, p);
+    ltf_schedule_cached(g, p, cfg, &cache)
+}
+
+fn ltf_schedule_cached(
+    g: &TaskGraph,
+    p: &Platform,
+    cfg: &AlgoConfig,
+    cache: &LevelCache,
+) -> Result<Schedule, ScheduleError> {
     let mut engine = Engine::new(g, p, cfg);
-    driver::run(&mut engine, cfg, Policy::Ltf)?;
+    driver::run(&mut engine, cfg, Policy::Ltf, cache)?;
     Ok(convert::forward_schedule(
         engine,
         g,
@@ -42,8 +53,19 @@ pub fn rltf_schedule(
     cfg: &AlgoConfig,
 ) -> Result<Schedule, ScheduleError> {
     let rev = g.reversed();
-    let mut engine = Engine::new(&rev, p, cfg);
-    driver::run(&mut engine, cfg, Policy::Rltf)?;
+    let cache = LevelCache::compute(&rev, p);
+    rltf_schedule_cached(g, &rev, p, cfg, &cache)
+}
+
+fn rltf_schedule_cached(
+    g: &TaskGraph,
+    rev: &TaskGraph,
+    p: &Platform,
+    cfg: &AlgoConfig,
+    cache: &LevelCache,
+) -> Result<Schedule, ScheduleError> {
+    let mut engine = Engine::new(rev, p, cfg);
+    driver::run(&mut engine, cfg, Policy::Rltf, cache)?;
     Ok(convert::reversed_schedule(
         engine,
         g,
@@ -66,6 +88,57 @@ pub fn schedule_with(
     }
 }
 
+/// A `(graph, platform)` pair with everything period-independent
+/// precomputed: the reversed graph for R-LTF and the platform-averaged
+/// level caches for both traversal directions.
+///
+/// The objective-space searches probe the same instance at dozens of
+/// candidate periods (or ε values); preparing once keeps each probe's
+/// setup cost at "allocate an engine" instead of "re-derive levels,
+/// averaged weights and the reversed graph".
+pub struct PreparedInstance<'a> {
+    g: &'a TaskGraph,
+    p: &'a Platform,
+    rev: TaskGraph,
+    fwd_cache: LevelCache,
+    rev_cache: LevelCache,
+}
+
+impl<'a> PreparedInstance<'a> {
+    /// Precompute the direction-specific level caches for `g` on `p`.
+    pub fn new(g: &'a TaskGraph, p: &'a Platform) -> Self {
+        let rev = g.reversed();
+        let fwd_cache = LevelCache::compute(g, p);
+        let rev_cache = LevelCache::compute(&rev, p);
+        Self {
+            g,
+            p,
+            rev,
+            fwd_cache,
+            rev_cache,
+        }
+    }
+
+    /// The application graph this instance was prepared for.
+    pub fn graph(&self) -> &TaskGraph {
+        self.g
+    }
+
+    /// The platform this instance was prepared for.
+    pub fn platform(&self) -> &Platform {
+        self.p
+    }
+
+    /// Schedule with the chosen heuristic, reusing the precomputed caches.
+    /// Equivalent to [`schedule_with`] on the same inputs.
+    pub fn schedule(&self, kind: AlgoKind, cfg: &AlgoConfig) -> Result<Schedule, ScheduleError> {
+        match kind {
+            AlgoKind::Ltf => ltf_schedule_cached(self.g, self.p, cfg, &self.fwd_cache),
+            AlgoKind::Rltf => rltf_schedule_cached(self.g, &self.rev, self.p, cfg, &self.rev_cache),
+        }
+    }
+}
+
 /// The **fault-free reference schedule** of §5: R-LTF without replication
 /// (`ε = 0`), assuming a completely safe system. The paper's overhead
 /// metric is `(L_algo − L_FF) / L_FF` against this schedule's latency.
@@ -77,4 +150,48 @@ pub fn fault_free_reference(
 ) -> Result<Schedule, ScheduleError> {
     let cfg = AlgoConfig::new(0, period).seeded(seed);
     rltf_schedule(g, p, &cfg)
+}
+
+/// Schedule through the snapshot-based reference driver: R-LTF's
+/// task-level modes are compared via whole-engine clones (the
+/// pre-incremental control flow) instead of the undo journal, isolating
+/// the journal/rollback/replay machinery for differential testing. The
+/// probe, interval-index and stage layers are shared with the production
+/// path — their equivalence with naive recomputation is covered
+/// separately by the property tests in `ltf-schedule`. Must produce
+/// schedules identical to [`schedule_with`] on every input.
+#[doc(hidden)]
+pub fn schedule_with_reference(
+    kind: AlgoKind,
+    g: &TaskGraph,
+    p: &Platform,
+    cfg: &AlgoConfig,
+) -> Result<Schedule, ScheduleError> {
+    match kind {
+        AlgoKind::Ltf => {
+            let cache = LevelCache::compute(g, p);
+            let mut engine = Engine::new(g, p, cfg);
+            driver::run_reference(&mut engine, cfg, Policy::Ltf, &cache)?;
+            Ok(convert::forward_schedule(
+                engine,
+                g,
+                p,
+                cfg.epsilon,
+                cfg.period,
+            ))
+        }
+        AlgoKind::Rltf => {
+            let rev = g.reversed();
+            let cache = LevelCache::compute(&rev, p);
+            let mut engine = Engine::new(&rev, p, cfg);
+            driver::run_reference(&mut engine, cfg, Policy::Rltf, &cache)?;
+            Ok(convert::reversed_schedule(
+                engine,
+                g,
+                p,
+                cfg.epsilon,
+                cfg.period,
+            ))
+        }
+    }
 }

@@ -15,6 +15,9 @@ use ltf_platform::Platform;
 use ltf_schedule::{CommEvent, ReplicaId, Schedule, ScheduleData, SourceChoice};
 
 /// Build the schedule when the engine ran on the original graph (LTF).
+/// The engine's per-commit stage vector *is* the guaranteed stage vector
+/// in forward direction, so the schedule assembly skips the topological
+/// stage recomputation.
 pub(crate) fn forward_schedule(
     engine: Engine<'_>,
     g: &TaskGraph,
@@ -22,8 +25,8 @@ pub(crate) fn forward_schedule(
     epsilon: u8,
     period: f64,
 ) -> Schedule {
-    let (proc_of, start, finish, sources, comm_events) = engine.into_parts();
-    Schedule::new(
+    let (proc_of, start, finish, stage, sources, comm_events) = engine.into_parts();
+    Schedule::with_stages(
         g,
         p,
         ScheduleData {
@@ -35,6 +38,7 @@ pub(crate) fn forward_schedule(
             sources,
             comm_events,
         },
+        stage,
     )
 }
 
@@ -50,7 +54,9 @@ pub(crate) fn reversed_schedule(
 ) -> Schedule {
     let nrep = epsilon as usize + 1;
     let n = g.num_tasks() * nrep;
-    let (proc_of, start_rev, finish_rev, sources_rev, events_rev) = engine.into_parts();
+    // Reverse-direction stages do not transpose into forward guaranteed
+    // stages (source roles flip), so the assembly recomputes them.
+    let (proc_of, start_rev, finish_rev, _stage_rev, sources_rev, events_rev) = engine.into_parts();
 
     // Reflection reference: everything must stay ≥ 0 after the flip.
     let t_ref = start_rev

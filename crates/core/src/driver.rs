@@ -29,11 +29,25 @@
 //!   does not appear among the upstream hosts of any *sibling copy* of a
 //!   task in that closure. To keep the receive-from-all semantics exact,
 //!   R-LTF decides per *task* (not per copy) between an all-one-to-one
-//!   perfect matching and an all-receive-from-all placement, using an
-//!   engine snapshot to roll back the losing attempt.
+//!   perfect matching and an all-receive-from-all placement.
 //!
 //! Both disciplines are verified by exhaustive crash enumeration in the
 //! test suite.
+//!
+//! ### Incremental speculation
+//!
+//! R-LTF's two task-level attempts used to be compared by snapshotting the
+//! whole engine (three `Engine::clone`s per task — the dominant cost at
+//! scale). The production path now runs both attempts under an engine
+//! checkpoint: the losing attempt is unwound through the undo journal and
+//! the winning one-to-one attempt is *replayed* from its recorded
+//! `(probe, plan, closure)` decisions, which is pure bookkeeping — no
+//! placement logic re-runs. The snapshot-based speculation procedure is
+//! retained as [`run_reference`] and the differential tests assert both
+//! paths produce identical schedules; this isolates the
+//! journal/rollback/replay machinery specifically (both paths share the
+//! overlay probe and interval index, whose own equivalence with naive
+//! recomputation is pinned by property tests in `ltf-schedule`).
 //!
 //! ### Placement policy
 //!
@@ -50,9 +64,9 @@
 
 use crate::config::{AlgoConfig, ScheduleError};
 use crate::engine::{Engine, Probe, ProcMask, ReplicaSet, SourcePlan};
+use crate::prio::{LevelCache, PrioTracker};
 use ltf_graph::traversal::ReadyTracker;
-use ltf_graph::{levels, TaskGraph, TaskId, Weights};
-use ltf_platform::AverageWeightsInput;
+use ltf_graph::{TaskGraph, TaskId};
 use ltf_schedule::{ReplicaId, EPS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,11 +79,35 @@ pub(crate) enum Policy {
     Rltf,
 }
 
-/// Run the chunked mapping loop to completion.
+/// Run the chunked mapping loop to completion on the incremental
+/// (undo-journal) path.
 pub(crate) fn run(
     engine: &mut Engine<'_>,
     cfg: &AlgoConfig,
     policy: Policy,
+    cache: &LevelCache,
+) -> Result<(), ScheduleError> {
+    run_impl(engine, cfg, policy, cache, false)
+}
+
+/// Run the chunked mapping loop on the snapshot-based reference path:
+/// pre-incremental speculation control flow (engine clones instead of the
+/// undo journal), kept for differential testing of the journal machinery.
+pub(crate) fn run_reference(
+    engine: &mut Engine<'_>,
+    cfg: &AlgoConfig,
+    policy: Policy,
+    cache: &LevelCache,
+) -> Result<(), ScheduleError> {
+    run_impl(engine, cfg, policy, cache, true)
+}
+
+fn run_impl(
+    engine: &mut Engine<'_>,
+    cfg: &AlgoConfig,
+    policy: Policy,
+    cache: &LevelCache,
+    snapshots: bool,
 ) -> Result<(), ScheduleError> {
     let g = engine.g;
     let p = engine.p;
@@ -86,19 +124,11 @@ pub(crate) fn run(
         )));
     }
 
-    // Platform-averaged priorities tℓ + bℓ (§2); tℓ is refined online with
-    // actual finish times as the partial clustering takes shape ("update
-    // priority values of its successors").
-    let exec: Vec<f64> = g.tasks().map(|t| g.exec(t)).collect();
-    let volume: Vec<f64> = g.edge_ids().map(|e| g.edge(e).volume).collect();
-    let avg = p.average_weights(&AverageWeightsInput {
-        exec: &exec,
-        volume: &volume,
-    });
-    let w = Weights::new(avg.node.clone(), avg.edge.clone());
-    let bl = levels::bottom_levels(g, &w);
-    let tl = levels::top_levels(g, &w);
-    let mut prio: Vec<f64> = tl.iter().zip(&bl).map(|(a, b)| a + b).collect();
+    // Priorities tℓ + bℓ (§2) come precomputed in the level cache; tℓ is
+    // refined online with actual finish times as the partial clustering
+    // takes shape ("update priority values of its successors"), tracked
+    // through a dirty set flushed once per chunk round.
+    let mut prio = PrioTracker::new(cache);
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut tracker = ReadyTracker::new(g);
@@ -107,9 +137,10 @@ pub(crate) fn run(
 
     while !alpha.is_empty() {
         // Select the chunk β of up to B highest-priority ready tasks.
+        prio.flush(g);
         let mut beta = Vec::with_capacity(chunk_cap.min(alpha.len()));
         while beta.len() < chunk_cap && !alpha.is_empty() {
-            let idx = head_index(&alpha, &prio, &mut rng);
+            let idx = head_index(&alpha, prio.values(), &mut rng);
             beta.push(alpha.swap_remove(idx));
         }
 
@@ -124,7 +155,11 @@ pub(crate) fn run(
             }
             Policy::Rltf => {
                 for &t in &beta {
-                    rltf_place_task(engine, cfg, t, &tracker)?;
+                    if snapshots {
+                        rltf_place_task_snapshot(engine, cfg, t, &tracker)?;
+                    } else {
+                        rltf_place_task(engine, cfg, t, &tracker)?;
+                    }
                 }
             }
         }
@@ -135,14 +170,7 @@ pub(crate) fn run(
             }
             // Dynamic top-level refinement: successors inherit the actual
             // task finish plus the averaged edge weight.
-            let tfin = engine.task_finish(t);
-            for &eid in g.succ_edges(t) {
-                let s = g.edge(eid).dst;
-                let cand = tfin + avg.edge[eid.index()] + bl[s.index()];
-                if cand > prio[s.index()] {
-                    prio[s.index()] = cand;
-                }
-            }
+            prio.mark_finished(t, engine.task_finish(t));
         }
     }
     debug_assert!(engine.all_placed(), "ready loop ended early");
@@ -298,7 +326,89 @@ struct AttemptScore {
     total_finish: f64,
 }
 
+/// One committed copy of a winning one-to-one attempt, with everything
+/// needed to re-apply it after a rollback without re-running placement.
+struct RltfCommit {
+    copy: u8,
+    probe: Probe,
+    plan: SourcePlan,
+    dset: ReplicaSet,
+    host: usize,
+}
+
+/// Decide between the two task-level modes given their scores.
+fn pick_one_to_one(
+    engine: &Engine<'_>,
+    cfg: &AlgoConfig,
+    t: TaskId,
+    tracker: &ReadyTracker,
+    o: &AttemptScore,
+    r: &AttemptScore,
+) -> bool {
+    if cfg.rule1 && o.max_stage != r.max_stage {
+        // Rule 1: the mode with the smaller global stage count.
+        o.max_stage < r.max_stage
+    } else if cfg.rule2 && rule2_condition(engine.g, t, tracker) {
+        // Rule 2: linear chain sections spread one-to-one.
+        true
+    } else {
+        // One-to-one also wins finish-time ties: it costs fewer messages.
+        o.total_finish <= r.total_finish + EPS
+    }
+}
+
+/// Incremental R-LTF task placement: both modes run under one engine
+/// checkpoint; the loser is unwound through the undo journal and a winning
+/// one-to-one attempt is replayed from its recorded decisions.
 fn rltf_place_task(
+    engine: &mut Engine<'_>,
+    cfg: &AlgoConfig,
+    t: TaskId,
+    tracker: &ReadyTracker,
+) -> Result<(), ScheduleError> {
+    let mark = engine.checkpoint();
+
+    let mut oto_commits: Vec<RltfCommit> = Vec::new();
+    let oto_score = if cfg.use_one_to_one {
+        rltf_try_one_to_one(engine, t, cfg.cluster_ties, Some(&mut oto_commits))
+    } else {
+        None
+    };
+    // A failed attempt leaves partial placements behind: always restart
+    // the receive-from-all attempt from the checkpoint.
+    engine.rollback_to(mark);
+    let rfa_score = rltf_try_receive_from_all(engine, t, cfg.cluster_ties);
+
+    let replay_oto = match (&oto_score, &rfa_score) {
+        (None, None) => {
+            // The engine stays in the (failed, partially mutated) RFA
+            // state; the caller aborts anyway.
+            engine.discard_journal();
+            return Err(ScheduleError::Infeasible { task: t, copy: 0 });
+        }
+        (Some(_), None) => true,
+        (None, Some(_)) => false, // engine already holds the RFA state
+        (Some(o), Some(r)) => pick_one_to_one(engine, cfg, t, tracker, o, r),
+    };
+    if replay_oto {
+        engine.rollback_to(mark);
+        engine.discard_journal();
+        for c in &oto_commits {
+            engine.commit(t, c.copy, &c.probe, &c.plan);
+            let rep = engine.dense(t, c.copy);
+            engine.set_down(rep, c.dset.clone());
+            engine.register_upstream_host(rep, c.host);
+        }
+    } else {
+        engine.discard_journal();
+    }
+    Ok(())
+}
+
+/// Snapshot-based R-LTF task placement: the pre-incremental speculation
+/// procedure (three engine clones per task), kept verbatim as the
+/// reference the differential tests compare the journal path against.
+fn rltf_place_task_snapshot(
     engine: &mut Engine<'_>,
     cfg: &AlgoConfig,
     t: TaskId,
@@ -307,7 +417,7 @@ fn rltf_place_task(
     let before = engine.clone();
 
     let oto_score = if cfg.use_one_to_one {
-        rltf_try_one_to_one(engine, t, cfg.cluster_ties)
+        rltf_try_one_to_one(engine, t, cfg.cluster_ties, None)
     } else {
         None
     };
@@ -318,29 +428,14 @@ fn rltf_place_task(
     let rfa_score = rltf_try_receive_from_all(engine, t, cfg.cluster_ties);
 
     match (oto_score, rfa_score) {
-        (None, None) => {
-            // Leave the engine in the (failed, partially mutated) RFA
-            // state; the caller aborts anyway.
-            Err(ScheduleError::Infeasible { task: t, copy: 0 })
-        }
+        (None, None) => Err(ScheduleError::Infeasible { task: t, copy: 0 }),
         (Some(_), None) => {
             *engine = oto_state.expect("saved with score");
             Ok(())
         }
         (None, Some(_)) => Ok(()), // engine already holds the RFA state
         (Some(o), Some(r)) => {
-            let pick_oto = if cfg.rule1 && o.max_stage != r.max_stage {
-                // Rule 1: the mode with the smaller global stage count.
-                o.max_stage < r.max_stage
-            } else if cfg.rule2 && rule2_condition(engine.g, t, tracker) {
-                // Rule 2: linear chain sections spread one-to-one.
-                true
-            } else {
-                // One-to-one also wins finish-time ties: it costs fewer
-                // messages.
-                o.total_finish <= r.total_finish + EPS
-            };
-            if pick_oto {
+            if pick_one_to_one(engine, cfg, t, tracker, &o, &r) {
                 *engine = oto_state.expect("saved with score");
             }
             Ok(())
@@ -364,8 +459,14 @@ fn rule2_condition(g: &TaskGraph, t: TaskId, tracker: &ReadyTracker) -> bool {
 
 /// Attempt to place all copies of `t` with one-to-one pairings forming a
 /// perfect matching per in-edge. Mutates the engine; on failure the caller
-/// restores the snapshot.
-fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Option<AttemptScore> {
+/// rolls back. When `record` is given, every committed copy's decisions
+/// are captured for replay.
+fn rltf_try_one_to_one(
+    engine: &mut Engine<'_>,
+    t: TaskId,
+    cluster: bool,
+    mut record: Option<&mut Vec<RltfCommit>>,
+) -> Option<AttemptScore> {
     let g = engine.g;
     let nrep = engine.nrep;
     let pred_edges: Vec<_> = g.pred_edges(t).to_vec();
@@ -377,6 +478,9 @@ fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Opt
 
     let mut max_stage = 0u32;
     let mut total_finish = 0.0f64;
+    // Scratch closure reused across candidate processors; cloned only when
+    // a candidate becomes the incumbent.
+    let mut scratch = ReplicaSet::with_capacity(engine.num_replicas());
 
     for copy in 0..nrep as u8 {
         let rep_dense = ReplicaId::new(t, copy).dense(nrep);
@@ -420,17 +524,17 @@ fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Opt
             // Downstream closure of the would-be replica, and the validity
             // checks (no two copies of one task downstream; host outside
             // every sibling's upstream hosts).
-            let mut dset = ReplicaSet::with_capacity(engine.num_replicas());
-            dset.insert(rep_dense);
+            scratch.clear();
+            scratch.insert(rep_dense);
             for (i, &eid) in pred_edges.iter().enumerate() {
                 let pred = g.edge(eid).src;
                 let head = ReplicaId::new(pred, heads[i]).dense(nrep);
-                dset.union_with(&engine.down[head]);
+                scratch.union_with(&engine.down[head]);
             }
-            if closure_has_copy_conflict(&dset, nrep) {
+            if closure_has_copy_conflict(&scratch, nrep) {
                 continue;
             }
-            let forbid = forbidden_hosts(engine, &dset, nrep);
+            let forbid = forbidden_hosts(engine, &scratch, nrep);
             if forbid >> u.index() & 1 == 1 {
                 continue;
             }
@@ -450,7 +554,7 @@ fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Opt
                 key < (b.stage, cluster && !engine.proc_used(b.proc), b.finish)
             });
             if better {
-                best = Some((probe, plan, heads, dset, forbid));
+                best = Some((probe, plan, heads, scratch.clone(), forbid));
             }
         }
 
@@ -461,10 +565,22 @@ fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Opt
         }
         max_stage = max_stage.max(probe.stage);
         total_finish += probe.finish;
-        let host = probe.proc;
+        let host = probe.proc.index();
         engine.commit(t, copy, &probe, &plan);
-        engine.down[rep_dense] = dset;
-        register_upstream_host(engine, rep_dense, host.index(), nrep);
+        if let Some(rec) = record.as_deref_mut() {
+            engine.set_down(rep_dense, dset.clone());
+            engine.register_upstream_host(rep_dense, host);
+            rec.push(RltfCommit {
+                copy,
+                probe,
+                plan,
+                dset,
+                host,
+            });
+        } else {
+            engine.set_down(rep_dense, dset);
+            engine.register_upstream_host(rep_dense, host);
+        }
     }
 
     Some(AttemptScore {
@@ -474,7 +590,7 @@ fn rltf_try_one_to_one(engine: &mut Engine<'_>, t: TaskId, cluster: bool) -> Opt
 }
 
 /// Attempt to place all copies of `t` receive-from-all. Mutates the
-/// engine; on failure the caller restores the snapshot.
+/// engine; on failure the caller rolls back.
 fn rltf_try_receive_from_all(
     engine: &mut Engine<'_>,
     t: TaskId,
@@ -514,8 +630,8 @@ fn rltf_try_receive_from_all(
         engine.commit(t, copy, &probe, &plan);
         let mut dset = ReplicaSet::with_capacity(engine.num_replicas());
         dset.insert(rep_dense);
-        engine.down[rep_dense] = dset;
-        register_upstream_host(engine, rep_dense, host.index(), nrep);
+        engine.set_down(rep_dense, dset);
+        engine.register_upstream_host(rep_dense, host.index());
     }
 
     Some(AttemptScore {
@@ -548,16 +664,4 @@ fn forbidden_hosts(engine: &Engine<'_>, dset: &ReplicaSet, nrep: usize) -> ProcM
         forbid |= engine.allush[task] & !engine.ushost[idx];
     }
     forbid
-}
-
-/// Register `host` as an upstream host of every replica fed by `rep`
-/// (including itself).
-fn register_upstream_host(engine: &mut Engine<'_>, rep: usize, host: usize, nrep: usize) {
-    let bit: ProcMask = 1 << host;
-    let dset = std::mem::take(&mut engine.down[rep]);
-    for idx in dset.iter() {
-        engine.ushost[idx] |= bit;
-        engine.allush[idx / nrep] |= bit;
-    }
-    engine.down[rep] = dset;
 }

@@ -12,12 +12,29 @@
 //! one-port link reservations for its incoming messages, the resulting
 //! pipeline stage, and whether condition (1) (the throughput constraint)
 //! holds. [`Engine::commit`] then applies the chosen probe.
+//!
+//! ### Incremental evaluation
+//!
+//! Both phases are engineered so the search loops in [`crate::driver`]
+//! never copy or rebuild engine state per candidate:
+//!
+//! * **Probing** evaluates port contention against [`OverlayView`]s — the
+//!   committed per-processor timelines from the bucketed [`IntervalIndex`]
+//!   plus a small delta of the candidate's own planned messages. Rejected
+//!   candidates leave nothing to clean up, and no `IntervalSet` is ever
+//!   cloned on the probe path.
+//! * **Committing** can be journaled: between [`Engine::checkpoint`] and
+//!   [`Engine::rollback_to`] every mutation records its exact inverse
+//!   (old float values, not deltas, so rollback is bit-exact), which is
+//!   how R-LTF compares its two task-level placement modes without
+//!   snapshotting the engine. The journal is dropped wholesale with
+//!   [`Engine::discard_journal`] once a decision is final.
 
 use crate::config::AlgoConfig;
 use ltf_graph::{EdgeId, TaskGraph, TaskId};
 use ltf_platform::{Platform, ProcId};
 use ltf_schedule::intervals::earliest_common_fit;
-use ltf_schedule::{CommEvent, IntervalSet, ReplicaId, SourceChoice, EPS};
+use ltf_schedule::{CommEvent, IntervalIndex, OverlayDelta, ReplicaId, SourceChoice, EPS};
 
 /// Which predecessor copies feed each in-edge of a replica being placed.
 #[derive(Debug, Clone)]
@@ -77,6 +94,12 @@ impl ReplicaSet {
         }
     }
 
+    /// Reset to the empty set, keeping the allocation (scratch reuse in
+    /// the per-candidate loops).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Iterate the contained dense indices in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &bits)| {
@@ -112,8 +135,56 @@ pub(crate) struct Probe {
     planned: Vec<PlannedComm>,
 }
 
+/// Saved metadata of a replica slot, restored verbatim on rollback.
+#[derive(Debug, Clone, Copy)]
+struct ReplicaMeta {
+    proc: ProcId,
+    start: f64,
+    finish: f64,
+    stage: u32,
+    kill: ProcMask,
+}
+
+/// Inverse of one committed message: where its port reservations and load
+/// contributions went.
+#[derive(Debug, Clone, Copy)]
+struct CommUndo {
+    src_proc: usize,
+    start: f64,
+    end: f64,
+    old_cout: f64,
+}
+
+/// One journaled mutation with everything needed to revert it exactly.
+/// Old values (not deltas) are recorded so floating-point state is
+/// restored bit-for-bit.
+#[derive(Debug, Clone)]
+enum UndoRec {
+    /// Inverse of [`Engine::commit`].
+    Commit {
+        r: usize,
+        proc: ProcId,
+        old_meta: ReplicaMeta,
+        old_sigma: f64,
+        old_cin: f64,
+        old_max_stage: u32,
+        cpu_iv: (f64, f64),
+        comms: Vec<CommUndo>,
+    },
+    /// Inverse of [`Engine::set_down`].
+    Down { r: usize, old: ReplicaSet },
+    /// Inverse of [`Engine::register_upstream_host`]: per touched replica
+    /// its old `ushost` and its task's old `allush`.
+    Upstream {
+        touched: Vec<(usize, ProcMask, ProcMask)>,
+    },
+}
+
+/// Position in the undo journal returned by [`Engine::checkpoint`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineMark(usize);
+
 /// Partially-built schedule state.
-#[derive(Clone)]
 pub(crate) struct Engine<'a> {
     pub g: &'a TaskGraph,
     pub p: &'a Platform,
@@ -129,9 +200,9 @@ pub(crate) struct Engine<'a> {
     sigma: Vec<f64>,
     cin: Vec<f64>,
     cout: Vec<f64>,
-    cpu: Vec<IntervalSet>,
-    send: Vec<IntervalSet>,
-    recv: Vec<IntervalSet>,
+    cpu: IntervalIndex,
+    send: IntervalIndex,
+    recv: IntervalIndex,
     /// Crash cone of each placed replica (see [`Probe::kill`]); meaningful
     /// in forward (LTF) mode, where predecessors are placed first.
     kill: Vec<ProcMask>,
@@ -148,6 +219,42 @@ pub(crate) struct Engine<'a> {
     /// Largest stage assigned so far (scheduling-direction); drives R-LTF's
     /// Rule 1.
     pub max_stage: u32,
+    /// Undo journal; mutations are recorded only while a checkpoint is
+    /// outstanding (`Some`).
+    journal: Option<Vec<UndoRec>>,
+}
+
+/// The journal never travels with a snapshot: a cloned engine starts with
+/// journaling disabled (the clone-based reference path relies on whole
+/// snapshots, not on undo records).
+impl Clone for Engine<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            g: self.g,
+            p: self.p,
+            period: self.period,
+            nrep: self.nrep,
+            placed: self.placed.clone(),
+            proc_of: self.proc_of.clone(),
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            stage: self.stage.clone(),
+            sources: self.sources.clone(),
+            comm_events: self.comm_events.clone(),
+            sigma: self.sigma.clone(),
+            cin: self.cin.clone(),
+            cout: self.cout.clone(),
+            cpu: self.cpu.clone(),
+            send: self.send.clone(),
+            recv: self.recv.clone(),
+            kill: self.kill.clone(),
+            down: self.down.clone(),
+            ushost: self.ushost.clone(),
+            allush: self.allush.clone(),
+            max_stage: self.max_stage,
+            journal: None,
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -171,14 +278,15 @@ impl<'a> Engine<'a> {
             sigma: vec![0.0; m],
             cin: vec![0.0; m],
             cout: vec![0.0; m],
-            cpu: vec![IntervalSet::new(); m],
-            send: vec![IntervalSet::new(); m],
-            recv: vec![IntervalSet::new(); m],
+            cpu: IntervalIndex::new(m),
+            send: IntervalIndex::new(m),
+            recv: IntervalIndex::new(m),
             kill: vec![0; n],
             down: vec![ReplicaSet::with_capacity(n); n],
             ushost: vec![0; n],
             allush: vec![0; g.num_tasks()],
             max_stage: 0,
+            journal: None,
         }
     }
 
@@ -247,6 +355,9 @@ impl<'a> Engine<'a> {
     /// Probe placing copy `copy` of `t` on `u` with the given sources.
     /// Returns `None` when condition (1) — the throughput constraint —
     /// would be violated. Does not mutate the engine.
+    ///
+    /// Port contention is evaluated against overlays of the committed
+    /// timelines; no per-candidate `IntervalSet` clone takes place.
     pub fn probe(&self, t: TaskId, _copy: u8, u: ProcId, plan: &SourcePlan) -> Option<Probe> {
         let ui = u.index();
         let exec = self.p.exec_time(self.g.exec(t), u);
@@ -272,10 +383,11 @@ impl<'a> Engine<'a> {
                 .then(a.1.copy.cmp(&b.1.copy))
         });
 
-        let m = self.p.num_procs();
-        let mut recv_scratch: Option<IntervalSet> = None;
-        let mut send_scratch: Vec<Option<IntervalSet>> = vec![None; m];
-        let mut cout_add = vec![0.0f64; m];
+        // Tentative reservations per touched source processor (few per
+        // probe: linear keying beats an m-sized scratch vector) and for the
+        // candidate's receive port.
+        let mut send_deltas: Vec<(usize, OverlayDelta, f64)> = Vec::new();
+        let mut recv_delta = OverlayDelta::new();
         let mut cin_add = 0.0f64;
         let mut ready = 0.0f64;
         let mut stage = 1u32;
@@ -313,14 +425,24 @@ impl<'a> Engine<'a> {
                 ready = ready.max(self.finish[sidx]);
                 continue;
             }
-            let hs = send_scratch[h.index()].get_or_insert_with(|| self.send[h.index()].clone());
-            let rs = recv_scratch.get_or_insert_with(|| self.recv[ui].clone());
-            let st = earliest_common_fit(hs, rs, self.finish[sidx], dur);
-            hs.insert(st, st + dur);
-            rs.insert(st, st + dur);
+            let hi = h.index();
+            let slot = match send_deltas.iter().position(|(p, ..)| *p == hi) {
+                Some(i) => i,
+                None => {
+                    send_deltas.push((hi, OverlayDelta::new(), 0.0));
+                    send_deltas.len() - 1
+                }
+            };
+            let st = {
+                let sv = self.send.overlay(hi, &send_deltas[slot].1);
+                let rv = self.recv.overlay(ui, &recv_delta);
+                earliest_common_fit(&sv, &rv, self.finish[sidx], dur)
+            };
+            send_deltas[slot].1.insert(st, st + dur);
+            recv_delta.insert(st, st + dur);
             cin_add += dur;
-            cout_add[h.index()] += dur;
-            if self.cout[h.index()] + cout_add[h.index()] > self.period + EPS {
+            send_deltas[slot].2 += dur;
+            if self.cout[hi] + send_deltas[slot].2 > self.period + EPS {
                 return None;
             }
             planned.push(PlannedComm {
@@ -336,7 +458,7 @@ impl<'a> Engine<'a> {
             return None;
         }
 
-        let start = self.cpu[ui].next_fit(ready, exec);
+        let start = self.cpu.bucket(ui).next_fit(ready, exec);
         Some(Probe {
             proc: u,
             start,
@@ -348,13 +470,43 @@ impl<'a> Engine<'a> {
     }
 
     /// Apply a probe: place the replica, reserve ports and CPU, record the
-    /// communication events and the source structure.
+    /// communication events and the source structure. Journaled when a
+    /// checkpoint is outstanding.
     pub fn commit(&mut self, t: TaskId, copy: u8, probe: &Probe, plan: &SourcePlan) {
         let r = self.dense(t, copy);
         assert!(!self.placed[r], "replica committed twice");
         let u = probe.proc;
         let ui = u.index();
         let rep = ReplicaId::new(t, copy);
+
+        let rec = self.journal.is_some().then(|| UndoRec::Commit {
+            r,
+            proc: u,
+            old_meta: ReplicaMeta {
+                proc: self.proc_of[r],
+                start: self.start[r],
+                finish: self.finish[r],
+                stage: self.stage[r],
+                kill: self.kill[r],
+            },
+            old_sigma: self.sigma[ui],
+            old_cin: self.cin[ui],
+            old_max_stage: self.max_stage,
+            cpu_iv: (probe.start, probe.finish),
+            comms: probe
+                .planned
+                .iter()
+                .map(|pc| CommUndo {
+                    src_proc: pc.src_proc.index(),
+                    start: pc.start,
+                    end: pc.start + pc.dur,
+                    old_cout: self.cout[pc.src_proc.index()],
+                })
+                .collect(),
+        });
+        if let (Some(j), Some(rec)) = (self.journal.as_mut(), rec) {
+            j.push(rec);
+        }
 
         self.placed[r] = true;
         self.proc_of[r] = u;
@@ -365,11 +517,12 @@ impl<'a> Engine<'a> {
         self.max_stage = self.max_stage.max(probe.stage);
 
         self.sigma[ui] += probe.finish - probe.start;
-        self.cpu[ui].insert(probe.start, probe.finish);
+        self.cpu.insert(ui, probe.start, probe.finish);
 
         for pc in &probe.planned {
-            self.send[pc.src_proc.index()].insert(pc.start, pc.start + pc.dur);
-            self.recv[ui].insert(pc.start, pc.start + pc.dur);
+            self.send
+                .insert(pc.src_proc.index(), pc.start, pc.start + pc.dur);
+            self.recv.insert(ui, pc.start, pc.start + pc.dur);
             self.cout[pc.src_proc.index()] += pc.dur;
             self.cin[ui] += pc.dur;
             self.comm_events.push(CommEvent {
@@ -393,13 +546,110 @@ impl<'a> Engine<'a> {
             .collect();
     }
 
+    /// Record the downstream closure of a freshly committed replica
+    /// (reverse mode). Journaled when a checkpoint is outstanding.
+    pub fn set_down(&mut self, r: usize, dset: ReplicaSet) {
+        let old = std::mem::replace(&mut self.down[r], dset);
+        if let Some(j) = self.journal.as_mut() {
+            j.push(UndoRec::Down { r, old });
+        }
+    }
+
+    /// Register `host` as an upstream host of every replica fed by `r`
+    /// (including itself), reverse mode. Journaled when a checkpoint is
+    /// outstanding.
+    pub fn register_upstream_host(&mut self, r: usize, host: usize) {
+        let bit: ProcMask = 1 << host;
+        let nrep = self.nrep;
+        let dset = std::mem::take(&mut self.down[r]);
+        let mut touched = Vec::new();
+        let record = self.journal.is_some();
+        for idx in dset.iter() {
+            if record {
+                touched.push((idx, self.ushost[idx], self.allush[idx / nrep]));
+            }
+            self.ushost[idx] |= bit;
+            self.allush[idx / nrep] |= bit;
+        }
+        self.down[r] = dset;
+        if let Some(j) = self.journal.as_mut() {
+            j.push(UndoRec::Upstream { touched });
+        }
+    }
+
+    /// Start (or extend) speculative execution: subsequent mutations are
+    /// journaled and can be reverted with [`Engine::rollback_to`].
+    pub fn checkpoint(&mut self) -> EngineMark {
+        let j = self.journal.get_or_insert_with(Vec::new);
+        EngineMark(j.len())
+    }
+
+    /// Revert every mutation journaled after `mark`, restoring the exact
+    /// engine state (floats included) at checkpoint time. Journaling stays
+    /// enabled so a second attempt can be rolled back to the same mark.
+    pub fn rollback_to(&mut self, mark: EngineMark) {
+        let mut j = self.journal.take().expect("rollback without checkpoint");
+        while j.len() > mark.0 {
+            match j.pop().expect("length checked") {
+                UndoRec::Commit {
+                    r,
+                    proc,
+                    old_meta,
+                    old_sigma,
+                    old_cin,
+                    old_max_stage,
+                    cpu_iv,
+                    comms,
+                } => {
+                    let ui = proc.index();
+                    for cu in comms.iter().rev() {
+                        self.comm_events.pop();
+                        self.send.remove(cu.src_proc, cu.start, cu.end);
+                        self.recv.remove(ui, cu.start, cu.end);
+                        self.cout[cu.src_proc] = cu.old_cout;
+                    }
+                    self.cpu.remove(ui, cpu_iv.0, cpu_iv.1);
+                    self.sigma[ui] = old_sigma;
+                    self.cin[ui] = old_cin;
+                    self.max_stage = old_max_stage;
+                    self.placed[r] = false;
+                    self.proc_of[r] = old_meta.proc;
+                    self.start[r] = old_meta.start;
+                    self.finish[r] = old_meta.finish;
+                    self.stage[r] = old_meta.stage;
+                    self.kill[r] = old_meta.kill;
+                    self.sources[r].clear();
+                }
+                UndoRec::Down { r, old } => {
+                    self.down[r] = old;
+                }
+                UndoRec::Upstream { touched } => {
+                    for &(idx, old_ushost, old_allush) in touched.iter().rev() {
+                        self.ushost[idx] = old_ushost;
+                        self.allush[idx / self.nrep] = old_allush;
+                    }
+                }
+            }
+        }
+        self.journal = Some(j);
+    }
+
+    /// End speculative execution: drop all undo records and stop
+    /// journaling. Call once the current decision is final.
+    pub fn discard_journal(&mut self) {
+        self.journal = None;
+    }
+
     /// `true` once every replica of every task is placed.
     pub fn all_placed(&self) -> bool {
         self.placed.iter().all(|&b| b)
     }
 
     /// Consume the engine into its raw parts
-    /// `(proc_of, start, finish, sources, comm_events)`.
+    /// `(proc_of, start, finish, stage, sources, comm_events)`. The stage
+    /// vector is the per-commit worst-source stage in scheduling
+    /// direction; for a forward (LTF) engine it equals the guaranteed
+    /// stages the schedule layer would recompute.
     #[allow(clippy::type_complexity)]
     pub fn into_parts(
         self,
@@ -407,6 +657,7 @@ impl<'a> Engine<'a> {
         Vec<ProcId>,
         Vec<f64>,
         Vec<f64>,
+        Vec<u32>,
         Vec<Vec<SourceChoice>>,
         Vec<CommEvent>,
     ) {
@@ -414,6 +665,7 @@ impl<'a> Engine<'a> {
             self.proc_of,
             self.start,
             self.finish,
+            self.stage,
             self.sources,
             self.comm_events,
         )
@@ -551,5 +803,97 @@ mod tests {
         assert_eq!(e.arrival_estimate(EdgeId(0), src, ProcId(0)), 4.0);
         assert_eq!(e.stage_contribution(src, ProcId(0)), 1);
         assert_eq!(e.stage_contribution(src, ProcId(1)), 2);
+    }
+
+    /// Commit under a checkpoint, roll back, and verify the engine state
+    /// matches a pre-commit snapshot field by field (bit-exact floats).
+    #[test]
+    fn rollback_restores_snapshot_state() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2.0);
+        let c = b.add_task(2.0);
+        let t = b.add_task(1.0);
+        b.add_edge(a, t, 4.0);
+        b.add_edge(c, t, 4.0);
+        let g = b.build().unwrap();
+        let p = Platform::homogeneous(3, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 20.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = SourcePlan { per_edge: vec![] };
+        for (task, proc) in [(a, ProcId(0)), (c, ProcId(1))] {
+            let pr = e.probe(task, 0, proc, &empty).unwrap();
+            e.commit(task, 0, &pr, &empty);
+        }
+        let snapshot = e.clone();
+
+        let mark = e.checkpoint();
+        let plan = SourcePlan::receive_from_all(&g, t, 1);
+        let pr = e.probe(t, 0, ProcId(2), &plan).unwrap();
+        e.commit(t, 0, &pr, &plan);
+        let r = e.dense(t, 0);
+        let mut dset = ReplicaSet::with_capacity(e.num_replicas());
+        dset.insert(r);
+        e.set_down(r, dset);
+        e.register_upstream_host(r, 2);
+        assert!(e.is_placed(t, 0));
+        assert_ne!(e.ushost[r], snapshot.ushost[r]);
+
+        e.rollback_to(mark);
+        e.discard_journal();
+        assert!(!e.is_placed(t, 0));
+        assert_eq!(e.sigma, snapshot.sigma);
+        assert_eq!(e.cin, snapshot.cin);
+        assert_eq!(e.cout, snapshot.cout);
+        assert_eq!(e.comm_events.len(), snapshot.comm_events.len());
+        assert_eq!(e.max_stage, snapshot.max_stage);
+        assert_eq!(e.ushost, snapshot.ushost);
+        assert_eq!(e.allush, snapshot.allush);
+        assert_eq!(e.down, snapshot.down);
+        for u in 0..3 {
+            assert_eq!(
+                e.cpu.bucket(u).intervals(),
+                snapshot.cpu.bucket(u).intervals()
+            );
+            assert_eq!(
+                e.send.bucket(u).intervals(),
+                snapshot.send.bucket(u).intervals()
+            );
+            assert_eq!(
+                e.recv.bucket(u).intervals(),
+                snapshot.recv.bucket(u).intervals()
+            );
+        }
+
+        // The freed capacity is reusable: the same placement succeeds again.
+        let pr2 = e.probe(t, 0, ProcId(2), &plan).unwrap();
+        assert_eq!(pr2.start, pr.start);
+        e.commit(t, 0, &pr2, &plan);
+        assert!(e.is_placed(t, 0));
+    }
+
+    /// Two speculative attempts rolled back to the same mark leave the
+    /// engine identical each time.
+    #[test]
+    fn double_rollback_to_same_mark() {
+        let g = chain2();
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 10.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = SourcePlan { per_edge: vec![] };
+        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        e.commit(TaskId(0), 0, &pr, &empty);
+        let snapshot = e.clone();
+
+        let mark = e.checkpoint();
+        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
+        for u in [ProcId(1), ProcId(0)] {
+            let pr = e.probe(TaskId(1), 0, u, &plan).unwrap();
+            e.commit(TaskId(1), 0, &pr, &plan);
+            e.rollback_to(mark);
+            assert!(!e.is_placed(TaskId(1), 0));
+            assert_eq!(e.sigma, snapshot.sigma);
+            assert_eq!(e.comm_events.len(), snapshot.comm_events.len());
+        }
+        e.discard_journal();
     }
 }

@@ -38,7 +38,12 @@ mod config;
 mod convert;
 mod driver;
 mod engine;
+pub mod prio;
 pub mod search;
 
-pub use crate::api::{fault_free_reference, ltf_schedule, rltf_schedule, schedule_with};
+pub use crate::api::{
+    fault_free_reference, ltf_schedule, rltf_schedule, schedule_with, schedule_with_reference,
+    PreparedInstance,
+};
 pub use crate::config::{AlgoConfig, AlgoKind, ScheduleError};
+pub use crate::prio::LevelCache;

@@ -1,0 +1,192 @@
+//! Platform-averaged level cache and dirty-set priority maintenance.
+//!
+//! The chunked mapping loop ranks ready tasks by `tℓ(t) + bℓ(t)` (paper
+//! §2) and refines the top-level term online with actual task finish times
+//! ("update priority values of its successors"). Two structures make that
+//! hot path incremental:
+//!
+//! * [`LevelCache`] — the placement-independent part: platform-averaged
+//!   node/edge weights, bottom levels, and the static `tℓ + bℓ` baseline.
+//!   It depends only on `(graph, platform)`, never on the period, the
+//!   replication degree or the seed, so the objective-space searches in
+//!   [`crate::search`] compute it **once** and reuse it across every
+//!   probed candidate instead of re-deriving levels per schedule attempt.
+//! * [`PrioTracker`] — the placement-dependent part: committed tasks are
+//!   recorded in a dirty set ([`PrioTracker::mark_finished`]) and their
+//!   successors' priorities are raised lazily in one batch
+//!   ([`PrioTracker::flush`]) right before the next chunk selection reads
+//!   them. Each commit costs `O(out-degree)` once; nothing is ever
+//!   recomputed from scratch.
+//!
+//! [`PrioTracker::naive`] recomputes the same fixpoint from scratch; the
+//! property tests assert the dirty-set maintenance agrees with it after
+//! arbitrary commit/flush interleavings.
+
+use ltf_graph::{levels, TaskGraph, TaskId, Weights};
+use ltf_platform::{AverageWeightsInput, Platform};
+
+/// Precomputed platform-averaged weights and static levels for one
+/// `(graph, platform)` pair, shared across schedule attempts.
+#[derive(Debug, Clone)]
+pub struct LevelCache {
+    /// Platform-averaged communication time per edge, indexed by `EdgeId`.
+    pub avg_edge: Vec<f64>,
+    /// Bottom levels `bℓ(t)` under the averaged weights.
+    pub bottom: Vec<f64>,
+    /// Static priorities `tℓ(t) + bℓ(t)` under the averaged weights.
+    pub base_prio: Vec<f64>,
+}
+
+impl LevelCache {
+    /// Compute the averaged weights and levels for `g` on `p`.
+    pub fn compute(g: &TaskGraph, p: &Platform) -> Self {
+        let exec: Vec<f64> = g.tasks().map(|t| g.exec(t)).collect();
+        let volume: Vec<f64> = g.edge_ids().map(|e| g.edge(e).volume).collect();
+        let avg = p.average_weights(&AverageWeightsInput {
+            exec: &exec,
+            volume: &volume,
+        });
+        let w = Weights::new(avg.node.clone(), avg.edge.clone());
+        let bottom = levels::bottom_levels(g, &w);
+        let tl = levels::top_levels(g, &w);
+        let base_prio: Vec<f64> = tl.iter().zip(&bottom).map(|(a, b)| a + b).collect();
+        Self {
+            avg_edge: avg.edge,
+            bottom,
+            base_prio,
+        }
+    }
+}
+
+/// Dirty-set maintenance of the dynamic task priorities.
+///
+/// Committing a task marks it dirty with its actual finish time; the
+/// pending raises are applied to its successors on the next [`flush`]
+/// (once per chunk round, before priorities are read). Priorities only
+/// ever grow, so the maintained values equal the from-scratch fixpoint
+/// over the committed set regardless of commit order.
+///
+/// [`flush`]: PrioTracker::flush
+#[derive(Debug, Clone)]
+pub struct PrioTracker<'a> {
+    cache: &'a LevelCache,
+    prio: Vec<f64>,
+    dirty: Vec<(TaskId, f64)>,
+}
+
+impl<'a> PrioTracker<'a> {
+    /// Start from the static `tℓ + bℓ` priorities.
+    pub fn new(cache: &'a LevelCache) -> Self {
+        Self {
+            cache,
+            prio: cache.base_prio.clone(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Record that every replica of `t` is placed with latest finish time
+    /// `finish`. Cost: one push; successor updates are deferred.
+    pub fn mark_finished(&mut self, t: TaskId, finish: f64) {
+        self.dirty.push((t, finish));
+    }
+
+    /// Apply all pending raises: each dirty task lifts its successors to
+    /// `finish + avg_edge + bℓ(succ)` when that beats their current
+    /// priority.
+    pub fn flush(&mut self, g: &TaskGraph) {
+        for (t, tfin) in self.dirty.drain(..) {
+            for &eid in g.succ_edges(t) {
+                let s = g.edge(eid).dst;
+                let cand = tfin + self.cache.avg_edge[eid.index()] + self.cache.bottom[s.index()];
+                if cand > self.prio[s.index()] {
+                    self.prio[s.index()] = cand;
+                }
+            }
+        }
+    }
+
+    /// The current priorities. Callers flush first; a debug assertion
+    /// guards against reading stale values.
+    pub fn values(&self) -> &[f64] {
+        debug_assert!(self.dirty.is_empty(), "read of unflushed priorities");
+        &self.prio
+    }
+
+    /// From-scratch specification of the maintained priorities: the static
+    /// baseline raised by every `(task, finish)` pair in `finished`. Used
+    /// by the property tests to validate the dirty-set bookkeeping.
+    pub fn naive(cache: &LevelCache, g: &TaskGraph, finished: &[(TaskId, f64)]) -> Vec<f64> {
+        let mut prio = cache.base_prio.clone();
+        for &(t, tfin) in finished {
+            for &eid in g.succ_edges(t) {
+                let s = g.edge(eid).dst;
+                let cand = tfin + cache.avg_edge[eid.index()] + cache.bottom[s.index()];
+                if cand > prio[s.index()] {
+                    prio[s.index()] = cand;
+                }
+            }
+        }
+        prio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::GraphBuilder;
+
+    fn diamond() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(2.0);
+        let t1 = b.add_task(3.0);
+        let t2 = b.add_task(1.0);
+        let t3 = b.add_task(2.0);
+        b.add_edge(t0, t1, 1.0);
+        b.add_edge(t0, t2, 1.0);
+        b.add_edge(t1, t3, 1.0);
+        b.add_edge(t2, t3, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cache_matches_levels_module() {
+        let g = diamond();
+        let p = Platform::homogeneous(3, 1.0, 1.0);
+        let cache = LevelCache::compute(&g, &p);
+        let w = Weights::from_unit_speeds(&g);
+        assert_eq!(cache.bottom, levels::bottom_levels(&g, &w));
+        assert_eq!(cache.base_prio, levels::priorities(&g, &w));
+    }
+
+    #[test]
+    fn flush_applies_pending_raises_once() {
+        let g = diamond();
+        let p = Platform::homogeneous(3, 1.0, 1.0);
+        let cache = LevelCache::compute(&g, &p);
+        let mut tr = PrioTracker::new(&cache);
+        // A very late finish of t0 must lift both successors.
+        tr.mark_finished(TaskId(0), 100.0);
+        tr.flush(&g);
+        let vals = tr.values();
+        assert_eq!(vals[1], 100.0 + 1.0 + cache.bottom[1]);
+        assert_eq!(vals[2], 100.0 + 1.0 + cache.bottom[2]);
+        // Entry priority untouched.
+        assert_eq!(vals[0], cache.base_prio[0]);
+        // Agreement with the naive spec.
+        assert_eq!(
+            vals,
+            &PrioTracker::naive(&cache, &g, &[(TaskId(0), 100.0)])[..]
+        );
+    }
+
+    #[test]
+    fn early_finish_never_lowers_priority() {
+        let g = diamond();
+        let p = Platform::homogeneous(3, 1.0, 1.0);
+        let cache = LevelCache::compute(&g, &p);
+        let mut tr = PrioTracker::new(&cache);
+        tr.mark_finished(TaskId(0), 0.0);
+        tr.flush(&g);
+        assert_eq!(tr.values(), &cache.base_prio[..]);
+    }
+}

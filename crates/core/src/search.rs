@@ -16,8 +16,13 @@
 //! best-effort (exact for the search points actually probed); this matches
 //! how the binary-search-over-period technique is used in the literature
 //! (Hoang & Rabaey).
+//!
+//! All searches probe one instance many times, so they run through
+//! [`PreparedInstance`]: the reversed graph and the platform-averaged
+//! level caches are derived once per `(graph, platform)` and shared by
+//! every candidate probe instead of being rebuilt per schedule attempt.
 
-use crate::api::schedule_with;
+use crate::api::PreparedInstance;
 use crate::config::{AlgoConfig, AlgoKind};
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
@@ -53,13 +58,12 @@ impl Default for MinPeriodOptions {
 }
 
 fn try_period(
-    g: &TaskGraph,
-    p: &Platform,
+    prep: &PreparedInstance<'_>,
     opts: &MinPeriodOptions,
     period: f64,
 ) -> Option<Schedule> {
     let cfg = AlgoConfig::new(opts.epsilon, period).seeded(opts.seed);
-    let sched = schedule_with(opts.kind, g, p, &cfg).ok()?;
+    let sched = prep.schedule(opts.kind, &cfg).ok()?;
     if let Some(budget) = opts.max_latency {
         if sched.latency_upper_bound() > budget {
             return None;
@@ -73,6 +77,7 @@ fn try_period(
 /// and the witnessing schedule, or `None` when even very long periods are
 /// infeasible (e.g. a latency budget that can never be met).
 pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Option<(f64, Schedule)> {
+    let prep = PreparedInstance::new(g, p);
     // Absolute lower bound: every task must fit on its fastest processor,
     // and the replicated total work must fit the aggregate capacity.
     let per_task = g
@@ -87,7 +92,7 @@ pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Optio
     let mut hi = lower.max(1e-12);
     let mut witness = None;
     for _ in 0..60 {
-        if let Some(s) = try_period(g, p, opts, hi) {
+        if let Some(s) = try_period(&prep, opts, hi) {
             witness = Some(s);
             break;
         }
@@ -101,7 +106,7 @@ pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Optio
         if mid <= lo || mid >= hi_p {
             break;
         }
-        match try_period(g, p, opts, mid) {
+        match try_period(&prep, opts, mid) {
             Some(s) => {
                 hi_p = mid;
                 best = s;
@@ -123,6 +128,7 @@ pub fn max_epsilon(
     max_latency: Option<f64>,
     seed: u64,
 ) -> Option<(u8, Schedule)> {
+    let prep = PreparedInstance::new(g, p);
     let mut best = None;
     let cap = (p.num_procs() - 1).min(u8::MAX as usize) as u8;
     for eps in 0..=cap {
@@ -133,7 +139,7 @@ pub fn max_epsilon(
             seed,
             ..Default::default()
         };
-        match try_period(g, p, &opts, period) {
+        match try_period(&prep, &opts, period) {
             Some(s) => best = Some((eps, s)),
             None => break,
         }
@@ -159,9 +165,13 @@ pub fn min_processors(
         seed,
         ..Default::default()
     };
+    // Each prefix is its own platform (different averaged weights), so a
+    // fresh prepared instance per probed prefix; the binary search visits
+    // every prefix size at most once.
     let feasible = |m: usize| -> Option<Schedule> {
         let sub = p.prefix(m);
-        try_period(g, &sub, &opts, period)
+        let prep = PreparedInstance::new(g, &sub);
+        try_period(&prep, &opts, period)
     };
     let full = feasible(p.num_procs())?;
     let mut lo = epsilon as usize + 1; // need ε+1 distinct processors

@@ -1,0 +1,84 @@
+//! Property tests for the dirty-set priority maintenance: after arbitrary
+//! commit/flush interleavings over random DAGs, the tracked priorities
+//! must agree with the naive from-scratch recomputation.
+
+use ltf_core::prio::{LevelCache, PrioTracker};
+use ltf_graph::generate::{layered, LayeredConfig};
+use ltf_graph::TaskId;
+use ltf_platform::{HeterogeneousConfig, Platform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random graph, random (heterogeneous) platform, tasks committed in
+    /// topological order with arbitrary finish times, flushes interleaved
+    /// at arbitrary points: tracked == naive at every flush point.
+    #[test]
+    fn dirty_set_agrees_with_naive_recompute(
+        seed in any::<u64>(),
+        tasks in 5usize..40,
+        finishes in prop::collection::vec(0.0f64..5000.0, 40..41),
+        flush_mask in prop::collection::vec(any::<bool>(), 40..41),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = layered(&LayeredConfig::with_tasks(tasks), &mut rng);
+        let p = HeterogeneousConfig {
+            procs: 6,
+            speed_range: (0.5, 1.0),
+            delay_range: (0.5, 1.0),
+            symmetric: true,
+        }
+        .build(&mut rng);
+        let cache = LevelCache::compute(&g, &p);
+
+        let mut tracker = PrioTracker::new(&cache);
+        let mut committed: Vec<(TaskId, f64)> = Vec::new();
+        for (i, &t) in g.topo_order().iter().enumerate() {
+            let fin = finishes[i % finishes.len()];
+            tracker.mark_finished(t, fin);
+            committed.push((t, fin));
+            if flush_mask[i % flush_mask.len()] {
+                tracker.flush(&g);
+                prop_assert_eq!(
+                    tracker.values(),
+                    &PrioTracker::naive(&cache, &g, &committed)[..]
+                );
+            }
+        }
+        tracker.flush(&g);
+        prop_assert_eq!(
+            tracker.values(),
+            &PrioTracker::naive(&cache, &g, &committed)[..]
+        );
+    }
+
+    /// The naive specification is order-independent (max-accumulation), so
+    /// the tracker result cannot depend on commit order either.
+    #[test]
+    fn naive_spec_is_order_independent(
+        seed in any::<u64>(),
+        tasks in 5usize..30,
+        finishes in prop::collection::vec(0.0f64..5000.0, 30..31),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = layered(&LayeredConfig::with_tasks(tasks), &mut rng);
+        let p = Platform::homogeneous(5, 1.0, 1.0);
+        let cache = LevelCache::compute(&g, &p);
+
+        let committed: Vec<(TaskId, f64)> = g
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, finishes[i % finishes.len()]))
+            .collect();
+        let mut reversed = committed.clone();
+        reversed.reverse();
+        prop_assert_eq!(
+            PrioTracker::naive(&cache, &g, &committed),
+            PrioTracker::naive(&cache, &g, &reversed)
+        );
+    }
+}

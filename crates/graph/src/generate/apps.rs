@@ -209,7 +209,7 @@ mod tests {
         assert_eq!(g.entries().len(), 1);
         assert_eq!(g.exits().len(), 1);
         // Anti-diagonal width.
-        assert_eq!(width(&g), 3.min(4));
+        assert_eq!(width(&g), 3); // min(rows, cols) anti-diagonal
         assert_eq!(depth(&g), 4 + 3 - 1);
     }
 

@@ -3,8 +3,73 @@
 //! Used to serialize each processor's send port, receive port and compute
 //! resource. Intervals are half-open `[start, end)`; zero-length intervals
 //! are ignored. Insertion keeps the set sorted and non-overlapping.
+//!
+//! Three layers serve the placement hot path:
+//!
+//! * [`IntervalSet`] — one sorted resource timeline with binary-searched
+//!   gap queries ([`IntervalSet::next_fit`]) and exact removal
+//!   ([`IntervalSet::remove`], the undo-log primitive).
+//! * [`OverlayView`] — a *probe-time* view of a base set plus a small
+//!   sorted delta of tentative reservations. Candidate evaluation works
+//!   against the overlay without ever cloning the base set; committing is
+//!   a plain insert, abandoning the probe is free.
+//! * [`IntervalIndex`] — the per-processor bucket index: one
+//!   [`IntervalSet`] per processor, addressed by processor index, so the
+//!   engine keeps all CPU/send/receive timelines in one structure with
+//!   overlay construction and undo-removal per bucket.
 
 use crate::EPS;
+
+/// Earliest `τ ≥ ready` such that `[τ, τ + dur)` fits the gap structure of
+/// the sorted, non-overlapping interval slice `ivs`.
+///
+/// Shared by [`IntervalSet::next_fit`] and [`OverlayView`]'s delta scan so
+/// both apply bit-identical `EPS` boundary rules.
+fn next_fit_in(ivs: &[(f64, f64)], ready: f64, dur: f64) -> f64 {
+    let mut t = ready;
+    let mut i = ivs.partition_point(|&(_, e)| e <= t + EPS);
+    loop {
+        match ivs.get(i) {
+            Some(&(s, e)) => {
+                if s + EPS >= t + dur {
+                    return t;
+                }
+                t = t.max(e);
+                i += 1;
+            }
+            None => return t,
+        }
+    }
+}
+
+/// Insert `[start, end)` into a sorted, non-overlapping interval vector.
+/// Shared by [`IntervalSet::insert`] and [`OverlayDelta::insert`] so both
+/// enforce the same invariant with the same (hard) assert policy.
+///
+/// # Panics
+/// If the interval overlaps an existing one by more than `EPS` — callers
+/// derive the position from a prior fit query, so an overlap means the
+/// fit query and the insertion disagree.
+fn insert_sorted(ivs: &mut Vec<(f64, f64)>, start: f64, end: f64) {
+    debug_assert!(start.is_finite() && end.is_finite() && end > start);
+    let i = ivs.partition_point(|&(s, _)| s < start);
+    if i > 0 {
+        let (_, pe) = ivs[i - 1];
+        assert!(pe <= start + EPS, "overlap with previous interval");
+    }
+    if let Some(&(ns, _)) = ivs.get(i) {
+        assert!(end <= ns + EPS, "overlap with next interval");
+    }
+    ivs.insert(i, (start, end));
+}
+
+/// A resource timeline that can answer earliest-fit queries; implemented by
+/// the plain [`IntervalSet`] and the probe-time [`OverlayView`], so
+/// [`earliest_common_fit`] composes either form.
+pub trait BusyTimeline {
+    /// Earliest `τ ≥ ready` such that `[τ, τ + dur)` is free.
+    fn next_fit(&self, ready: f64, dur: f64) -> f64;
+}
 
 /// A sorted set of non-overlapping half-open busy intervals.
 #[derive(Debug, Clone, Default)]
@@ -57,20 +122,7 @@ impl IntervalSet {
         if dur <= EPS {
             return ready;
         }
-        let mut t = ready;
-        let mut i = self.ivs.partition_point(|&(_, e)| e <= t + EPS);
-        loop {
-            match self.ivs.get(i) {
-                Some(&(s, e)) => {
-                    if s + EPS >= t + dur {
-                        return t;
-                    }
-                    t = t.max(e);
-                    i += 1;
-                }
-                None => return t,
-            }
-        }
+        next_fit_in(&self.ivs, ready, dur)
     }
 
     /// Insert a busy interval. Zero-length intervals are ignored.
@@ -81,23 +133,135 @@ impl IntervalSet {
         if end - start <= EPS {
             return;
         }
-        debug_assert!(start.is_finite() && end.is_finite() && end > start);
+        insert_sorted(&mut self.ivs, start, end);
+    }
+
+    /// Remove the exact busy interval `[start, end)` previously inserted
+    /// (the undo-log primitive). Zero-length intervals were never stored
+    /// and are ignored.
+    ///
+    /// # Panics
+    /// If no interval with these exact endpoints is present.
+    pub fn remove(&mut self, start: f64, end: f64) {
+        if end - start <= EPS {
+            return;
+        }
         let i = self.ivs.partition_point(|&(s, _)| s < start);
-        if i > 0 {
-            let (_, pe) = self.ivs[i - 1];
-            assert!(pe <= start + EPS, "overlap with previous interval");
+        // `insert` stored the exact bits, so equality search suffices; the
+        // partition point lands on the first interval starting at `start`.
+        match self.ivs.get(i) {
+            Some(&(s, e)) if s == start && e == end => {
+                self.ivs.remove(i);
+            }
+            _ => panic!("remove of interval [{start}, {end}) not present"),
         }
-        if let Some(&(ns, _)) = self.ivs.get(i) {
-            assert!(end <= ns + EPS, "overlap with next interval");
+    }
+}
+
+impl BusyTimeline for IntervalSet {
+    #[inline]
+    fn next_fit(&self, ready: f64, dur: f64) -> f64 {
+        IntervalSet::next_fit(self, ready, dur)
+    }
+}
+
+/// Probe-time view of a base [`IntervalSet`] plus a small sorted delta of
+/// tentative reservations (the candidate's own planned messages).
+///
+/// Fit queries see the union of base and delta without materializing it:
+/// the placement engine evaluates every candidate processor against
+/// overlays and only touches the base sets on commit, so abandoned probes
+/// cost no clone and no cleanup.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayView<'a> {
+    base: &'a IntervalSet,
+    added: &'a [(f64, f64)],
+}
+
+impl<'a> OverlayView<'a> {
+    /// View `base` with the tentative sorted reservations `added`.
+    pub fn new(base: &'a IntervalSet, added: &'a [(f64, f64)]) -> Self {
+        debug_assert!(added.windows(2).all(|w| w[0].1 <= w[1].0 + EPS));
+        Self { base, added }
+    }
+}
+
+impl BusyTimeline for OverlayView<'_> {
+    /// Earliest fit in the union of base and delta: alternate per-layer
+    /// fits until a common fixpoint, exactly the [`earliest_common_fit`]
+    /// argument — the result is the least `τ` admissible to both layers,
+    /// hence identical to a fit against the merged set.
+    fn next_fit(&self, ready: f64, dur: f64) -> f64 {
+        if dur <= EPS {
+            return ready;
         }
-        self.ivs.insert(i, (start, end));
+        let mut t = ready;
+        loop {
+            let t1 = next_fit_in(self.base.intervals(), t, dur);
+            let t2 = next_fit_in(self.added, t1, dur);
+            if t2 == t1 {
+                return t2;
+            }
+            t = t2;
+        }
+    }
+}
+
+/// A growable sorted delta of tentative reservations, paired with
+/// [`OverlayView`] during probes.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayDelta {
+    ivs: Vec<(f64, f64)>,
+}
+
+impl OverlayDelta {
+    /// Empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a tentative reservation. Zero-length reservations are
+    /// ignored, mirroring [`IntervalSet::insert`].
+    ///
+    /// # Panics
+    /// If the reservation overlaps an existing delta entry by more than
+    /// `EPS` (same policy as [`IntervalSet::insert`]).
+    pub fn insert(&mut self, start: f64, end: f64) {
+        if end - start <= EPS {
+            return;
+        }
+        insert_sorted(&mut self.ivs, start, end);
+    }
+
+    /// The tentative reservations, sorted by start.
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.ivs
+    }
+
+    /// Drop all tentative reservations (reuse between probes).
+    pub fn clear(&mut self) {
+        self.ivs.clear();
+    }
+
+    /// `true` when nothing is reserved.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
     }
 }
 
 /// Earliest `τ ≥ ready` such that `[τ, τ + dur)` is simultaneously free in
-/// both sets (used to co-reserve a send port and a receive port for one
-/// message). Alternates `next_fit` queries until a fixpoint is reached.
-pub fn earliest_common_fit(a: &IntervalSet, b: &IntervalSet, ready: f64, dur: f64) -> f64 {
+/// both timelines (used to co-reserve a send port and a receive port for
+/// one message). Alternates `next_fit` queries until a fixpoint is reached.
+///
+/// Generic over [`BusyTimeline`] so plain sets and probe-time overlays
+/// compose: the fixpoint of monotone "next admissible point" operators is
+/// the least common admissible point regardless of layering.
+pub fn earliest_common_fit<A: BusyTimeline + ?Sized, B: BusyTimeline + ?Sized>(
+    a: &A,
+    b: &B,
+    ready: f64,
+    dur: f64,
+) -> f64 {
     let mut t = ready;
     loop {
         let t1 = a.next_fit(t, dur);
@@ -106,6 +270,61 @@ pub fn earliest_common_fit(a: &IntervalSet, b: &IntervalSet, ready: f64, dur: f6
             return t2;
         }
         t = t2;
+    }
+}
+
+/// Per-processor bucket index over busy timelines: one [`IntervalSet`] per
+/// processor, addressed by processor index.
+///
+/// The engine keeps three of these (CPU, send port, receive port). All
+/// probe-phase queries go through [`IntervalIndex::overlay`]; commit and
+/// undo mutate a single bucket via [`IntervalIndex::insert`] /
+/// [`IntervalIndex::remove`].
+#[derive(Debug, Clone, Default)]
+pub struct IntervalIndex {
+    buckets: Vec<IntervalSet>,
+}
+
+impl IntervalIndex {
+    /// An index over `m` processors, all timelines empty.
+    pub fn new(m: usize) -> Self {
+        Self {
+            buckets: vec![IntervalSet::new(); m],
+        }
+    }
+
+    /// Number of buckets (processors).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The timeline of processor `u`.
+    #[inline]
+    pub fn bucket(&self, u: usize) -> &IntervalSet {
+        &self.buckets[u]
+    }
+
+    /// Probe-time view of processor `u` with tentative reservations.
+    #[inline]
+    pub fn overlay<'a>(&'a self, u: usize, delta: &'a OverlayDelta) -> OverlayView<'a> {
+        OverlayView::new(&self.buckets[u], delta.intervals())
+    }
+
+    /// Commit a reservation on processor `u`.
+    #[inline]
+    pub fn insert(&mut self, u: usize, start: f64, end: f64) {
+        self.buckets[u].insert(start, end);
+    }
+
+    /// Undo a reservation on processor `u` (exact endpoints).
+    #[inline]
+    pub fn remove(&mut self, u: usize, start: f64, end: f64) {
+        self.buckets[u].remove(start, end);
+    }
+
+    /// Total busy time across all buckets (diagnostics).
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().map(IntervalSet::total).sum()
     }
 }
 
@@ -169,6 +388,29 @@ mod tests {
     }
 
     #[test]
+    fn remove_restores_previous_state() {
+        let mut s = IntervalSet::new();
+        s.insert(0.0, 2.0);
+        s.insert(5.0, 7.0);
+        s.insert(2.0, 4.0);
+        s.remove(2.0, 4.0);
+        assert_eq!(s.intervals(), &[(0.0, 2.0), (5.0, 7.0)]);
+        s.remove(0.0, 2.0);
+        s.remove(5.0, 7.0);
+        assert!(s.is_empty());
+        // Zero-length removals are no-ops, like their insertions.
+        s.remove(3.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn remove_missing_panics() {
+        let mut s = IntervalSet::new();
+        s.insert(0.0, 2.0);
+        s.remove(0.0, 3.0);
+    }
+
+    #[test]
     fn common_fit() {
         let mut a = IntervalSet::new();
         let mut b = IntervalSet::new();
@@ -193,5 +435,85 @@ mod tests {
         b.insert(1.0, 2.0);
         b.insert(3.0, 4.0);
         assert_eq!(earliest_common_fit(&a, &b, 0.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn overlay_matches_materialized_set() {
+        let mut base = IntervalSet::new();
+        base.insert(0.0, 1.0);
+        base.insert(4.0, 5.0);
+        let mut delta = OverlayDelta::new();
+        delta.insert(1.0, 2.0);
+        delta.insert(6.0, 8.0);
+
+        let mut merged = base.clone();
+        for &(s, e) in delta.intervals() {
+            merged.insert(s, e);
+        }
+        let overlay = OverlayView::new(&base, delta.intervals());
+        for ready in [0.0, 0.5, 1.5, 3.0, 5.5, 9.0] {
+            for dur in [0.5, 1.0, 2.0, 3.5] {
+                assert_eq!(
+                    BusyTimeline::next_fit(&overlay, ready, dur),
+                    merged.next_fit(ready, dur),
+                    "ready={ready} dur={dur}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_common_fit_with_two_deltas() {
+        // Send side busy via base, receive side busy via delta.
+        let mut send = IntervalSet::new();
+        send.insert(0.0, 2.0);
+        let recv = IntervalSet::new();
+        let empty = OverlayDelta::new();
+        let mut recv_delta = OverlayDelta::new();
+        recv_delta.insert(2.0, 4.0);
+
+        let sv = OverlayView::new(&send, empty.intervals());
+        let rv = OverlayView::new(&recv, recv_delta.intervals());
+        assert_eq!(earliest_common_fit(&sv, &rv, 0.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn overlay_delta_reuse() {
+        let mut d = OverlayDelta::new();
+        d.insert(0.0, 1.0);
+        d.insert(1.0, 1.0); // zero-length ignored
+        assert_eq!(d.intervals().len(), 1);
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn index_buckets_are_independent() {
+        let mut idx = IntervalIndex::new(3);
+        idx.insert(0, 0.0, 2.0);
+        idx.insert(2, 1.0, 3.0);
+        assert_eq!(idx.bucket(0).len(), 1);
+        assert!(idx.bucket(1).is_empty());
+        assert_eq!(idx.bucket(2).next_fit(0.5, 1.0), 3.0);
+        assert_eq!(idx.total(), 4.0);
+        idx.remove(0, 0.0, 2.0);
+        assert!(idx.bucket(0).is_empty());
+        assert_eq!(idx.num_buckets(), 3);
+    }
+
+    #[test]
+    fn index_overlay_sees_delta() {
+        let mut idx = IntervalIndex::new(2);
+        idx.insert(1, 0.0, 1.0);
+        let mut d = OverlayDelta::new();
+        d.insert(1.0, 2.0);
+        let v = idx.overlay(1, &d);
+        assert_eq!(BusyTimeline::next_fit(&v, 0.0, 0.5), 2.0);
+        // Bucket 0 unaffected.
+        let empty = OverlayDelta::new();
+        assert_eq!(
+            BusyTimeline::next_fit(&idx.overlay(0, &empty), 0.0, 0.5),
+            0.0
+        );
     }
 }

@@ -36,7 +36,7 @@ pub mod validate;
 pub use crate::comm::CommEvent;
 pub use crate::failures::CrashSet;
 pub use crate::granularity::granularity;
-pub use crate::intervals::IntervalSet;
+pub use crate::intervals::{BusyTimeline, IntervalIndex, IntervalSet, OverlayDelta, OverlayView};
 pub use crate::replica::{ReplicaId, SourceChoice};
 pub use crate::schedule::{Schedule, ScheduleData};
 pub use crate::validate::{validate, Violation};

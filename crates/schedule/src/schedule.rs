@@ -63,6 +63,22 @@ impl Schedule {
     /// # Panics
     /// If vector sizes are inconsistent with `g`/`ε`.
     pub fn new(g: &TaskGraph, p: &Platform, data: ScheduleData) -> Self {
+        Self::build(g, p, data, None)
+    }
+
+    /// Assemble a schedule from an algorithm that already maintains the
+    /// guaranteed (worst-source) stage vector incrementally — the forward
+    /// placement engine tracks it per commit — skipping the topological
+    /// recomputation of [`Schedule::new`]. Debug builds verify the
+    /// provided stages against the recomputation.
+    ///
+    /// # Panics
+    /// If vector sizes are inconsistent with `g`/`ε`.
+    pub fn with_stages(g: &TaskGraph, p: &Platform, data: ScheduleData, stage: Vec<u32>) -> Self {
+        Self::build(g, p, data, Some(stage))
+    }
+
+    fn build(g: &TaskGraph, p: &Platform, data: ScheduleData, stage: Option<Vec<u32>>) -> Self {
         let nrep = data.epsilon as usize + 1;
         let n = g.num_tasks() * nrep;
         assert_eq!(data.proc_of.len(), n, "proc_of size");
@@ -71,7 +87,18 @@ impl Schedule {
         assert_eq!(data.sources.len(), n, "sources size");
         assert!(data.period.is_finite() && data.period > 0.0, "bad period");
 
-        let stage = stages::guaranteed_stages(g, nrep, &data.proc_of, &data.sources);
+        let stage = match stage {
+            Some(s) => {
+                assert_eq!(s.len(), n, "stage size");
+                debug_assert_eq!(
+                    s,
+                    stages::guaranteed_stages(g, nrep, &data.proc_of, &data.sources),
+                    "provided stages disagree with recomputation"
+                );
+                s
+            }
+            None => stages::guaranteed_stages(g, nrep, &data.proc_of, &data.sources),
+        };
         let num_stages = stage.iter().copied().max().unwrap_or(1);
 
         let m = p.num_procs();

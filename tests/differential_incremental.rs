@@ -1,0 +1,143 @@
+//! Differential tests for the incremental placement engine.
+//!
+//! The production path compares R-LTF's task-level modes through an undo
+//! journal (rollback + replay); the retained reference path re-runs the
+//! pre-incremental speculation control flow built on whole-engine
+//! snapshots. Over seeded random instances spanning both heuristics,
+//! replication degrees and graph families, the two paths must produce
+//! *identical* schedules — same hosts, bit-identical times, same stages,
+//! same source structure, same message set — or fail with the same error.
+//!
+//! Scope note: both paths share the overlay probe, the bucketed interval
+//! index and the stage fast path, so these tests isolate the
+//! journal/rollback/replay machinery. The shared layers are differentially
+//! pinned against naive recomputation by the property tests
+//! (`ltf-schedule/tests/interval_index_props.rs`,
+//! `ltf-core/tests/prio_props.rs`) and by the debug assertion in
+//! `Schedule::with_stages`, which is active throughout this suite.
+
+use ltf_sched::core::{
+    schedule_with, schedule_with_reference, AlgoConfig, AlgoKind, PreparedInstance,
+};
+use ltf_sched::experiments::workload::{gen_instance, PaperWorkload};
+use ltf_sched::graph::generate::{series_parallel, SeriesParallelConfig};
+use ltf_sched::platform::Platform;
+use ltf_sched::schedule::Schedule;
+
+fn assert_identical(a: &Schedule, b: &Schedule, ctx: &str) {
+    assert_eq!(a.epsilon(), b.epsilon(), "{ctx}: epsilon");
+    assert_eq!(a.period(), b.period(), "{ctx}: period");
+    assert_eq!(a.num_stages(), b.num_stages(), "{ctx}: stage count");
+    for r in a.replicas() {
+        assert_eq!(a.proc(r), b.proc(r), "{ctx}: host of {r}");
+        assert_eq!(a.start(r), b.start(r), "{ctx}: start of {r}");
+        assert_eq!(a.finish(r), b.finish(r), "{ctx}: finish of {r}");
+        assert_eq!(a.stage(r), b.stage(r), "{ctx}: stage of {r}");
+        assert_eq!(a.sources(r), b.sources(r), "{ctx}: sources of {r}");
+    }
+    assert_eq!(a.comm_events(), b.comm_events(), "{ctx}: comm events");
+}
+
+fn compare_paths(
+    kind: AlgoKind,
+    g: &ltf_sched::graph::TaskGraph,
+    p: &Platform,
+    cfg: &AlgoConfig,
+    ctx: &str,
+) {
+    let inc = schedule_with(kind, g, p, cfg);
+    let refr = schedule_with_reference(kind, g, p, cfg);
+    match (inc, refr) {
+        (Ok(a), Ok(b)) => assert_identical(&a, &b, ctx),
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{ctx}: error kind"),
+        (a, b) => panic!(
+            "{ctx}: feasibility disagreement (incremental {:?}, reference {:?})",
+            a.map(|s| s.num_stages()),
+            b.map(|s| s.num_stages())
+        ),
+    }
+}
+
+#[test]
+fn incremental_matches_reference_on_paper_workloads() {
+    for eps in [0u8, 1, 3] {
+        for seed in 0..4u64 {
+            let wl = PaperWorkload {
+                tasks: (40, 60),
+                epsilon: eps,
+                granularity: 1.0,
+                ..Default::default()
+            };
+            let inst = gen_instance(&wl, 0xD1FF ^ (seed << 8) ^ ((eps as u64) << 32));
+            for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
+                let cfg = AlgoConfig::new(eps, inst.period).seeded(seed);
+                let ctx = format!("{kind} eps={eps} seed={seed}");
+                compare_paths(kind, &inst.graph, &inst.platform, &cfg, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_matches_reference_on_series_parallel() {
+    use rand::{rngs::StdRng, SeedableRng};
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ seed);
+        let g = series_parallel(&SeriesParallelConfig::default(), &mut rng);
+        let p = Platform::homogeneous(12, 1.0, 0.01);
+        // Generous period: total work over a third of the machines.
+        let period = g.total_exec() / 4.0;
+        for eps in [0u8, 1] {
+            for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
+                let cfg = AlgoConfig::new(eps, period).seeded(seed);
+                let ctx = format!("SP {kind} eps={eps} seed={seed}");
+                compare_paths(kind, &g, &p, &cfg, &ctx);
+            }
+        }
+    }
+}
+
+/// Infeasible configurations must fail identically through both paths.
+#[test]
+fn incremental_matches_reference_on_infeasible_periods() {
+    let wl = PaperWorkload {
+        tasks: (30, 30),
+        epsilon: 1,
+        granularity: 1.0,
+        ..Default::default()
+    };
+    let inst = gen_instance(&wl, 0xBAD);
+    for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
+        // A period far below the workload's calibrated one is infeasible.
+        let cfg = AlgoConfig::new(1, inst.period / 50.0).seeded(3);
+        let ctx = format!("infeasible {kind}");
+        compare_paths(kind, &inst.graph, &inst.platform, &cfg, &ctx);
+    }
+}
+
+/// The search-oriented prepared instance must be a pure cache: scheduling
+/// through it equals the one-shot entry points.
+#[test]
+fn prepared_instance_matches_one_shot() {
+    let wl = PaperWorkload {
+        tasks: (50, 50),
+        epsilon: 1,
+        granularity: 1.0,
+        ..Default::default()
+    };
+    let inst = gen_instance(&wl, 0xCAC4E);
+    let prep = PreparedInstance::new(&inst.graph, &inst.platform);
+    for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
+        // Several periods, as the binary searches would probe.
+        for factor in [1.0, 1.5, 3.0] {
+            let cfg = AlgoConfig::new(1, inst.period * factor).seeded(9);
+            let a = prep.schedule(kind, &cfg);
+            let b = schedule_with(kind, &inst.graph, &inst.platform, &cfg);
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_identical(&a, &b, &format!("prepared {kind} x{factor}")),
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                _ => panic!("prepared-instance feasibility disagreement"),
+            }
+        }
+    }
+}

@@ -6,10 +6,54 @@
 //! and min/max of the per-sample means, printed to stderr in a
 //! `group/bench: median ns/iter (min .. max)` line per benchmark.
 //!
+//! ## Machine-readable output
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! completed benchmark is also collected and [`Criterion::final_summary`]
+//! writes them as a single JSON document (`{"schema": "ltf-bench-v1",
+//! "entries": [{"name", "median_ns", "min_ns", "max_ns"}, ...]}`) — the
+//! format consumed by the repository's `bench-gate` regression check.
+//!
+//! The collection is per-process and the write is an overwrite, so point
+//! `CRITERION_JSON` at **one bench target** (`cargo bench --bench <name>`):
+//! a bare `cargo bench` runs each target as its own process and only the
+//! last target's results would survive in the file.
+//!
 //! [`criterion`]: https://crates.io/crates/criterion
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Benchmarks completed so far, pending a `CRITERION_JSON` flush:
+/// `(id, median, min, max)` in ns/iter.
+static JSON_RESULTS: Mutex<Vec<(String, f64, f64, f64)>> = Mutex::new(Vec::new());
+
+/// Minimal JSON string escaping for benchmark ids.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn write_json_summary(path: &std::path::Path) -> std::io::Result<()> {
+    let rows = JSON_RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"schema\": \"ltf-bench-v1\",\n  \"entries\": [\n");
+    for (i, (id, median, min, max)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {median:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}}}{comma}\n",
+            json_escape(id)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
 
 pub use std::hint::black_box;
 
@@ -59,9 +103,17 @@ impl Criterion {
     }
 
     /// End-of-run hook. The real crate prints its aggregate report here;
-    /// this shim reported each bench as it finished, so there is nothing
-    /// left to flush.
-    pub fn final_summary(&mut self) {}
+    /// this shim reported each bench to stderr as it finished, so the only
+    /// work left is flushing the JSON summary when `CRITERION_JSON` asks
+    /// for one.
+    pub fn final_summary(&mut self) {
+        if let Some(path) = std::env::var_os("CRITERION_JSON") {
+            let path = std::path::PathBuf::from(path);
+            if let Err(e) = write_json_summary(&path) {
+                eprintln!("CRITERION_JSON: failed to write {}: {e}", path.display());
+            }
+        }
+    }
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
@@ -195,6 +247,12 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(settings: &Criterion, id: &str, mut f: 
         fmt_ns(s[0]),
         fmt_ns(s[s.len() - 1])
     );
+    if std::env::var_os("CRITERION_JSON").is_some() {
+        JSON_RESULTS
+            .lock()
+            .unwrap()
+            .push((id.to_string(), median, s[0], s[s.len() - 1]));
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -271,5 +329,28 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a/b"), "a/b");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        JSON_RESULTS
+            .lock()
+            .unwrap()
+            .push(("shape/test/1".into(), 1234.5, 1000.0, 2000.0));
+        let path = std::env::temp_dir().join("criterion_shim_json_summary_test.json");
+        write_json_summary(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"schema\": \"ltf-bench-v1\""));
+        assert!(text.contains("\"name\": \"shape/test/1\""));
+        assert!(text.contains("\"median_ns\": 1234.5"));
+        assert!(text.trim_end().ends_with('}'));
     }
 }

@@ -455,7 +455,7 @@ mod tests {
         #[test]
         fn macro_binds_patterns((a, b) in (0u32..50, 0u32..50), c in 1usize..9) {
             prop_assert!(a < 50 && b < 50);
-            prop_assert!(c >= 1 && c < 9);
+            prop_assert!((1..9).contains(&c));
             prop_assert_eq!(a + b, b + a);
         }
 
