@@ -1,0 +1,562 @@
+//! [`Heuristic`] adapters: every baseline strategy as a real
+//! [`Schedule`]-emitting plugin for the [`Solver`] registry.
+//!
+//! The legacy entry points of this crate return strategy-specific outcome
+//! types ([`MakespanSchedule`], [`crate::TaskParallelOutcome`],
+//! [`crate::DataParallelOutcome`]); the adapters here
+//! project each strategy into the pipelined single-item schedule model so
+//! it can be dispatched, validated, simulated and searched over exactly
+//! like LTF/R-LTF:
+//!
+//! * [`Heft`] / [`Etf`] — the contention-aware makespan list schedules
+//!   over the whole platform, run once per data set (ε = 0 only);
+//! * [`TaskParallel`] — Fig. 1(b): `ε+1` disjoint HEFT lanes, each
+//!   executing every data set;
+//! * [`DataParallel`] — Fig. 1(c): whole graph per processor. The
+//!   round-robin stream scaling is not expressible in the single-item
+//!   model, so the adapter emits the schedule of the *fastest replica
+//!   group* (the one achieving the legacy outcome's latency); the legacy
+//!   [`data_parallel()`](crate::data_parallel()) outcome remains the
+//!   stream-level analysis;
+//! * [`ThroughputFirst`] — the greedy stage partitioning, which already
+//!   emits a [`Schedule`].
+//!
+//! All adapters check condition (1) — per-processor compute and port
+//! loads within the period — and fail with
+//! [`ScheduleError::Overloaded`] naming the violating processor, or
+//! [`ScheduleError::Unsupported`] when asked for a replication degree the
+//! strategy cannot express.
+//!
+//! ```
+//! use ltf_baselines::full_solver;
+//! use ltf_core::AlgoConfig;
+//! use ltf_graph::generate::fig1_diamond;
+//! use ltf_platform::Platform;
+//!
+//! let g = fig1_diamond();
+//! let p = Platform::fig1_platform();
+//! let solver = full_solver(&g, &p); // ltf, rltf, fault-free + 5 baselines
+//! let sol = solver.solve("task-parallel", &AlgoConfig::new(1, 39.0)).unwrap();
+//! assert_eq!(sol.metrics.epsilon, 1);
+//! ```
+
+use crate::makespan::{self, MakespanSchedule};
+use crate::throughput_first;
+use ltf_core::{AlgoConfig, Heuristic, PreparedInstance, ScheduleError, Solver};
+use ltf_graph::TaskGraph;
+use ltf_platform::{Platform, ProcId};
+use ltf_schedule::{CommEvent, ReplicaId, Schedule, ScheduleData, SourceChoice, EPS};
+
+/// The same period validation the core driver applies: a NaN, infinite
+/// or non-positive period is a configuration error, never a feasible
+/// mapping (the `load > period + EPS` overload checks are vacuously
+/// false for NaN/+inf and must not be reached).
+fn require_valid_period(cfg: &AlgoConfig) -> Result<(), ScheduleError> {
+    if !(cfg.period.is_finite() && cfg.period > 0.0) {
+        return Err(ScheduleError::BadConfig(format!(
+            "period must be positive, got {}",
+            cfg.period
+        )));
+    }
+    Ok(())
+}
+
+/// Reject replication for single-copy strategies.
+fn require_epsilon_zero(strategy: &str, cfg: &AlgoConfig) -> Result<(), ScheduleError> {
+    require_valid_period(cfg)?;
+    if cfg.epsilon != 0 {
+        return Err(ScheduleError::Unsupported(format!(
+            "{strategy} does not replicate; requested ε = {} (use ε = 0)",
+            cfg.epsilon
+        )));
+    }
+    Ok(())
+}
+
+/// Condition (1): every processor's cycle time fits the period.
+fn check_condition1(p: &Platform, sched: Schedule) -> Result<Schedule, ScheduleError> {
+    for u in p.procs() {
+        let load = sched.cycle_time(u);
+        if load > sched.period() + EPS {
+            return Err(ScheduleError::Overloaded {
+                proc: u,
+                load,
+                capacity: sched.period(),
+            });
+        }
+    }
+    Ok(sched)
+}
+
+/// Project a single-copy makespan schedule into the ε = 0 pipelined model.
+fn single_copy_schedule(
+    g: &TaskGraph,
+    p: &Platform,
+    ms: &MakespanSchedule,
+    period: f64,
+) -> Schedule {
+    let sources: Vec<Vec<SourceChoice>> = g
+        .tasks()
+        .map(|t| {
+            g.pred_edges(t)
+                .iter()
+                .map(|&e| SourceChoice::one(e, 0))
+                .collect()
+        })
+        .collect();
+    let comm_events: Vec<CommEvent> = ms
+        .comms
+        .iter()
+        .map(|c| {
+            let e = g.edge(c.edge);
+            CommEvent {
+                edge: c.edge,
+                src: ReplicaId::new(e.src, 0),
+                dst: ReplicaId::new(e.dst, 0),
+                src_proc: ms.proc_of[e.src.index()],
+                dst_proc: ms.proc_of[e.dst.index()],
+                start: c.start,
+                finish: c.finish,
+            }
+        })
+        .collect();
+    Schedule::new(
+        g,
+        p,
+        ScheduleData {
+            epsilon: 0,
+            period,
+            proc_of: ms.proc_of.clone(),
+            start: ms.start.clone(),
+            finish: ms.finish.clone(),
+            sources,
+            comm_events,
+        },
+    )
+}
+
+/// Combine per-lane makespan schedules (disjoint processor sets, lane `k`
+/// hosting copy `k` of every task) into one replicated schedule.
+fn lanes_schedule(
+    g: &TaskGraph,
+    p: &Platform,
+    lane_schedules: &[MakespanSchedule],
+    period: f64,
+) -> Schedule {
+    let nrep = lane_schedules.len();
+    let epsilon = (nrep - 1) as u8;
+    let v = g.num_tasks();
+    let n = v * nrep;
+    let mut proc_of = vec![ProcId(0); n];
+    let mut start = vec![0.0f64; n];
+    let mut finish = vec![0.0f64; n];
+    let mut sources: Vec<Vec<SourceChoice>> = vec![Vec::new(); n];
+    let mut comm_events = Vec::new();
+    for (k, ls) in lane_schedules.iter().enumerate() {
+        for t in g.tasks() {
+            let r = ReplicaId::new(t, k as u8).dense(nrep);
+            proc_of[r] = ls.proc_of[t.index()];
+            start[r] = ls.start[t.index()];
+            finish[r] = ls.finish[t.index()];
+            sources[r] = g
+                .pred_edges(t)
+                .iter()
+                .map(|&e| SourceChoice::one(e, k as u8))
+                .collect();
+        }
+        for c in &ls.comms {
+            let e = g.edge(c.edge);
+            comm_events.push(CommEvent {
+                edge: c.edge,
+                src: ReplicaId::new(e.src, k as u8),
+                dst: ReplicaId::new(e.dst, k as u8),
+                src_proc: ls.proc_of[e.src.index()],
+                dst_proc: ls.proc_of[e.dst.index()],
+                start: c.start,
+                finish: c.finish,
+            });
+        }
+    }
+    Schedule::new(
+        g,
+        p,
+        ScheduleData {
+            epsilon,
+            period,
+            proc_of,
+            start,
+            finish,
+            sources,
+            comm_events,
+        },
+    )
+}
+
+/// **HEFT** over the whole platform (ε = 0): upward-rank list scheduling
+/// with insertion-based earliest finish time, run once per data set. The
+/// *task parallelism* scenario of Fig. 1(b) without replication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heft;
+
+impl Heuristic for Heft {
+    fn name(&self) -> &'static str {
+        "heft"
+    }
+
+    fn schedule(
+        &self,
+        inst: &PreparedInstance<'_>,
+        cfg: &AlgoConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        require_epsilon_zero("heft", cfg)?;
+        let (g, p) = (inst.graph(), inst.platform());
+        let procs: Vec<ProcId> = p.procs().collect();
+        let ms = makespan::heft(g, p, &procs);
+        check_condition1(p, single_copy_schedule(g, p, &ms, cfg.period))
+    }
+}
+
+/// **ETF** over the whole platform (ε = 0): earliest-start-first list
+/// scheduling under the one-port model, run once per data set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Etf;
+
+impl Heuristic for Etf {
+    fn name(&self) -> &'static str {
+        "etf"
+    }
+
+    fn schedule(
+        &self,
+        inst: &PreparedInstance<'_>,
+        cfg: &AlgoConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        require_epsilon_zero("etf", cfg)?;
+        let (g, p) = (inst.graph(), inst.platform());
+        let procs: Vec<ProcId> = p.procs().collect();
+        let ms = makespan::etf(g, p, &procs);
+        check_condition1(p, single_copy_schedule(g, p, &ms, cfg.period))
+    }
+}
+
+/// **Task parallelism** (Fig. 1(b)): the platform is dealt into `ε+1`
+/// disjoint lanes by descending speed; every lane list-schedules (HEFT)
+/// the whole DAG per data set. Copy `k` of every task lives on lane `k`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskParallel;
+
+impl Heuristic for TaskParallel {
+    fn name(&self) -> &'static str {
+        "task-parallel"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["task_parallel"]
+    }
+
+    fn schedule(
+        &self,
+        inst: &PreparedInstance<'_>,
+        cfg: &AlgoConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        require_valid_period(cfg)?;
+        let (g, p) = (inst.graph(), inst.platform());
+        let nrep = cfg.replicas();
+        if p.num_procs() < nrep {
+            return Err(ScheduleError::TooFewProcessors {
+                needed: nrep,
+                available: p.num_procs(),
+            });
+        }
+        let out = crate::task_parallel(g, p, cfg.epsilon);
+        check_condition1(p, lanes_schedule(g, p, &out.lane_schedules, cfg.period))
+    }
+}
+
+/// **Data parallelism** (Fig. 1(c)): whole graph on single processors.
+/// The adapter schedules the *fastest replica group* of the legacy
+/// dealing — copy `k` of every task runs sequentially (topological
+/// order) on group member `k` — because the single-item pipelined model
+/// cannot express the round-robin throughput multiplication over groups.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataParallel;
+
+impl Heuristic for DataParallel {
+    fn name(&self) -> &'static str {
+        "data-parallel"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["data_parallel"]
+    }
+
+    fn schedule(
+        &self,
+        inst: &PreparedInstance<'_>,
+        cfg: &AlgoConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        require_valid_period(cfg)?;
+        let (g, p) = (inst.graph(), inst.platform());
+        let nrep = cfg.replicas();
+        if p.num_procs() < nrep {
+            return Err(ScheduleError::TooFewProcessors {
+                needed: nrep,
+                available: p.num_procs(),
+            });
+        }
+        let out = crate::data_parallel(g, p, cfg.epsilon);
+        // Group 0 holds the overall fastest processor, so it attains the
+        // legacy outcome's (fastest-member) latency.
+        let group = &out.groups[0];
+        let order = g.topo_order();
+        let v = g.num_tasks();
+        let n = v * nrep;
+        let mut proc_of = vec![ProcId(0); n];
+        let mut start = vec![0.0f64; n];
+        let mut finish = vec![0.0f64; n];
+        let mut sources: Vec<Vec<SourceChoice>> = vec![Vec::new(); n];
+        for (k, &u) in group.iter().enumerate() {
+            let mut clock = 0.0f64;
+            for &t in order {
+                let r = ReplicaId::new(t, k as u8).dense(nrep);
+                let exec = p.exec_time(g.exec(t), u);
+                proc_of[r] = u;
+                start[r] = clock;
+                finish[r] = clock + exec;
+                clock += exec;
+                sources[r] = g
+                    .pred_edges(t)
+                    .iter()
+                    .map(|&e| SourceChoice::one(e, k as u8))
+                    .collect();
+            }
+            if clock > cfg.period + EPS {
+                return Err(ScheduleError::Overloaded {
+                    proc: u,
+                    load: clock,
+                    capacity: cfg.period,
+                });
+            }
+        }
+        Ok(Schedule::new(
+            g,
+            p,
+            ScheduleData {
+                epsilon: cfg.epsilon,
+                period: cfg.period,
+                proc_of,
+                start,
+                finish,
+                sources,
+                comm_events: Vec::new(),
+            },
+        ))
+    }
+}
+
+/// **Throughput-first** greedy stage partitioning (§3 related work
+/// flavour): satisfies the throughput constraint first-fit with no
+/// replication and no latency objective.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputFirst;
+
+impl Heuristic for ThroughputFirst {
+    fn name(&self) -> &'static str {
+        "throughput-first"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["throughput_first"]
+    }
+
+    fn schedule(
+        &self,
+        inst: &PreparedInstance<'_>,
+        cfg: &AlgoConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        require_epsilon_zero("throughput-first", cfg)?;
+        throughput_first(inst.graph(), inst.platform(), cfg.period).map_err(|e| {
+            ScheduleError::Infeasible {
+                task: e.task,
+                copy: 0,
+            }
+        })
+    }
+}
+
+/// All baseline strategies as boxed [`Heuristic`] plugins, in canonical
+/// order: `heft`, `etf`, `task-parallel`, `data-parallel`,
+/// `throughput-first`.
+pub fn heuristics() -> Vec<Box<dyn Heuristic>> {
+    vec![
+        Box::new(Heft),
+        Box::new(Etf),
+        Box::new(TaskParallel),
+        Box::new(DataParallel),
+        Box::new(ThroughputFirst),
+    ]
+}
+
+/// Register every baseline strategy on an existing [`Solver`] session.
+pub fn register_baselines(solver: &mut Solver<'_>) {
+    for h in heuristics() {
+        solver.register(h);
+    }
+}
+
+/// A [`Solver`] session with the full strategy family registered: the
+/// paper's `ltf`, `rltf` and `fault-free` plus the five baselines.
+pub fn full_solver<'a>(g: &'a TaskGraph, p: &'a Platform) -> Solver<'a> {
+    let mut solver = Solver::builtin(g, p);
+    register_baselines(&mut solver);
+    solver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltf_graph::generate::fig1_diamond;
+    use ltf_schedule::validate;
+
+    fn fig1() -> (TaskGraph, Platform) {
+        (fig1_diamond(), Platform::fig1_platform())
+    }
+
+    #[test]
+    fn full_solver_registers_eight_names() {
+        let (g, p) = fig1();
+        let solver = full_solver(&g, &p);
+        assert_eq!(
+            solver.names(),
+            vec![
+                "ltf",
+                "rltf",
+                "fault-free",
+                "heft",
+                "etf",
+                "task-parallel",
+                "data-parallel",
+                "throughput-first",
+            ]
+        );
+    }
+
+    #[test]
+    fn heft_adapter_emits_valid_schedule() {
+        let (g, p) = fig1();
+        let solver = full_solver(&g, &p);
+        let sol = solver.solve("heft", &AlgoConfig::new(0, 40.0)).unwrap();
+        validate(&g, &p, &sol.schedule).expect("valid");
+        assert_eq!(sol.metrics.epsilon, 0);
+        // Makespan list schedule over the full platform: every task done
+        // within the HEFT makespan.
+        assert!(sol.metrics.achieved_throughput >= 1.0 / 40.0 - 1e-12);
+    }
+
+    #[test]
+    fn heft_adapter_rejects_replication() {
+        let (g, p) = fig1();
+        let solver = full_solver(&g, &p);
+        let err = solver.solve("heft", &AlgoConfig::new(1, 40.0)).unwrap_err();
+        assert!(matches!(err.error, ScheduleError::Unsupported(_)));
+    }
+
+    #[test]
+    fn task_parallel_adapter_matches_legacy_lanes() {
+        let (g, p) = fig1();
+        let solver = full_solver(&g, &p);
+        // Paper Fig. 1(b): both mirror lanes reach makespan 39.
+        let sol = solver
+            .solve("task-parallel", &AlgoConfig::new(1, 39.0))
+            .unwrap();
+        validate(&g, &p, &sol.schedule).expect("valid");
+        let legacy = crate::task_parallel(&g, &p, 1);
+        for (k, ls) in legacy.lane_schedules.iter().enumerate() {
+            for t in g.tasks() {
+                let r = ReplicaId::new(t, k as u8);
+                assert_eq!(sol.schedule.proc(r), ls.proc_of[t.index()]);
+                assert_eq!(sol.schedule.start(r), ls.start[t.index()]);
+                assert_eq!(sol.schedule.finish(r), ls.finish[t.index()]);
+            }
+        }
+        // Condition (1) is per-processor load, not lane makespan: the
+        // busiest lane processor carries 30 time units, so Δ = 25 fails.
+        let err = solver
+            .solve("task-parallel", &AlgoConfig::new(1, 25.0))
+            .unwrap_err();
+        assert!(matches!(err.error, ScheduleError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn data_parallel_adapter_matches_legacy_group() {
+        let (g, p) = fig1();
+        let solver = full_solver(&g, &p);
+        // Fig. 1(c): fastest group finishes the whole graph in 40, the
+        // slow member needs 60 — feasible from Δ = 60 up.
+        let sol = solver
+            .solve("data-parallel", &AlgoConfig::new(1, 60.0))
+            .unwrap();
+        validate(&g, &p, &sol.schedule).expect("valid");
+        assert_eq!(sol.metrics.stages, 1);
+        assert_eq!(sol.metrics.comm_count, 0);
+        let legacy = crate::data_parallel(&g, &p, 1);
+        for (k, &u) in legacy.groups[0].iter().enumerate() {
+            for t in g.tasks() {
+                assert_eq!(sol.schedule.proc(ReplicaId::new(t, k as u8)), u);
+            }
+        }
+        let err = solver
+            .solve("data-parallel", &AlgoConfig::new(1, 50.0))
+            .unwrap_err();
+        assert!(matches!(err.error, ScheduleError::Overloaded { .. }));
+    }
+
+    #[test]
+    fn throughput_first_adapter_matches_legacy() {
+        let (g, p) = fig1();
+        let solver = full_solver(&g, &p);
+        let sol = solver
+            .solve("throughput-first", &AlgoConfig::new(0, 30.0))
+            .unwrap();
+        let legacy = throughput_first(&g, &p, 30.0).unwrap();
+        assert_eq!(sol.metrics.stages, legacy.num_stages());
+        for r in legacy.replicas() {
+            assert_eq!(sol.schedule.proc(r), legacy.proc(r));
+            assert_eq!(sol.schedule.start(r), legacy.start(r));
+        }
+    }
+
+    #[test]
+    fn too_few_processors_is_typed() {
+        let g = fig1_diamond();
+        let p = Platform::homogeneous(1, 1.0, 1.0);
+        let solver = full_solver(&g, &p);
+        for name in ["task-parallel", "data-parallel"] {
+            let err = solver.solve(name, &AlgoConfig::new(1, 100.0)).unwrap_err();
+            assert!(
+                matches!(err.error, ScheduleError::TooFewProcessors { .. }),
+                "{name}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_periods_rejected_like_core() {
+        // NaN/∞/non-positive periods must be BadConfig, not a vacuous
+        // pass through the `load > period` overload checks.
+        let (g, p) = fig1();
+        let solver = full_solver(&g, &p);
+        for period in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            for name in solver.names() {
+                let eps = u8::from(matches!(name, "task-parallel" | "data-parallel"));
+                let err = solver
+                    .solve(name, &AlgoConfig::new(eps, period))
+                    .unwrap_err();
+                assert!(
+                    matches!(err.error, ScheduleError::BadConfig(_)),
+                    "{name} at Δ={period}: {err}"
+                );
+            }
+        }
+    }
+}

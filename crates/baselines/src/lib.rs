@@ -18,12 +18,22 @@
 //!   and no latency objective, providing an ε = 0 comparator that emits a
 //!   real [`ltf_schedule::Schedule`].
 
+//!
+//! Every strategy is also available as a [`ltf_core::Heuristic`] plugin
+//! (module [`heuristics`]): [`full_solver`] builds a
+//! [`ltf_core::Solver`] session with the paper's algorithms *and* all
+//! baselines registered, dispatchable by name.
+
 pub mod data_parallel;
+pub mod heuristics;
 pub mod makespan;
 pub mod task_parallel;
 pub mod throughput_first;
 
 pub use crate::data_parallel::{data_parallel, DataParallelOutcome};
-pub use crate::makespan::{etf, heft, MakespanSchedule};
+pub use crate::heuristics::{
+    full_solver, register_baselines, DataParallel, Etf, Heft, TaskParallel, ThroughputFirst,
+};
+pub use crate::makespan::{etf, heft, MakespanComm, MakespanSchedule};
 pub use crate::task_parallel::{task_parallel, TaskParallelOutcome};
 pub use crate::throughput_first::throughput_first;

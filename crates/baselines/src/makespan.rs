@@ -6,13 +6,27 @@
 //! a message occupies the sender's send port and the receiver's receive
 //! port; port reservations use earliest-gap insertion.
 
-use ltf_graph::{levels, TaskGraph, TaskId, Weights};
+use ltf_graph::{levels, EdgeId, TaskGraph, TaskId, Weights};
 use ltf_platform::{AverageWeightsInput, Platform, ProcId};
 use ltf_schedule::intervals::earliest_common_fit;
 use ltf_schedule::IntervalSet;
 
-/// Port reservations `(source proc, start, end)` required by a placement.
-type PlannedComms = Vec<(ProcId, f64, f64)>;
+/// Port reservations `(edge, source proc, start, end)` required by a
+/// placement.
+type PlannedComms = Vec<(EdgeId, ProcId, f64, f64)>;
+
+/// One scheduled cross-processor message of a [`MakespanSchedule`]. The
+/// endpoint processors are recoverable from the edge's tasks and
+/// [`MakespanSchedule::proc_of`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakespanComm {
+    /// The application edge whose data is carried.
+    pub edge: EdgeId,
+    /// Transfer start time.
+    pub start: f64,
+    /// Transfer end time (`finish - start = volume · d`).
+    pub finish: f64,
+}
 
 /// A single-copy (non-replicated) timed mapping of the whole graph.
 #[derive(Debug, Clone)]
@@ -25,6 +39,8 @@ pub struct MakespanSchedule {
     pub finish: Vec<f64>,
     /// Schedule length (latest finish).
     pub makespan: f64,
+    /// All scheduled cross-processor messages (one-port reservations).
+    pub comms: Vec<MakespanComm>,
 }
 
 impl MakespanSchedule {
@@ -45,6 +61,7 @@ struct MapState<'a> {
     cpu: Vec<IntervalSet>,
     send: Vec<IntervalSet>,
     recv: Vec<IntervalSet>,
+    comms: Vec<MakespanComm>,
 }
 
 impl<'a> MapState<'a> {
@@ -61,6 +78,7 @@ impl<'a> MapState<'a> {
             cpu: vec![IntervalSet::new(); m],
             send: vec![IntervalSet::new(); m],
             recv: vec![IntervalSet::new(); m],
+            comms: Vec::new(),
         }
     }
 
@@ -96,7 +114,7 @@ impl<'a> MapState<'a> {
             let st = earliest_common_fit(hs, rs, self.finish[e.src.index()], dur);
             hs.insert(st, st + dur);
             rs.insert(st, st + dur);
-            comms.push((h, st, st + dur));
+            comms.push((eid, h, st, st + dur));
             ready = ready.max(st + dur);
         }
         let exec = self.p.exec_time(self.g.exec(t), u);
@@ -110,16 +128,21 @@ impl<'a> MapState<'a> {
         u: ProcId,
         start: f64,
         finish: f64,
-        comms: &[(ProcId, f64, f64)],
+        comms: &[(EdgeId, ProcId, f64, f64)],
     ) {
         self.placed[t.index()] = true;
         self.proc_of[t.index()] = u;
         self.start[t.index()] = start;
         self.finish[t.index()] = finish;
         self.cpu[u.index()].insert(start, finish);
-        for &(h, s, f) in comms {
+        for &(edge, h, s, f) in comms {
             self.send[h.index()].insert(s, f);
             self.recv[u.index()].insert(s, f);
+            self.comms.push(MakespanComm {
+                edge,
+                start: s,
+                finish: f,
+            });
         }
     }
 
@@ -130,6 +153,7 @@ impl<'a> MapState<'a> {
             start: self.start,
             finish: self.finish,
             makespan,
+            comms: self.comms,
         }
     }
 }

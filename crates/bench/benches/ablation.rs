@@ -5,7 +5,7 @@
 
 use criterion::{black_box, Criterion};
 use ltf_bench::quick_criterion;
-use ltf_core::{schedule_with, AlgoConfig, AlgoKind};
+use ltf_core::{AlgoConfig, AlgoKind, PreparedInstance};
 use ltf_experiments::ablation::{ablation, table, AblationConfig};
 use ltf_experiments::workload::{gen_instance, PaperWorkload};
 
@@ -44,13 +44,8 @@ fn main() {
         tweak(&mut cfg);
         group.bench_function(name, |b| {
             b.iter(|| {
-                schedule_with(
-                    kind,
-                    black_box(&inst.graph),
-                    black_box(&inst.platform),
-                    black_box(&cfg),
-                )
-                .ok()
+                let prep = PreparedInstance::new(black_box(&inst.graph), black_box(&inst.platform));
+                kind.heuristic().schedule(&prep, black_box(&cfg)).ok()
             })
         });
     }

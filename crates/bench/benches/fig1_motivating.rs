@@ -5,7 +5,7 @@
 use criterion::{black_box, Criterion};
 use ltf_baselines::{data_parallel, task_parallel};
 use ltf_bench::quick_criterion;
-use ltf_core::{rltf_schedule, AlgoConfig};
+use ltf_core::{AlgoConfig, Heuristic, PreparedInstance, Rltf};
 use ltf_graph::generate::fig1_diamond;
 use ltf_platform::Platform;
 
@@ -14,7 +14,9 @@ fn print_reproduction() {
     let p = Platform::fig1_platform();
     let tp = task_parallel(&g, &p, 1);
     let dp = data_parallel(&g, &p, 1);
-    let s = rltf_schedule(&g, &p, &AlgoConfig::new(1, 30.0)).expect("pipelined");
+    let s = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &AlgoConfig::new(1, 30.0))
+        .expect("pipelined");
     eprintln!("\n=== fig1 reproduction (paper values in parentheses) ===");
     eprintln!(
         "task parallelism : L = {:.0} (39), T = 1/{:.0} (1/39)",
@@ -48,7 +50,10 @@ fn main() {
     });
     let cfg = AlgoConfig::new(1, 30.0);
     group.bench_function("pipelined_rltf", |b| {
-        b.iter(|| rltf_schedule(black_box(&g), black_box(&p), black_box(&cfg)).unwrap())
+        b.iter(|| {
+            let prep = PreparedInstance::new(black_box(&g), black_box(&p));
+            Rltf.schedule(&prep, black_box(&cfg)).unwrap()
+        })
     });
     group.finish();
     c.final_summary();

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, Criterion};
 use ltf_bench::quick_criterion;
-use ltf_core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_core::{AlgoConfig, Heuristic, Ltf, PreparedInstance, Rltf};
 use ltf_graph::generate::{fig2_workflow, fig2_workflow_variant};
 use ltf_platform::Platform;
 
@@ -23,8 +23,8 @@ fn print_reproduction() {
             };
             eprintln!(
                 "{name:<16} m={m:<2}: LTF {:<12} R-LTF {}",
-                fmt(ltf_schedule(&g, &p, &cfg)),
-                fmt(rltf_schedule(&g, &p, &cfg))
+                fmt(Ltf.schedule(&PreparedInstance::new(&g, &p), &cfg)),
+                fmt(Rltf.schedule(&PreparedInstance::new(&g, &p), &cfg))
             );
         }
     }
@@ -40,10 +40,16 @@ fn main() {
 
     let mut group = c.benchmark_group("fig2");
     group.bench_function("ltf_variant_m8", |b| {
-        b.iter(|| ltf_schedule(black_box(&g), black_box(&p), black_box(&cfg)).unwrap())
+        b.iter(|| {
+            let prep = PreparedInstance::new(black_box(&g), black_box(&p));
+            Ltf.schedule(&prep, black_box(&cfg)).unwrap()
+        })
     });
     group.bench_function("rltf_variant_m8", |b| {
-        b.iter(|| rltf_schedule(black_box(&g), black_box(&p), black_box(&cfg)).unwrap())
+        b.iter(|| {
+            let prep = PreparedInstance::new(black_box(&g), black_box(&p));
+            Rltf.schedule(&prep, black_box(&cfg)).unwrap()
+        })
     });
     group.finish();
     c.final_summary();

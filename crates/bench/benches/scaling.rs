@@ -5,7 +5,7 @@
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use ltf_bench::quick_criterion;
-use ltf_core::{schedule_with, AlgoConfig, AlgoKind};
+use ltf_core::{AlgoConfig, AlgoKind, PreparedInstance};
 use ltf_experiments::workload::{gen_instance, PaperWorkload};
 
 fn bench_axis<F: Fn(u64) -> PaperWorkload>(
@@ -22,13 +22,12 @@ fn bench_axis<F: Fn(u64) -> PaperWorkload>(
             let cfg = AlgoConfig::new(wl.epsilon, inst.period).seeded(1);
             group.bench_with_input(BenchmarkId::new(kind.to_string(), param), &param, |b, _| {
                 b.iter(|| {
-                    schedule_with(
-                        kind,
-                        black_box(&inst.graph),
-                        black_box(&inst.platform),
-                        black_box(&cfg),
-                    )
-                    .ok()
+                    // Lazy instance: the level caches (and, for R-LTF, the
+                    // reversal) are derived inside the timed region, as the
+                    // legacy free functions did.
+                    let prep =
+                        PreparedInstance::new(black_box(&inst.graph), black_box(&inst.platform));
+                    kind.heuristic().schedule(&prep, black_box(&cfg)).ok()
                 })
             });
         }

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, Criterion};
 use ltf_bench::quick_criterion;
-use ltf_core::{rltf_schedule, AlgoConfig};
+use ltf_core::{AlgoConfig, Heuristic, PreparedInstance, Rltf};
 use ltf_experiments::workload::{gen_instance, PaperWorkload};
 use ltf_schedule::{failures, CrashSet};
 use ltf_sim::{asap, synchronous, AsapConfig, SynchronousConfig};
@@ -14,7 +14,8 @@ fn main() {
     let wl = PaperWorkload::paper(1, 1.0);
     let inst = gen_instance(&wl, 3);
     let cfg = AlgoConfig::new(1, inst.period).seeded(3);
-    let sched = rltf_schedule(&inst.graph, &inst.platform, &cfg).expect("feasible");
+    let prep = PreparedInstance::new(&inst.graph, &inst.platform);
+    let sched = Rltf.schedule(&prep, &cfg).expect("feasible");
     eprintln!(
         "\nsim bench schedule: v={} S={} comms={}\n",
         inst.graph.num_tasks(),

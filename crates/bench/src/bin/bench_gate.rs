@@ -26,9 +26,11 @@
 //!
 //! Exit codes: 0 all within tolerance, 1 regression (or baseline entry
 //! missing from the current run), 2 usage/IO error. Benchmarks present
-//! only in the current run are reported but never fail the gate, so new
-//! benches can land before their baseline does.
+//! only in the current run warn and are skipped — never a failure — so
+//! new benches can land before their baseline does (the policy lives in
+//! [`ltf_bench::gate`], where it is unit-tested).
 
+use ltf_bench::gate::{compare, GateOptions, Verdict};
 use ltf_bench::{parse_bench_json, BenchEntry};
 use std::process::ExitCode;
 
@@ -38,9 +40,7 @@ const USAGE: &str = "usage: bench-gate <current.json> <baseline.json> \
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
-    let mut tolerance = 0.25f64;
-    let mut normalize = false;
-    let mut use_min = false;
+    let mut opts = GateOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,12 +49,12 @@ fn main() -> ExitCode {
                     eprintln!("bench-gate: --tolerance needs a numeric argument");
                     return ExitCode::from(2);
                 };
-                tolerance = v;
+                opts.tolerance = v;
             }
-            "--normalize" => normalize = true,
+            "--normalize" => opts.normalize = true,
             "--stat" => match it.next().map(String::as_str) {
-                Some("median") => use_min = false,
-                Some("min") => use_min = true,
+                Some("median") => opts.use_min = false,
+                Some("min") => opts.use_min = true,
                 _ => {
                     eprintln!("bench-gate: --stat needs 'median' or 'min'");
                     return ExitCode::from(2);
@@ -92,97 +92,51 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let stat = |e: &BenchEntry| -> f64 {
-        if use_min {
-            e.min_ns.unwrap_or(e.median_ns)
-        } else {
-            e.median_ns
-        }
-    };
-    let stat_name = if use_min { "min" } else { "median" };
-
-    // Machine-speed normalization: the median current/baseline ratio over
-    // the shared entries estimates the uniform hardware factor.
-    let scale = if normalize {
-        let mut ratios: Vec<f64> = baseline
-            .iter()
-            .filter_map(|base| {
-                current
-                    .iter()
-                    .find(|c| c.name == base.name)
-                    .map(|c| stat(c) / stat(base))
-            })
-            .collect();
-        if ratios.is_empty() {
-            1.0
-        } else {
-            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
-            let s = ratios[ratios.len() / 2];
-            println!("machine-speed normalization: x{s:.3} (median current/baseline ratio)");
-            s
-        }
-    } else {
-        1.0
-    };
-
-    let mut failed = false;
+    let report = compare(&current, &baseline, &opts);
+    let stat_name = if opts.use_min { "min" } else { "median" };
+    if opts.normalize {
+        println!(
+            "machine-speed normalization: x{:.3} (median current/baseline ratio)",
+            report.scale
+        );
+    }
     println!(
         "{:<28} {:>14} {:>14} {:>9}  verdict  ({stat_name} ns/iter)",
         "benchmark", "baseline", "current", "delta"
     );
-    for base in &baseline {
-        let base_ns = stat(base);
-        match current.iter().find(|c| c.name == base.name) {
-            Some(cur) => {
-                let cur_ns = stat(cur);
-                let delta = cur_ns / (base_ns * scale) - 1.0;
-                let verdict = if delta > tolerance {
-                    failed = true;
-                    "REGRESSED"
-                } else if delta < -tolerance {
-                    "improved"
-                } else {
-                    "ok"
-                };
-                println!(
-                    "{:<28} {base_ns:>14.0} {cur_ns:>14.0} {:>+8.1}%  {verdict}",
-                    base.name,
-                    delta * 100.0
-                );
-            }
-            None => {
-                failed = true;
-                println!(
-                    "{:<28} {base_ns:>14.0} {:>14} {:>9}  MISSING",
-                    base.name, "-", "-"
-                );
-            }
-        }
-    }
-    for cur in &current {
-        if !baseline.iter().any(|b| b.name == cur.name) {
-            println!(
-                "{:<28} {:>14} {:>14.0} {:>9}  new (no baseline)",
-                cur.name,
-                "-",
-                stat(cur),
-                "-"
-            );
-        }
+    let num = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |n| format!("{n:.0}"));
+    for line in &report.lines {
+        let delta = line
+            .delta
+            .map_or_else(|| "-".to_string(), |d| format!("{:>+8.1}%", d * 100.0));
+        let verdict = match line.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::MissingFromRun => "MISSING",
+            Verdict::NewNoBaseline => "new: skipped (no baseline)",
+        };
+        println!(
+            "{:<28} {:>14} {:>14} {:>9}  {verdict}",
+            line.name,
+            num(line.baseline_ns),
+            num(line.current_ns),
+            delta
+        );
     }
 
-    if failed {
+    if report.failed {
         eprintln!(
             "bench-gate: FAILED — at least one benchmark regressed more than {:.0}% \
              (or disappeared) vs {baseline_path}",
-            tolerance * 100.0
+            opts.tolerance * 100.0
         );
         ExitCode::FAILURE
     } else {
         println!(
             "bench-gate: ok — all {} baseline benchmarks within {:.0}%",
             baseline.len(),
-            tolerance * 100.0
+            opts.tolerance * 100.0
         );
         ExitCode::SUCCESS
     }

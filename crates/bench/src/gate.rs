@@ -1,0 +1,291 @@
+//! The benchmark regression-gate comparison, as a testable library.
+//!
+//! The `bench-gate` binary is a thin shell around [`compare`]: parse the
+//! two JSON documents, run the comparison, render [`GateReport`] and exit
+//! with its [`GateReport::failed`] flag. Keeping the policy here makes the
+//! gate's semantics unit-testable — in particular the rule that
+//! **benchmarks present in the current run but absent from the baseline
+//! warn and are skipped, never fail**, so landing a new bench never
+//! requires landing its baseline in the same change.
+
+use crate::BenchEntry;
+
+/// Gate policy knobs (the binary's command-line flags).
+#[derive(Debug, Clone)]
+pub struct GateOptions {
+    /// Relative regression tolerance (0.25 = fail beyond +25%).
+    pub tolerance: f64,
+    /// Divide current values by the median current/baseline ratio before
+    /// applying the tolerance, factoring out a uniformly faster or slower
+    /// machine.
+    pub normalize: bool,
+    /// Gate on the best observed sample (`min_ns`) instead of the median;
+    /// entries lacking `min_ns` fall back to the median.
+    pub use_min: bool,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.25,
+            normalize: false,
+            use_min: false,
+        }
+    }
+}
+
+/// Verdict for one benchmark name appearing in either document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Faster than the baseline beyond the tolerance.
+    Improved,
+    /// Slower than the baseline beyond the tolerance — fails the gate.
+    Regressed,
+    /// In the baseline but not in the current run — fails the gate (a
+    /// bench silently disappearing is a coverage loss).
+    MissingFromRun,
+    /// In the current run but not in the baseline — warn-and-skip, never
+    /// fails (new benches land before their baseline does).
+    NewNoBaseline,
+}
+
+/// One row of the gate report.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    /// Benchmark id.
+    pub name: String,
+    /// Baseline statistic (ns/iter), when the baseline has the entry.
+    pub baseline_ns: Option<f64>,
+    /// Current statistic (ns/iter), when the run has the entry.
+    pub current_ns: Option<f64>,
+    /// Relative delta after normalization (`current/baseline - 1`), when
+    /// both sides exist.
+    pub delta: Option<f64>,
+    /// The verdict for this row.
+    pub verdict: Verdict,
+}
+
+/// Outcome of a gate comparison.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// One line per benchmark, baseline entries first (baseline order),
+    /// then current-only entries (run order).
+    pub lines: Vec<GateLine>,
+    /// Machine-speed factor divided out of current values (1.0 when
+    /// normalization is off or no entries are shared).
+    pub scale: f64,
+    /// Whether the gate fails: some benchmark [`Verdict::Regressed`] or
+    /// went [`Verdict::MissingFromRun`]. [`Verdict::NewNoBaseline`]
+    /// entries never set this.
+    pub failed: bool,
+}
+
+fn stat(e: &BenchEntry, use_min: bool) -> f64 {
+    if use_min {
+        e.min_ns.unwrap_or(e.median_ns)
+    } else {
+        e.median_ns
+    }
+}
+
+/// Compare a current run against a baseline under the gate policy.
+pub fn compare(current: &[BenchEntry], baseline: &[BenchEntry], opts: &GateOptions) -> GateReport {
+    let value = |e: &BenchEntry| stat(e, opts.use_min);
+
+    // Machine-speed normalization: the median current/baseline ratio over
+    // the shared entries estimates the uniform hardware factor.
+    let scale = if opts.normalize {
+        let mut ratios: Vec<f64> = baseline
+            .iter()
+            .filter_map(|base| {
+                current
+                    .iter()
+                    .find(|c| c.name == base.name)
+                    .map(|c| value(c) / value(base))
+            })
+            .collect();
+        if ratios.is_empty() {
+            1.0
+        } else {
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            ratios[ratios.len() / 2]
+        }
+    } else {
+        1.0
+    };
+
+    let mut lines = Vec::new();
+    let mut failed = false;
+    for base in baseline {
+        let base_ns = value(base);
+        match current.iter().find(|c| c.name == base.name) {
+            Some(cur) => {
+                let cur_ns = value(cur);
+                let delta = cur_ns / (base_ns * scale) - 1.0;
+                let verdict = if delta > opts.tolerance {
+                    failed = true;
+                    Verdict::Regressed
+                } else if delta < -opts.tolerance {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                lines.push(GateLine {
+                    name: base.name.clone(),
+                    baseline_ns: Some(base_ns),
+                    current_ns: Some(cur_ns),
+                    delta: Some(delta),
+                    verdict,
+                });
+            }
+            None => {
+                failed = true;
+                lines.push(GateLine {
+                    name: base.name.clone(),
+                    baseline_ns: Some(base_ns),
+                    current_ns: None,
+                    delta: None,
+                    verdict: Verdict::MissingFromRun,
+                });
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            lines.push(GateLine {
+                name: cur.name.clone(),
+                baseline_ns: None,
+                current_ns: Some(value(cur)),
+                delta: None,
+                verdict: Verdict::NewNoBaseline,
+            });
+        }
+    }
+
+    GateReport {
+        lines,
+        scale,
+        failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, median: f64, min: Option<f64>) -> BenchEntry {
+        BenchEntry {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = vec![entry("a", 100.0, None), entry("b", 200.0, None)];
+        let cur = vec![entry("a", 110.0, None), entry("b", 180.0, None)];
+        let rep = compare(&cur, &base, &GateOptions::default());
+        assert!(!rep.failed);
+        assert!(rep.lines.iter().all(|l| l.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn regression_fails() {
+        let base = vec![entry("a", 100.0, None)];
+        let cur = vec![entry("a", 140.0, None)];
+        let rep = compare(&cur, &base, &GateOptions::default());
+        assert!(rep.failed);
+        assert_eq!(rep.lines[0].verdict, Verdict::Regressed);
+        assert!((rep.lines[0].delta.unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_bench_warns_and_skips_without_failing() {
+        // The satellite guarantee: adding a bench to the run never breaks
+        // the gate against an older baseline.
+        let base = vec![entry("a", 100.0, None)];
+        let cur = vec![
+            entry("a", 100.0, None),
+            entry("brand_new/bench", 1.0e9, None), // arbitrarily slow
+        ];
+        let rep = compare(&cur, &base, &GateOptions::default());
+        assert!(!rep.failed, "a new bench must not fail the gate");
+        let new = rep
+            .lines
+            .iter()
+            .find(|l| l.name == "brand_new/bench")
+            .unwrap();
+        assert_eq!(new.verdict, Verdict::NewNoBaseline);
+        assert_eq!(new.baseline_ns, None);
+    }
+
+    #[test]
+    fn new_bench_does_not_skew_normalization() {
+        // The normalization ratio is computed over shared entries only, so
+        // a current-only bench cannot shift the scale.
+        let base = vec![entry("a", 100.0, None), entry("b", 100.0, None)];
+        let cur = vec![
+            entry("a", 200.0, None),
+            entry("b", 200.0, None),
+            entry("new", 1.0, None),
+        ];
+        let opts = GateOptions {
+            normalize: true,
+            ..Default::default()
+        };
+        let rep = compare(&cur, &base, &opts);
+        assert!((rep.scale - 2.0).abs() < 1e-12);
+        assert!(!rep.failed);
+    }
+
+    #[test]
+    fn missing_from_run_fails() {
+        let base = vec![entry("a", 100.0, None), entry("gone", 50.0, None)];
+        let cur = vec![entry("a", 100.0, None)];
+        let rep = compare(&cur, &base, &GateOptions::default());
+        assert!(rep.failed);
+        assert!(rep
+            .lines
+            .iter()
+            .any(|l| l.verdict == Verdict::MissingFromRun));
+    }
+
+    #[test]
+    fn min_stat_falls_back_to_median() {
+        let base = vec![entry("a", 100.0, Some(90.0))];
+        let cur = vec![entry("a", 130.0, None)]; // no min: falls back to 130
+        let opts = GateOptions {
+            use_min: true,
+            ..Default::default()
+        };
+        let rep = compare(&cur, &base, &opts);
+        // 130 / 90 - 1 ≈ 0.44 > 0.25.
+        assert!(rep.failed);
+    }
+
+    #[test]
+    fn uniform_slowdown_normalizes_away() {
+        let base = vec![
+            entry("a", 100.0, None),
+            entry("b", 200.0, None),
+            entry("c", 300.0, None),
+        ];
+        let cur = vec![
+            entry("a", 300.0, None),
+            entry("b", 600.0, None),
+            entry("c", 900.0, None),
+        ];
+        let strict = compare(&cur, &base, &GateOptions::default());
+        assert!(strict.failed);
+        let opts = GateOptions {
+            normalize: true,
+            ..Default::default()
+        };
+        let rep = compare(&cur, &base, &opts);
+        assert!(!rep.failed);
+        assert!((rep.scale - 3.0).abs() < 1e-12);
+    }
+}

@@ -18,6 +18,8 @@
 
 use criterion::Criterion;
 
+pub mod gate;
+
 /// Criterion configuration shared by all benches: small samples, short
 /// measurement windows — the kernels are deterministic and the suite has
 /// many of them. `LTF_BENCH_QUICK=1` shrinks the windows further for CI

@@ -1,4 +1,11 @@
-//! Public entry points: LTF, R-LTF and the fault-free reference schedule.
+//! Legacy free-function entry points and the prepared problem instance.
+//!
+//! The free functions ([`ltf_schedule`], [`rltf_schedule`], [`schedule_with`],
+//! [`fault_free_reference`]) predate the [`Solver`](crate::Solver) /
+//! [`Heuristic`](crate::Heuristic) API and are kept as thin deprecated
+//! shims so downstream code migrates incrementally; each one is equivalent
+//! to a single [`Solver`](crate::Solver) call (see the crate-level docs for
+//! the migration table).
 
 use crate::config::{AlgoConfig, AlgoKind, ScheduleError};
 use crate::convert;
@@ -8,6 +15,7 @@ use crate::prio::LevelCache;
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
 use ltf_schedule::Schedule;
+use std::sync::OnceLock;
 
 /// The **LTF** algorithm (paper §4.1, Algorithm 4.1): forward chunked list
 /// mapping with the one-to-one replication procedure and minimum-finish-
@@ -17,23 +25,26 @@ use ltf_schedule::Schedule;
 /// Fails with [`ScheduleError::Infeasible`] when some replica cannot be
 /// placed without exceeding the period — the behaviour the paper
 /// demonstrates on the Fig. 2 example with 8 processors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builtin(g, p).solve(\"ltf\", cfg)` or `Ltf.schedule(&PreparedInstance::new(g, p), cfg)`"
+)]
 pub fn ltf_schedule(
     g: &TaskGraph,
     p: &Platform,
     cfg: &AlgoConfig,
 ) -> Result<Schedule, ScheduleError> {
-    let cache = LevelCache::compute(g, p);
-    ltf_schedule_cached(g, p, cfg, &cache)
+    ltf_cached(&PreparedInstance::new(g, p), cfg)
 }
 
-fn ltf_schedule_cached(
-    g: &TaskGraph,
-    p: &Platform,
+/// LTF over a prepared instance, reusing its forward level cache.
+pub(crate) fn ltf_cached(
+    inst: &PreparedInstance<'_>,
     cfg: &AlgoConfig,
-    cache: &LevelCache,
 ) -> Result<Schedule, ScheduleError> {
+    let (g, p) = (inst.graph(), inst.platform());
     let mut engine = Engine::new(g, p, cfg);
-    driver::run(&mut engine, cfg, Policy::Ltf, cache)?;
+    driver::run(&mut engine, cfg, Policy::Ltf, inst.levels_forward())?;
     Ok(convert::forward_schedule(
         engine,
         g,
@@ -47,25 +58,26 @@ fn ltf_schedule_cached(
 /// application graph guided by Rule 1 (never grow the pipeline stage count
 /// when avoidable) and Rule 2 (one-to-one replica spreading on linear chain
 /// sections), minimizing the pipeline latency `L = (2S − 1)/T`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builtin(g, p).solve(\"rltf\", cfg)` or `Rltf.schedule(&PreparedInstance::new(g, p), cfg)`"
+)]
 pub fn rltf_schedule(
     g: &TaskGraph,
     p: &Platform,
     cfg: &AlgoConfig,
 ) -> Result<Schedule, ScheduleError> {
-    let rev = g.reversed();
-    let cache = LevelCache::compute(&rev, p);
-    rltf_schedule_cached(g, &rev, p, cfg, &cache)
+    rltf_cached(&PreparedInstance::new(g, p), cfg)
 }
 
-fn rltf_schedule_cached(
-    g: &TaskGraph,
-    rev: &TaskGraph,
-    p: &Platform,
+/// R-LTF over a prepared instance, reusing its reversed graph and cache.
+pub(crate) fn rltf_cached(
+    inst: &PreparedInstance<'_>,
     cfg: &AlgoConfig,
-    cache: &LevelCache,
 ) -> Result<Schedule, ScheduleError> {
-    let mut engine = Engine::new(rev, p, cfg);
-    driver::run(&mut engine, cfg, Policy::Rltf, cache)?;
+    let (g, p) = (inst.graph(), inst.platform());
+    let mut engine = Engine::new(inst.reversed(), p, cfg);
+    driver::run(&mut engine, cfg, Policy::Rltf, inst.levels_reversed())?;
     Ok(convert::reversed_schedule(
         engine,
         g,
@@ -76,46 +88,52 @@ fn rltf_schedule_cached(
 }
 
 /// Dispatch by [`AlgoKind`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builtin(g, p).solve(kind.name(), cfg)` or `kind.heuristic().schedule(..)`"
+)]
 pub fn schedule_with(
     kind: AlgoKind,
     g: &TaskGraph,
     p: &Platform,
     cfg: &AlgoConfig,
 ) -> Result<Schedule, ScheduleError> {
+    let inst = PreparedInstance::new(g, p);
     match kind {
-        AlgoKind::Ltf => ltf_schedule(g, p, cfg),
-        AlgoKind::Rltf => rltf_schedule(g, p, cfg),
+        AlgoKind::Ltf => ltf_cached(&inst, cfg),
+        AlgoKind::Rltf => rltf_cached(&inst, cfg),
     }
 }
 
-/// A `(graph, platform)` pair with everything period-independent
-/// precomputed: the reversed graph for R-LTF and the platform-averaged
-/// level caches for both traversal directions.
+/// A `(graph, platform)` pair with the period-independent derivations —
+/// the reversed graph for bottom-up traversals and the platform-averaged
+/// level caches for both directions — computed lazily, at most once, and
+/// shared by every schedule attempt on the instance.
 ///
 /// The objective-space searches probe the same instance at dozens of
 /// candidate periods (or ε values); preparing once keeps each probe's
 /// setup cost at "allocate an engine" instead of "re-derive levels,
-/// averaged weights and the reversed graph".
+/// averaged weights and the reversed graph". Laziness means a session that
+/// only ever runs forward heuristics never pays for the reversed
+/// derivations (and vice versa).
 pub struct PreparedInstance<'a> {
     g: &'a TaskGraph,
     p: &'a Platform,
-    rev: TaskGraph,
-    fwd_cache: LevelCache,
-    rev_cache: LevelCache,
+    rev: OnceLock<TaskGraph>,
+    fwd_cache: OnceLock<LevelCache>,
+    rev_cache: OnceLock<LevelCache>,
 }
 
 impl<'a> PreparedInstance<'a> {
-    /// Precompute the direction-specific level caches for `g` on `p`.
+    /// Wrap `g` on `p`; direction-specific derivations are computed on
+    /// first use.
     pub fn new(g: &'a TaskGraph, p: &'a Platform) -> Self {
-        let rev = g.reversed();
-        let fwd_cache = LevelCache::compute(g, p);
-        let rev_cache = LevelCache::compute(&rev, p);
         Self {
             g,
             p,
-            rev,
-            fwd_cache,
-            rev_cache,
+            rev: OnceLock::new(),
+            fwd_cache: OnceLock::new(),
+            rev_cache: OnceLock::new(),
         }
     }
 
@@ -129,12 +147,36 @@ impl<'a> PreparedInstance<'a> {
         self.p
     }
 
-    /// Schedule with the chosen heuristic, reusing the precomputed caches.
-    /// Equivalent to [`schedule_with`] on the same inputs.
+    /// The reversed application graph (computed on first use), shared by
+    /// every bottom-up traversal over this instance.
+    pub fn reversed(&self) -> &TaskGraph {
+        self.rev.get_or_init(|| self.g.reversed())
+    }
+
+    /// Platform-averaged level cache of the forward graph (computed on
+    /// first use). Drives LTF's priorities.
+    pub fn levels_forward(&self) -> &LevelCache {
+        self.fwd_cache
+            .get_or_init(|| LevelCache::compute(self.g, self.p))
+    }
+
+    /// Platform-averaged level cache of the reversed graph (computed on
+    /// first use). Drives R-LTF's priorities.
+    pub fn levels_reversed(&self) -> &LevelCache {
+        self.rev_cache
+            .get_or_init(|| LevelCache::compute(self.reversed(), self.p))
+    }
+
+    /// Schedule with the chosen built-in heuristic, reusing the cached
+    /// derivations.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `kind.heuristic().schedule(self, cfg)` or go through a `Solver`"
+    )]
     pub fn schedule(&self, kind: AlgoKind, cfg: &AlgoConfig) -> Result<Schedule, ScheduleError> {
         match kind {
-            AlgoKind::Ltf => ltf_schedule_cached(self.g, self.p, cfg, &self.fwd_cache),
-            AlgoKind::Rltf => rltf_schedule_cached(self.g, &self.rev, self.p, cfg, &self.rev_cache),
+            AlgoKind::Ltf => ltf_cached(self, cfg),
+            AlgoKind::Rltf => rltf_cached(self, cfg),
         }
     }
 }
@@ -142,6 +184,10 @@ impl<'a> PreparedInstance<'a> {
 /// The **fault-free reference schedule** of §5: R-LTF without replication
 /// (`ε = 0`), assuming a completely safe system. The paper's overhead
 /// metric is `(L_algo − L_FF) / L_FF` against this schedule's latency.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Solver::builtin(g, p).solve(\"fault-free\", cfg)` (the heuristic forces ε = 0)"
+)]
 pub fn fault_free_reference(
     g: &TaskGraph,
     p: &Platform,
@@ -149,7 +195,7 @@ pub fn fault_free_reference(
     seed: u64,
 ) -> Result<Schedule, ScheduleError> {
     let cfg = AlgoConfig::new(0, period).seeded(seed);
-    rltf_schedule(g, p, &cfg)
+    rltf_cached(&PreparedInstance::new(g, p), &cfg)
 }
 
 /// Schedule through the snapshot-based reference driver: R-LTF's
@@ -159,7 +205,7 @@ pub fn fault_free_reference(
 /// probe, interval-index and stage layers are shared with the production
 /// path — their equivalence with naive recomputation is covered
 /// separately by the property tests in `ltf-schedule`. Must produce
-/// schedules identical to [`schedule_with`] on every input.
+/// schedules identical to the production heuristics on every input.
 #[doc(hidden)]
 pub fn schedule_with_reference(
     kind: AlgoKind,

@@ -1,6 +1,7 @@
 //! Algorithm configuration and errors.
 
 use ltf_graph::TaskId;
+use ltf_platform::ProcId;
 
 /// Configuration shared by LTF and R-LTF.
 #[derive(Debug, Clone)]
@@ -92,6 +93,27 @@ pub enum ScheduleError {
     },
     /// Invalid configuration (non-positive period, …).
     BadConfig(String),
+    /// A whole-mapping strategy (one that places every task before
+    /// checking the throughput constraint, like the makespan baselines)
+    /// produced a mapping whose per-period load on `proc` exceeds the
+    /// period. Unlike [`ScheduleError::Infeasible`] there is no single
+    /// culprit replica: the processor's aggregate cycle time is the
+    /// violation.
+    Overloaded {
+        /// The overloaded processor.
+        proc: ProcId,
+        /// Its cycle time `max(Σ_u, C^I_u, C^O_u)` under the mapping.
+        load: f64,
+        /// The period `Δ` the load had to fit into.
+        capacity: f64,
+    },
+    /// The heuristic does not support the requested configuration (e.g. a
+    /// non-replicating baseline asked for ε > 0). The payload names the
+    /// unsupported feature.
+    Unsupported(String),
+    /// No heuristic with this name is registered in the
+    /// [`Solver`](crate::Solver) the request went through.
+    UnknownHeuristic(String),
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -107,6 +129,18 @@ impl std::fmt::Display for ScheduleError {
                 "need at least {needed} processors for ε+1 replicas, have {available}"
             ),
             ScheduleError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            ScheduleError::Overloaded {
+                proc,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "{proc} cycle time {load:.4} exceeds the period {capacity:.4}"
+            ),
+            ScheduleError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ScheduleError::UnknownHeuristic(name) => {
+                write!(f, "no heuristic named {name:?} is registered")
+            }
         }
     }
 }

@@ -1,37 +1,56 @@
 //! The LTF and R-LTF scheduling algorithms of
 //! *"Optimizing the Latency of Streaming Applications under Throughput and
-//! Reliability Constraints"* (Benoit, Hakem, Robert, 2009).
+//! Reliability Constraints"* (Benoit, Hakem, Robert, 2009), behind a
+//! unified [`Solver`]/[`Heuristic`] API.
 //!
 //! Both heuristics map every task of a streaming workflow DAG — replicated
 //! `ε+1` times to survive `ε` fail-silent/fail-stop processor failures —
 //! onto a heterogeneous one-port platform so that the prescribed throughput
 //! `T` is met (condition (1): per-processor compute and per-port
 //! communication loads fit the period `Δ = 1/T`), while minimizing the
-//! pipeline latency `L = (2S − 1)/T`:
+//! pipeline latency `L = (2S − 1)/T`.
 //!
-//! * [`ltf_schedule()`](ltf_schedule()) — **LTF** (Algorithm 4.1): forward chunked traversal
-//!   by priority `tℓ + bℓ`, one-to-one replica mapping (Algorithm 4.2)
-//!   while singleton processors remain, minimum-finish-time placement.
-//! * [`rltf_schedule`] — **R-LTF**: the same machinery driven bottom-up,
-//!   with Rule 1 (prefer placements that keep the pipeline stage count
-//!   from growing) and Rule 2 (one-to-one spreading across linear chain
-//!   sections). The paper's evaluation shows R-LTF dominating LTF.
-//! * [`fault_free_reference`] — R-LTF with `ε = 0`, the baseline used to
-//!   measure the fault-tolerance overhead.
-//! * [`search`] — the conclusion's "symmetric" objectives: maximize
-//!   throughput under a latency budget, maximize ε, minimize processors.
+//! # The Solver API
+//!
+//! Every strategy — [`Ltf`] (Algorithm 4.1), [`Rltf`] (§4.2, the paper's
+//! winner), [`FaultFree`] (the ε = 0 reference of §5) and the comparison
+//! baselines of `ltf-baselines` — implements the [`Heuristic`] trait and is
+//! dispatched by name through a [`Solver`] session, which owns the
+//! per-instance derivations and returns typed [`Solution`] /
+//! [`Diagnostics`] outcomes:
 //!
 //! ```
-//! use ltf_core::{rltf_schedule, AlgoConfig};
-//! use ltf_graph::generate::fig2_workflow_variant;
+//! use ltf_core::{AlgoConfig, ScheduleError, Solver};
+//! use ltf_graph::generate::{fig2_workflow, fig2_workflow_variant};
 //! use ltf_platform::Platform;
 //!
 //! let g = fig2_workflow_variant();
 //! let p = Platform::homogeneous(8, 1.0, 1.0);
+//! let solver = Solver::builtin(&g, &p); // ltf, rltf, fault-free
 //! let cfg = AlgoConfig::with_throughput(1, 0.05); // ε = 1, T = 0.05
-//! let sched = rltf_schedule(&g, &p, &cfg).unwrap();
-//! assert!(sched.latency_upper_bound() <= 140.0);
+//!
+//! let sol = solver.solve("rltf", &cfg).unwrap();
+//! assert!(sol.metrics.latency_upper_bound <= 140.0);
+//!
+//! // Infeasible requests come back as typed diagnostics naming the
+//! // heuristic, the request, and the replica that could not be placed
+//! // (R-LTF paints itself into a corner on the fig2 reconstruction).
+//! let g2 = fig2_workflow();
+//! let solver2 = Solver::builtin(&g2, &p);
+//! let err = solver2.solve("rltf", &cfg).unwrap_err();
+//! assert_eq!(err.epsilon, 1);
+//! assert!(matches!(err.error, ScheduleError::Infeasible { .. }));
 //! ```
+//!
+//! The [`search`] module drives any [`Heuristic`] as an oracle for the
+//! conclusion's "symmetric" objectives: maximize throughput under a
+//! latency budget ([`search::min_period`]), maximize ε
+//! ([`search::max_epsilon`]), minimize processors
+//! ([`search::min_processors`]).
+//!
+//! The pre-`Solver` free functions ([`ltf_schedule()`](ltf_schedule()),
+//! [`rltf_schedule`], [`schedule_with`], [`fault_free_reference`]) remain
+//! as deprecated shims; see the README's migration table.
 
 mod api;
 mod config;
@@ -40,10 +59,15 @@ mod driver;
 mod engine;
 pub mod prio;
 pub mod search;
+pub mod solver;
 
+#[allow(deprecated)]
 pub use crate::api::{
     fault_free_reference, ltf_schedule, rltf_schedule, schedule_with, schedule_with_reference,
     PreparedInstance,
 };
 pub use crate::config::{AlgoConfig, AlgoKind, ScheduleError};
 pub use crate::prio::LevelCache;
+pub use crate::solver::{
+    Diagnostics, FaultFree, Heuristic, Ltf, Rltf, Solution, SolutionMetrics, Solver,
+};

@@ -1,9 +1,9 @@
-//! Objective-space searches around the core heuristics.
+//! Objective-space searches around any [`Heuristic`].
 //!
 //! The paper's conclusion lists "symmetric" problems: maximizing throughput
 //! for a given latency and failure count, and maximizing the number of
 //! supported failures for given latency/throughput. These searches drive
-//! the heuristics as oracles:
+//! a heuristic as an oracle:
 //!
 //! * [`min_period`] — smallest feasible period (largest throughput),
 //!   optionally under a latency budget, by exponential + binary search;
@@ -11,6 +11,23 @@
 //!   given period (and optional latency budget);
 //! * [`min_processors`] — smallest prefix of the platform that still
 //!   schedules the workload.
+//!
+//! All three take `&dyn Heuristic`, so they sweep the paper's algorithms
+//! and the `ltf-baselines` comparison strategies alike:
+//!
+//! ```
+//! use ltf_core::search::{min_period, SearchOptions};
+//! use ltf_core::{Ltf, Rltf};
+//! use ltf_graph::generate::fig1_diamond;
+//! use ltf_platform::Platform;
+//!
+//! let g = fig1_diamond();
+//! let p = Platform::fig1_platform();
+//! let opts = SearchOptions::default();
+//! let (t_rltf, _) = min_period(&g, &p, &Rltf, &opts).unwrap();
+//! let (t_ltf, _) = min_period(&g, &p, &Ltf, &opts).unwrap();
+//! assert!(t_rltf > 0.0 && t_ltf > 0.0);
+//! ```
 //!
 //! The heuristics are not monotone oracles in general, so the results are
 //! best-effort (exact for the search points actually probed); this matches
@@ -24,15 +41,14 @@
 
 use crate::api::PreparedInstance;
 use crate::config::{AlgoConfig, AlgoKind};
+use crate::solver::Heuristic;
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
 use ltf_schedule::Schedule;
 
-/// Options for [`min_period`].
+/// Options shared by the objective-space searches.
 #[derive(Debug, Clone)]
-pub struct MinPeriodOptions {
-    /// Which heuristic to drive.
-    pub kind: AlgoKind,
+pub struct SearchOptions {
     /// Fault-tolerance degree.
     pub epsilon: u8,
     /// Optional latency budget: candidate schedules whose guaranteed
@@ -45,6 +61,34 @@ pub struct MinPeriodOptions {
     pub seed: u64,
 }
 
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 0,
+            max_latency: None,
+            iterations: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Options for the deprecated [`AlgoKind`]-based search shims.
+#[deprecated(since = "0.1.0", note = "use `SearchOptions` plus a `&dyn Heuristic`")]
+#[derive(Debug, Clone)]
+pub struct MinPeriodOptions {
+    /// Which built-in heuristic to drive.
+    pub kind: AlgoKind,
+    /// Fault-tolerance degree.
+    pub epsilon: u8,
+    /// Optional latency budget.
+    pub max_latency: Option<f64>,
+    /// Binary search iterations after bracketing.
+    pub iterations: u32,
+    /// Tie-breaking seed passed to the heuristic.
+    pub seed: u64,
+}
+
+#[allow(deprecated)]
 impl Default for MinPeriodOptions {
     fn default() -> Self {
         Self {
@@ -57,13 +101,29 @@ impl Default for MinPeriodOptions {
     }
 }
 
+#[allow(deprecated)]
+impl MinPeriodOptions {
+    fn split(&self) -> (&'static dyn Heuristic, SearchOptions) {
+        (
+            self.kind.heuristic(),
+            SearchOptions {
+                epsilon: self.epsilon,
+                max_latency: self.max_latency,
+                iterations: self.iterations,
+                seed: self.seed,
+            },
+        )
+    }
+}
+
 fn try_period(
     prep: &PreparedInstance<'_>,
-    opts: &MinPeriodOptions,
+    h: &dyn Heuristic,
+    opts: &SearchOptions,
     period: f64,
 ) -> Option<Schedule> {
     let cfg = AlgoConfig::new(opts.epsilon, period).seeded(opts.seed);
-    let sched = prep.schedule(opts.kind, &cfg).ok()?;
+    let sched = h.schedule(prep, &cfg).ok()?;
     if let Some(budget) = opts.max_latency {
         if sched.latency_upper_bound() > budget {
             return None;
@@ -72,11 +132,17 @@ fn try_period(
     Some(sched)
 }
 
-/// Smallest feasible period (i.e. maximal throughput) for the workload, as
-/// found by exponential bracketing plus binary search. Returns the period
-/// and the witnessing schedule, or `None` when even very long periods are
-/// infeasible (e.g. a latency budget that can never be met).
-pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Option<(f64, Schedule)> {
+/// Smallest feasible period (i.e. maximal throughput) for the workload
+/// under heuristic `h`, as found by exponential bracketing plus binary
+/// search. Returns the period and the witnessing schedule, or `None` when
+/// even very long periods are infeasible (e.g. a latency budget that can
+/// never be met).
+pub fn min_period(
+    g: &TaskGraph,
+    p: &Platform,
+    h: &dyn Heuristic,
+    opts: &SearchOptions,
+) -> Option<(f64, Schedule)> {
     let prep = PreparedInstance::new(g, p);
     // Absolute lower bound: every task must fit on its fastest processor,
     // and the replicated total work must fit the aggregate capacity.
@@ -92,7 +158,7 @@ pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Optio
     let mut hi = lower.max(1e-12);
     let mut witness = None;
     for _ in 0..60 {
-        if let Some(s) = try_period(&prep, opts, hi) {
+        if let Some(s) = try_period(&prep, h, opts, hi) {
             witness = Some(s);
             break;
         }
@@ -106,7 +172,7 @@ pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Optio
         if mid <= lo || mid >= hi_p {
             break;
         }
-        match try_period(&prep, opts, mid) {
+        match try_period(&prep, h, opts, mid) {
             Some(s) => {
                 hi_p = mid;
                 best = s;
@@ -117,13 +183,13 @@ pub fn min_period(g: &TaskGraph, p: &Platform, opts: &MinPeriodOptions) -> Optio
     Some((best.period(), best))
 }
 
-/// Largest fault-tolerance degree ε for which the heuristic schedules the
+/// Largest fault-tolerance degree ε for which heuristic `h` schedules the
 /// workload at the given period (scanning upward from 0 and returning the
 /// last success; stops at the first failure or at `m − 1`).
 pub fn max_epsilon(
     g: &TaskGraph,
     p: &Platform,
-    kind: AlgoKind,
+    h: &dyn Heuristic,
     period: f64,
     max_latency: Option<f64>,
     seed: u64,
@@ -132,14 +198,13 @@ pub fn max_epsilon(
     let mut best = None;
     let cap = (p.num_procs() - 1).min(u8::MAX as usize) as u8;
     for eps in 0..=cap {
-        let opts = MinPeriodOptions {
-            kind,
+        let opts = SearchOptions {
             epsilon: eps,
             max_latency,
             seed,
             ..Default::default()
         };
-        match try_period(&prep, &opts, period) {
+        match try_period(&prep, h, &opts, period) {
             Some(s) => best = Some((eps, s)),
             None => break,
         }
@@ -147,19 +212,18 @@ pub fn max_epsilon(
     best
 }
 
-/// Smallest processor-count prefix of `p` that schedules the workload
-/// (binary search assuming monotonicity in the processor count; exact at
-/// the probed points).
+/// Smallest processor-count prefix of `p` that heuristic `h` schedules
+/// the workload on (binary search assuming monotonicity in the processor
+/// count; exact at the probed points).
 pub fn min_processors(
     g: &TaskGraph,
     p: &Platform,
-    kind: AlgoKind,
+    h: &dyn Heuristic,
     epsilon: u8,
     period: f64,
     seed: u64,
 ) -> Option<(usize, Schedule)> {
-    let opts = MinPeriodOptions {
-        kind,
+    let opts = SearchOptions {
         epsilon,
         max_latency: None,
         seed,
@@ -171,7 +235,7 @@ pub fn min_processors(
     let feasible = |m: usize| -> Option<Schedule> {
         let sub = p.prefix(m);
         let prep = PreparedInstance::new(g, &sub);
-        try_period(&prep, &opts, period)
+        try_period(&prep, h, &opts, period)
     };
     let full = feasible(p.num_procs())?;
     let mut lo = epsilon as usize + 1; // need ε+1 distinct processors
@@ -188,4 +252,51 @@ pub fn min_processors(
         }
     }
     Some((hi, best))
+}
+
+/// Deprecated [`AlgoKind`]-based shim for [`min_period`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `min_period(g, p, kind.heuristic(), &SearchOptions { .. })`"
+)]
+#[allow(deprecated)]
+pub fn min_period_kind(
+    g: &TaskGraph,
+    p: &Platform,
+    opts: &MinPeriodOptions,
+) -> Option<(f64, Schedule)> {
+    let (h, sopts) = opts.split();
+    min_period(g, p, h, &sopts)
+}
+
+/// Deprecated [`AlgoKind`]-based shim for [`max_epsilon`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `max_epsilon(g, p, kind.heuristic(), period, max_latency, seed)`"
+)]
+pub fn max_epsilon_kind(
+    g: &TaskGraph,
+    p: &Platform,
+    kind: AlgoKind,
+    period: f64,
+    max_latency: Option<f64>,
+    seed: u64,
+) -> Option<(u8, Schedule)> {
+    max_epsilon(g, p, kind.heuristic(), period, max_latency, seed)
+}
+
+/// Deprecated [`AlgoKind`]-based shim for [`min_processors`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `min_processors(g, p, kind.heuristic(), epsilon, period, seed)`"
+)]
+pub fn min_processors_kind(
+    g: &TaskGraph,
+    p: &Platform,
+    kind: AlgoKind,
+    epsilon: u8,
+    period: f64,
+    seed: u64,
+) -> Option<(usize, Schedule)> {
+    min_processors(g, p, kind.heuristic(), epsilon, period, seed)
 }

@@ -1,6 +1,6 @@
 //! Behavioural tests for the algorithm configuration knobs.
 
-use ltf_core::{ltf_schedule, rltf_schedule, schedule_with, AlgoConfig, AlgoKind};
+use ltf_core::{AlgoConfig, AlgoKind, Heuristic, Ltf, PreparedInstance, Rltf};
 use ltf_graph::generate::{layered, pipeline, LayeredConfig};
 use ltf_platform::Platform;
 use ltf_schedule::{failures, validate};
@@ -27,8 +27,12 @@ fn disabling_one_to_one_multiplies_messages() {
     let base = AlgoConfig::new(1, 25.0).seeded(1);
     let mut rfa = base.clone();
     rfa.use_one_to_one = false;
-    let with = ltf_schedule(&g, &p, &base).expect("one-to-one feasible");
-    let without = ltf_schedule(&g, &p, &rfa).expect("rfa feasible at this load");
+    let with = Ltf
+        .schedule(&PreparedInstance::new(&g, &p), &base)
+        .expect("one-to-one feasible");
+    let without = Ltf
+        .schedule(&PreparedInstance::new(&g, &p), &rfa)
+        .expect("rfa feasible at this load");
     validate(&g, &p, &without).expect("valid");
     assert!(
         without.comm_count() > with.comm_count(),
@@ -46,8 +50,12 @@ fn disabling_cluster_ties_costs_stages() {
     let base = AlgoConfig::new(1, 25.0).seeded(1);
     let mut scatter = base.clone();
     scatter.cluster_ties = false;
-    let clustered = rltf_schedule(&g, &p, &base).expect("feasible");
-    let scattered = rltf_schedule(&g, &p, &scatter).expect("feasible");
+    let clustered = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &base)
+        .expect("feasible");
+    let scattered = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &scatter)
+        .expect("feasible");
     validate(&g, &p, &scattered).expect("valid");
     assert!(
         clustered.num_stages() <= scattered.num_stages(),
@@ -64,8 +72,12 @@ fn disabling_rule1_never_improves_stage_count() {
     let base = AlgoConfig::new(1, 25.0).seeded(1);
     let mut no_r1 = base.clone();
     no_r1.rule1 = false;
-    let with = rltf_schedule(&g, &p, &base).expect("feasible");
-    let without = rltf_schedule(&g, &p, &no_r1).expect("feasible");
+    let with = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &base)
+        .expect("feasible");
+    let without = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &no_r1)
+        .expect("feasible");
     validate(&g, &p, &without).expect("valid");
     // Rule 1 is a stage-count heuristic: removing it can only tie or hurt
     // on average; on this fixed workload it must not win.
@@ -78,7 +90,10 @@ fn chunk_size_one_still_valid() {
     let mut cfg = AlgoConfig::new(1, 25.0).seeded(1);
     cfg.chunk_size = Some(1);
     for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
-        let s = schedule_with(kind, &g, &p, &cfg).expect("feasible");
+        let s = kind
+            .heuristic()
+            .schedule(&PreparedInstance::new(&g, &p), &cfg)
+            .expect("feasible");
         validate(&g, &p, &s).expect("valid");
         assert!(failures::tolerates_all_crashes(&g, &s, 10, 1));
     }
@@ -89,7 +104,9 @@ fn seeds_change_tie_breaking_not_validity() {
     let (g, p) = workload();
     for seed in 0..6u64 {
         let cfg = AlgoConfig::new(1, 25.0).seeded(seed);
-        let s = rltf_schedule(&g, &p, &cfg).expect("feasible");
+        let s = Rltf
+            .schedule(&PreparedInstance::new(&g, &p), &cfg)
+            .expect("feasible");
         validate(&g, &p, &s).expect("valid");
     }
 }
@@ -99,7 +116,9 @@ fn epsilon_zero_equals_single_copy() {
     let g = pipeline(6, 1.0, 0.5);
     let p = Platform::homogeneous(4, 1.0, 0.2);
     let cfg = AlgoConfig::new(0, 10.0);
-    let s = rltf_schedule(&g, &p, &cfg).expect("feasible");
+    let s = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("feasible");
     assert_eq!(s.replicas_per_task(), 1);
     // A chain with everything co-locatable: single stage, no messages.
     assert_eq!(s.num_stages(), 1);
@@ -112,7 +131,9 @@ fn higher_epsilon_never_cheaper() {
     let mut prev_comms = 0usize;
     for eps in [0u8, 1, 2] {
         let cfg = AlgoConfig::new(eps, 30.0).seeded(5);
-        let s = rltf_schedule(&g, &p, &cfg).expect("feasible");
+        let s = Rltf
+            .schedule(&PreparedInstance::new(&g, &p), &cfg)
+            .expect("feasible");
         let total_work: f64 = p.procs().map(|u| s.sigma(u)).sum();
         let expect = (eps as f64 + 1.0) * g.total_exec(); // unit speeds
         assert!((total_work - expect).abs() < 1e-6);

@@ -3,7 +3,7 @@
 //! constraint, stay within communication budgets, and honour the
 //! ε-crash guarantee.
 
-use ltf_core::{schedule_with, AlgoConfig, AlgoKind};
+use ltf_core::{AlgoConfig, AlgoKind, PreparedInstance};
 use ltf_graph::generate::{layered, series_parallel, LayeredConfig, SeriesParallelConfig};
 use ltf_graph::TaskGraph;
 use ltf_platform::{HeterogeneousConfig, Platform};
@@ -87,7 +87,7 @@ proptest! {
     fn every_emitted_schedule_is_valid(case in arb_case()) {
         for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
             let cfg = AlgoConfig::new(case.epsilon, case.period).seeded(case.seed);
-            let Ok(s) = schedule_with(kind, &case.graph, &case.platform, &cfg) else {
+            let Ok(s) = kind.heuristic().schedule(&PreparedInstance::new(&case.graph, &case.platform), &cfg) else {
                 continue;
             };
             if let Err(v) = validate(&case.graph, &case.platform, &s) {
@@ -109,7 +109,7 @@ proptest! {
         let eps = case.epsilon.min(2);
         for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
             let cfg = AlgoConfig::new(eps, case.period).seeded(case.seed);
-            let Ok(s) = schedule_with(kind, &case.graph, &case.platform, &cfg) else {
+            let Ok(s) = kind.heuristic().schedule(&PreparedInstance::new(&case.graph, &case.platform), &cfg) else {
                 continue;
             };
             prop_assert!(
@@ -128,8 +128,8 @@ proptest! {
     fn determinism(case in arb_case()) {
         for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
             let cfg = AlgoConfig::new(case.epsilon, case.period).seeded(case.seed);
-            let a = schedule_with(kind, &case.graph, &case.platform, &cfg);
-            let b = schedule_with(kind, &case.graph, &case.platform, &cfg);
+            let a = kind.heuristic().schedule(&PreparedInstance::new(&case.graph, &case.platform), &cfg);
+            let b = kind.heuristic().schedule(&PreparedInstance::new(&case.graph, &case.platform), &cfg);
             match (a, b) {
                 (Ok(x), Ok(y)) => {
                     prop_assert_eq!(x.num_stages(), y.num_stages());
@@ -150,7 +150,7 @@ proptest! {
         // guaranteed in general, but the latency bound must stay finite and
         // the copies distinct; check resource accounting consistency.
         let cfg = AlgoConfig::new(case.epsilon, case.period).seeded(case.seed);
-        let Ok(s) = schedule_with(AlgoKind::Rltf, &case.graph, &case.platform, &cfg) else {
+        let Ok(s) = AlgoKind::Rltf.heuristic().schedule(&PreparedInstance::new(&case.graph, &case.platform), &cfg) else {
             return Ok(());
         };
         let mut total_exec = 0.0f64;

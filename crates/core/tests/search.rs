@@ -1,8 +1,8 @@
 //! Tests for the objective-space searches (the conclusion's "symmetric
 //! problems").
 
-use ltf_core::search::{max_epsilon, min_period, min_processors, MinPeriodOptions};
-use ltf_core::{schedule_with, AlgoConfig, AlgoKind};
+use ltf_core::search::{max_epsilon, min_period, min_processors, SearchOptions};
+use ltf_core::{AlgoConfig, Heuristic, PreparedInstance, Rltf};
 use ltf_graph::generate::{fork_join, layered, pipeline, LayeredConfig};
 use ltf_platform::Platform;
 use ltf_schedule::validate;
@@ -15,12 +15,8 @@ fn min_period_chain_no_replication() {
     // lower bound is 12/3 = 4; the heuristic should get close.
     let g = pipeline(6, 2.0, 0.1);
     let p = Platform::homogeneous(3, 1.0, 0.1);
-    let opts = MinPeriodOptions {
-        kind: AlgoKind::Rltf,
-        epsilon: 0,
-        ..Default::default()
-    };
-    let (period, sched) = min_period(&g, &p, &opts).expect("feasible");
+    let opts = SearchOptions::default();
+    let (period, sched) = min_period(&g, &p, &Rltf, &opts).expect("feasible");
     assert!(period >= 4.0 - 1e-9, "below the work bound: {period}");
     assert!(period <= 8.0, "far from the work bound: {period}");
     assert!(sched.achieved_throughput() + 1e-9 >= 1.0 / period);
@@ -39,19 +35,18 @@ fn min_period_result_is_schedulable_and_tight() {
         &mut rng,
     );
     let p = Platform::homogeneous(6, 1.0, 0.1);
-    let opts = MinPeriodOptions {
-        kind: AlgoKind::Rltf,
+    let opts = SearchOptions {
         epsilon: 1,
         seed: 3,
         ..Default::default()
     };
-    let (period, sched) = min_period(&g, &p, &opts).expect("feasible");
+    let (period, sched) = min_period(&g, &p, &Rltf, &opts).expect("feasible");
     validate(&g, &p, &sched).expect("valid witness");
     // Tightness: 2% below the found period must be infeasible (the search
     // bisected to convergence).
     let cfg = AlgoConfig::new(1, period * 0.98).seeded(3);
     assert!(
-        schedule_with(AlgoKind::Rltf, &g, &p, &cfg).is_err(),
+        Rltf.schedule(&PreparedInstance::new(&g, &p), &cfg).is_err(),
         "period not tight"
     );
 }
@@ -60,18 +55,17 @@ fn min_period_result_is_schedulable_and_tight() {
 fn min_period_latency_budget_respected() {
     let g = fork_join(4, 2.0, 1.0);
     let p = Platform::homogeneous(6, 1.0, 0.1);
-    let unconstrained = MinPeriodOptions {
-        kind: AlgoKind::Rltf,
+    let unconstrained = SearchOptions {
         epsilon: 1,
         ..Default::default()
     };
-    let (base_period, base) = min_period(&g, &p, &unconstrained).expect("feasible");
+    let (base_period, base) = min_period(&g, &p, &Rltf, &unconstrained).expect("feasible");
     let budget = base.latency_upper_bound() * 0.75;
-    let constrained = MinPeriodOptions {
+    let constrained = SearchOptions {
         max_latency: Some(budget),
         ..unconstrained
     };
-    if let Some((period, sched)) = min_period(&g, &p, &constrained) {
+    if let Some((period, sched)) = min_period(&g, &p, &Rltf, &constrained) {
         assert!(sched.latency_upper_bound() <= budget + 1e-9);
         assert!(
             period + 1e-9 >= base_period,
@@ -84,8 +78,8 @@ fn min_period_latency_budget_respected() {
 fn max_epsilon_monotone_wrt_period() {
     let g = pipeline(5, 1.0, 0.2);
     let p = Platform::homogeneous(8, 1.0, 0.1);
-    let tight = max_epsilon(&g, &p, AlgoKind::Rltf, 2.0, None, 1).map(|(e, _)| e);
-    let loose = max_epsilon(&g, &p, AlgoKind::Rltf, 20.0, None, 1).map(|(e, _)| e);
+    let tight = max_epsilon(&g, &p, &Rltf, 2.0, None, 1).map(|(e, _)| e);
+    let loose = max_epsilon(&g, &p, &Rltf, 20.0, None, 1).map(|(e, _)| e);
     let (tight, loose) = (tight.unwrap_or(0), loose.expect("loose period feasible"));
     assert!(loose >= tight, "looser period supports no fewer failures");
     // With 8 processors, ε can never exceed 7.
@@ -98,7 +92,7 @@ fn max_epsilon_monotone_wrt_period() {
 fn max_epsilon_witness_tolerates_its_degree() {
     let g = pipeline(4, 1.0, 0.1);
     let p = Platform::homogeneous(6, 1.0, 0.05);
-    let (eps, sched) = max_epsilon(&g, &p, AlgoKind::Rltf, 30.0, None, 2).expect("feasible");
+    let (eps, sched) = max_epsilon(&g, &p, &Rltf, 30.0, None, 2).expect("feasible");
     assert!(eps >= 1);
     assert!(ltf_schedule::failures::tolerates_all_crashes(
         &g,
@@ -113,7 +107,7 @@ fn min_processors_prefix_works_and_is_minimal_at_probe_points() {
     let g = pipeline(6, 2.0, 0.1);
     let p = Platform::homogeneous(8, 1.0, 0.1);
     // Period 4 forces ≥ 12/4 = 3 processors (ε = 0).
-    let (m, sched) = min_processors(&g, &p, AlgoKind::Rltf, 0, 4.0, 1).expect("feasible");
+    let (m, sched) = min_processors(&g, &p, &Rltf, 0, 4.0, 1).expect("feasible");
     assert!(m >= 3, "below the aggregate-work bound");
     assert!(m <= 8);
     assert!(sched.procs_used() <= m);
@@ -127,8 +121,8 @@ fn min_processors_prefix_works_and_is_minimal_at_probe_points() {
 fn min_processors_accounts_for_replication() {
     let g = pipeline(3, 1.0, 0.1);
     let p = Platform::homogeneous(8, 1.0, 0.05);
-    let (m0, _) = min_processors(&g, &p, AlgoKind::Rltf, 0, 10.0, 1).expect("ε=0");
-    let (m2, _) = min_processors(&g, &p, AlgoKind::Rltf, 2, 10.0, 1).expect("ε=2");
+    let (m0, _) = min_processors(&g, &p, &Rltf, 0, 10.0, 1).expect("ε=0");
+    let (m2, _) = min_processors(&g, &p, &Rltf, 2, 10.0, 1).expect("ε=2");
     assert!(m2 >= 3, "ε = 2 needs at least 3 processors");
     assert!(m2 >= m0);
 }

@@ -2,7 +2,7 @@
 //! graphs and on random workloads, validate the schedules structurally,
 //! and check the headline claims.
 
-use ltf_core::{fault_free_reference, ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_core::{AlgoConfig, FaultFree, Heuristic, Ltf, PreparedInstance, Rltf};
 use ltf_graph::generate::{fig2_workflow, fig2_workflow_variant, layered, LayeredConfig};
 use ltf_platform::Platform;
 use ltf_schedule::{failures, validate, CrashSet};
@@ -14,7 +14,9 @@ fn fig2_variant_rltf_three_stages_on_8_procs() {
     let g = fig2_workflow_variant();
     let p = Platform::homogeneous(8, 1.0, 1.0);
     let cfg = AlgoConfig::with_throughput(1, 0.05);
-    let s = rltf_schedule(&g, &p, &cfg).expect("R-LTF schedules the variant on 8 procs");
+    let s = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("R-LTF schedules the variant on 8 procs");
     validate(&g, &p, &s)
         .unwrap_or_else(|v| panic!("invalid R-LTF schedule: {:?}\n{}", v, s.describe(&g, &p)));
     eprintln!("R-LTF fig2-variant m=8:\n{}", s.describe(&g, &p));
@@ -34,7 +36,7 @@ fn fig2_original_behaviour() {
     let p10 = Platform::homogeneous(10, 1.0, 1.0);
     let cfg = AlgoConfig::with_throughput(1, 0.05);
 
-    match ltf_schedule(&g, &p8, &cfg) {
+    match Ltf.schedule(&PreparedInstance::new(&g, &p8), &cfg) {
         Ok(s) => eprintln!(
             "LTF fig2 m=8 SUCCEEDED: S={} L={}\n{}",
             s.num_stages(),
@@ -43,7 +45,7 @@ fn fig2_original_behaviour() {
         ),
         Err(e) => eprintln!("LTF fig2 m=8 failed as in the paper: {e}"),
     }
-    match ltf_schedule(&g, &p10, &cfg) {
+    match Ltf.schedule(&PreparedInstance::new(&g, &p10), &cfg) {
         Ok(s) => {
             validate(&g, &p10, &s).expect("valid LTF schedule");
             eprintln!(
@@ -55,7 +57,7 @@ fn fig2_original_behaviour() {
         }
         Err(e) => panic!("LTF should schedule fig2 with 10 procs: {e}"),
     }
-    match rltf_schedule(&g, &p8, &cfg) {
+    match Rltf.schedule(&PreparedInstance::new(&g, &p8), &cfg) {
         Ok(s) => {
             validate(&g, &p8, &s).expect("valid R-LTF schedule");
             eprintln!(
@@ -85,8 +87,8 @@ fn random_workloads_validate_and_tolerate_crashes() {
         let cfg = AlgoConfig::new(1, period).seeded(seed);
 
         for (name, res) in [
-            ("LTF", ltf_schedule(&g, &p, &cfg)),
-            ("R-LTF", rltf_schedule(&g, &p, &cfg)),
+            ("LTF", Ltf.schedule(&PreparedInstance::new(&g, &p), &cfg)),
+            ("R-LTF", Rltf.schedule(&PreparedInstance::new(&g, &p), &cfg)),
         ] {
             let s = match res {
                 Ok(s) => s,
@@ -127,7 +129,10 @@ fn fault_free_reference_has_no_replication() {
     };
     let g = layered(&gcfg, &mut rng);
     let p = Platform::homogeneous(8, 1.0, 0.05);
-    let s = fault_free_reference(&g, &p, 8.0, 1).expect("FF schedules");
+    let cfg = AlgoConfig::new(0, 8.0).seeded(1);
+    let s = FaultFree
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("FF schedules");
     validate(&g, &p, &s).expect("valid FF schedule");
     assert_eq!(s.replicas_per_task(), 1);
     assert_eq!(s.epsilon(), 0);

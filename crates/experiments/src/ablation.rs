@@ -13,7 +13,7 @@
 
 use crate::runner::parallel_map;
 use crate::workload::{gen_instance, PaperWorkload};
-use ltf_core::{schedule_with, AlgoConfig, AlgoKind};
+use ltf_core::{AlgoConfig, AlgoKind, PreparedInstance};
 use serde::Serialize;
 
 /// Aggregated outcome of one variant.
@@ -127,7 +127,11 @@ pub fn ablation(cfg: &AblationConfig) -> Vec<AblationRecord> {
                 let inst = gen_instance(&wl, s);
                 let mut acfg = AlgoConfig::new(cfg.epsilon, inst.period).seeded(s);
                 (variant.tweak)(&mut acfg);
-                schedule_with(variant.kind, &inst.graph, &inst.platform, &acfg)
+                let prep = PreparedInstance::new(&inst.graph, &inst.platform);
+                variant
+                    .kind
+                    .heuristic()
+                    .schedule(&prep, &acfg)
                     .ok()
                     .map(|sch| {
                         (

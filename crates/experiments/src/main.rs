@@ -3,23 +3,29 @@
 //! ```text
 //! ltf-experiments <command> [--graphs N] [--seed S] [--out DIR]
 //!                 [--crash-draws K] [--util U] [--threads T] [--quick]
+//!                 [--json] [--algo NAME] [--eps E] [--period D]
 //!
 //! commands:
 //!   fig1      motivating example (§1, Fig. 1): task/data/pipelined parallelism
 //!   fig2      worked example (§4.3, Fig. 2): LTF vs R-LTF traces
 //!   fig3      granularity sweep, ε = 1 (panels a, b, c + feasibility)
 //!   fig4      granularity sweep, ε = 3 (panels a, b, c + feasibility)
+//!   solve     one paper-workload instance through the Solver registry
 //!   scaling   runtime scaling vs v, m, ε (Theorem 1)
 //!   ablation  design ablations (Rule 1 / Rule 2 / one-to-one / chunk)
 //!   all       fig1 fig2 fig3 fig4 (the default; scaling and ablation
 //!             run long, so they stay opt-in)
 //! ```
 
+use ltf_baselines::full_solver;
+use ltf_core::{AlgoConfig, Solution};
 use ltf_experiments::ablation::{ablation, table as ablation_table, AblationConfig};
 use ltf_experiments::ascii;
 use ltf_experiments::figures::{feasibility, panel, sweep, Panel, SweepConfig};
 use ltf_experiments::scaling::{scaling_sweep, table as scaling_table, ScalingConfig};
 use ltf_experiments::stats::Figure;
+use ltf_experiments::workload::{gen_instance, PaperWorkload};
+use serde::Serialize;
 use std::path::{Path, PathBuf};
 
 struct Opts {
@@ -31,6 +37,10 @@ struct Opts {
     utilization: f64,
     threads: usize,
     quick: bool,
+    json: bool,
+    algo: String,
+    eps: u8,
+    period: Option<f64>,
 }
 
 fn parse_args() -> Opts {
@@ -45,6 +55,10 @@ fn parse_args() -> Opts {
             .map(|n| n.get())
             .unwrap_or(4),
         quick: false,
+        json: false,
+        algo: "rltf".to_string(),
+        eps: 1,
+        period: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +74,10 @@ fn parse_args() -> Opts {
             "--util" => opts.utilization = next("--util").parse().expect("number"),
             "--threads" => opts.threads = next("--threads").parse().expect("number"),
             "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
+            "--algo" => opts.algo = next("--algo"),
+            "--eps" => opts.eps = next("--eps").parse().expect("number"),
+            "--period" => opts.period = Some(next("--period").parse().expect("number")),
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -133,7 +151,7 @@ fn run_granularity_figure(o: &Opts, eps: u8, crashes: usize) {
 
 fn run_fig1() {
     use ltf_baselines::{data_parallel, task_parallel};
-    use ltf_core::{rltf_schedule, AlgoConfig};
+    use ltf_core::Solver;
     use ltf_graph::generate::fig1_diamond;
     use ltf_platform::Platform;
 
@@ -155,26 +173,64 @@ fn run_fig1() {
         1.0 / dp.throughput_guaranteed
     );
     // (d) pipelined execution at the paper's period 30.
-    let cfg = AlgoConfig::new(1, 30.0);
-    match rltf_schedule(&g, &p, &cfg) {
-        Ok(s) => println!(
+    let solver = Solver::builtin(&g, &p);
+    match solver.solve("rltf", &AlgoConfig::new(1, 30.0)) {
+        Ok(sol) => println!(
             "(d) pipelined (R-LTF): latency {:.1}, throughput 1/{:.1}, S = {}",
-            s.latency_upper_bound(),
-            s.period(),
-            s.num_stages()
+            sol.metrics.latency_upper_bound, sol.metrics.period, sol.metrics.stages
         ),
-        Err(e) => println!("(d) pipelined (R-LTF): infeasible ({e})"),
+        Err(d) => println!("(d) pipelined (R-LTF): infeasible ({d})"),
     }
     println!("\npaper's values: (b) L=39, T=1/39   (c) T=2/40=1/20   (d) L=90, T=1/30, S=2\n");
 }
 
-fn run_fig2() {
-    use ltf_core::{ltf_schedule, rltf_schedule, AlgoConfig};
+/// One `--json` row: the solve outcome plus the context that identifies
+/// it (which instance, how many processors, feasible or not). Infeasible
+/// outcomes are emitted with their diagnostics instead of being dropped.
+#[derive(Serialize)]
+struct OutcomeRecord {
+    /// Instance label (graph name or workload seed).
+    instance: String,
+    /// Processor count of the platform.
+    procs: usize,
+    /// Name the heuristic was addressed by.
+    heuristic: String,
+    /// Whether a schedule satisfying the constraints was found.
+    feasible: bool,
+    /// Diagnostics text when infeasible.
+    error: Option<String>,
+    /// The solution report when feasible.
+    solution: Option<Solution>,
+}
+
+impl OutcomeRecord {
+    fn new(
+        instance: &str,
+        procs: usize,
+        name: &str,
+        outcome: &Result<Solution, ltf_core::Diagnostics>,
+    ) -> Self {
+        Self {
+            instance: instance.to_string(),
+            procs,
+            heuristic: name.to_string(),
+            feasible: outcome.is_ok(),
+            error: outcome.as_ref().err().map(|d| d.to_string()),
+            solution: outcome.as_ref().ok().cloned(),
+        }
+    }
+}
+
+fn run_fig2(json: bool) {
+    use ltf_core::Solver;
     use ltf_graph::generate::{fig2_workflow, fig2_workflow_variant};
     use ltf_platform::Platform;
 
-    println!("=== Fig. 2: worked example (7 tasks, ε = 1, T = 0.05) ===\n");
     let cfg = AlgoConfig::with_throughput(1, 0.05);
+    let mut records: Vec<OutcomeRecord> = Vec::new();
+    if !json {
+        println!("=== Fig. 2: worked example (7 tasks, ε = 1, T = 0.05) ===\n");
+    }
     for (name, g) in [
         ("reconstruction", fig2_workflow()),
         (
@@ -182,28 +238,91 @@ fn run_fig2() {
             fig2_workflow_variant(),
         ),
     ] {
-        println!("--- graph: {name} ---");
+        if !json {
+            println!("--- graph: {name} ---");
+        }
         for m in [8usize, 10] {
             let p = Platform::homogeneous(m, 1.0, 1.0);
-            for (algo, res) in [
-                ("LTF  ", ltf_schedule(&g, &p, &cfg)),
-                ("R-LTF", rltf_schedule(&g, &p, &cfg)),
-            ] {
-                match res {
-                    Ok(s) => println!(
-                        "  {algo} m={m:<2} S={} L={:<6.0} comms={:<2} procs={}",
-                        s.num_stages(),
-                        s.latency_upper_bound(),
-                        s.comm_count(),
-                        s.procs_used()
+            let solver = Solver::builtin(&g, &p);
+            for (algo, label) in [("ltf", "LTF"), ("rltf", "R-LTF")] {
+                let outcome = solver.solve(algo, &cfg);
+                if json {
+                    records.push(OutcomeRecord::new(name, m, algo, &outcome));
+                    continue;
+                }
+                match outcome {
+                    Ok(sol) => println!(
+                        "  {label:<5} m={m:<2} S={} L={:<6.0} comms={:<2} procs={}",
+                        sol.metrics.stages,
+                        sol.metrics.latency_upper_bound,
+                        sol.metrics.comm_count,
+                        sol.metrics.procs_used
                     ),
-                    Err(e) => println!("  {algo} m={m:<2} FAILS ({e})"),
+                    Err(d) => println!("  {label:<5} m={m:<2} FAILS ({})", d.error),
                 }
             }
         }
-        println!();
+        if !json {
+            println!();
+        }
     }
-    println!("paper's values: R-LTF m=8: S=3 L=100; LTF m=8 fails; LTF m=10: S=4 L=140\n");
+    if json {
+        println!("{}", serde_json::to_string_pretty(&records).unwrap());
+    } else {
+        println!("paper's values: R-LTF m=8: S=3 L=100; LTF m=8 fails; LTF m=10: S=4 L=140\n");
+    }
+}
+
+/// Run one paper-workload instance through the full Solver registry (the
+/// paper's heuristics plus every baseline), by name.
+fn run_solve(o: &Opts) {
+    let wl = PaperWorkload {
+        epsilon: o.eps,
+        utilization: o.utilization,
+        ..Default::default()
+    };
+    let inst = gen_instance(&wl, o.seed);
+    let solver = full_solver(&inst.graph, &inst.platform);
+    let period = o.period.unwrap_or(inst.period);
+    let cfg = AlgoConfig::new(o.eps, period).seeded(o.seed);
+
+    let outcomes: Vec<(String, Result<Solution, ltf_core::Diagnostics>)> = if o.algo == "all" {
+        solver
+            .names()
+            .into_iter()
+            .map(|n| (n.to_string(), solver.solve(n, &cfg)))
+            .collect()
+    } else {
+        vec![(o.algo.clone(), solver.solve(&o.algo, &cfg))]
+    };
+
+    if o.json {
+        let instance = format!("paper-workload seed={:#x}", o.seed);
+        let records: Vec<OutcomeRecord> = outcomes
+            .iter()
+            .map(|(n, r)| OutcomeRecord::new(&instance, inst.platform.num_procs(), n, r))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&records).unwrap());
+    } else {
+        println!(
+            "instance: seed={:#x} v={} m={} ε={} Δ={:.3}  (registered: {})",
+            o.seed,
+            inst.graph.num_tasks(),
+            inst.platform.num_procs(),
+            o.eps,
+            period,
+            solver.names().join(", ")
+        );
+        for (name, outcome) in &outcomes {
+            match outcome {
+                Ok(sol) => println!("  {sol}"),
+                Err(d) => println!("  {name}: INFEASIBLE — {d}"),
+            }
+        }
+    }
+    if outcomes.iter().all(|(_, r)| r.is_err()) {
+        std::process::exit(1);
+    }
 }
 
 fn print_usage() {
@@ -215,6 +334,7 @@ fn print_usage() {
          \x20 fig2       worked example (ε = 1, T = 0.05)\n\
          \x20 fig3       granularity sweep, ε = 1, c = 1\n\
          \x20 fig4       granularity sweep, ε = 3, c = 2\n\
+         \x20 solve      one paper-workload instance through the Solver registry\n\
          \x20 scaling    runtime scaling over (v, m, ε)\n\
          \x20 ablation   R-LTF rule ablations\n\
          \x20 all        fig1 fig2 fig3 fig4 (default)\n\
@@ -227,6 +347,12 @@ fn print_usage() {
          \x20 --util X         target platform utilization (default 0.25)\n\
          \x20 --threads N      worker threads (default: all cores)\n\
          \x20 --quick          reduced sizes for smoke runs\n\
+         \x20 --json           solve/fig2: emit Solution reports as JSON\n\
+         \x20 --algo NAME      solve: heuristic name or 'all' (default rltf);\n\
+         \x20                  names: ltf rltf fault-free heft etf\n\
+         \x20                  task-parallel data-parallel throughput-first\n\
+         \x20 --eps E          solve: fault-tolerance degree ε (default 1)\n\
+         \x20 --period D       solve: period Δ (default: the workload's)\n\
          \x20 --help, -h       this message"
     );
 }
@@ -235,9 +361,10 @@ fn main() {
     let o = parse_args();
     match o.command.as_str() {
         "fig1" => run_fig1(),
-        "fig2" => run_fig2(),
+        "fig2" => run_fig2(o.json),
         "fig3" => run_granularity_figure(&o, 1, 1),
         "fig4" => run_granularity_figure(&o, 3, 2),
+        "solve" => run_solve(&o),
         "scaling" => {
             let mut cfg = ScalingConfig {
                 seed: o.seed,
@@ -276,7 +403,7 @@ fn main() {
         }
         "all" => {
             run_fig1();
-            run_fig2();
+            run_fig2(o.json);
             run_granularity_figure(&o, 1, 1);
             run_granularity_figure(&o, 3, 2);
         }

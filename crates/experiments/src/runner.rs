@@ -2,7 +2,7 @@
 //! measurement records.
 
 use crate::workload::{gen_instance, Instance, PaperWorkload};
-use ltf_core::{fault_free_reference, schedule_with, AlgoConfig, AlgoKind};
+use ltf_core::{AlgoConfig, FaultFree, Heuristic, Ltf, PreparedInstance, Rltf};
 use ltf_schedule::{failures, CrashSet, Schedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,24 +43,30 @@ pub struct RunRecord {
     pub sched_micros: u64,
 }
 
-/// Measure one algorithm on one instance, with `crash_draws` random crash
-/// sets of size `crashes` (drawn deterministically from `seed`).
+/// Measure one heuristic on one instance, with `crash_draws` random crash
+/// sets of size `crashes` (drawn deterministically from `seed`). `label`
+/// names the algorithm in the record (the figure builders key on the
+/// paper's display names `R-LTF`/`LTF`/`FF`). The timing covers the
+/// schedule computation including the instance's lazy derivations (levels,
+/// reversed graph), matching what the legacy free functions measured.
 pub fn measure(
     inst: &Instance,
-    kind: AlgoKind,
+    h: &dyn Heuristic,
+    label: &str,
     seed: u64,
     granularity: f64,
     crashes: usize,
     crash_draws: usize,
 ) -> RunRecord {
     let cfg = AlgoConfig::new(inst.epsilon, inst.period).seeded(seed);
+    let prep = PreparedInstance::new(&inst.graph, &inst.platform);
     let t0 = Instant::now();
-    let sched = schedule_with(kind, &inst.graph, &inst.platform, &cfg);
+    let sched = h.schedule(&prep, &cfg);
     let sched_micros = t0.elapsed().as_micros() as u64;
     record_from(
         sched.ok(),
         inst,
-        &format!("{kind}"),
+        label,
         seed,
         granularity,
         crashes,
@@ -71,8 +77,10 @@ pub fn measure(
 
 /// Measure the fault-free reference (R-LTF, ε = 0) on one instance.
 pub fn measure_fault_free(inst: &Instance, seed: u64, granularity: f64) -> RunRecord {
+    let cfg = AlgoConfig::new(inst.epsilon, inst.period).seeded(seed);
+    let prep = PreparedInstance::new(&inst.graph, &inst.platform);
     let t0 = Instant::now();
-    let sched = fault_free_reference(&inst.graph, &inst.platform, inst.period, seed);
+    let sched = FaultFree.schedule(&prep, &cfg);
     let sched_micros = t0.elapsed().as_micros() as u64;
     record_from(
         sched.ok(),
@@ -155,7 +163,8 @@ pub fn measure_instance(
     vec![
         measure(
             &inst,
-            AlgoKind::Rltf,
+            &Rltf,
+            "R-LTF",
             seed,
             cfg.granularity,
             crashes,
@@ -163,7 +172,8 @@ pub fn measure_instance(
         ),
         measure(
             &inst,
-            AlgoKind::Ltf,
+            &Ltf,
+            "LTF",
             seed,
             cfg.granularity,
             crashes,

@@ -7,8 +7,8 @@
 //! cargo run --release --example autotune
 //! ```
 
-use ltf_sched::core::search::{max_epsilon, min_period, min_processors, MinPeriodOptions};
-use ltf_sched::core::AlgoKind;
+use ltf_sched::core::search::{max_epsilon, min_period, min_processors, SearchOptions};
+use ltf_sched::core::Rltf;
 use ltf_sched::graph::generate::{layered, LayeredConfig};
 use ltf_sched::platform::HeterogeneousConfig;
 use rand::rngs::StdRng;
@@ -38,12 +38,11 @@ fn main() {
     );
 
     // 1. Maximum throughput (no latency budget) with ε = 1.
-    let opts = MinPeriodOptions {
-        kind: AlgoKind::Rltf,
+    let opts = SearchOptions {
         epsilon: 1,
         ..Default::default()
     };
-    let (best_period, sched) = min_period(&g, &p, &opts).expect("some period is feasible");
+    let (best_period, sched) = min_period(&g, &p, &Rltf, &opts).expect("some period is feasible");
     println!(
         "max throughput (ε=1)          : T = 1/{best_period:.2}  → S = {}, L = {:.1}",
         sched.num_stages(),
@@ -52,11 +51,11 @@ fn main() {
 
     // 2. Maximum throughput under a latency budget of 8 periods.
     let budget = 8.0 * best_period;
-    let opts_budget = MinPeriodOptions {
+    let opts_budget = SearchOptions {
         max_latency: Some(budget),
         ..opts.clone()
     };
-    if let Some((period, sched)) = min_period(&g, &p, &opts_budget) {
+    if let Some((period, sched)) = min_period(&g, &p, &Rltf, &opts_budget) {
         println!(
             "max throughput, L ≤ {budget:<6.1}   : T = 1/{period:.2}  → S = {}, L = {:.1}",
             sched.num_stages(),
@@ -66,7 +65,7 @@ fn main() {
 
     // 3. Maximum number of supported failures at a relaxed period.
     let relaxed = 2.5 * best_period;
-    if let Some((eps, sched)) = max_epsilon(&g, &p, AlgoKind::Rltf, relaxed, None, 1) {
+    if let Some((eps, sched)) = max_epsilon(&g, &p, &Rltf, relaxed, None, 1) {
         println!(
             "max failures at Δ = {relaxed:<8.2}: ε = {eps}     → S = {}, L = {:.1}",
             sched.num_stages(),
@@ -76,7 +75,7 @@ fn main() {
 
     // 4. Smallest platform prefix that still schedules ε = 1 at Δ = 2·best.
     let period = 2.0 * best_period;
-    if let Some((m, sched)) = min_processors(&g, &p, AlgoKind::Rltf, 1, period, 1) {
+    if let Some((m, sched)) = min_processors(&g, &p, &Rltf, 1, period, 1) {
         println!(
             "min processors at Δ = {period:<6.2}: m = {m}     → S = {}, L = {:.1}",
             sched.num_stages(),

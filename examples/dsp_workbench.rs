@@ -7,7 +7,7 @@
 //! cargo run --release --example dsp_workbench
 //! ```
 
-use ltf_sched::core::{ltf_schedule, rltf_schedule, search, AlgoConfig, AlgoKind};
+use ltf_sched::core::{search, AlgoConfig, Solver};
 use ltf_sched::graph::generate::apps;
 use ltf_sched::graph::TaskGraph;
 use ltf_sched::platform::Platform;
@@ -34,20 +34,24 @@ fn main() {
     for (name, g) in &apps {
         // Size the period from the maximal-throughput search so every app
         // runs at a comparable 70%-of-peak operating point, ε = 1.
-        let opts = search::MinPeriodOptions {
-            kind: AlgoKind::Rltf,
+        let opts = search::SearchOptions {
             epsilon: 1,
             ..Default::default()
         };
-        let Some((best, _)) = search::min_period(g, &p, &opts) else {
+        let solver = Solver::builtin(g, &p);
+        let Some((best, _)) = search::min_period(g, &p, solver.heuristic("rltf").unwrap(), &opts)
+        else {
             println!("{name:<36} unschedulable");
             continue;
         };
         let cfg = AlgoConfig::new(1, best / 0.7);
-        let fmt = |r: Result<ltf_sched::schedule::Schedule, _>| match r {
-            Ok(s) => {
-                validate(g, &p, &s).expect("valid");
-                format!("S={:<2} L={:<7.1}", s.num_stages(), s.latency_upper_bound())
+        let fmt = |r: Result<ltf_sched::core::Solution, _>| match r {
+            Ok(sol) => {
+                validate(g, &p, &sol.schedule).expect("valid");
+                format!(
+                    "S={:<2} L={:<7.1}",
+                    sol.metrics.stages, sol.metrics.latency_upper_bound
+                )
             }
             Err(_) => "fails".to_string(),
         };
@@ -56,21 +60,25 @@ fn main() {
             name,
             g.num_tasks(),
             g.num_edges(),
-            fmt(ltf_schedule(g, &p, &cfg)),
-            fmt(rltf_schedule(g, &p, &cfg)),
+            fmt(solver.solve("ltf", &cfg)),
+            fmt(solver.solve("rltf", &cfg)),
         );
     }
 
     // Deep dive: Gantt + JSON for the 16-point FFT.
     let g = apps::fft(4);
-    let opts = search::MinPeriodOptions {
-        kind: AlgoKind::Rltf,
+    let opts = search::SearchOptions {
         epsilon: 1,
         ..Default::default()
     };
-    let (best, _) = search::min_period(&g, &p, &opts).expect("feasible");
+    let solver = Solver::builtin(&g, &p);
+    let rltf = solver.heuristic("rltf").unwrap();
+    let (best, _) = search::min_period(&g, &p, rltf, &opts).expect("feasible");
     let cfg = AlgoConfig::new(1, best / 0.7);
-    let s = rltf_schedule(&g, &p, &cfg).expect("feasible");
+    let s = solver
+        .solve("rltf", &cfg)
+        .expect("feasible")
+        .into_schedule();
     println!(
         "\nR-LTF on the 16-point FFT (ε = 1, Δ = {:.2}):",
         s.period()

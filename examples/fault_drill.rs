@@ -6,7 +6,7 @@
 //! cargo run --release --example fault_drill
 //! ```
 
-use ltf_sched::core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_sched::core::{AlgoConfig, Heuristic, Ltf, PreparedInstance, Rltf};
 use ltf_sched::graph::generate::{layered, LayeredConfig};
 use ltf_sched::platform::Platform;
 use ltf_sched::schedule::failures::{
@@ -35,9 +35,10 @@ fn main() {
             &mut rng,
         );
         let cfg = AlgoConfig::new(epsilon, period).seeded(seed);
+        let prep = PreparedInstance::new(&g, &p);
         for (name, res) in [
-            ("LTF", ltf_schedule(&g, &p, &cfg)),
-            ("R-LTF", rltf_schedule(&g, &p, &cfg)),
+            ("LTF", Ltf.schedule(&prep, &cfg)),
+            ("R-LTF", Rltf.schedule(&prep, &cfg)),
         ] {
             let Ok(s) = res else { continue };
             // Every C(10, 2) = 45 double-crash pattern must be survived.
@@ -61,7 +62,9 @@ fn main() {
         &mut rng,
     );
     let cfg = AlgoConfig::new(epsilon, period).seeded(99);
-    let s = rltf_schedule(&g, &p, &cfg).expect("schedulable");
+    let s = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("schedulable");
     println!(
         "degradation beyond the design point (ε = {epsilon}, S = {}):",
         s.num_stages()

@@ -6,7 +6,7 @@
 //! ```
 
 use ltf_sched::baselines::{data_parallel, task_parallel};
-use ltf_sched::core::{rltf_schedule, AlgoConfig};
+use ltf_sched::core::{AlgoConfig, Solver};
 use ltf_sched::graph::dot::to_dot;
 use ltf_sched::graph::generate::fig1_diamond;
 use ltf_sched::platform::Platform;
@@ -37,7 +37,11 @@ fn main() {
     // (d) Pipelined execution at the paper's period 30: stages {t1,t3} on
     // a fast processor, {t2,t4} on a slow one.
     let cfg = AlgoConfig::new(1, 30.0);
-    let s = rltf_schedule(&g, &p, &cfg).expect("pipelined mapping");
+    let solver = Solver::builtin(&g, &p);
+    let s = solver
+        .solve("rltf", &cfg)
+        .expect("pipelined mapping")
+        .into_schedule();
     println!(
         "(d) pipelined        : L = {:>5.1}  T = 1/{:.1}  S = {} (paper: L = 90, T = 1/30, S = 2)",
         s.latency_upper_bound(),

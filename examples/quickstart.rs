@@ -1,18 +1,21 @@
-//! Quickstart: build a workflow, schedule it fault-tolerantly, inspect the
-//! result, and verify it survives any single processor crash.
+//! Quickstart for the `Solver` API: build a workflow, solve it with the
+//! paper's heuristics *and* a baseline by name, print the typed
+//! `Solution` reports (text + JSON), and see what the typed
+//! `Diagnostics` say when a request is infeasible.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use ltf_sched::core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_sched::baselines::full_solver;
+use ltf_sched::core::AlgoConfig;
 use ltf_sched::graph::GraphBuilder;
 use ltf_sched::platform::Platform;
 use ltf_sched::schedule::{failures, validate, CrashSet};
 
 fn main() {
-    // A small image-processing workflow: two parallel filter chains that
-    // are fused and written out.
+    // 1. Build a small image-processing workflow: two parallel filter
+    //    chains that are fused and written out.
     let mut b = GraphBuilder::new();
     let decode = b.add_named_task("decode", 6.0);
     let denoise = b.add_named_task("denoise", 8.0);
@@ -26,7 +29,7 @@ fn main() {
     b.add_edge(fuse, encode, 1.0);
     let g = b.build().expect("acyclic workflow");
 
-    // Six processors, two fast; all links with unit delay 0.4.
+    // 2. Six processors, two fast; all links with unit delay 0.4.
     let p = Platform::from_parts(vec![2.0, 2.0, 1.0, 1.0, 1.0, 1.0], {
         let m = 6;
         let mut d = vec![0.4; m * m];
@@ -36,35 +39,55 @@ fn main() {
         d
     });
 
-    // Tolerate one crash (ε = 1) while emitting a frame every 12 units.
+    // 3. One Solver session: the paper's heuristics (ltf, rltf,
+    //    fault-free) plus every baseline, dispatchable by name.
+    let solver = full_solver(&g, &p);
+    println!("registered heuristics: {}\n", solver.names().join(", "));
+
+    // 4. Tolerate one crash (ε = 1) while emitting a frame every 12 units.
     let cfg = AlgoConfig::with_throughput(1, 1.0 / 12.0);
-
-    println!("=== R-LTF (latency-optimized) ===");
-    let sched = rltf_schedule(&g, &p, &cfg).expect("R-LTF finds a schedule");
-    validate(&g, &p, &sched).expect("schedule passes the validator");
-    print!("{}", sched.describe(&g, &p));
-    println!(
-        "guaranteed latency {:.1}; survives every single crash: {}\n",
-        sched.latency_upper_bound(),
-        failures::tolerates_all_crashes(&g, &sched, p.num_procs(), 1),
-    );
-
-    println!("=== LTF (finish-time greedy) ===");
-    match ltf_schedule(&g, &p, &cfg) {
-        Ok(s) => {
-            validate(&g, &p, &s).expect("schedule passes the validator");
-            print!("{}", s.describe(&g, &p));
-            println!("guaranteed latency {:.1}\n", s.latency_upper_bound());
+    for name in ["rltf", "ltf"] {
+        match solver.solve(name, &cfg) {
+            Ok(sol) => {
+                validate(&g, &p, &sol.schedule).expect("schedule passes the validator");
+                println!("{sol}");
+                print!("{}", sol.schedule.describe(&g, &p));
+                println!(
+                    "survives every single crash: {}\n",
+                    failures::tolerates_all_crashes(&g, &sol.schedule, p.num_procs(), 1),
+                );
+            }
+            Err(diag) => println!("{diag}\n"),
         }
-        Err(e) => println!("LTF failed: {e}\n"),
     }
 
-    // What would one crash do to the delivered latency?
-    let l0 = failures::effective_latency(&g, &sched, &CrashSet::empty(6)).unwrap();
-    println!("R-LTF effective latency, no failures : {l0:.1}");
+    // 5. Baselines speak the same language — HEFT needs ε = 0; at the
+    //    same frame period its makespan mapping fits condition (1) too.
+    let cfg0 = AlgoConfig::with_throughput(0, 1.0 / 12.0);
+    let heft = solver.solve("heft", &cfg0).expect("HEFT fits Δ = 12");
+    validate(&g, &p, &heft.schedule).expect("valid");
+    println!("{heft}");
+
+    // 6. Typed diagnostics: ask HEFT for replication and it refuses with
+    //    a structured error instead of a panic or a bare bool.
+    let diag = solver.solve("heft", &cfg).unwrap_err();
+    println!("expected refusal: {diag}");
+
+    // 7. Solution reports serialize — this is what `ltf-experiments
+    //    solve --json` emits.
+    let rltf = solver.solve("rltf", &cfg).expect("feasible");
+    println!(
+        "\nJSON report:\n{}",
+        serde_json::to_string_pretty(&rltf).expect("serializable")
+    );
+
+    // 8. What would one crash do to the delivered latency?
+    let sched = &rltf.schedule;
+    let l0 = failures::effective_latency(&g, sched, &CrashSet::empty(6)).unwrap();
+    println!("\nR-LTF effective latency, no failures : {l0:.1}");
     for victim in p.procs() {
         let crash = CrashSet::from_procs(&[victim], 6);
-        if let Some(l) = failures::effective_latency(&g, &sched, &crash) {
+        if let Some(l) = failures::effective_latency(&g, sched, &crash) {
             println!("R-LTF effective latency, {victim} down: {l:.1}");
         }
     }

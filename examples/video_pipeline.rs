@@ -6,7 +6,7 @@
 //! cargo run --release --example video_pipeline
 //! ```
 
-use ltf_sched::core::{rltf_schedule, AlgoConfig};
+use ltf_sched::core::{AlgoConfig, Solver};
 use ltf_sched::graph::{GraphBuilder, TaskGraph};
 use ltf_sched::platform::Platform;
 use ltf_sched::schedule::{validate, CrashSet};
@@ -51,7 +51,10 @@ fn main() {
 
     // 30 fps with one-crash tolerance: period 33.3 ms, ε = 1.
     let cfg = AlgoConfig::with_throughput(1, 30.0 / 1000.0);
-    let sched = rltf_schedule(&g, &p, &cfg).expect("pipeline schedulable at 30 fps");
+    let sched = Solver::builtin(&g, &p)
+        .solve("rltf", &cfg)
+        .expect("pipeline schedulable at 30 fps")
+        .into_schedule();
     validate(&g, &p, &sched).expect("valid schedule");
     println!("{}", sched.describe(&g, &p));
 

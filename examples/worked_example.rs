@@ -9,7 +9,7 @@
 //! cargo run --release --example worked_example
 //! ```
 
-use ltf_sched::core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_sched::core::{AlgoConfig, Solver};
 use ltf_sched::graph::generate::{fig2_workflow, fig2_workflow_variant};
 use ltf_sched::platform::Platform;
 use ltf_sched::schedule::validate;
@@ -23,13 +23,15 @@ fn main() {
         println!("=== {name} ===");
         for m in [8usize, 10] {
             let p = Platform::homogeneous(m, 1.0, 1.0);
+            let solver = Solver::builtin(&g, &p);
             for (label, res) in [
-                ("LTF  ", ltf_schedule(&g, &p, &cfg)),
-                ("R-LTF", rltf_schedule(&g, &p, &cfg)),
+                ("LTF  ", solver.solve("ltf", &cfg)),
+                ("R-LTF", solver.solve("rltf", &cfg)),
             ] {
                 match res {
-                    Ok(s) => {
-                        validate(&g, &p, &s).expect("valid schedule");
+                    Ok(sol) => {
+                        let s = &sol.schedule;
+                        validate(&g, &p, s).expect("valid schedule");
                         println!(
                             "  {label} m={m:<2}: S = {}  L = {:<5.0} comms = {:<2} procs = {}",
                             s.num_stages(),
@@ -41,7 +43,7 @@ fn main() {
                             print!("{}", s.describe(&g, &p));
                         }
                     }
-                    Err(e) => println!("  {label} m={m:<2}: fails — {e}"),
+                    Err(e) => println!("  {label} m={m:<2}: fails — {}", e.error),
                 }
             }
         }

@@ -28,8 +28,14 @@
 //!
 //! ## Quickstart
 //!
+//! Every strategy — LTF, R-LTF, the fault-free reference and the
+//! baselines — is a [`core::Heuristic`] dispatched by name through a
+//! [`core::Solver`] session ([`baselines::full_solver`] registers the
+//! whole family):
+//!
 //! ```
-//! use ltf_sched::core::{rltf_schedule, AlgoConfig};
+//! use ltf_sched::baselines::full_solver;
+//! use ltf_sched::core::AlgoConfig;
 //! use ltf_sched::graph::GraphBuilder;
 //! use ltf_sched::platform::Platform;
 //! use ltf_sched::schedule::validate;
@@ -46,13 +52,20 @@
 //! // Four identical processors; survive any single failure (ε = 1)
 //! // while emitting a frame every 10 time units.
 //! let p = Platform::homogeneous(4, 1.0, 0.5);
+//! let solver = full_solver(&g, &p);
 //! let cfg = AlgoConfig::with_throughput(1, 0.1);
-//! let sched = rltf_schedule(&g, &p, &cfg).unwrap();
+//! let sol = solver.solve("rltf", &cfg).unwrap();
 //!
-//! validate(&g, &p, &sched).unwrap();
+//! validate(&g, &p, &sol.schedule).unwrap();
 //! // Tasks cannot pair up within Δ = 10 (4+9, 9+3 > 10): three stages,
 //! // one per task, latency (2·3 − 1)·10 = 50.
-//! assert!(sched.latency_upper_bound() <= 50.0);
+//! assert!(sol.metrics.latency_upper_bound <= 50.0);
+//! assert_eq!(sol.metrics.stages, 3);
+//!
+//! // The baselines answer the same calls: HEFT (ε = 0) at a frame
+//! // every 16 units makespan-schedules the whole chain.
+//! let sol = solver.solve("heft", &AlgoConfig::with_throughput(0, 1.0 / 16.0)).unwrap();
+//! assert_eq!(sol.metrics.epsilon, 0);
 //! ```
 
 pub use ltf_baselines as baselines;

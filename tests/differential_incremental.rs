@@ -16,6 +16,10 @@
 //! `ltf-core/tests/prio_props.rs`) and by the debug assertion in
 //! `Schedule::with_stages`, which is active throughout this suite.
 
+// This suite deliberately drives the deprecated free-function shims: they
+// must stay bit-identical to the Solver path until they are removed.
+#![allow(deprecated)]
+
 use ltf_sched::core::{
     schedule_with, schedule_with_reference, AlgoConfig, AlgoKind, PreparedInstance,
 };

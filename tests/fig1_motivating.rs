@@ -2,7 +2,7 @@
 //! all three execution scenarios on the 4-task diamond.
 
 use ltf_sched::baselines::{data_parallel, task_parallel};
-use ltf_sched::core::{rltf_schedule, AlgoConfig};
+use ltf_sched::core::{AlgoConfig, Heuristic, PreparedInstance, Rltf};
 use ltf_sched::graph::generate::fig1_diamond;
 use ltf_sched::platform::Platform;
 use ltf_sched::schedule::validate;
@@ -42,7 +42,9 @@ fn pipelined_execution_matches_paper() {
     // Paper: period 30 (stage {t1,t3} on a fast processor: load 20; stage
     // {t2,t4} on a slow one: load 30), S = 2, L = 90.
     let cfg = AlgoConfig::new(1, 30.0);
-    let s = rltf_schedule(&g, &p, &cfg).expect("pipelined mapping at T = 1/30");
+    let s = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("pipelined mapping at T = 1/30");
     validate(&g, &p, &s).expect("valid");
     assert_eq!(s.num_stages(), 2, "paper's S = 2");
     assert!(
@@ -60,7 +62,7 @@ fn pipelined_beats_task_parallel_throughput_and_loses_latency() {
     let p = Platform::fig1_platform();
     let tp = task_parallel(&g, &p, 1);
     let cfg = AlgoConfig::new(1, 30.0);
-    let s = rltf_schedule(&g, &p, &cfg).unwrap();
+    let s = Rltf.schedule(&PreparedInstance::new(&g, &p), &cfg).unwrap();
     assert!(
         1.0 / s.period() > tp.throughput,
         "pipelining raises throughput"

@@ -6,7 +6,7 @@
 //! the one-weight variant (`E(t2) = 3`), and the reconstruction's actual
 //! behaviour is locked in by regression assertions.
 
-use ltf_sched::core::{ltf_schedule, rltf_schedule, AlgoConfig};
+use ltf_sched::core::{AlgoConfig, Heuristic, Ltf, PreparedInstance, Rltf};
 use ltf_sched::graph::generate::{fig2_workflow, fig2_workflow_variant};
 use ltf_sched::platform::Platform;
 use ltf_sched::schedule::{failures, validate};
@@ -20,7 +20,9 @@ fn variant_rltf_three_stages_latency_100_on_8_procs() {
     // The paper's headline: R-LTF reaches 3 stages / L = 100 with m = 8.
     let g = fig2_workflow_variant();
     let p = Platform::homogeneous(8, 1.0, 1.0);
-    let s = rltf_schedule(&g, &p, &cfg()).expect("R-LTF schedules the variant");
+    let s = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &cfg())
+        .expect("R-LTF schedules the variant");
     validate(&g, &p, &s).expect("valid");
     assert_eq!(s.num_stages(), 3);
     assert!((s.latency_upper_bound() - 100.0).abs() < 1e-9);
@@ -33,7 +35,9 @@ fn variant_ltf_four_stages_latency_140() {
     // The paper's LTF contrast: finish-time greed costs one stage (L=140).
     let g = fig2_workflow_variant();
     let p = Platform::homogeneous(8, 1.0, 1.0);
-    let s = ltf_schedule(&g, &p, &cfg()).expect("LTF schedules the variant");
+    let s = Ltf
+        .schedule(&PreparedInstance::new(&g, &p), &cfg())
+        .expect("LTF schedules the variant");
     validate(&g, &p, &s).expect("valid");
     assert_eq!(s.num_stages(), 4);
     assert!((s.latency_upper_bound() - 140.0).abs() < 1e-9);
@@ -45,7 +49,9 @@ fn variant_rltf_uses_one_to_one_comm_budget() {
     // Rule-1 merges make half of them local (8 cross-processor).
     let g = fig2_workflow_variant();
     let p = Platform::homogeneous(8, 1.0, 1.0);
-    let s = rltf_schedule(&g, &p, &cfg()).unwrap();
+    let s = Rltf
+        .schedule(&PreparedInstance::new(&g, &p), &cfg())
+        .unwrap();
     assert!(
         s.comm_count() <= g.num_edges() * 2,
         "comms {} exceed e(ε+1)",
@@ -61,18 +67,25 @@ fn reconstruction_regression() {
     // by the reconstruction's infeasible stage-2 cluster (22 > Δ).
     let g = fig2_workflow();
     let p8 = Platform::homogeneous(8, 1.0, 1.0);
-    let ltf = ltf_schedule(&g, &p8, &cfg()).expect("LTF succeeds on m=8");
+    let ltf = Ltf
+        .schedule(&PreparedInstance::new(&g, &p8), &cfg())
+        .expect("LTF succeeds on m=8");
     validate(&g, &p8, &ltf).expect("valid");
     assert!(ltf.num_stages() >= 4);
     assert!(
-        rltf_schedule(&g, &p8, &cfg()).is_err(),
+        Rltf.schedule(&PreparedInstance::new(&g, &p8), &cfg())
+            .is_err(),
         "R-LTF fails on m=8"
     );
 
     // With two more processors both succeed; R-LTF gets back under LTF.
     let p10 = Platform::homogeneous(10, 1.0, 1.0);
-    let ltf10 = ltf_schedule(&g, &p10, &cfg()).expect("LTF m=10");
-    let rltf10 = rltf_schedule(&g, &p10, &cfg()).expect("R-LTF m=10");
+    let ltf10 = Ltf
+        .schedule(&PreparedInstance::new(&g, &p10), &cfg())
+        .expect("LTF m=10");
+    let rltf10 = Rltf
+        .schedule(&PreparedInstance::new(&g, &p10), &cfg())
+        .expect("R-LTF m=10");
     validate(&g, &p10, &rltf10).expect("valid");
     assert!(rltf10.num_stages() <= ltf10.num_stages());
     assert!(
@@ -86,8 +99,10 @@ fn both_algorithms_respect_throughput_constraint() {
     let g = fig2_workflow_variant();
     let p = Platform::homogeneous(8, 1.0, 1.0);
     for s in [
-        ltf_schedule(&g, &p, &cfg()).unwrap(),
-        rltf_schedule(&g, &p, &cfg()).unwrap(),
+        Ltf.schedule(&PreparedInstance::new(&g, &p), &cfg())
+            .unwrap(),
+        Rltf.schedule(&PreparedInstance::new(&g, &p), &cfg())
+            .unwrap(),
     ] {
         assert!(s.achieved_throughput() + 1e-12 >= 0.05);
         for u in p.procs() {

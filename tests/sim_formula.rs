@@ -2,7 +2,7 @@
 //! `L = (2S − 1)/T`, the effective-stage failure analysis, and the two
 //! simulator disciplines.
 
-use ltf_sched::core::{schedule_with, AlgoConfig, AlgoKind};
+use ltf_sched::core::{AlgoConfig, AlgoKind, PreparedInstance};
 use ltf_sched::graph::generate::{layered, LayeredConfig};
 use ltf_sched::platform::Platform;
 use ltf_sched::schedule::{failures, CrashSet};
@@ -30,7 +30,10 @@ fn synchronous_simulation_equals_effective_latency() {
         let g = workload(seed);
         for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
             let cfg = AlgoConfig::new(1, 15.0).seeded(seed);
-            let Ok(s) = schedule_with(kind, &g, &p, &cfg) else {
+            let Ok(s) = kind
+                .heuristic()
+                .schedule(&PreparedInstance::new(&g, &p), &cfg)
+            else {
                 continue;
             };
             // No crash: simulator latency = analytic effective latency.
@@ -65,7 +68,10 @@ fn asap_never_slower_than_synchronous() {
     for seed in 0..4u64 {
         let g = workload(seed + 10);
         let cfg = AlgoConfig::new(1, 15.0).seeded(seed);
-        let Ok(s) = schedule_with(AlgoKind::Rltf, &g, &p, &cfg) else {
+        let Ok(s) = AlgoKind::Rltf
+            .heuristic()
+            .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        else {
             continue;
         };
         let items = 12;
@@ -87,7 +93,10 @@ fn asap_sustains_the_period() {
     let p = Platform::homogeneous(m, 1.0, 0.2);
     let g = workload(42);
     let cfg = AlgoConfig::new(1, 15.0).seeded(0);
-    let s = schedule_with(AlgoKind::Rltf, &g, &p, &cfg).expect("feasible");
+    let s = AlgoKind::Rltf
+        .heuristic()
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("feasible");
     let run = asap(&g, &s, &AsapConfig::new(60));
     assert_eq!(run.produced(), 60);
     // Throughput keeps up with the admission rate in steady state.
@@ -104,7 +113,10 @@ fn asap_single_crash_from_start_loses_nothing() {
     let p = Platform::homogeneous(m, 1.0, 0.2);
     let g = workload(43);
     let cfg = AlgoConfig::new(1, 15.0).seeded(0);
-    let s = schedule_with(AlgoKind::Rltf, &g, &p, &cfg).expect("feasible");
+    let s = AlgoKind::Rltf
+        .heuristic()
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("feasible");
     for crash in failures::all_crash_sets(m, 1) {
         let run = asap(&g, &s, &AsapConfig::with_crash(8, crash, 0.0));
         assert_eq!(run.produced(), 8, "a single crash must be masked");

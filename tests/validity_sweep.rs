@@ -1,7 +1,7 @@
 //! Structural validity and fault-tolerance guarantees across graph shapes,
 //! replication degrees, and both heuristics.
 
-use ltf_sched::core::{schedule_with, AlgoConfig, AlgoKind};
+use ltf_sched::core::{AlgoConfig, AlgoKind, PreparedInstance};
 use ltf_sched::graph::generate::{
     fork_join, in_tree, layered, out_tree, pipeline, series_parallel, LayeredConfig,
     SeriesParallelConfig,
@@ -56,7 +56,10 @@ fn schedules_validate_across_shapes_and_epsilons() {
         for eps in [0u8, 1, 2] {
             for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
                 let cfg = AlgoConfig::new(eps, period).seeded(3);
-                let Ok(s) = schedule_with(kind, &g, &p, &cfg) else {
+                let Ok(s) = kind
+                    .heuristic()
+                    .schedule(&PreparedInstance::new(&g, &p), &cfg)
+                else {
                     continue; // infeasibility is legitimate; validity is not optional
                 };
                 validate(&g, &p, &s)
@@ -79,7 +82,10 @@ fn exhaustive_crash_tolerance_eps1_and_eps2() {
         for eps in [1u8, 2] {
             for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
                 let cfg = AlgoConfig::new(eps, 16.0).seeded(9);
-                let Ok(s) = schedule_with(kind, &g, &p, &cfg) else {
+                let Ok(s) = kind
+                    .heuristic()
+                    .schedule(&PreparedInstance::new(&g, &p), &cfg)
+                else {
                     continue;
                 };
                 assert!(
@@ -108,7 +114,10 @@ fn effective_latency_monotone_in_crashes() {
         &mut rng,
     );
     let cfg = AlgoConfig::new(2, 14.0).seeded(1);
-    let s = schedule_with(AlgoKind::Rltf, &g, &p, &cfg).expect("feasible");
+    let s = AlgoKind::Rltf
+        .heuristic()
+        .schedule(&PreparedInstance::new(&g, &p), &cfg)
+        .expect("feasible");
     let l0 = failures::effective_latency(&g, &s, &CrashSet::empty(8)).unwrap();
     for single in failures::all_crash_sets(8, 1) {
         let l1 = failures::effective_latency(&g, &s, &single).unwrap();
@@ -148,7 +157,10 @@ fn one_to_one_keeps_comm_budget_on_series_parallel() {
             &mut rng,
         );
         let cfg = AlgoConfig::new(eps, 1000.0).seeded(2); // no pressure
-        let s = schedule_with(AlgoKind::Rltf, &g, &p, &cfg).expect("feasible");
+        let s = AlgoKind::Rltf
+            .heuristic()
+            .schedule(&PreparedInstance::new(&g, &p), &cfg)
+            .expect("feasible");
         let budget = g.num_edges() * (eps as usize + 1);
         assert!(
             s.comm_count() <= budget,
@@ -165,20 +177,26 @@ fn failure_modes_reported_cleanly() {
     let p = Platform::homogeneous(2, 1.0, 1.0);
     let cfg = AlgoConfig::new(3, 100.0);
     assert!(matches!(
-        schedule_with(AlgoKind::Rltf, &g, &p, &cfg),
+        AlgoKind::Rltf
+            .heuristic()
+            .schedule(&PreparedInstance::new(&g, &p), &cfg),
         Err(ltf_sched::core::ScheduleError::TooFewProcessors { .. })
     ));
     // Period too small for the biggest task.
     let p = Platform::homogeneous(4, 1.0, 1.0);
     let cfg = AlgoConfig::new(0, 5.0);
     assert!(matches!(
-        schedule_with(AlgoKind::Ltf, &g, &p, &cfg),
+        AlgoKind::Ltf
+            .heuristic()
+            .schedule(&PreparedInstance::new(&g, &p), &cfg),
         Err(ltf_sched::core::ScheduleError::Infeasible { .. })
     ));
     // Bad period.
     let cfg = AlgoConfig::new(0, f64::NAN);
     assert!(matches!(
-        schedule_with(AlgoKind::Ltf, &g, &p, &cfg),
+        AlgoKind::Ltf
+            .heuristic()
+            .schedule(&PreparedInstance::new(&g, &p), &cfg),
         Err(ltf_sched::core::ScheduleError::BadConfig(_))
     ));
 }

@@ -2,8 +2,8 @@
 //!
 //! Supports the surface this workspace's property tests use: the
 //! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
-//! [`Strategy`] with [`Strategy::prop_map`], range and tuple strategies,
-//! [`arbitrary::any`], `prop::collection::vec`, and the
+//! [`strategy::Strategy`] with [`strategy::Strategy::prop_map`], range and
+//! tuple strategies, [`arbitrary::any`], `prop::collection::vec`, and the
 //! [`prop_assert!`]/[`prop_assert_eq!`] macros.
 //!
 //! Differences from the real crate, by design:
