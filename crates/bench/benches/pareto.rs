@@ -1,0 +1,44 @@
+//! Pareto-front enumeration cost: the (latency, period, ε, processors)
+//! sweep over the worked examples, single-heuristic and cross-registry.
+//! The front for each configuration is printed to stderr before timing
+//! starts, continuing the reproduction-first bench convention.
+
+use criterion::{black_box, Criterion};
+use ltf_bench::quick_criterion;
+use ltf_core::search::pareto::{pareto_front, pareto_front_all, ParetoOptions};
+use ltf_core::{Rltf, Solver};
+use ltf_graph::generate::{fig1_diamond, fig2_workflow_variant};
+use ltf_platform::Platform;
+
+fn main() {
+    let mut c: Criterion = quick_criterion();
+    let opts = ParetoOptions::default();
+
+    let g1 = fig1_diamond();
+    let p1 = Platform::fig1_platform();
+    let g2 = fig2_workflow_variant();
+    let p2 = Platform::homogeneous(8, 1.0, 1.0);
+
+    for pt in pareto_front(&g1, &p1, &Rltf, &opts) {
+        eprintln!("fig1/rltf: {pt}");
+    }
+    for pt in pareto_front(&g2, &p2, &Rltf, &opts) {
+        eprintln!("fig2-variant/rltf: {pt}");
+    }
+
+    let mut group = c.benchmark_group("pareto");
+    group.bench_function("fig1/rltf", |b| {
+        b.iter(|| pareto_front(black_box(&g1), black_box(&p1), &Rltf, black_box(&opts)))
+    });
+    group.bench_function("fig2-variant/rltf", |b| {
+        b.iter(|| pareto_front(black_box(&g2), black_box(&p2), &Rltf, black_box(&opts)))
+    });
+    group.bench_function("fig1/builtin-merge", |b| {
+        b.iter(|| {
+            let solver = Solver::builtin(black_box(&g1), black_box(&p1));
+            pareto_front_all(&solver, black_box(&opts))
+        })
+    });
+    group.finish();
+    c.final_summary();
+}

@@ -46,7 +46,10 @@
 //! conclusion's "symmetric" objectives: maximize throughput under a
 //! latency budget ([`search::min_period`]), maximize ε
 //! ([`search::max_epsilon`]), minimize processors
-//! ([`search::min_processors`]).
+//! ([`search::min_processors`]); [`search::pareto`] composes them into a
+//! Pareto-front enumeration over (latency, period, ε, processors), with
+//! latency-cap / processor-budget variants and a cross-heuristic merge
+//! over a whole [`Solver`] registry.
 //!
 //! The pre-`Solver` free functions ([`ltf_schedule()`](ltf_schedule()),
 //! [`rltf_schedule`], [`schedule_with`], [`fault_free_reference`]) remain

@@ -38,6 +38,12 @@
 //! [`PreparedInstance`]: the reversed graph and the platform-averaged
 //! level caches are derived once per `(graph, platform)` and shared by
 //! every candidate probe instead of being rebuilt per schedule attempt.
+//!
+//! The [`pareto`] submodule composes these single-objective searches into
+//! a multi-objective enumerator over (latency, period, ε, processor
+//! count).
+
+pub mod pareto;
 
 use crate::api::PreparedInstance;
 use crate::config::{AlgoConfig, AlgoKind};
@@ -144,6 +150,20 @@ pub fn min_period(
     opts: &SearchOptions,
 ) -> Option<(f64, Schedule)> {
     let prep = PreparedInstance::new(g, p);
+    min_period_prepared(&prep, h, opts)
+}
+
+/// [`min_period`] over an already-prepared instance, sharing its cached
+/// derivations with the caller. The Pareto enumerator probes every
+/// `(ε, prefix)` cell of one prefix platform through the same
+/// [`PreparedInstance`], so the reversed graph and level caches are built
+/// once per prefix rather than once per cell.
+pub fn min_period_prepared(
+    prep: &PreparedInstance<'_>,
+    h: &dyn Heuristic,
+    opts: &SearchOptions,
+) -> Option<(f64, Schedule)> {
+    let (g, p) = (prep.graph(), prep.platform());
     // Absolute lower bound: every task must fit on its fastest processor,
     // and the replicated total work must fit the aggregate capacity.
     let per_task = g
@@ -154,11 +174,18 @@ pub fn min_period(
     let work_bound = (opts.epsilon as f64 + 1.0) * g.total_exec() / total_speed;
     let lower = per_task.max(work_bound).max(f64::MIN_POSITIVE);
 
-    // Bracket a feasible period.
+    // Bracket a feasible period. Doubling from a large lower bound can
+    // overflow to +inf well before the 60 attempts run out (e.g. huge
+    // execution times, or a latency budget no period can meet); probing
+    // the heuristic with a non-finite period is meaningless, so give up
+    // cleanly instead.
     let mut hi = lower.max(1e-12);
     let mut witness = None;
     for _ in 0..60 {
-        if let Some(s) = try_period(&prep, h, opts, hi) {
+        if !hi.is_finite() {
+            return None;
+        }
+        if let Some(s) = try_period(prep, h, opts, hi) {
             witness = Some(s);
             break;
         }
@@ -172,7 +199,7 @@ pub fn min_period(
         if mid <= lo || mid >= hi_p {
             break;
         }
-        match try_period(&prep, h, opts, mid) {
+        match try_period(prep, h, opts, mid) {
             Some(s) => {
                 hi_p = mid;
                 best = s;
@@ -184,8 +211,13 @@ pub fn min_period(
 }
 
 /// Largest fault-tolerance degree ε for which heuristic `h` schedules the
-/// workload at the given period (scanning upward from 0 and returning the
-/// last success; stops at the first failure or at `m − 1`).
+/// workload at the given period.
+///
+/// Heuristic feasibility is **not** guaranteed monotone in ε (e.g. the
+/// data-parallel baseline projects one replica group, so a larger ε can
+/// succeed where a smaller one starved a processor), so the whole
+/// `0..=m−1` range is scanned — it is at most `m` cheap probes — and the
+/// largest success is returned rather than stopping at the first failure.
 pub fn max_epsilon(
     g: &TaskGraph,
     p: &Platform,
@@ -204,9 +236,8 @@ pub fn max_epsilon(
             seed,
             ..Default::default()
         };
-        match try_period(&prep, h, &opts, period) {
-            Some(s) => best = Some((eps, s)),
-            None => break,
+        if let Some(s) = try_period(&prep, h, &opts, period) {
+            best = Some((eps, s));
         }
     }
     best

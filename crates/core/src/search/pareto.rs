@@ -1,0 +1,474 @@
+//! Pareto-front enumeration over (latency, period, ε, processor count).
+//!
+//! The paper's conclusion frames the mapping problem as a trade-off among
+//! the pipeline latency `L`, the period `Δ = 1/T`, the fault-tolerance
+//! degree ε and the platform size `m`; the single-objective searches of
+//! the parent module each pin three of the four. [`pareto_front`]
+//! enumerates the whole trade-off surface a heuristic can reach instead:
+//!
+//! * sweep ε from 0 to `m − 1` (capped by
+//!   [`ParetoOptions::max_epsilon`]) and the processor-count **prefixes**
+//!   of the platform (capped by [`ParetoOptions::max_procs`] — the
+//!   processor-budget variant);
+//! * per `(ε, prefix)` cell, drive the period bisection of
+//!   [`min_period_prepared`] under the
+//!   optional latency cap ([`ParetoOptions::max_latency`] — the
+//!   latency-budget variant), then probe a few geometrically relaxed
+//!   periods (a looser period can buy fewer pipeline stages, i.e. a lower
+//!   latency — a genuine L/T trade the minimum-period point misses);
+//! * keep only the **non-dominated** set, where a point dominates another
+//!   when its latency, period and processor count are no larger, its ε is
+//!   no smaller, and at least one objective is strictly better.
+//!
+//! Every surviving [`ParetoPoint`] carries its witness schedule (as a
+//! typed [`Solution`]), so callers can re-validate or deploy any point of
+//! the front directly. [`pareto_front_all`] merges the fronts of every
+//! heuristic registered in a [`Solver`] and prunes across them, labelling
+//! each survivor with the heuristic that reached it.
+//!
+//! ```
+//! use ltf_core::search::pareto::{pareto_front, ParetoOptions};
+//! use ltf_core::Rltf;
+//! use ltf_graph::generate::fig1_diamond;
+//! use ltf_platform::Platform;
+//!
+//! let g = fig1_diamond();
+//! let p = Platform::fig1_platform();
+//! let front = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+//! assert!(!front.is_empty());
+//! // No point of the front dominates another.
+//! for a in &front {
+//!     assert!(!front.iter().any(|b| b.objectives.dominates(&a.objectives)));
+//! }
+//! ```
+
+use super::{min_period_prepared, try_period, SearchOptions};
+use crate::api::PreparedInstance;
+use crate::solver::{Heuristic, Solution, Solver};
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+use ltf_schedule::Schedule;
+use serde::Serialize;
+
+/// The four objective values of one point of the front. Latency, period
+/// and processor count are minimized; ε is maximized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ParetoObjectives {
+    /// Guaranteed pipeline latency `L = (2S − 1)·Δ` of the witness.
+    pub latency: f64,
+    /// Iteration period `Δ` of the witness (inverse throughput).
+    pub period: f64,
+    /// Fault-tolerance degree ε of the witness.
+    pub epsilon: u8,
+    /// Distinct processors the witness actually uses.
+    pub procs: usize,
+}
+
+impl ParetoObjectives {
+    /// Read the objective vector off a witness schedule.
+    pub fn of(sched: &Schedule) -> Self {
+        Self {
+            latency: sched.latency_upper_bound(),
+            period: sched.period(),
+            epsilon: sched.epsilon(),
+            procs: sched.procs_used(),
+        }
+    }
+
+    /// The throughput `T = 1/Δ` of the point.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.period
+    }
+
+    /// Strict Pareto dominance: `self` is at least as good on every
+    /// objective (≤ latency, ≤ period, ≥ ε, ≤ processors) and strictly
+    /// better on at least one. Equal objective vectors dominate in
+    /// neither direction.
+    pub fn dominates(&self, other: &Self) -> bool {
+        let no_worse = self.latency <= other.latency
+            && self.period <= other.period
+            && self.epsilon >= other.epsilon
+            && self.procs <= other.procs;
+        let better = self.latency < other.latency
+            || self.period < other.period
+            || self.epsilon > other.epsilon
+            || self.procs < other.procs;
+        no_worse && better
+    }
+}
+
+/// One non-dominated point of the enumerated front: the objective vector,
+/// the heuristic that reached it, and the witness schedule (with derived
+/// metrics) proving the point is achievable.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The four objective values.
+    pub objectives: ParetoObjectives,
+    /// Canonical name of the heuristic that produced the witness.
+    pub heuristic: String,
+    /// Size of the platform prefix the witness was scheduled on. The
+    /// `procs` objective counts the processors the witness actually uses
+    /// (≤ this); re-validating the witness needs the platform it was built
+    /// against, i.e. `platform.prefix(platform_procs)`.
+    pub platform_procs: usize,
+    /// The witness schedule bundled with its derived metrics.
+    pub solution: Solution,
+}
+
+impl ParetoPoint {
+    fn new(h: &dyn Heuristic, platform_procs: usize, sched: Schedule) -> Self {
+        Self {
+            objectives: ParetoObjectives::of(&sched),
+            heuristic: h.name().to_string(),
+            platform_procs,
+            solution: Solution::new(h.name(), sched),
+        }
+    }
+}
+
+impl Serialize for ParetoPoint {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![(
+            "heuristic".to_string(),
+            serde::Value::Str(self.heuristic.clone()),
+        )];
+        match self.objectives.to_value() {
+            serde::Value::Map(m) => fields.extend(m),
+            other => fields.push(("objectives".to_string(), other)),
+        }
+        fields.push((
+            "throughput".to_string(),
+            serde::Value::Float(self.objectives.throughput()),
+        ));
+        fields.push((
+            "platform_procs".to_string(),
+            serde::Value::UInt(self.platform_procs as u64),
+        ));
+        fields.push(("solution".to_string(), self.solution.to_value()));
+        serde::Value::Map(fields)
+    }
+}
+
+impl std::fmt::Display for ParetoPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = &self.objectives;
+        write!(
+            f,
+            "ε={} m={} Δ={:.3} L≤{:.3} S={} [{}]",
+            o.epsilon, o.procs, o.period, o.latency, self.solution.metrics.stages, self.heuristic
+        )
+    }
+}
+
+/// Options of the Pareto enumeration. The two `max_*` budgets double as
+/// the conclusion's budget-constrained problem variants: a latency cap
+/// rejects candidate schedules during the period bisection, a processor
+/// budget truncates the prefix sweep.
+#[derive(Debug, Clone)]
+pub struct ParetoOptions {
+    /// Cap on the swept fault-tolerance degree (default: `m − 1`, the
+    /// largest ε any prefix can support).
+    pub max_epsilon: Option<u8>,
+    /// Latency budget: candidate schedules whose guaranteed latency
+    /// exceeds it never enter the front.
+    pub max_latency: Option<f64>,
+    /// Processor budget: only platform prefixes up to this size are swept.
+    pub max_procs: Option<usize>,
+    /// Relaxed-period probes per cell after the bisection: each doubles
+    /// the period, looking for lower-latency (fewer-stage) schedules at
+    /// lower throughput. 0 keeps only the minimum-period point per cell.
+    pub relax_steps: u32,
+    /// Bisection iterations per cell (see [`SearchOptions::iterations`]).
+    pub iterations: u32,
+    /// Tie-breaking seed passed to the heuristic.
+    pub seed: u64,
+}
+
+impl Default for ParetoOptions {
+    fn default() -> Self {
+        Self {
+            max_epsilon: None,
+            max_latency: None,
+            max_procs: None,
+            relax_steps: 3,
+            iterations: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ParetoOptions {
+    /// Default enumeration under a latency budget.
+    pub fn with_latency_cap(cap: f64) -> Self {
+        Self {
+            max_latency: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Default enumeration under a processor budget.
+    pub fn with_proc_budget(budget: usize) -> Self {
+        Self {
+            max_procs: Some(budget),
+            ..Self::default()
+        }
+    }
+}
+
+/// Enumerate the non-dominated (latency, period, ε, processors) front
+/// heuristic `h` can reach on `(g, p)`. See the module docs for the sweep
+/// structure. The front is exact over the probed cells (the heuristic is
+/// not an exact oracle, so the true Pareto surface can only be
+/// approximated — same caveat as the single-objective searches); it is
+/// returned sorted by (ε, processors, period) for deterministic output.
+pub fn pareto_front(
+    g: &TaskGraph,
+    p: &Platform,
+    h: &dyn Heuristic,
+    opts: &ParetoOptions,
+) -> Vec<ParetoPoint> {
+    let mut candidates = Vec::new();
+    for m in 1..=max_prefix(p, opts) {
+        let sub = p.prefix(m);
+        let prep = PreparedInstance::new(g, &sub);
+        cell_sweep(&prep, m, h, opts, &mut candidates);
+    }
+    prune(candidates)
+}
+
+/// Merge the fronts of every heuristic registered in `solver` and prune
+/// across them: the result is the non-dominated set of the union, each
+/// point labelled with the heuristic that reached it. Exact objective
+/// ties resolve to the smallest platform prefix, then to registration
+/// order. The prefix loop is outermost so all heuristics share one
+/// [`PreparedInstance`] (reversed graph, level caches) per prefix.
+pub fn pareto_front_all(solver: &Solver<'_>, opts: &ParetoOptions) -> Vec<ParetoPoint> {
+    let (g, p) = (solver.graph(), solver.platform());
+    let mut all = Vec::new();
+    for m in 1..=max_prefix(p, opts) {
+        let sub = p.prefix(m);
+        let prep = PreparedInstance::new(g, &sub);
+        for h in solver.heuristics() {
+            cell_sweep(&prep, m, h, opts, &mut all);
+        }
+    }
+    prune(all)
+}
+
+/// Largest platform prefix the sweep visits.
+fn max_prefix(p: &Platform, opts: &ParetoOptions) -> usize {
+    opts.max_procs.unwrap_or(usize::MAX).min(p.num_procs())
+}
+
+/// Run the ε sweep of one `(heuristic, prefix)` pair, appending every
+/// feasible candidate point (minimum-period plus relaxed-period probes)
+/// to `out`. `prep` must be prepared on the `m`-processor prefix.
+fn cell_sweep(
+    prep: &PreparedInstance<'_>,
+    m: usize,
+    h: &dyn Heuristic,
+    opts: &ParetoOptions,
+    out: &mut Vec<ParetoPoint>,
+) {
+    let mut eps_cap = (m - 1).min(u8::MAX as usize) as u8;
+    if let Some(cap) = opts.max_epsilon {
+        eps_cap = eps_cap.min(cap);
+    }
+    for eps in 0..=eps_cap {
+        let sopts = SearchOptions {
+            epsilon: eps,
+            max_latency: opts.max_latency,
+            iterations: opts.iterations,
+            seed: opts.seed,
+        };
+        let Some((t_min, sched)) = min_period_prepared(prep, h, &sopts) else {
+            continue;
+        };
+        out.push(ParetoPoint::new(h, m, sched));
+        // Relaxed periods: trade throughput for (possibly) fewer stages.
+        // Dominated probes are pruned by the caller, so only genuine
+        // latency improvements survive.
+        let mut period = t_min;
+        for _ in 0..opts.relax_steps {
+            period *= 2.0;
+            if !period.is_finite() {
+                break;
+            }
+            if let Some(s) = try_period(prep, h, &sopts, period) {
+                out.push(ParetoPoint::new(h, m, s));
+            }
+        }
+    }
+}
+
+/// Reduce `points` to its non-dominated subset: dominated points and
+/// exact-duplicate objective vectors (first occurrence wins) are dropped,
+/// points with non-finite objectives are discarded defensively, and the
+/// survivors are sorted by (ε, processors, period, latency).
+pub fn prune(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    points.retain(|pt| pt.objectives.latency.is_finite() && pt.objectives.period.is_finite());
+    let mut keep = vec![true; points.len()];
+    for i in 0..points.len() {
+        for j in 0..points.len() {
+            if i == j {
+                continue;
+            }
+            // Transitivity makes it safe to test against already-dropped
+            // points: whatever dominated them dominates `i` too.
+            if points[j].objectives.dominates(&points[i].objectives)
+                || (j < i && points[j].objectives == points[i].objectives)
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut front: Vec<ParetoPoint> = points
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect();
+    front.sort_by(|a, b| {
+        (a.objectives.epsilon, a.objectives.procs)
+            .cmp(&(b.objectives.epsilon, b.objectives.procs))
+            .then(a.objectives.period.total_cmp(&b.objectives.period))
+            .then(a.objectives.latency.total_cmp(&b.objectives.latency))
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ltf, Rltf};
+    use ltf_graph::generate::fig1_diamond;
+
+    fn fig1_front() -> Vec<ParetoPoint> {
+        pareto_front(
+            &fig1_diamond(),
+            &Platform::fig1_platform(),
+            &Rltf,
+            &ParetoOptions::default(),
+        )
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = ParetoObjectives {
+            latency: 10.0,
+            period: 5.0,
+            epsilon: 1,
+            procs: 3,
+        };
+        let mut b = a;
+        assert!(!a.dominates(&b), "equal points dominate neither way");
+        b.latency = 11.0;
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        b.epsilon = 2; // b now trades latency for ε: incomparable
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn fig1_front_is_nonempty_and_nondominated() {
+        let front = fig1_front();
+        assert!(!front.is_empty());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                assert!(
+                    i == j || !a.objectives.dominates(&b.objectives),
+                    "{a} dominates {b}"
+                );
+                assert!(
+                    i == j || a.objectives != b.objectives,
+                    "duplicate objective vector {a}"
+                );
+            }
+        }
+        // The sweep spans ε = 0 and some replicated points on 4 processors.
+        assert!(front.iter().any(|p| p.objectives.epsilon == 0));
+        assert!(front.iter().any(|p| p.objectives.epsilon >= 1));
+    }
+
+    #[test]
+    fn objectives_match_witness() {
+        for pt in fig1_front() {
+            let m = &pt.solution.metrics;
+            assert_eq!(pt.objectives.latency, m.latency_upper_bound);
+            assert_eq!(pt.objectives.period, m.period);
+            assert_eq!(pt.objectives.epsilon, m.epsilon);
+            assert_eq!(pt.objectives.procs, m.procs_used);
+            assert_eq!(pt.heuristic, pt.solution.heuristic);
+        }
+    }
+
+    #[test]
+    fn latency_budget_filters_front() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let full = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+        let cap = full
+            .iter()
+            .map(|pt| pt.objectives.latency)
+            .fold(f64::NEG_INFINITY, f64::max)
+            * 0.5;
+        let capped = pareto_front(&g, &p, &Rltf, &ParetoOptions::with_latency_cap(cap));
+        assert!(capped.iter().all(|pt| pt.objectives.latency <= cap + 1e-9));
+    }
+
+    #[test]
+    fn proc_budget_truncates_sweep() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let capped = pareto_front(&g, &p, &Rltf, &ParetoOptions::with_proc_budget(2));
+        assert!(!capped.is_empty());
+        assert!(capped.iter().all(|pt| pt.objectives.procs <= 2));
+        assert!(capped.iter().all(|pt| pt.objectives.epsilon <= 1));
+    }
+
+    #[test]
+    fn cross_heuristic_merge_is_nondominated_and_labelled() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let solver = Solver::builtin(&g, &p);
+        let front = pareto_front_all(&solver, &ParetoOptions::default());
+        assert!(!front.is_empty());
+        let names = solver.names();
+        for (i, a) in front.iter().enumerate() {
+            assert!(names.contains(&a.heuristic.as_str()), "{}", a.heuristic);
+            for (j, b) in front.iter().enumerate() {
+                assert!(i == j || !a.objectives.dominates(&b.objectives));
+            }
+        }
+        // The merged front is no worse than any single heuristic's front:
+        // every LTF point is matched or dominated by a merged point.
+        for pt in pareto_front(&g, &p, &Ltf, &ParetoOptions::default()) {
+            assert!(front.iter().any(|m| {
+                m.objectives == pt.objectives || m.objectives.dominates(&pt.objectives)
+            }));
+        }
+    }
+
+    #[test]
+    fn prune_drops_nonfinite_and_duplicates() {
+        let front = fig1_front();
+        let mut doubled = front.clone();
+        doubled.extend(front.iter().cloned());
+        let mut nan = front[0].clone();
+        nan.objectives.latency = f64::NAN;
+        doubled.push(nan);
+        let pruned = prune(doubled);
+        assert_eq!(pruned.len(), front.len());
+    }
+
+    #[test]
+    fn pareto_point_serializes_flat() {
+        let front = fig1_front();
+        let json = serde_json::to_string(&front[0]).unwrap();
+        assert!(json.contains("\"heuristic\":\"rltf\""));
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"procs\""));
+        assert!(json.contains("\"solution\""));
+    }
+}

@@ -342,9 +342,18 @@ impl<'a> Solver<'a> {
     }
 
     /// Register a heuristic, replacing any existing entry with the same
-    /// canonical name (latest wins).
+    /// canonical name (latest wins). The comparison is case-insensitive,
+    /// matching [`Solver::heuristic`] lookup — otherwise a name differing
+    /// only in case would leave the *old* entry first in the registry and
+    /// the new one unreachable (lookup returns the first match).
+    ///
+    /// Alias collisions are **not** replaced: a new entry whose canonical
+    /// name matches an existing entry's alias coexists with it, and
+    /// lookup resolves the contested name to the canonical owner
+    /// (canonical names take precedence over aliases).
     pub fn register(&mut self, h: Box<dyn Heuristic>) -> &mut Self {
-        self.registry.retain(|e| e.name() != h.name());
+        self.registry
+            .retain(|e| !e.name().eq_ignore_ascii_case(h.name()));
         self.registry.push(h);
         self
     }
@@ -519,6 +528,34 @@ mod tests {
         assert_eq!(solver.names(), vec!["rltf", "fault-free", "ltf"]);
         let err = solver.solve("ltf", &AlgoConfig::new(0, 100.0)).unwrap_err();
         assert!(matches!(err.error, ScheduleError::Unsupported(_)));
+    }
+
+    #[test]
+    fn register_replaces_case_insensitively() {
+        // Lookup is case-insensitive, so replacement must be too: a
+        // canonical name differing only in case used to leave the old
+        // entry first in the registry, making the new one unreachable.
+        struct Loud;
+        impl Heuristic for Loud {
+            fn name(&self) -> &'static str {
+                "LTF"
+            }
+            fn schedule(
+                &self,
+                _inst: &PreparedInstance<'_>,
+                _cfg: &AlgoConfig,
+            ) -> Result<Schedule, ScheduleError> {
+                Err(ScheduleError::Unsupported("loud stub".into()))
+            }
+        }
+        let (g, p) = fixture();
+        let solver = Solver::builtin(&g, &p).with(Box::new(Loud));
+        assert_eq!(solver.names(), vec!["rltf", "fault-free", "LTF"]);
+        let err = solver.solve("ltf", &AlgoConfig::new(0, 100.0)).unwrap_err();
+        assert!(
+            matches!(err.error, ScheduleError::Unsupported(_)),
+            "lookup must reach the latest registration, got {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Properties of the Pareto-front enumerator: every returned point is
+//! non-dominated within its front, its witness schedule passes the full
+//! structural validation on the platform prefix it was computed for, and
+//! the budget-constrained variants only ever shrink the reachable set.
+
+use ltf_core::search::pareto::{pareto_front, pareto_front_all, ParetoOptions};
+use ltf_core::{Ltf, Rltf, Solver};
+use ltf_graph::generate::{fig1_diamond, fig2_workflow_variant, layered, LayeredConfig};
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+use ltf_schedule::validate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_instance(seed: u64) -> (TaskGraph, Platform) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = layered(
+        &LayeredConfig {
+            tasks: 14,
+            exec_range: (0.5, 2.0),
+            volume_range: (0.2, 1.0),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    (g, Platform::homogeneous(5, 1.0, 0.1))
+}
+
+fn assert_front_invariants(g: &TaskGraph, p: &Platform, opts: &ParetoOptions, label: &str) {
+    let front = pareto_front(g, p, &Rltf, opts);
+    assert!(!front.is_empty(), "{label}: empty front");
+    for (i, a) in front.iter().enumerate() {
+        // Witness validates on the platform prefix it was scheduled on.
+        assert!(a.platform_procs <= p.num_procs());
+        assert!(a.objectives.procs <= a.platform_procs);
+        let prefix = p.prefix(a.platform_procs);
+        if let Err(viol) = validate(g, &prefix, &a.solution.schedule) {
+            panic!("{label}: witness of {a} invalid: {:?}", viol);
+        }
+        // Objectives are read off the witness, not invented.
+        assert_eq!(a.objectives.latency, a.solution.metrics.latency_upper_bound);
+        assert_eq!(a.objectives.period, a.solution.metrics.period);
+        assert_eq!(a.objectives.epsilon, a.solution.metrics.epsilon);
+        assert_eq!(a.objectives.procs, a.solution.metrics.procs_used);
+        // Non-domination, pairwise.
+        for (j, b) in front.iter().enumerate() {
+            if i != j {
+                assert!(
+                    !a.objectives.dominates(&b.objectives),
+                    "{label}: {a} dominates {b}"
+                );
+                assert!(a.objectives != b.objectives, "{label}: duplicate {a}");
+            }
+        }
+        // Budgets hold pointwise.
+        if let Some(cap) = opts.max_latency {
+            assert!(a.objectives.latency <= cap + 1e-9, "{label}: over budget");
+        }
+        if let Some(budget) = opts.max_procs {
+            assert!(a.platform_procs <= budget, "{label}: over proc budget");
+        }
+        if let Some(cap) = opts.max_epsilon {
+            assert!(a.objectives.epsilon <= cap, "{label}: over ε cap");
+        }
+    }
+}
+
+#[test]
+fn worked_examples_fronts_hold_invariants() {
+    let opts = ParetoOptions::default();
+    assert_front_invariants(&fig1_diamond(), &Platform::fig1_platform(), &opts, "fig1");
+    assert_front_invariants(
+        &fig2_workflow_variant(),
+        &Platform::homogeneous(8, 1.0, 1.0),
+        &opts,
+        "fig2-variant",
+    );
+}
+
+#[test]
+fn random_instances_fronts_hold_invariants() {
+    for seed in 0..6u64 {
+        let (g, p) = random_instance(seed);
+        assert_front_invariants(&g, &p, &ParetoOptions::default(), &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn budget_variants_hold_invariants() {
+    let (g, p) = random_instance(11);
+    assert_front_invariants(&g, &p, &ParetoOptions::with_proc_budget(3), "proc budget");
+    let full = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+    let max_l = full
+        .iter()
+        .map(|pt| pt.objectives.latency)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert_front_invariants(
+        &g,
+        &p,
+        &ParetoOptions::with_latency_cap(max_l * 0.6),
+        "latency cap",
+    );
+    let eps_capped = ParetoOptions {
+        max_epsilon: Some(1),
+        ..Default::default()
+    };
+    assert_front_invariants(&g, &p, &eps_capped, "ε cap");
+}
+
+#[test]
+fn budgets_only_shrink_the_reachable_set() {
+    // Every point of a budget-constrained front is matched or dominated
+    // by a point of the unconstrained front: budgets filter, they cannot
+    // create otherwise-unreachable quality.
+    let (g, p) = random_instance(3);
+    let full = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+    for opts in [
+        ParetoOptions::with_proc_budget(3),
+        ParetoOptions::with_latency_cap(60.0),
+    ] {
+        for pt in pareto_front(&g, &p, &Rltf, &opts) {
+            assert!(
+                full.iter().any(
+                    |f| f.objectives == pt.objectives || f.objectives.dominates(&pt.objectives)
+                ),
+                "budget front reached {pt} beyond the unconstrained front"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_heuristic_front_validates_and_improves_on_members() {
+    let g = fig2_workflow_variant();
+    let p = Platform::homogeneous(8, 1.0, 1.0);
+    let solver = Solver::builtin(&g, &p);
+    let opts = ParetoOptions::default();
+    let merged = pareto_front_all(&solver, &opts);
+    assert!(!merged.is_empty());
+    for pt in &merged {
+        let prefix = p.prefix(pt.platform_procs);
+        assert!(validate(&g, &prefix, &pt.solution.schedule).is_ok(), "{pt}");
+    }
+    // Each member heuristic's front is covered by the merge.
+    for h_front in [
+        pareto_front(&g, &p, &Rltf, &opts),
+        pareto_front(&g, &p, &Ltf, &opts),
+    ] {
+        for pt in h_front {
+            assert!(merged
+                .iter()
+                .any(|m| m.objectives == pt.objectives || m.objectives.dominates(&pt.objectives)));
+        }
+    }
+}

@@ -2,10 +2,10 @@
 //! problems").
 
 use ltf_core::search::{max_epsilon, min_period, min_processors, SearchOptions};
-use ltf_core::{AlgoConfig, Heuristic, PreparedInstance, Rltf};
+use ltf_core::{AlgoConfig, Heuristic, PreparedInstance, Rltf, ScheduleError};
 use ltf_graph::generate::{fork_join, layered, pipeline, LayeredConfig};
 use ltf_platform::Platform;
-use ltf_schedule::validate;
+use ltf_schedule::{validate, Schedule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -100,6 +100,63 @@ fn max_epsilon_witness_tolerates_its_degree() {
         6,
         (eps as usize).min(2) // keep the enumeration bounded
     ));
+}
+
+/// Feasible only at even ε (delegating to R-LTF there): models heuristics
+/// whose feasibility is not monotone in ε, like the data-parallel
+/// baseline's replica-group projection.
+struct EvenEpsOnly;
+
+impl Heuristic for EvenEpsOnly {
+    fn name(&self) -> &'static str {
+        "even-eps-only"
+    }
+    // `% 2` rather than `u8::is_multiple_of` (1.87+): the toolchain pin
+    // promises the workspace builds on much older stables.
+    #[allow(clippy::manual_is_multiple_of)]
+    fn schedule(
+        &self,
+        inst: &PreparedInstance<'_>,
+        cfg: &AlgoConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        if cfg.epsilon % 2 != 0 {
+            return Err(ScheduleError::Unsupported("odd ε".into()));
+        }
+        Rltf.schedule(inst, cfg)
+    }
+}
+
+#[test]
+fn max_epsilon_scans_past_infeasible_degrees() {
+    // ε = 1 fails for EvenEpsOnly, but ε = 2 succeeds: stopping at the
+    // first failure (the old behaviour) would report ε = 0.
+    let g = pipeline(4, 1.0, 0.1);
+    let p = Platform::homogeneous(6, 1.0, 0.05);
+    let (eps, sched) = max_epsilon(&g, &p, &EvenEpsOnly, 30.0, None, 2).expect("ε = 0 feasible");
+    assert!(
+        eps >= 2,
+        "scan stopped at the first infeasible ε: got {eps}"
+    );
+    assert_eq!(eps % 2, 0);
+    assert_eq!(sched.epsilon(), eps);
+    // Same instance through R-LTF reaches at least as far.
+    let (eps_rltf, _) = max_epsilon(&g, &p, &Rltf, 30.0, None, 2).expect("feasible");
+    assert!(eps_rltf >= eps);
+}
+
+#[test]
+fn min_period_unschedulable_returns_none_without_overflow() {
+    // A latency budget no period can meet: the exponential bracketing
+    // would double `hi` to +inf (execution times near f64::MAX overflow
+    // after one doubling) and used to probe the heuristic with a
+    // non-finite period. It must give up cleanly instead.
+    let g = pipeline(3, 1e308, 0.0);
+    let p = Platform::homogeneous(3, 1.0, 0.1);
+    let opts = SearchOptions {
+        max_latency: Some(1.0),
+        ..Default::default()
+    };
+    assert!(min_period(&g, &p, &Rltf, &opts).is_none());
 }
 
 #[test]

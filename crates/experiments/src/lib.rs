@@ -11,6 +11,8 @@
 //! * [`scaling`] — runtime scaling against `v`, `m`, `ε` (Theorem 1).
 //! * [`ablation`] — design ablations (Rule 1, Rule 2, one-to-one, chunk
 //!   size).
+//! * [`pareto`] — Pareto-front enumeration over (latency, period, ε,
+//!   processors) on the worked examples or the §5 workload.
 //! * [`stats`], [`ascii`] — aggregation, CSV and terminal charts.
 //!
 //! The `ltf-experiments` binary exposes all of this on the command line;
@@ -20,6 +22,7 @@
 pub mod ablation;
 pub mod ascii;
 pub mod figures;
+pub mod pareto;
 pub mod runner;
 pub mod scaling;
 pub mod stats;

@@ -11,6 +11,7 @@
 //!   fig3      granularity sweep, ε = 1 (panels a, b, c + feasibility)
 //!   fig4      granularity sweep, ε = 3 (panels a, b, c + feasibility)
 //!   solve     one paper-workload instance through the Solver registry
+//!   pareto    Pareto front over (latency, period, ε, processors)
 //!   scaling   runtime scaling vs v, m, ε (Theorem 1)
 //!   ablation  design ablations (Rule 1 / Rule 2 / one-to-one / chunk)
 //!   all       fig1 fig2 fig3 fig4 (the default; scaling and ablation
@@ -38,9 +39,14 @@ struct Opts {
     threads: usize,
     quick: bool,
     json: bool,
+    csv: bool,
     algo: String,
     eps: u8,
     period: Option<f64>,
+    graph: String,
+    max_eps: Option<u8>,
+    max_latency: Option<f64>,
+    max_procs: Option<usize>,
 }
 
 fn parse_args() -> Opts {
@@ -56,9 +62,14 @@ fn parse_args() -> Opts {
             .unwrap_or(4),
         quick: false,
         json: false,
+        csv: false,
         algo: "rltf".to_string(),
         eps: 1,
         period: None,
+        graph: "fig1".to_string(),
+        max_eps: None,
+        max_latency: None,
+        max_procs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -75,9 +86,16 @@ fn parse_args() -> Opts {
             "--threads" => opts.threads = next("--threads").parse().expect("number"),
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
+            "--csv" => opts.csv = true,
             "--algo" => opts.algo = next("--algo"),
             "--eps" => opts.eps = next("--eps").parse().expect("number"),
             "--period" => opts.period = Some(next("--period").parse().expect("number")),
+            "--graph" => opts.graph = next("--graph"),
+            "--max-eps" => opts.max_eps = Some(next("--max-eps").parse().expect("number")),
+            "--max-latency" => {
+                opts.max_latency = Some(next("--max-latency").parse().expect("number"))
+            }
+            "--max-procs" => opts.max_procs = Some(next("--max-procs").parse().expect("number")),
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -325,6 +343,74 @@ fn run_solve(o: &Opts) {
     }
 }
 
+/// Enumerate the Pareto front over (latency, period, ε, processors) on a
+/// worked example or a paper-workload instance, re-validate every witness,
+/// and stream the front as text, CSV or JSON lines.
+fn run_pareto(o: &Opts) {
+    use ltf_core::search::pareto::ParetoOptions;
+    use ltf_experiments::pareto::{
+        csv_line, enumerate, validate_front, ParetoInstance, CSV_HEADER,
+    };
+
+    let Some(which) = ParetoInstance::parse(&o.graph) else {
+        eprintln!(
+            "unknown --graph {:?} (choose fig1, fig2, fig2-variant, workload)\n",
+            o.graph
+        );
+        std::process::exit(2);
+    };
+    let (g, p, instance) = which.build(o.seed, o.utilization);
+    let popts = ParetoOptions {
+        max_epsilon: o.max_eps,
+        max_latency: o.max_latency,
+        max_procs: o.max_procs,
+        ..Default::default()
+    };
+    let front = match enumerate(&g, &p, &o.algo, &popts) {
+        Ok(front) => front,
+        Err(msg) => {
+            eprintln!("{msg}\n");
+            std::process::exit(2);
+        }
+    };
+    // Acceptance gate: every emitted point carries a schedule that passes
+    // the full structural validation. A violation here is a scheduler bug,
+    // so fail loudly rather than emitting a bogus front.
+    if let Err(msg) = validate_front(&g, &p, &front) {
+        eprintln!("pareto front validation failed: {msg}");
+        std::process::exit(1);
+    }
+    // An empty front means no (ε, prefix) cell was feasible — on the
+    // known-feasible worked examples that is a scheduler regression, so
+    // bail before emitting a plausible-looking empty artifact (this is
+    // what makes the CI smoke step a real gate).
+    if front.is_empty() {
+        eprintln!("error: empty front (budgets too tight, or nothing schedulable)");
+        std::process::exit(1);
+    }
+    if o.json {
+        // JSON lines, one record per point, streamed in front order.
+        for pt in &front {
+            println!("{}", serde_json::to_string(pt).expect("serialize"));
+        }
+    } else if o.csv {
+        println!("{CSV_HEADER}");
+        for pt in &front {
+            println!("{}", csv_line(&instance, pt));
+        }
+    } else {
+        println!(
+            "=== Pareto front over (L, Δ, ε, m): {instance}, algo {}, {} point(s) ===\n",
+            o.algo,
+            front.len()
+        );
+        for pt in &front {
+            println!("  {pt}");
+        }
+        println!("\nall witness schedules validated; no point dominates another");
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: ltf-experiments [COMMAND] [OPTIONS]\n\
@@ -335,6 +421,7 @@ fn print_usage() {
          \x20 fig3       granularity sweep, ε = 1, c = 1\n\
          \x20 fig4       granularity sweep, ε = 3, c = 2\n\
          \x20 solve      one paper-workload instance through the Solver registry\n\
+         \x20 pareto     Pareto front over (latency, period, ε, processors)\n\
          \x20 scaling    runtime scaling over (v, m, ε)\n\
          \x20 ablation   R-LTF rule ablations\n\
          \x20 all        fig1 fig2 fig3 fig4 (default)\n\
@@ -347,12 +434,19 @@ fn print_usage() {
          \x20 --util X         target platform utilization (default 0.25)\n\
          \x20 --threads N      worker threads (default: all cores)\n\
          \x20 --quick          reduced sizes for smoke runs\n\
-         \x20 --json           solve/fig2: emit Solution reports as JSON\n\
-         \x20 --algo NAME      solve: heuristic name or 'all' (default rltf);\n\
+         \x20 --json           solve/fig2: emit Solution reports as JSON;\n\
+         \x20                  pareto: stream the front as JSON lines\n\
+         \x20 --csv            pareto: stream the front as CSV rows\n\
+         \x20 --algo NAME      solve/pareto: heuristic name or 'all' (default rltf);\n\
          \x20                  names: ltf rltf fault-free heft etf\n\
          \x20                  task-parallel data-parallel throughput-first\n\
          \x20 --eps E          solve: fault-tolerance degree ε (default 1)\n\
          \x20 --period D       solve: period Δ (default: the workload's)\n\
+         \x20 --graph G        pareto: fig1 (default), fig2, fig2-variant,\n\
+         \x20                  or workload (uses --seed/--util)\n\
+         \x20 --max-eps E      pareto: cap the swept ε\n\
+         \x20 --max-latency L  pareto: latency budget on every point\n\
+         \x20 --max-procs M    pareto: processor budget (prefix sweep cap)\n\
          \x20 --help, -h       this message"
     );
 }
@@ -365,6 +459,7 @@ fn main() {
         "fig3" => run_granularity_figure(&o, 1, 1),
         "fig4" => run_granularity_figure(&o, 3, 2),
         "solve" => run_solve(&o),
+        "pareto" => run_pareto(&o),
         "scaling" => {
             let mut cfg = ScalingConfig {
                 seed: o.seed,

@@ -70,6 +70,11 @@ pub struct Figure {
 
 impl Figure {
     /// Render as CSV: `x,series1,series2,…` with one row per x value.
+    ///
+    /// Non-finite points are skipped with a warning on stderr: a NaN x
+    /// used to panic the row sort (`partial_cmp().unwrap()`), and NaN is
+    /// blind to the `(y − x).abs() < 1e-12` dedup/match predicates — such
+    /// a point would emit a duplicated row of empty cells.
     pub fn to_csv(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
@@ -78,22 +83,32 @@ impl Figure {
             write!(s, ",{}", series.name.replace(',', ";")).unwrap();
         }
         s.push('\n');
-        let xs: Vec<f64> = self
-            .series
-            .iter()
-            .flat_map(|se| se.points.iter().map(|p| p.x))
-            .fold(Vec::new(), |mut acc, x| {
-                if !acc.iter().any(|&y: &f64| (y - x).abs() < 1e-12) {
-                    acc.push(x);
-                }
-                acc
-            });
-        let mut xs = xs;
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut dropped = 0usize;
+        let mut xs: Vec<f64> = Vec::new();
+        for p in self.series.iter().flat_map(|se| se.points.iter()) {
+            if !p.x.is_finite() || !p.mean.is_finite() {
+                dropped += 1;
+                continue;
+            }
+            if !xs.iter().any(|&y| (y - p.x).abs() < 1e-12) {
+                xs.push(p.x);
+            }
+        }
+        if dropped > 0 {
+            eprintln!(
+                "warning: figure {}: skipping {dropped} non-finite point(s) in CSV export",
+                self.id
+            );
+        }
+        xs.sort_by(f64::total_cmp);
         for x in xs {
             write!(s, "{x:.4}").unwrap();
             for series in &self.series {
-                match series.points.iter().find(|p| (p.x - x).abs() < 1e-12) {
+                let cell = series
+                    .points
+                    .iter()
+                    .find(|p| p.mean.is_finite() && (p.x - x).abs() < 1e-12);
+                match cell {
                     Some(p) => write!(s, ",{:.6}", p.mean).unwrap(),
                     None => write!(s, ",").unwrap(),
                 }
@@ -149,5 +164,39 @@ mod tests {
         assert_eq!(lines[0], "x,a,b");
         assert!(lines[1].starts_with("0.2000,1.000000,"));
         assert!(lines[2].ends_with(",2.000000"));
+    }
+
+    #[test]
+    fn csv_skips_non_finite_points() {
+        // Regression: a NaN x panicked the row sort, and NaN never
+        // matches the dedup/match predicates, duplicating empty rows.
+        let fig = Figure {
+            id: "nan".into(),
+            title: "t".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![
+                Series {
+                    name: "a".into(),
+                    points: vec![
+                        SeriesPoint::from_sample(f64::NAN, &[1.0]).unwrap(),
+                        SeriesPoint::from_sample(0.5, &[2.0]).unwrap(),
+                        SeriesPoint::from_sample(0.7, &[f64::NAN]).unwrap(),
+                    ],
+                },
+                Series {
+                    name: "b".into(),
+                    points: vec![
+                        SeriesPoint::from_sample(0.5, &[3.0]).unwrap(),
+                        SeriesPoint::from_sample(f64::INFINITY, &[4.0]).unwrap(),
+                    ],
+                },
+            ],
+        };
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "one header + one finite row: {csv}");
+        assert_eq!(lines[1], "0.5000,2.000000,3.000000");
+        assert!(!csv.contains("NaN") && !csv.contains("inf"));
     }
 }

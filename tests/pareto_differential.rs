@@ -1,0 +1,115 @@
+//! Differential tests: each of the three single-objective searches is
+//! recovered (within bisection tolerance) as an extreme point of the
+//! enumerated Pareto front on the paper's worked examples. The enumerator
+//! drives the same period bisection per (ε, prefix) cell, so the front
+//! must contain — or dominate — every single-objective optimum.
+
+use ltf_sched::core::search::pareto::{pareto_front, ParetoOptions};
+use ltf_sched::core::search::{max_epsilon, min_period, min_processors, SearchOptions};
+use ltf_sched::core::Rltf;
+use ltf_sched::graph::generate::{fig1_diamond, fig2_workflow_variant};
+use ltf_sched::platform::Platform;
+
+const TOL: f64 = 1e-6;
+
+fn worked_examples() -> Vec<(&'static str, ltf_sched::graph::TaskGraph, Platform)> {
+    vec![
+        ("fig1", fig1_diamond(), Platform::fig1_platform()),
+        (
+            "fig2-variant",
+            fig2_workflow_variant(),
+            Platform::homogeneous(8, 1.0, 1.0),
+        ),
+    ]
+}
+
+#[test]
+fn min_period_is_an_extreme_point_of_the_front() {
+    for (label, g, p) in worked_examples() {
+        let front = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+        for eps in 0..3u8 {
+            let opts = SearchOptions {
+                epsilon: eps,
+                ..Default::default()
+            };
+            let Some((t_star, _)) = min_period(&g, &p, &Rltf, &opts) else {
+                continue;
+            };
+            // Some front point offers ≥ this ε at a period no worse than
+            // the single-objective optimum (the full-prefix cell probed
+            // exactly that bisection; pruning only keeps dominators).
+            let best = front
+                .iter()
+                .filter(|pt| pt.objectives.epsilon >= eps)
+                .map(|pt| pt.objectives.period)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best <= t_star * (1.0 + TOL),
+                "{label} ε={eps}: front's best period {best} vs min_period {t_star}"
+            );
+        }
+    }
+}
+
+#[test]
+fn max_epsilon_is_an_extreme_point_of_the_front() {
+    for (label, g, p, period) in [
+        ("fig1", fig1_diamond(), Platform::fig1_platform(), 30.0),
+        (
+            "fig2-variant",
+            fig2_workflow_variant(),
+            Platform::homogeneous(8, 1.0, 1.0),
+            20.0,
+        ),
+    ] {
+        let front = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+        let Some((eps_star, _)) = max_epsilon(&g, &p, &Rltf, period, None, 0xC0FFEE) else {
+            continue;
+        };
+        // Some front point reaches ε* at a period no worse than the one
+        // max_epsilon was asked about.
+        let best = front
+            .iter()
+            .filter(|pt| pt.objectives.period <= period * (1.0 + TOL))
+            .map(|pt| pt.objectives.epsilon)
+            .max();
+        assert!(
+            best >= Some(eps_star),
+            "{label}: front's best ε {best:?} at Δ≤{period} vs max_epsilon {eps_star}"
+        );
+    }
+}
+
+#[test]
+fn min_processors_is_an_extreme_point_of_the_front() {
+    for (label, g, p, period) in [
+        ("fig1", fig1_diamond(), Platform::fig1_platform(), 30.0),
+        (
+            "fig2-variant",
+            fig2_workflow_variant(),
+            Platform::homogeneous(8, 1.0, 1.0),
+            20.0,
+        ),
+    ] {
+        let front = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+        for eps in 0..2u8 {
+            let Some((m_star, witness)) = min_processors(&g, &p, &Rltf, eps, period, 0xC0FFEE)
+            else {
+                continue;
+            };
+            // Some front point matches (ε, Δ) within no more processors
+            // than the single-objective optimum uses.
+            let best = front
+                .iter()
+                .filter(|pt| {
+                    pt.objectives.epsilon >= eps && pt.objectives.period <= period * (1.0 + TOL)
+                })
+                .map(|pt| pt.objectives.procs)
+                .min();
+            assert!(
+                best.is_some_and(|b| b <= m_star.max(witness.procs_used())),
+                "{label} ε={eps}: front's best procs {best:?} vs min_processors {m_star}"
+            );
+        }
+    }
+}
