@@ -1,5 +1,9 @@
 //! Pareto-front enumeration cost: the (latency, period, ε, processors)
-//! sweep over the worked examples, single-heuristic and cross-registry.
+//! sweep over the worked examples, single-heuristic and cross-registry,
+//! serial and parallel (8-thread prefix fan-out; the parallel front is
+//! bit-identical to the serial one, so the `-par8` rows measure pure
+//! wall-clock — on a single-core runner they sit at parity with the
+//! serial rows and the speedup materializes with the hardware).
 //! The front for each configuration is printed to stderr before timing
 //! starts, continuing the reproduction-first bench convention.
 
@@ -13,6 +17,7 @@ use ltf_platform::Platform;
 fn main() {
     let mut c: Criterion = quick_criterion();
     let opts = ParetoOptions::default();
+    let opts_par8 = ParetoOptions::with_threads(8);
 
     let g1 = fig1_diamond();
     let p1 = Platform::fig1_platform();
@@ -33,10 +38,19 @@ fn main() {
     group.bench_function("fig2-variant/rltf", |b| {
         b.iter(|| pareto_front(black_box(&g2), black_box(&p2), &Rltf, black_box(&opts)))
     });
+    group.bench_function("fig2-variant/rltf-par8", |b| {
+        b.iter(|| pareto_front(black_box(&g2), black_box(&p2), &Rltf, black_box(&opts_par8)))
+    });
     group.bench_function("fig1/builtin-merge", |b| {
         b.iter(|| {
             let solver = Solver::builtin(black_box(&g1), black_box(&p1));
             pareto_front_all(&solver, black_box(&opts))
+        })
+    });
+    group.bench_function("fig1/builtin-merge-par8", |b| {
+        b.iter(|| {
+            let solver = Solver::builtin(black_box(&g1), black_box(&p1));
+            pareto_front_all(&solver, black_box(&opts_par8))
         })
     });
     group.finish();

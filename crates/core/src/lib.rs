@@ -60,6 +60,7 @@ mod config;
 mod convert;
 mod driver;
 mod engine;
+pub mod par;
 pub mod prio;
 pub mod search;
 pub mod solver;

@@ -13,12 +13,26 @@
 //! * per `(ε, prefix)` cell, drive the period bisection of
 //!   [`min_period_prepared`] under the
 //!   optional latency cap ([`ParetoOptions::max_latency`] — the
-//!   latency-budget variant), then probe a few geometrically relaxed
-//!   periods (a looser period can buy fewer pipeline stages, i.e. a lower
-//!   latency — a genuine L/T trade the minimum-period point misses);
+//!   latency-budget variant), then probe relaxed periods adaptively (a
+//!   looser period can buy fewer pipeline stages, i.e. a lower latency —
+//!   a genuine L/T trade the minimum-period point misses): a
+//!   golden-section search minimizes `L(Δ)` over a geometric bracket
+//!   above the minimum period, concentrating the probe budget around the
+//!   latency minimum instead of blindly doubling;
 //! * keep only the **non-dominated** set, where a point dominates another
 //!   when its latency, period and processor count are no larger, its ε is
 //!   no smaller, and at least one objective is strictly better.
+//!
+//! # Parallel enumeration
+//!
+//! The sweep is embarrassingly parallel over the platform prefixes: each
+//! prefix owns its [`PreparedInstance`] (different averaged weights), and
+//! no cell reads another cell's result. [`ParetoOptions::threads`] fans
+//! the prefixes out over the scoped worker pool of
+//! [`crate::par::parallel_map`]; per-prefix candidate lists are collected
+//! back **in prefix order**, so the concatenated candidate sequence — and
+//! therefore the pruned front — is bit-identical to the serial
+//! enumeration no matter the thread count or scheduling interleaving.
 //!
 //! Every surviving [`ParetoPoint`] carries its witness schedule (as a
 //! typed [`Solution`]), so callers can re-validate or deploy any point of
@@ -44,6 +58,7 @@
 
 use super::{min_period_prepared, try_period, SearchOptions};
 use crate::api::PreparedInstance;
+use crate::par;
 use crate::solver::{Heuristic, Solution, Solver};
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
@@ -174,14 +189,21 @@ pub struct ParetoOptions {
     pub max_latency: Option<f64>,
     /// Processor budget: only platform prefixes up to this size are swept.
     pub max_procs: Option<usize>,
-    /// Relaxed-period probes per cell after the bisection: each doubles
-    /// the period, looking for lower-latency (fewer-stage) schedules at
-    /// lower throughput. 0 keeps only the minimum-period point per cell.
+    /// Relaxed-period probe budget per cell after the bisection: the
+    /// golden-section search over `[Δ_min, Δ_min · 2^relax_steps]`
+    /// shrinks its bracket this many times (`relax_steps + 2` heuristic
+    /// probes total), looking for lower-latency (fewer-stage) schedules
+    /// at lower throughput. 0 keeps only the minimum-period point per
+    /// cell.
     pub relax_steps: u32,
     /// Bisection iterations per cell (see [`SearchOptions::iterations`]).
     pub iterations: u32,
     /// Tie-breaking seed passed to the heuristic.
     pub seed: u64,
+    /// Worker threads for the prefix sweep (`0` = all cores). The
+    /// parallel front is **bit-identical** to the serial one — see the
+    /// module docs — so this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for ParetoOptions {
@@ -193,6 +215,7 @@ impl Default for ParetoOptions {
             relax_steps: 3,
             iterations: 40,
             seed: 0xC0FFEE,
+            threads: 1,
         }
     }
 }
@@ -213,6 +236,14 @@ impl ParetoOptions {
             ..Self::default()
         }
     }
+
+    /// Same enumeration on `threads` workers (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
 }
 
 /// Enumerate the non-dominated (latency, period, ε, processors) front
@@ -227,13 +258,7 @@ pub fn pareto_front(
     h: &dyn Heuristic,
     opts: &ParetoOptions,
 ) -> Vec<ParetoPoint> {
-    let mut candidates = Vec::new();
-    for m in 1..=max_prefix(p, opts) {
-        let sub = p.prefix(m);
-        let prep = PreparedInstance::new(g, &sub);
-        cell_sweep(&prep, m, h, opts, &mut candidates);
-    }
-    prune(candidates)
+    front_over(g, p, &[h], opts)
 }
 
 /// Merge the fronts of every heuristic registered in `solver` and prune
@@ -243,16 +268,33 @@ pub fn pareto_front(
 /// order. The prefix loop is outermost so all heuristics share one
 /// [`PreparedInstance`] (reversed graph, level caches) per prefix.
 pub fn pareto_front_all(solver: &Solver<'_>, opts: &ParetoOptions) -> Vec<ParetoPoint> {
-    let (g, p) = (solver.graph(), solver.platform());
-    let mut all = Vec::new();
-    for m in 1..=max_prefix(p, opts) {
+    let hs: Vec<&dyn Heuristic> = solver.heuristics().collect();
+    front_over(solver.graph(), solver.platform(), &hs, opts)
+}
+
+/// The shared sweep: enumerate every `(ε, prefix)` cell for every
+/// heuristic, prefixes fanned out over the worker pool, and prune the
+/// concatenated candidates. Workers return their candidate lists indexed
+/// by prefix, so the merged sequence — and hence the pruned front — is
+/// identical to the serial `for m in 1..=max` loop.
+fn front_over(
+    g: &TaskGraph,
+    p: &Platform,
+    hs: &[&dyn Heuristic],
+    opts: &ParetoOptions,
+) -> Vec<ParetoPoint> {
+    let prefixes: Vec<usize> = (1..=max_prefix(p, opts)).collect();
+    let threads = par::resolve_threads(opts.threads);
+    let per_prefix = par::parallel_map(&prefixes, threads, |&m| {
         let sub = p.prefix(m);
         let prep = PreparedInstance::new(g, &sub);
-        for h in solver.heuristics() {
-            cell_sweep(&prep, m, h, opts, &mut all);
+        let mut out = Vec::new();
+        for h in hs {
+            cell_sweep(&prep, m, *h, opts, &mut out);
         }
-    }
-    prune(all)
+        out
+    });
+    prune(per_prefix.into_iter().flatten().collect())
 }
 
 /// Largest platform prefix the sweep visits.
@@ -285,18 +327,67 @@ fn cell_sweep(
             continue;
         };
         out.push(ParetoPoint::new(h, m, sched));
-        // Relaxed periods: trade throughput for (possibly) fewer stages.
-        // Dominated probes are pruned by the caller, so only genuine
-        // latency improvements survive.
-        let mut period = t_min;
-        for _ in 0..opts.relax_steps {
-            period *= 2.0;
-            if !period.is_finite() {
-                break;
-            }
-            if let Some(s) = try_period(prep, h, &sopts, period) {
+        relaxed_probes(prep, m, h, &sopts, opts, t_min, out);
+    }
+}
+
+/// Probe relaxed (larger) periods after the bisection: a looser period
+/// can need fewer pipeline stages, and the guaranteed latency
+/// `L = (2S − 1)·Δ` drops whenever `S` falls faster than `Δ` grows.
+/// Instead of blindly doubling, run a golden-section search minimizing
+/// `L(Δ)` over the bracket `[Δ_min, Δ_min · 2^relax_steps]` — the same
+/// span the old doubling ladder covered, but the probes concentrate
+/// adaptively around the latency minimum. Every feasible probe is pushed
+/// (the caller prunes dominated ones), so the intermediate L/T trades
+/// visited on the way survive too. `L(Δ)` is piecewise linear and not
+/// unimodal in general, so the result is best-effort — exact at the
+/// probed periods, like every heuristic-driven search in this module.
+fn relaxed_probes(
+    prep: &PreparedInstance<'_>,
+    m: usize,
+    h: &dyn Heuristic,
+    sopts: &SearchOptions,
+    opts: &ParetoOptions,
+    t_min: f64,
+    out: &mut Vec<ParetoPoint>,
+) {
+    if opts.relax_steps == 0 {
+        return;
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_9; // (√5 − 1) / 2
+    let (mut lo, mut hi) = (t_min, t_min * 2f64.powi(opts.relax_steps.min(60) as i32));
+    if !hi.is_finite() {
+        return;
+    }
+    // An infeasible probe scores +inf, steering the bracket back toward
+    // feasible periods without special-casing.
+    let probe = |period: f64, out: &mut Vec<ParetoPoint>| -> f64 {
+        match try_period(prep, h, sopts, period) {
+            Some(s) => {
+                let latency = s.latency_upper_bound();
                 out.push(ParetoPoint::new(h, m, s));
+                latency
             }
+            None => f64::INFINITY,
+        }
+    };
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = probe(x1, out);
+    let mut f2 = probe(x2, out);
+    for _ in 0..opts.relax_steps {
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = probe(x1, out);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = probe(x2, out);
         }
     }
 }
@@ -448,6 +539,56 @@ mod tests {
                 m.objectives == pt.objectives || m.objectives.dominates(&pt.objectives)
             }));
         }
+    }
+
+    #[test]
+    fn parallel_front_is_bit_identical_to_serial() {
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let serial = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+        for threads in [2, 4, 8] {
+            let par = pareto_front(&g, &p, &Rltf, &ParetoOptions::with_threads(threads));
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.objectives, b.objectives);
+                assert_eq!(a.heuristic, b.heuristic);
+                assert_eq!(a.platform_procs, b.platform_procs);
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_probes_can_lower_latency() {
+        // With probes disabled every cell keeps only its minimum-period
+        // point; the golden-section probes may only add points that are
+        // incomparable (better latency at worse period), never lose the
+        // min-period extremes.
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let no_probe = pareto_front(
+            &g,
+            &p,
+            &Rltf,
+            &ParetoOptions {
+                relax_steps: 0,
+                ..Default::default()
+            },
+        );
+        let probed = fig1_front();
+        for pt in &no_probe {
+            assert!(
+                probed.iter().any(
+                    |q| q.objectives == pt.objectives || q.objectives.dominates(&pt.objectives)
+                ),
+                "min-period point {pt} lost by probing"
+            );
+        }
+        let best = |f: &[ParetoPoint]| {
+            f.iter()
+                .map(|p| p.objectives.latency)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(best(&probed) <= best(&no_probe) + 1e-9);
     }
 
     #[test]

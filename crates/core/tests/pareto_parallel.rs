@@ -1,0 +1,107 @@
+//! Differential tests of the parallel Pareto enumeration: for every
+//! thread count, the parallel front must be **bit-identical** to the
+//! serial front — same points, same order, same witness schedules — on
+//! the worked examples and on random layered instances. This is the
+//! contract that makes `ParetoOptions::threads` a pure wall-clock knob.
+
+use ltf_core::search::pareto::{pareto_front, pareto_front_all, ParetoOptions, ParetoPoint};
+use ltf_core::{Rltf, Solver};
+use ltf_graph::generate::{fig1_diamond, fig2_workflow_variant, layered, LayeredConfig};
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_instance(seed: u64) -> (TaskGraph, Platform) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = layered(
+        &LayeredConfig {
+            tasks: 16,
+            exec_range: (0.5, 2.0),
+            volume_range: (0.2, 1.0),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    (g, Platform::homogeneous(6, 1.0, 0.1))
+}
+
+/// Bit-identical comparison through the serialized representation: the
+/// JSON rendering covers the objectives, the heuristic label, the
+/// platform prefix and the entire witness solution (schedule assignments
+/// included), so any divergence — even one placement in one witness —
+/// fails loudly.
+fn assert_identical(serial: &[ParetoPoint], parallel: &[ParetoPoint], label: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{label}: front sizes differ");
+    for (i, (a, b)) in serial.iter().zip(parallel).enumerate() {
+        let sa = serde_json::to_string(a).unwrap();
+        let sb = serde_json::to_string(b).unwrap();
+        assert_eq!(sa, sb, "{label}: point {i} differs");
+    }
+}
+
+#[test]
+fn worked_examples_parallel_equals_serial() {
+    for (name, g, p) in [
+        ("fig1", fig1_diamond(), Platform::fig1_platform()),
+        (
+            "fig2-variant",
+            fig2_workflow_variant(),
+            Platform::homogeneous(8, 1.0, 1.0),
+        ),
+    ] {
+        let serial = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+        for threads in [0, 2, 3, 8] {
+            let par = pareto_front(&g, &p, &Rltf, &ParetoOptions::with_threads(threads));
+            assert_identical(&serial, &par, &format!("{name} threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn random_instances_parallel_equals_serial() {
+    for seed in [1u64, 7, 42] {
+        let (g, p) = random_instance(seed);
+        let serial = pareto_front(&g, &p, &Rltf, &ParetoOptions::default());
+        let par = pareto_front(&g, &p, &Rltf, &ParetoOptions::with_threads(8));
+        assert_identical(&serial, &par, &format!("seed={seed} threads=8"));
+    }
+}
+
+#[test]
+fn cross_heuristic_merge_parallel_equals_serial() {
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+    let solver = Solver::builtin(&g, &p);
+    let serial = pareto_front_all(&solver, &ParetoOptions::default());
+    for threads in [2, 8] {
+        let par = pareto_front_all(&solver, &ParetoOptions::with_threads(threads));
+        assert_identical(&serial, &par, &format!("merge threads={threads}"));
+    }
+}
+
+#[test]
+fn budget_variants_parallel_equals_serial() {
+    let (g, p) = random_instance(3);
+    for opts in [
+        ParetoOptions::with_latency_cap(40.0),
+        ParetoOptions::with_proc_budget(3),
+        ParetoOptions {
+            max_epsilon: Some(1),
+            relax_steps: 5,
+            ..Default::default()
+        },
+    ] {
+        let serial = pareto_front(&g, &p, &Rltf, &opts);
+        let par = pareto_front(
+            &g,
+            &p,
+            &Rltf,
+            &ParetoOptions {
+                threads: 8,
+                ..opts.clone()
+            },
+        );
+        assert_identical(&serial, &par, "budget variant");
+    }
+}

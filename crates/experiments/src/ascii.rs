@@ -5,15 +5,35 @@ use crate::stats::Figure;
 const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@'];
 
 /// Render the figure as a fixed-size ASCII chart with a legend.
+///
+/// Degenerate inputs are handled instead of corrupting the chart: the
+/// requested dimensions are clamped to at least 2×2 (`height == 0` used
+/// to underflow `height - 1`, `height == 1` divided 0/0 into NaN axis
+/// labels), and points with a non-finite coordinate are skipped with a
+/// warning on stderr rather than cast into bogus grid cells.
 pub fn render(fig: &Figure, width: usize, height: usize) -> String {
     use std::fmt::Write;
+    let (width, height) = (width.max(2), height.max(2));
     let mut out = String::new();
     writeln!(out, "{} — {}", fig.id, fig.title).unwrap();
 
+    let dropped = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .filter(|p| !p.x.is_finite() || !p.mean.is_finite())
+        .count();
+    if dropped > 0 {
+        eprintln!(
+            "warning: figure {}: skipping {dropped} non-finite point(s) in ASCII chart",
+            fig.id
+        );
+    }
     let pts: Vec<(f64, f64)> = fig
         .series
         .iter()
         .flat_map(|s| s.points.iter().map(|p| (p.x, p.mean)))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
         .collect();
     if pts.is_empty() {
         out.push_str("  (no data)\n");
@@ -42,6 +62,9 @@ pub fn render(fig: &Figure, width: usize, height: usize) -> String {
     for (si, s) in fig.series.iter().enumerate() {
         let mark = MARKS[si % MARKS.len()];
         for p in &s.points {
+            if !p.x.is_finite() || !p.mean.is_finite() {
+                continue;
+            }
             let cx = ((p.x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
             let cy = ((p.mean - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
             let row = height - 1 - cy.min(height - 1);
@@ -93,6 +116,65 @@ mod tests {
         assert!(text.contains('*'));
         assert!(text.contains("R-LTF"));
         assert!(text.contains("Granularity"));
+    }
+
+    fn one_series(points: Vec<SeriesPoint>) -> Figure {
+        Figure {
+            id: "r".into(),
+            title: "regression".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![Series {
+                name: "s".into(),
+                points,
+            }],
+        }
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_clamped() {
+        // Regression: height == 0 underflowed `height - 1` (panic in debug
+        // builds), height == 1 divided 0/0 into NaN axis labels.
+        let fig = one_series(vec![
+            SeriesPoint::from_sample(0.2, &[1.0]).unwrap(),
+            SeriesPoint::from_sample(2.0, &[2.0]).unwrap(),
+        ]);
+        for (w, h) in [(0, 0), (1, 0), (0, 1), (40, 1), (1, 10)] {
+            let text = render(&fig, w, h);
+            assert!(text.contains('*'), "no mark at {w}x{h}:\n{text}");
+            assert!(!text.contains("NaN"), "NaN axis label at {w}x{h}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        // Regression: a NaN/infinite mean was cast straight into a grid
+        // coordinate (usize cast of NaN) and poisoned the y range.
+        let fig = one_series(vec![
+            SeriesPoint::from_sample(0.2, &[1.0]).unwrap(),
+            SeriesPoint::from_sample(0.6, &[f64::NAN]).unwrap(),
+            SeriesPoint::from_sample(1.0, &[f64::INFINITY]).unwrap(),
+            SeriesPoint::from_sample(f64::NAN, &[2.0]).unwrap(),
+            SeriesPoint::from_sample(2.0, &[3.0]).unwrap(),
+        ]);
+        let text = render(&fig, 40, 10);
+        assert!(text.contains('*'));
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        // The y axis must span only the finite values (1.0..=3.0 padded),
+        // not the infinity.
+        let top_label: f64 = text
+            .lines()
+            .nth(1)
+            .and_then(|l| l.split('|').next())
+            .and_then(|l| l.trim().parse().ok())
+            .expect("numeric top axis label");
+        assert!(top_label < 10.0, "y range poisoned: {top_label}");
+    }
+
+    #[test]
+    fn all_points_non_finite_is_no_data() {
+        let fig = one_series(vec![SeriesPoint::from_sample(0.2, &[f64::NAN]).unwrap()]);
+        assert!(render(&fig, 20, 5).contains("no data"));
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Streamed, resumable JSON-lines journals for long-running sweeps.
+//!
+//! Every long-running `ltf-experiments` subcommand can journal its
+//! per-work-item results to a `--checkpoint FILE` as it goes: one JSON
+//! object per line, `{"key": "<work item>", "record": <payload>}`,
+//! flushed after every write. Restarting the same command with the same
+//! file **replays** the completed records (the caller re-aggregates or
+//! re-emits them) and recomputes only the missing work items, so a killed
+//! thousand-instance sweep loses at most one window of work instead of
+//! everything.
+//!
+//! Robustness against kills: a process killed mid-write leaves a
+//! truncated final line. [`Checkpoint::open`] detects it, warns, truncates
+//! the file back to the last complete record and resumes from there — the
+//! journal is always a clean prefix of the uninterrupted run.
+//!
+//! Memory stays bounded by construction: replay is streamed line by line
+//! through a caller callback (nothing is retained here), and
+//! [`resume_chunks`] computes pending items in fixed-size windows,
+//! recording and handing each window to the caller before the next one
+//! starts.
+
+use ltf_core::par::parallel_map;
+use serde::{Serialize, Value};
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only JSON-lines journal of completed work items.
+pub struct Checkpoint {
+    path: PathBuf,
+    out: BufWriter<File>,
+    done: HashSet<String>,
+}
+
+impl Checkpoint {
+    /// Open (creating if absent) the journal at `path`, streaming every
+    /// complete record already in it through `replay(key, record)`.
+    ///
+    /// `replay` returns whether it **accepted** the record. Only accepted
+    /// keys enter the done-set (and are skipped by [`resume_chunks`]):
+    /// a record the caller cannot decode — schema drift, or a record
+    /// belonging to a different run configuration sharing the journal —
+    /// stays pending and is simply recomputed (and re-appended; on later
+    /// opens the first *accepted* occurrence of a key wins and duplicates
+    /// are not replayed again).
+    ///
+    /// An **unterminated** trailing line — the signature of a kill
+    /// between a record reaching the OS and its newline (or mid-record) —
+    /// is dropped with a warning and truncated away, even if its bytes
+    /// happen to parse: the writer always terminates lines, so a missing
+    /// newline proves the write was torn. A malformed *terminated* line
+    /// is a hard error (the journal is corrupt, not merely interrupted).
+    pub fn open(path: &Path, mut replay: impl FnMut(&str, &Value) -> bool) -> io::Result<Self> {
+        let mut done = HashSet::new();
+        let mut keep: u64 = 0;
+        if path.exists() {
+            let mut reader = BufReader::new(File::open(path)?);
+            let mut buf: Vec<u8> = Vec::new();
+            loop {
+                buf.clear();
+                let n = reader.read_until(b'\n', &mut buf)? as u64;
+                if n == 0 {
+                    break;
+                }
+                let terminated = buf.last() == Some(&b'\n');
+                if !terminated {
+                    // read_until only stops short of '\n' at EOF, so this
+                    // is the final line; `keep` already excludes it.
+                    eprintln!(
+                        "warning: checkpoint {}: dropping torn trailing record \
+                         ({n} bytes, no newline) — resuming from the last complete one",
+                        path.display()
+                    );
+                    break;
+                }
+                let parsed = std::str::from_utf8(&buf[..buf.len() - 1])
+                    .ok()
+                    .and_then(parse_record);
+                let Some((key, record)) = parsed else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint {}: malformed record at byte {keep}",
+                            path.display()
+                        ),
+                    ));
+                };
+                if !done.contains(&key) && replay(&key, &record) {
+                    done.insert(key);
+                }
+                keep += n;
+            }
+        }
+        // Neither truncate (we are resuming) nor append (we may need
+        // set_len to drop a torn record): plain write + explicit seek.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        file.set_len(keep)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            done,
+        })
+    }
+
+    /// Whether `key` was already completed by a previous (or this) run.
+    pub fn contains(&self, key: &str) -> bool {
+        self.done.contains(key)
+    }
+
+    /// Number of completed work items.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// True when nothing has been journalled yet.
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one completed work item and flush it to the OS, so a kill
+    /// directly after costs nothing.
+    pub fn record<T: Serialize + ?Sized>(&mut self, key: &str, payload: &T) -> io::Result<()> {
+        let line = serde_json::to_string(&Record { key, payload })
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.done.insert(key.to_string());
+        Ok(())
+    }
+}
+
+struct Record<'a, T: ?Sized> {
+    key: &'a str,
+    payload: &'a T,
+}
+
+impl<T: Serialize + ?Sized> Serialize for Record<'_, T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("key".to_string(), Value::Str(self.key.to_string())),
+            ("record".to_string(), self.payload.to_value()),
+        ])
+    }
+}
+
+/// Parse one journal line into `(key, record)`.
+fn parse_record(line: &str) -> Option<(String, Value)> {
+    let v = serde_json::from_str(line).ok()?;
+    let key = field(&v, "key").and_then(as_str)?.to_string();
+    let record = field(&v, "record")?.clone();
+    Some((key, record))
+}
+
+/// Drive `compute` over every item whose `key` is not yet journalled, in
+/// windows of `window` items on `threads` workers. Results are recorded
+/// (journal + done-set) and handed to `consume` **in item order** within
+/// each window, so the journal — and any output derived from it — is a
+/// deterministic prefix of the uninterrupted run no matter where a kill
+/// lands. Items already completed are skipped entirely; their records
+/// were replayed when the checkpoint was opened. With `ckpt = None` this
+/// degrades to a windowed parallel map (same output, no journal).
+pub fn resume_chunks<I, T, K, C, U>(
+    items: &[I],
+    threads: usize,
+    window: usize,
+    ckpt: &mut Option<Checkpoint>,
+    key: K,
+    compute: C,
+    mut consume: U,
+) -> io::Result<()>
+where
+    I: Sync,
+    T: Send + Serialize,
+    K: Fn(&I) -> String,
+    C: Fn(&I) -> T + Sync,
+    U: FnMut(&I, T),
+{
+    let pending: Vec<&I> = items
+        .iter()
+        .filter(|i| !ckpt.as_ref().is_some_and(|c| c.contains(&key(i))))
+        .collect();
+    for chunk in pending.chunks(window.max(1)) {
+        let outs = parallel_map(chunk, threads, |i| compute(i));
+        for (i, t) in chunk.iter().zip(outs) {
+            if let Some(c) = ckpt.as_mut() {
+                c.record(&key(i), &t)?;
+            }
+            consume(i, t);
+        }
+    }
+    Ok(())
+}
+
+// ---- Value-access helpers for replay decoding -------------------------
+//
+// The vendored serde is serialize-first: replay hands back [`Value`]
+// trees, and each record type decodes itself with these accessors.
+
+/// Look up a map field by name.
+pub fn field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Numeric coercion: any of the three number variants as `f64`.
+pub fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// Unsigned coercion (rejects negatives and non-integers).
+pub fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(u) => Some(*u),
+        Value::Int(i) => (*i >= 0).then_some(*i as u64),
+        _ => None,
+    }
+}
+
+/// String access.
+pub fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Bool access.
+pub fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ltf-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        seed: u64,
+        val: f64,
+    }
+
+    #[test]
+    fn journal_roundtrip_and_resume() {
+        let path = tmp("roundtrip");
+        {
+            let mut ck = Checkpoint::open(&path, |_, _| panic!("fresh file")).unwrap();
+            ck.record("a", &Row { seed: 1, val: 0.5 }).unwrap();
+            ck.record("b", &Row { seed: 2, val: 1.5 }).unwrap();
+            assert_eq!(ck.len(), 2);
+        }
+        let mut seen = Vec::new();
+        let ck = Checkpoint::open(&path, |k, v| {
+            seen.push((
+                k.to_string(),
+                as_u64(field(v, "seed").unwrap()).unwrap(),
+                as_f64(field(v, "val").unwrap()).unwrap(),
+            ));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![("a".into(), 1, 0.5), ("b".into(), 2, 1.5)]);
+        assert!(ck.contains("a") && ck.contains("b") && !ck.contains("c"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_overwritten() {
+        let path = tmp("truncated");
+        {
+            let mut ck = Checkpoint::open(&path, |_, _| true).unwrap();
+            ck.record("a", &Row { seed: 1, val: 0.5 }).unwrap();
+            ck.record("b", &Row { seed: 2, val: 1.5 }).unwrap();
+        }
+        // Simulate a kill mid-write: chop the journal inside record "b".
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+        let mut keys = Vec::new();
+        {
+            let mut ck = Checkpoint::open(&path, |k, _| {
+                keys.push(k.to_string());
+                true
+            })
+            .unwrap();
+            assert_eq!(keys, vec!["a"]);
+            assert!(!ck.contains("b"), "truncated record must not count");
+            ck.record("b", &Row { seed: 2, val: 1.5 }).unwrap();
+        }
+        // The re-written journal must be fully parseable again.
+        let mut replayed = Vec::new();
+        Checkpoint::open(&path, |k, _| {
+            replayed.push(k.to_string());
+            true
+        })
+        .unwrap();
+        assert_eq!(replayed, vec!["a", "b"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unterminated_tail_is_torn_even_if_it_parses() {
+        // Regression: a kill between the record write and its newline
+        // used to make `keep` count the missing '\n' — set_len then
+        // *extended* the file with a NUL byte, corrupting the journal.
+        // An unterminated line is torn by definition (the writer always
+        // terminates), so it must be dropped and truncated away.
+        let path = tmp("unterminated");
+        {
+            let mut ck = Checkpoint::open(&path, |_, _| true).unwrap();
+            ck.record("a", &Row { seed: 1, val: 0.5 }).unwrap();
+            ck.record("b", &Row { seed: 2, val: 1.5 }).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap(); // strip only the final '\n'
+        let mut keys = Vec::new();
+        {
+            let mut ck = Checkpoint::open(&path, |k, _| {
+                keys.push(k.to_string());
+                true
+            })
+            .unwrap();
+            assert_eq!(keys, vec!["a"], "parseable torn tail must not replay");
+            assert!(!ck.contains("b"));
+            ck.record("b", &Row { seed: 2, val: 1.5 }).unwrap();
+        }
+        // No NUL bytes, fully parseable, both records present.
+        let healed = std::fs::read(&path).unwrap();
+        assert!(!healed.contains(&0u8), "set_len must never extend the file");
+        let mut replayed = Vec::new();
+        Checkpoint::open(&path, |k, _| {
+            replayed.push(k.to_string());
+            true
+        })
+        .unwrap();
+        assert_eq!(replayed, vec!["a", "b"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejected_records_stay_pending_and_recompute() {
+        // Regression: a record the caller could not decode used to be
+        // marked done anyway, so the work item was neither replayed nor
+        // recomputed (a panic or silently missing rows downstream).
+        let path = tmp("rejected");
+        {
+            let mut ck = Checkpoint::open(&path, |_, _| true).unwrap();
+            ck.record("a", &Row { seed: 1, val: 0.5 }).unwrap();
+        }
+        // A decoder that rejects everything: "a" must stay pending.
+        let ck = Checkpoint::open(&path, |_, _| false).unwrap();
+        assert!(!ck.contains("a"));
+        drop(ck);
+        // Recompute appends a duplicate "a"; a later open must replay the
+        // first *accepted* occurrence only, once.
+        {
+            let mut ck = Checkpoint::open(&path, |_, _| false).unwrap();
+            ck.record("a", &Row { seed: 1, val: 9.5 }).unwrap();
+        }
+        let mut vals = Vec::new();
+        let ck = Checkpoint::open(&path, |_, v| {
+            vals.push(as_f64(field(v, "val").unwrap()).unwrap());
+            true
+        })
+        .unwrap();
+        assert_eq!(vals, vec![0.5], "duplicates of an accepted key replay once");
+        assert!(ck.contains("a"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_middle_is_a_hard_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not json\n{\"key\":\"a\",\"record\":1}\n").unwrap();
+        assert!(Checkpoint::open(&path, |_, _| true).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_chunks_skips_done_items() {
+        let path = tmp("chunks");
+        let items: Vec<u64> = (0..10).collect();
+        let key = |i: &u64| format!("item-{i}");
+        // First run: compute everything.
+        let mut ck = Some(Checkpoint::open(&path, |_, _| true).unwrap());
+        let mut order = Vec::new();
+        resume_chunks(
+            &items,
+            4,
+            3,
+            &mut ck,
+            key,
+            |i| Row {
+                seed: *i,
+                val: *i as f64,
+            },
+            |i, _| order.push(*i),
+        )
+        .unwrap();
+        assert_eq!(order, items, "consume order must match item order");
+        // Second run: everything is replayed, nothing recomputed.
+        let mut replayed = 0;
+        let mut ck = Some(
+            Checkpoint::open(&path, |_, _| {
+                replayed += 1;
+                true
+            })
+            .unwrap(),
+        );
+        let mut computed = Vec::new();
+        resume_chunks(
+            &items,
+            4,
+            3,
+            &mut ck,
+            key,
+            |i| Row { seed: *i, val: 0.0 },
+            |i, _| computed.push(*i),
+        )
+        .unwrap();
+        assert_eq!(replayed, 10);
+        assert!(computed.is_empty(), "no pending work after a full run");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -9,9 +9,12 @@
 //! * panel (c) — fault-tolerance overhead (%) against the fault-free
 //!   reference schedule: `(L_algo − L_FF) / L_FF`.
 
-use crate::runner::{measure_instance, parallel_map, RunRecord};
+use crate::checkpoint::{resume_chunks, Checkpoint};
+use crate::runner::{measure_instance, RunRecord};
 use crate::stats::{Figure, Series, SeriesPoint};
 use crate::workload::PaperWorkload;
+use std::collections::HashMap;
+use std::path::Path;
 
 /// Sweep configuration (defaults = the paper's settings).
 #[derive(Debug, Clone)]
@@ -82,6 +85,69 @@ pub struct SweepData {
 /// Run the full sweep for one ε. `crashes` follows the paper: 1 for ε = 1,
 /// 2 for ε = 3 (pass explicitly for other settings).
 pub fn sweep(epsilon: u8, crashes: usize, cfg: &SweepConfig) -> SweepData {
+    sweep_checkpointed(epsilon, crashes, cfg, None).expect("no journal, no I/O to fail")
+}
+
+/// [`sweep`] with an optional `--checkpoint` journal: every completed
+/// `(granularity, seed)` work item (its three records: LTF, R-LTF, FF) is
+/// journalled as soon as its window completes, and a restart with the
+/// same journal replays completed items instead of re-measuring them.
+/// Records are assembled in seed order per granularity whether they were
+/// replayed or fresh, so a resumed sweep produces the same `SweepData`
+/// as an uninterrupted one.
+pub fn sweep_checkpointed(
+    epsilon: u8,
+    crashes: usize,
+    cfg: &SweepConfig,
+    journal: Option<&Path>,
+) -> std::io::Result<SweepData> {
+    // The key pins *every* parameter the measured records depend on (the
+    // granularity value itself, not its sweep index, plus crash draws and
+    // utilization; the seed already derives from cfg.seed): resuming with
+    // a different configuration finds no matching keys and recomputes,
+    // instead of silently replaying records measured under different
+    // parameters.
+    let keyed = |g: f64, seed: u64| {
+        format!(
+            "fig:eps={epsilon}:c={crashes}:g={g}:cd={}:u={}:seed={seed:#018x}",
+            cfg.crash_draws, cfg.utilization
+        )
+    };
+    let seeds_at = |gi: usize| -> Vec<u64> {
+        (0..cfg.graphs_per_point)
+            .map(|k| cfg.seed ^ (gi as u64) << 32 ^ (epsilon as u64) << 48 ^ k as u64)
+            .collect()
+    };
+    let expected: std::collections::HashSet<String> = cfg
+        .granularities
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, &g)| seeds_at(gi).into_iter().map(move |s| keyed(g, s)))
+        .collect();
+    let mut replayed: HashMap<String, Vec<RunRecord>> = HashMap::new();
+    let mut ckpt = match journal {
+        Some(path) => Some(Checkpoint::open(path, |key, value| {
+            if !expected.contains(key) {
+                return false; // another sweep/config's records share the journal
+            }
+            let serde::Value::Seq(items) = value else {
+                eprintln!("warning: checkpoint: record {key} has the wrong shape; recomputing");
+                return false;
+            };
+            let recs: Option<Vec<RunRecord>> = items.iter().map(RunRecord::from_value).collect();
+            match recs {
+                Some(recs) => {
+                    replayed.insert(key.to_string(), recs);
+                    true
+                }
+                None => {
+                    eprintln!("warning: checkpoint: record {key} does not decode; recomputing");
+                    false
+                }
+            }
+        })?),
+        None => None,
+    };
     let mut by_granularity = Vec::with_capacity(cfg.granularities.len());
     for (gi, &g) in cfg.granularities.iter().enumerate() {
         let wl = PaperWorkload {
@@ -90,19 +156,42 @@ pub fn sweep(epsilon: u8, crashes: usize, cfg: &SweepConfig) -> SweepData {
             utilization: cfg.utilization,
             ..Default::default()
         };
-        let seeds: Vec<u64> = (0..cfg.graphs_per_point)
-            .map(|k| cfg.seed ^ (gi as u64) << 32 ^ (epsilon as u64) << 48 ^ k as u64)
+        let seeds = seeds_at(gi);
+        let mut fresh: HashMap<u64, Vec<RunRecord>> = HashMap::new();
+        resume_chunks(
+            &seeds,
+            cfg.threads,
+            window_for(cfg.threads),
+            &mut ckpt,
+            |s| keyed(g, *s),
+            |s| measure_instance(&wl, *s, crashes, cfg.crash_draws),
+            |s, recs| {
+                fresh.insert(*s, recs);
+            },
+        )?;
+        let recs: Vec<RunRecord> = seeds
+            .iter()
+            .flat_map(|s| {
+                fresh
+                    .remove(s)
+                    .or_else(|| replayed.remove(&keyed(g, *s)))
+                    .expect("every seed is fresh or replayed")
+            })
             .collect();
-        let recs: Vec<Vec<RunRecord>> = parallel_map(&seeds, cfg.threads, |s| {
-            measure_instance(&wl, s, crashes, cfg.crash_draws)
-        });
-        by_granularity.push((g, recs.into_iter().flatten().collect()));
+        by_granularity.push((g, recs));
     }
-    SweepData {
+    Ok(SweepData {
         epsilon,
         crashes,
         by_granularity,
-    }
+    })
+}
+
+/// Window of in-flight work items per [`resume_chunks`] call: enough to
+/// keep every worker busy, small enough to bound both memory and the
+/// work a kill can lose.
+pub fn window_for(threads: usize) -> usize {
+    (threads.max(1) * 4).max(16)
 }
 
 fn collect<'a>(recs: &'a [RunRecord], algo: &'a str) -> impl Iterator<Item = &'a RunRecord> + 'a {

@@ -4,15 +4,18 @@
 //!   DAGs, 20 heterogeneous processors, granularity sweep, throughput
 //!   `1/(10(ε+1))`.
 //! * [`runner`] — per-instance measurement (LTF, R-LTF, fault-free
-//!   reference; latency bounds, effective latencies, crash draws) and a
-//!   crossbeam worker pool.
+//!   reference; latency bounds, effective latencies, crash draws) on the
+//!   shared [`ltf_core::par`] worker pool.
 //! * [`figures`] — the sweeps behind Figs. 3 and 4 and their three panels
 //!   (latency bounds / latency with crashes / overhead).
 //! * [`scaling`] — runtime scaling against `v`, `m`, `ε` (Theorem 1).
 //! * [`ablation`] — design ablations (Rule 1, Rule 2, one-to-one, chunk
 //!   size).
 //! * [`pareto`] — Pareto-front enumeration over (latency, period, ε,
-//!   processors) on the worked examples or the §5 workload.
+//!   processors) on the worked examples or the §5 workload, including the
+//!   thousands-of-instances [`pareto::workload_sweep`].
+//! * [`checkpoint`] — streamed JSON-lines journals with kill-safe
+//!   resume-on-restart for the long-running sweeps.
 //! * [`stats`], [`ascii`] — aggregation, CSV and terminal charts.
 //!
 //! The `ltf-experiments` binary exposes all of this on the command line;
@@ -21,6 +24,7 @@
 
 pub mod ablation;
 pub mod ascii;
+pub mod checkpoint;
 pub mod figures;
 pub mod pareto;
 pub mod runner;
@@ -28,7 +32,8 @@ pub mod scaling;
 pub mod stats;
 pub mod workload;
 
-pub use crate::figures::{panel, sweep, Panel, SweepConfig, SweepData};
+pub use crate::checkpoint::Checkpoint;
+pub use crate::figures::{panel, sweep, sweep_checkpointed, Panel, SweepConfig, SweepData};
 pub use crate::runner::{measure_instance, parallel_map, RunRecord};
 pub use crate::stats::{Figure, Series, SeriesPoint};
 pub use crate::workload::{gen_instance, Instance, PaperWorkload};

@@ -4,6 +4,7 @@
 //! ltf-experiments <command> [--graphs N] [--seed S] [--out DIR]
 //!                 [--crash-draws K] [--util U] [--threads T] [--quick]
 //!                 [--json] [--algo NAME] [--eps E] [--period D]
+//!                 [--instances N] [--checkpoint FILE]
 //!
 //! commands:
 //!   fig1      motivating example (§1, Fig. 1): task/data/pipelined parallelism
@@ -22,13 +23,14 @@ use ltf_baselines::full_solver;
 use ltf_core::{AlgoConfig, Solution};
 use ltf_experiments::ablation::{ablation, table as ablation_table, AblationConfig};
 use ltf_experiments::ascii;
-use ltf_experiments::figures::{feasibility, panel, sweep, Panel, SweepConfig};
-use ltf_experiments::scaling::{scaling_sweep, table as scaling_table, ScalingConfig};
+use ltf_experiments::figures::{feasibility, panel, sweep_checkpointed, Panel, SweepConfig};
+use ltf_experiments::scaling::{scaling_sweep_checkpointed, table as scaling_table, ScalingConfig};
 use ltf_experiments::stats::Figure;
 use ltf_experiments::workload::{gen_instance, PaperWorkload};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
+#[derive(Debug)]
 struct Opts {
     command: String,
     graphs: usize,
@@ -47,9 +49,31 @@ struct Opts {
     max_eps: Option<u8>,
     max_latency: Option<f64>,
     max_procs: Option<usize>,
+    instances: usize,
+    checkpoint: Option<PathBuf>,
 }
 
-fn parse_args() -> Opts {
+/// Pull the next argument as `flag`'s value and parse it, turning both
+/// failure modes into one diagnostic shape: `flag: got 'X', expected
+/// <what>` / `flag: missing value, expected <what>`.
+fn take<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    expected: &str,
+) -> Result<T, String> {
+    let raw = args
+        .next()
+        .ok_or_else(|| format!("{flag}: missing value, expected {expected}"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: got '{raw}', expected {expected}"))
+}
+
+/// Parse a full argument list. Pure so the error paths are unit-testable:
+/// the binary's `parse_args` wrapper turns `Err` into a usage message and
+/// `exit(2)` instead of the bare `expect("number")` panic (plus backtrace)
+/// malformed values used to die with. `--help` parses to the `help`
+/// pseudo-command.
+fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Opts, String> {
     let mut opts = Opts {
         command: String::new(),
         graphs: 60,
@@ -70,50 +94,71 @@ fn parse_args() -> Opts {
         max_eps: None,
         max_latency: None,
         max_procs: None,
+        instances: 1,
+        checkpoint: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(a) = args.next() {
-        let mut next = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
-        };
+        let args = &mut args;
         match a.as_str() {
-            "--graphs" => opts.graphs = next("--graphs").parse().expect("number"),
-            "--seed" => opts.seed = next("--seed").parse().expect("number"),
-            "--out" => opts.out = PathBuf::from(next("--out")),
-            "--crash-draws" => opts.crash_draws = next("--crash-draws").parse().expect("number"),
-            "--util" => opts.utilization = next("--util").parse().expect("number"),
-            "--threads" => opts.threads = next("--threads").parse().expect("number"),
+            "--graphs" => opts.graphs = take(args, "--graphs", "a non-negative integer")?,
+            "--seed" => opts.seed = take(args, "--seed", "an unsigned integer")?,
+            "--out" => opts.out = PathBuf::from(take::<String>(args, "--out", "a path")?),
+            "--crash-draws" => {
+                opts.crash_draws = take(args, "--crash-draws", "a non-negative integer")?
+            }
+            "--util" => opts.utilization = take(args, "--util", "a number")?,
+            "--threads" => opts.threads = take(args, "--threads", "a thread count")?,
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
-            "--algo" => opts.algo = next("--algo"),
-            "--eps" => opts.eps = next("--eps").parse().expect("number"),
-            "--period" => opts.period = Some(next("--period").parse().expect("number")),
-            "--graph" => opts.graph = next("--graph"),
-            "--max-eps" => opts.max_eps = Some(next("--max-eps").parse().expect("number")),
-            "--max-latency" => {
-                opts.max_latency = Some(next("--max-latency").parse().expect("number"))
+            "--algo" => opts.algo = take(args, "--algo", "a heuristic name")?,
+            "--eps" => opts.eps = take(args, "--eps", "an integer in 0..=255")?,
+            "--period" => opts.period = Some(take(args, "--period", "a number")?),
+            "--graph" => opts.graph = take(args, "--graph", "a graph name")?,
+            "--max-eps" => opts.max_eps = Some(take(args, "--max-eps", "an integer in 0..=255")?),
+            "--max-latency" => opts.max_latency = Some(take(args, "--max-latency", "a number")?),
+            "--max-procs" => {
+                opts.max_procs = Some(take(args, "--max-procs", "a positive integer")?)
             }
-            "--max-procs" => opts.max_procs = Some(next("--max-procs").parse().expect("number")),
+            "--instances" => {
+                opts.instances = take(args, "--instances", "a positive integer")?;
+                if opts.instances == 0 {
+                    return Err("--instances: got '0', expected a positive integer".into());
+                }
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(PathBuf::from(take::<String>(
+                    args,
+                    "--checkpoint",
+                    "a journal path",
+                )?))
+            }
             "--help" | "-h" => {
-                print_usage();
-                std::process::exit(0);
+                opts.command = "help".into();
+                return Ok(opts);
             }
             cmd if !cmd.starts_with('-') && opts.command.is_empty() => {
                 opts.command = cmd.to_string();
             }
-            other => {
-                eprintln!("unknown argument: {other}\n");
-                print_usage();
-                std::process::exit(2);
-            }
+            other => return Err(format!("unknown argument: {other}")),
         }
     }
     if opts.command.is_empty() {
         opts.command = "all".into();
     }
-    opts
+    Ok(opts)
+}
+
+fn parse_args() -> Opts {
+    match parse_args_from(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
 }
 
 fn sweep_config(o: &Opts) -> SweepConfig {
@@ -159,7 +204,13 @@ fn run_granularity_figure(o: &Opts, eps: u8, crashes: usize) {
         cfg.granularities.len()
     );
     let t0 = std::time::Instant::now();
-    let data = sweep(eps, crashes, &cfg);
+    let data = match sweep_checkpointed(eps, crashes, &cfg, o.checkpoint.as_deref()) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("checkpoint error: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!("sweep done in {:.1?}", t0.elapsed());
     for p in [Panel::Bounds, Panel::Crashes, Panel::Overhead] {
         save_figure(&o.out, &panel(&data, p));
@@ -359,13 +410,23 @@ fn run_pareto(o: &Opts) {
         );
         std::process::exit(2);
     };
-    let (g, p, instance) = which.build(o.seed, o.utilization);
     let popts = ParetoOptions {
         max_epsilon: o.max_eps,
         max_latency: o.max_latency,
         max_procs: o.max_procs,
+        threads: o.threads,
         ..Default::default()
     };
+    // Workload-scale sweeps (--instances and/or --checkpoint) stream
+    // compact rows per instance instead of buffering one front.
+    if which == ParetoInstance::Workload && (o.instances > 1 || o.checkpoint.is_some()) {
+        return run_pareto_sweep(o, popts);
+    }
+    if o.instances > 1 {
+        eprintln!("--instances is only meaningful with --graph workload\n");
+        std::process::exit(2);
+    }
+    let (g, p, instance) = which.build(o.seed, o.utilization);
     let front = match enumerate(&g, &p, &o.algo, &popts) {
         Ok(front) => front,
         Err(msg) => {
@@ -411,6 +472,59 @@ fn run_pareto(o: &Opts) {
     }
 }
 
+/// Workload-scale Pareto sweep: `--instances N` random §5 instances, one
+/// front per instance, rows streamed as they complete (text, CSV or JSON
+/// lines) and journalled to `--checkpoint` for resume-on-restart.
+fn run_pareto_sweep(o: &Opts, popts: ltf_core::search::pareto::ParetoOptions) {
+    use ltf_experiments::pareto::{workload_sweep, WorkloadSweepConfig, SWEEP_CSV_HEADER};
+
+    let cfg = WorkloadSweepConfig {
+        instances: o.instances,
+        seed: o.seed,
+        utilization: o.utilization,
+        algo: o.algo.clone(),
+        opts: popts,
+        threads: o.threads,
+    };
+    if o.csv {
+        println!("{SWEEP_CSV_HEADER}");
+    }
+    let t0 = std::time::Instant::now();
+    let emitted = workload_sweep(&cfg, o.checkpoint.as_deref(), |row| {
+        if o.json {
+            println!("{}", serde_json::to_string(row).expect("serialize"));
+        } else if o.csv {
+            println!("{}", row.csv_line());
+        } else {
+            println!(
+                "seed={:#x} ε={} m={} Δ={:.3} L≤{:.3} S={} [{}]",
+                row.seed,
+                row.epsilon,
+                row.procs,
+                row.period,
+                row.latency,
+                row.stages,
+                row.heuristic
+            );
+        }
+    });
+    match emitted {
+        Ok(rows) => eprintln!(
+            "pareto sweep: {} instance(s), {rows} front row(s), {:.1?}{}",
+            o.instances,
+            t0.elapsed(),
+            o.checkpoint
+                .as_deref()
+                .map(|p| format!(", journal {}", p.display()))
+                .unwrap_or_default()
+        ),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: ltf-experiments [COMMAND] [OPTIONS]\n\
@@ -447,6 +561,11 @@ fn print_usage() {
          \x20 --max-eps E      pareto: cap the swept ε\n\
          \x20 --max-latency L  pareto: latency budget on every point\n\
          \x20 --max-procs M    pareto: processor budget (prefix sweep cap)\n\
+         \x20 --instances N    pareto --graph workload: enumerate fronts on N\n\
+         \x20                  random instances, streaming compact rows\n\
+         \x20 --checkpoint F   journal completed work items to F (JSON lines)\n\
+         \x20                  and resume from it on restart; honoured by\n\
+         \x20                  pareto --graph workload, fig3/fig4 and scaling\n\
          \x20 --help, -h       this message"
     );
 }
@@ -454,6 +573,10 @@ fn print_usage() {
 fn main() {
     let o = parse_args();
     match o.command.as_str() {
+        "help" => {
+            print_usage();
+            std::process::exit(0);
+        }
         "fig1" => run_fig1(),
         "fig2" => run_fig2(o.json),
         "fig3" => run_granularity_figure(&o, 1, 1),
@@ -472,7 +595,13 @@ fn main() {
                 cfg.epsilons = vec![0, 1];
                 cfg.reps = 2;
             }
-            let pts = scaling_sweep(&cfg);
+            let pts = match scaling_sweep_checkpointed(&cfg, o.checkpoint.as_deref()) {
+                Ok(pts) => pts,
+                Err(e) => {
+                    eprintln!("checkpoint error: {e}");
+                    std::process::exit(1);
+                }
+            };
             println!("{}", scaling_table(&pts));
             std::fs::create_dir_all(&o.out).expect("create output dir");
             let path = o.out.join("scaling.json");
@@ -507,5 +636,81 @@ fn main() {
             print_usage();
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        parse_args_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_basic_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.command, "all");
+        assert_eq!(o.graphs, 60);
+        assert_eq!(o.instances, 1);
+        assert!(o.checkpoint.is_none());
+        let o = parse(&[
+            "pareto",
+            "--graph",
+            "workload",
+            "--instances",
+            "1000",
+            "--checkpoint",
+            "j.jsonl",
+            "--threads",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(o.command, "pareto");
+        assert_eq!(o.instances, 1000);
+        assert_eq!(o.checkpoint.as_deref(), Some(Path::new("j.jsonl")));
+        assert_eq!(o.threads, 8);
+    }
+
+    #[test]
+    fn malformed_values_name_flag_value_and_expectation() {
+        // Regression: these used to die as `expect("number")` panics with
+        // a backtrace instead of a diagnostic.
+        let err = parse(&["--graphs", "abc"]).unwrap_err();
+        assert_eq!(err, "--graphs: got 'abc', expected a non-negative integer");
+        let err = parse(&["--eps", "300"]).unwrap_err();
+        assert_eq!(err, "--eps: got '300', expected an integer in 0..=255");
+        let err = parse(&["--util", "fast"]).unwrap_err();
+        assert_eq!(err, "--util: got 'fast', expected a number");
+        let err = parse(&["--max-latency", "1e"]).unwrap_err();
+        assert!(err.starts_with("--max-latency: got '1e'"), "{err}");
+    }
+
+    #[test]
+    fn missing_values_are_reported() {
+        let err = parse(&["--seed"]).unwrap_err();
+        assert_eq!(err, "--seed: missing value, expected an unsigned integer");
+        let err = parse(&["fig3", "--checkpoint"]).unwrap_err();
+        assert_eq!(err, "--checkpoint: missing value, expected a journal path");
+    }
+
+    #[test]
+    fn zero_instances_and_unknown_flags_rejected() {
+        let err = parse(&["--instances", "0"]).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert_eq!(err, "unknown argument: --frobnicate");
+        let err = parse(&["fig1", "fig2"]).unwrap_err();
+        assert_eq!(err, "unknown argument: fig2");
+    }
+
+    #[test]
+    fn help_wins_and_negative_numbers_parse() {
+        assert_eq!(parse(&["--help"]).unwrap().command, "help");
+        assert_eq!(parse(&["fig3", "-h"]).unwrap().command, "help");
+        // A negative value is a parse error for unsigned flags, not an
+        // "unknown argument" (it is consumed as the flag's value).
+        let err = parse(&["--graphs", "-3"]).unwrap_err();
+        assert_eq!(err, "--graphs: got '-3', expected a non-negative integer");
     }
 }

@@ -1,8 +1,12 @@
 //! Pareto-front runner behind the `ltf-experiments pareto` subcommand:
 //! instance selection (the paper's worked examples or a calibrated random
 //! workload), front enumeration through the full `Solver` registry, witness
-//! re-validation, and the CSV / JSON-lines record rendering.
+//! re-validation, the CSV / JSON-lines record rendering, and the
+//! thousands-of-instances [`workload_sweep`] with streamed, checkpointed
+//! output.
 
+use crate::checkpoint::{resume_chunks, Checkpoint};
+use crate::figures::window_for;
 use crate::workload::{gen_instance, PaperWorkload};
 use ltf_baselines::full_solver;
 use ltf_core::search::pareto::{pareto_front, pareto_front_all, ParetoOptions, ParetoPoint};
@@ -10,6 +14,8 @@ use ltf_graph::generate::{fig1_diamond, fig2_workflow, fig2_workflow_variant};
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
 use ltf_schedule::validate;
+use serde::Serialize;
+use std::path::Path;
 
 /// Which instance the front is enumerated on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +138,227 @@ pub fn csv_line(instance: &str, pt: &ParetoPoint) -> String {
         pt.solution.metrics.stages,
         pt.solution.metrics.comm_count,
     )
+}
+
+/// One compact front point of a workload-scale sweep: the objectives and
+/// summary metrics, without the witness schedule (a thousand-instance
+/// sweep cannot afford to journal full schedules, and the witnesses are
+/// re-validated before the row is emitted anyway).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FrontRow {
+    /// Instance seed the front was enumerated on.
+    pub seed: u64,
+    /// Heuristic that reached the point.
+    pub heuristic: String,
+    /// Fault-tolerance degree ε.
+    pub epsilon: u8,
+    /// Distinct processors the witness uses.
+    pub procs: usize,
+    /// Platform prefix the witness was scheduled on.
+    pub platform_procs: usize,
+    /// Iteration period Δ.
+    pub period: f64,
+    /// Guaranteed pipeline latency.
+    pub latency: f64,
+    /// Pipeline stage count of the witness.
+    pub stages: u32,
+    /// Inter-processor messages per data set.
+    pub comms: usize,
+}
+
+impl FrontRow {
+    fn new(seed: u64, pt: &ParetoPoint) -> Self {
+        let o = &pt.objectives;
+        Self {
+            seed,
+            heuristic: pt.heuristic.clone(),
+            epsilon: o.epsilon,
+            procs: o.procs,
+            platform_procs: pt.platform_procs,
+            period: o.period,
+            latency: o.latency,
+            stages: pt.solution.metrics.stages,
+            comms: pt.solution.metrics.comm_count,
+        }
+    }
+
+    /// Decode a row replayed from a checkpoint journal.
+    pub fn from_value(v: &serde::Value) -> Option<Self> {
+        use crate::checkpoint::{as_f64, as_str, as_u64, field};
+        Some(Self {
+            seed: as_u64(field(v, "seed")?)?,
+            heuristic: as_str(field(v, "heuristic")?)?.to_string(),
+            epsilon: as_u64(field(v, "epsilon")?)? as u8,
+            procs: as_u64(field(v, "procs")?)? as usize,
+            platform_procs: as_u64(field(v, "platform_procs")?)? as usize,
+            period: as_f64(field(v, "period")?)?,
+            latency: as_f64(field(v, "latency")?)?,
+            stages: as_u64(field(v, "stages")?)? as u32,
+            comms: as_u64(field(v, "comms")?)? as usize,
+        })
+    }
+
+    /// CSV row matching [`SWEEP_CSV_HEADER`].
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{:#x},{},{},{},{},{:.6},{:.6},{:.6},{},{}",
+            self.seed,
+            self.heuristic,
+            self.epsilon,
+            self.procs,
+            self.platform_procs,
+            self.period,
+            1.0 / self.period,
+            self.latency,
+            self.stages,
+            self.comms,
+        )
+    }
+}
+
+/// CSV header matching [`FrontRow::csv_line`].
+pub const SWEEP_CSV_HEADER: &str =
+    "seed,heuristic,epsilon,procs,platform_procs,period,throughput,latency,stages,comms";
+
+/// Configuration of a workload-scale front sweep.
+#[derive(Debug, Clone)]
+pub struct WorkloadSweepConfig {
+    /// Number of random §5 instances to enumerate fronts on.
+    pub instances: usize,
+    /// Base seed; instance seeds derive deterministically from it.
+    pub seed: u64,
+    /// Target platform utilization of the generated instances.
+    pub utilization: f64,
+    /// Registry name of the heuristic, or `"all"` for the merge.
+    pub algo: String,
+    /// Per-instance enumeration options (threads is used *across*
+    /// instances here; each per-instance enumeration stays serial).
+    pub opts: ParetoOptions,
+    /// Worker threads across instances.
+    pub threads: usize,
+}
+
+/// Enumerate the front of every instance of a workload-scale sweep,
+/// streaming each instance's rows through `emit` as soon as its window
+/// completes, in instance order. With a `journal`, completed instances
+/// are replayed on restart (their rows go through `emit` first, in the
+/// original order) and only pending instances are recomputed — so a
+/// killed sweep resumes without losing more than one window of work, and
+/// the emitted row sequence is identical to an uninterrupted run's. At
+/// no point are more than `window_for(threads)` instances' rows held in
+/// memory.
+///
+/// Every fresh witness is re-validated against its platform prefix before
+/// its row is journalled or emitted; a validation failure is a scheduler
+/// bug and returns an error naming the instance.
+pub fn workload_sweep(
+    cfg: &WorkloadSweepConfig,
+    journal: Option<&Path>,
+    mut emit: impl FnMut(&FrontRow),
+) -> Result<usize, String> {
+    // The key pins the full run configuration — heuristic, utilization
+    // and every enumeration option — so a journal shared across `--algo`
+    // or `--util` runs neither replays foreign rows nor double-counts:
+    // only records matching this exact configuration (and this run's
+    // seed set) are replayed; everything else stays pending under its
+    // own keys.
+    let o = &cfg.opts;
+    let sig = format!(
+        "algo={}:util={}:me={:?}:ml={:?}:mp={:?}:rs={}:it={}:os={:#x}",
+        cfg.algo,
+        cfg.utilization,
+        o.max_epsilon,
+        o.max_latency,
+        o.max_procs,
+        o.relax_steps,
+        o.iterations,
+        o.seed
+    );
+    let keyed = |seed: u64| format!("pareto:{sig}:seed={seed:#018x}");
+    let seeds: Vec<u64> = (0..cfg.instances as u64)
+        .map(|k| cfg.seed.wrapping_add(k))
+        .collect();
+    let expected: std::collections::HashSet<String> = seeds.iter().map(|s| keyed(*s)).collect();
+    let mut emitted = 0usize;
+    let mut ckpt = match journal {
+        Some(path) => Some(
+            Checkpoint::open(path, |key, value| {
+                if !expected.contains(key) {
+                    return false; // another run configuration shares the journal
+                }
+                let serde::Value::Seq(rows) = value else {
+                    eprintln!("warning: checkpoint: record {key} has the wrong shape; recomputing");
+                    return false;
+                };
+                let decoded: Option<Vec<FrontRow>> =
+                    rows.iter().map(FrontRow::from_value).collect();
+                match decoded {
+                    Some(rows) => {
+                        for row in &rows {
+                            emitted += 1;
+                            emit(row);
+                        }
+                        true
+                    }
+                    None => {
+                        eprintln!("warning: checkpoint: record {key} does not decode; recomputing");
+                        false
+                    }
+                }
+            })
+            .map_err(|e| format!("checkpoint: {e}"))?,
+        ),
+        None => None,
+    };
+    let wl = PaperWorkload {
+        utilization: cfg.utilization,
+        ..Default::default()
+    };
+    // Reject a bad --algo before sweeping anything (enumerate would only
+    // notice per instance, deep inside the pool).
+    if cfg.algo != "all" {
+        let probe = gen_instance(&wl, cfg.seed);
+        let solver = full_solver(&probe.graph, &probe.platform);
+        if solver.heuristic(&cfg.algo).is_none() {
+            return Err(format!(
+                "unknown heuristic {:?} (registered: {}, or \"all\")",
+                cfg.algo,
+                solver.names().join(", ")
+            ));
+        }
+    }
+    // One serial enumeration per instance; the parallelism lives across
+    // instances (nested pools would oversubscribe the machine).
+    let mut popts = cfg.opts.clone();
+    popts.threads = 1;
+    let compute = |seed: &u64| -> Vec<FrontRow> {
+        let inst = gen_instance(&wl, *seed);
+        let front =
+            enumerate(&inst.graph, &inst.platform, &cfg.algo, &popts).expect("algo pre-checked");
+        // A witness that fails structural validation is a scheduler bug;
+        // panicking (propagated with its payload by the worker pool)
+        // beats journalling a bogus row as completed work.
+        if let Err(e) = validate_front(&inst.graph, &inst.platform, &front) {
+            panic!("instance seed={seed:#x}: {e}");
+        }
+        front.iter().map(|pt| FrontRow::new(*seed, pt)).collect()
+    };
+    resume_chunks(
+        &seeds,
+        cfg.threads,
+        window_for(cfg.threads),
+        &mut ckpt,
+        |s| keyed(*s),
+        compute,
+        |_, rows| {
+            for row in &rows {
+                emitted += 1;
+                emit(row);
+            }
+        },
+    )
+    .map_err(|e| format!("checkpoint: {e}"))?;
+    Ok(emitted)
 }
 
 #[cfg(test)]

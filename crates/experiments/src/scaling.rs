@@ -6,10 +6,13 @@
 //! processor count `m`, replication degree `ε`) so the empirical growth
 //! can be compared with the bound.
 
+use crate::checkpoint::Checkpoint;
 use crate::runner::parallel_map;
 use crate::workload::{gen_instance, PaperWorkload};
 use ltf_core::{AlgoConfig, AlgoKind, PreparedInstance};
 use serde::Serialize;
+use std::collections::HashMap;
+use std::path::Path;
 use std::time::Instant;
 
 /// One aggregated scaling measurement.
@@ -29,6 +32,23 @@ pub struct ScalingPoint {
     pub feasible: usize,
     /// Repetitions.
     pub reps: usize,
+}
+
+impl ScalingPoint {
+    /// Decode a point replayed from a checkpoint journal. `None` when a
+    /// field is missing or has the wrong shape.
+    pub fn from_value(v: &serde::Value) -> Option<Self> {
+        use crate::checkpoint::{as_f64, as_str, as_u64, field};
+        Some(Self {
+            v: as_u64(field(v, "v")?)? as usize,
+            m: as_u64(field(v, "m")?)? as usize,
+            epsilon: as_u64(field(v, "epsilon")?)? as u8,
+            algo: as_str(field(v, "algo")?)?.to_string(),
+            micros: as_f64(field(v, "micros")?)?,
+            feasible: as_u64(field(v, "feasible")?)? as usize,
+            reps: as_u64(field(v, "reps")?)? as usize,
+        })
+    }
 }
 
 /// Configuration for [`scaling_sweep`].
@@ -110,19 +130,79 @@ fn measure_point(
 
 /// Run the three scaling sweeps for both algorithms.
 pub fn scaling_sweep(cfg: &ScalingConfig) -> Vec<ScalingPoint> {
-    let mut out = Vec::new();
+    scaling_sweep_checkpointed(cfg, None).expect("no journal, no I/O to fail")
+}
+
+/// [`scaling_sweep`] with an optional `--checkpoint` journal: each
+/// `(algo, v, m, ε)` point is journalled as soon as it is measured, and a
+/// restart replays completed points instead of re-measuring them (the
+/// reps *inside* a point still run on `cfg.threads` workers). Replayed
+/// timings are reused verbatim — a resumed sweep reports the measurements
+/// of the run that made them.
+pub fn scaling_sweep_checkpointed(
+    cfg: &ScalingConfig,
+    journal: Option<&Path>,
+) -> std::io::Result<Vec<ScalingPoint>> {
+    // The key pins everything the point depends on (including the base
+    // seed and the rep count): a journal shared across configurations
+    // only ever replays records measured under identical parameters.
+    let keyed = |kind: AlgoKind, v: usize, m: usize, eps: u8| {
+        format!(
+            "scaling:{kind}:v={v}:m={m}:eps={eps}:reps={}:seed={:#x}",
+            cfg.reps, cfg.seed
+        )
+    };
+    let mut combos: Vec<(AlgoKind, usize, usize, u8)> = Vec::new();
     for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
         for &v in &cfg.task_counts {
-            out.push(measure_point(v, 20, 1, kind, cfg));
+            combos.push((kind, v, 20, 1));
         }
         for &m in &cfg.proc_counts {
-            out.push(measure_point(100, m, 1, kind, cfg));
+            combos.push((kind, 100, m, 1));
         }
         for &eps in &cfg.epsilons {
-            out.push(measure_point(100, 20, eps, kind, cfg));
+            combos.push((kind, 100, 20, eps));
         }
     }
-    out
+    let expected: std::collections::HashSet<String> = combos
+        .iter()
+        .map(|&(kind, v, m, eps)| keyed(kind, v, m, eps))
+        .collect();
+    let mut replayed: HashMap<String, ScalingPoint> = HashMap::new();
+    let mut ckpt = match journal {
+        Some(path) => Some(Checkpoint::open(path, |key, value| {
+            if !expected.contains(key) {
+                return false; // another sweep/config's records share the journal
+            }
+            match ScalingPoint::from_value(value) {
+                Some(pt) => {
+                    replayed.insert(key.to_string(), pt);
+                    true
+                }
+                None => {
+                    eprintln!("warning: checkpoint: record {key} does not decode; re-measuring");
+                    false
+                }
+            }
+        })?),
+        None => None,
+    };
+    let mut out = Vec::with_capacity(combos.len());
+    for (kind, v, m, eps) in combos {
+        let key = keyed(kind, v, m, eps);
+        let pt = match replayed.remove(&key) {
+            Some(pt) => pt,
+            None => {
+                let pt = measure_point(v, m, eps, kind, cfg);
+                if let Some(c) = ckpt.as_mut() {
+                    c.record(&key, &pt)?;
+                }
+                pt
+            }
+        };
+        out.push(pt);
+    }
+    Ok(out)
 }
 
 /// Render scaling points as an aligned text table.

@@ -39,6 +39,14 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    /// A [`Value`] lowers to itself, so parsed trees (e.g. replayed
+    /// checkpoint-journal records) can be re-serialized verbatim.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

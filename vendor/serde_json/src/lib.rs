@@ -1,10 +1,20 @@
-//! Hermetic JSON *writer* over the vendored [`serde`] data model.
+//! Hermetic JSON *writer and value-level reader* over the vendored
+//! [`serde`] data model.
 //!
-//! Implements [`to_string`] and [`to_string_pretty`] — the only entry
-//! points the workspace uses. Output follows RFC 8259: strings are escaped
-//! (`"`, `\`, control characters), non-finite floats serialize as `null`
-//! (matching the real `serde_json`'s lossy float handling in `Value`), and
-//! map key order is the struct's declaration order.
+//! Implements [`to_string`] / [`to_string_pretty`] and the value-level
+//! [`from_str`] — the only entry points the workspace uses. Output follows
+//! RFC 8259: strings are escaped (`"`, `\`, control characters),
+//! non-finite floats serialize as `null` (matching the real `serde_json`'s
+//! lossy float handling in `Value`), and map key order is the struct's
+//! declaration order. [`from_str`] parses any RFC 8259 document back into
+//! a [`Value`] tree (numbers with a fraction/exponent become
+//! [`Value::Float`], negative integers [`Value::Int`], other integers
+//! [`Value::UInt`]); typed deserialization stays out of scope — callers
+//! pattern-match the tree.
+
+mod de;
+
+pub use de::from_str;
 
 use serde::{Serialize, Value};
 use std::fmt::Write as _;
@@ -13,6 +23,12 @@ use std::fmt::Write as _;
 /// return keeps call sites source-compatible with the real `serde_json`.
 #[derive(Debug, Clone)]
 pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: String) -> Self {
+        Self(msg)
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
