@@ -2,9 +2,10 @@
 
 use ltf_graph::TaskId;
 use ltf_platform::ProcId;
+use serde::{Deserialize, Serialize};
 
 /// Configuration shared by LTF and R-LTF.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AlgoConfig {
     /// Fault-tolerance degree ε: the schedule must survive any ε processor
     /// failures; every task is replicated ε+1 times.

@@ -37,7 +37,7 @@ use crate::config::{AlgoConfig, AlgoKind, ScheduleError};
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
 use ltf_schedule::Schedule;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One mapping strategy: everything the [`Solver`], the objective-space
 /// searches and the experiment harness need to drive an algorithm.
@@ -159,7 +159,7 @@ impl AlgoKind {
 }
 
 /// Derived metrics of a [`Solution`], serializable for reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolutionMetrics {
     /// Fault-tolerance degree ε of the schedule.
     pub epsilon: u8,

@@ -25,6 +25,7 @@ pub mod graph;
 pub mod levels;
 pub mod traversal;
 pub mod width;
+pub mod wire;
 
 mod ids;
 

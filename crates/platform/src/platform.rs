@@ -22,11 +22,75 @@ impl std::fmt::Display for ProcId {
 }
 
 /// A fully-interconnected heterogeneous platform.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Platform {
     speeds: Vec<f64>,
     /// Row-major `m × m` unit message delays; `delay[u][u] = 0`.
     delays: Vec<f64>,
+}
+
+impl serde::Deserialize for Platform {
+    /// Decode `{"speeds": [...], "delays": [...]}` with full validation:
+    /// every invariant [`Platform::from_parts`] would *panic* on (size
+    /// mismatch, non-positive speed, negative or non-zero diagonal delay)
+    /// comes back as a typed error instead, so a malformed service request
+    /// can never take the process down.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = match v {
+            serde::Value::Map(entries) => entries,
+            other => return Err(serde::DeError::expected("map for struct `Platform`", other)),
+        };
+        for (k, _) in entries.iter() {
+            if k != "speeds" && k != "delays" {
+                return Err(serde::DeError::unknown_field(k, "Platform"));
+            }
+        }
+        let speeds: Vec<f64> = serde::__field(entries, "speeds", "Platform")?;
+        let delays: Vec<f64> = serde::__field(entries, "delays", "Platform")?;
+        let m = speeds.len();
+        if m == 0 {
+            return Err(serde::DeError::custom(
+                "platform needs at least one processor",
+            ));
+        }
+        if m > u16::MAX as usize {
+            return Err(serde::DeError::custom("too many processors"));
+        }
+        if delays.len() != m * m {
+            return Err(serde::DeError::custom(format!(
+                "delay matrix has {} entries, expected {m}x{m} = {}",
+                delays.len(),
+                m * m
+            )));
+        }
+        for (i, &s) in speeds.iter().enumerate() {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(serde::DeError::custom(format!(
+                    "speed of P{} is {s}",
+                    i + 1
+                )));
+            }
+        }
+        for k in 0..m {
+            for h in 0..m {
+                let d = delays[k * m + h];
+                if !d.is_finite() || d < 0.0 {
+                    return Err(serde::DeError::custom(format!(
+                        "delay P{}->P{} is {d}",
+                        k + 1,
+                        h + 1
+                    )));
+                }
+                if k == h && d != 0.0 {
+                    return Err(serde::DeError::custom(format!(
+                        "self-delay of P{} must be zero",
+                        k + 1
+                    )));
+                }
+            }
+        }
+        Ok(Self { speeds, delays })
+    }
 }
 
 impl Platform {
@@ -332,5 +396,54 @@ mod tests {
     fn display() {
         assert_eq!(ProcId(0).to_string(), "P1");
         assert_eq!(ProcId(19).to_string(), "P20");
+    }
+
+    #[test]
+    fn deserialize_roundtrip() {
+        let p = Platform::from_parts(vec![1.0, 2.0], vec![0.0, 0.25, 0.75, 0.0]);
+        let v = serde::Serialize::to_value(&p);
+        let q = <Platform as Deserialize>::from_value(&v).unwrap();
+        assert_eq!(q.speeds, p.speeds);
+        assert_eq!(q.delays, p.delays);
+    }
+
+    #[test]
+    fn deserialize_rejects_invalid() {
+        fn decode(speeds: serde::Value, delays: serde::Value) -> Result<Platform, serde::DeError> {
+            let v = serde::Value::Map(vec![("speeds".into(), speeds), ("delays".into(), delays)]);
+            <Platform as Deserialize>::from_value(&v)
+        }
+        let floats =
+            |xs: &[f64]| serde::Value::Seq(xs.iter().map(|&x| serde::Value::Float(x)).collect());
+        // Every case below would be a panic through `from_parts`.
+        assert!(decode(floats(&[]), floats(&[]))
+            .unwrap_err()
+            .to_string()
+            .contains("at least one"));
+        assert!(decode(floats(&[1.0, 1.0]), floats(&[0.0]))
+            .unwrap_err()
+            .to_string()
+            .contains("2x2"));
+        assert!(decode(floats(&[0.0]), floats(&[0.0]))
+            .unwrap_err()
+            .to_string()
+            .contains("speed"));
+        assert!(decode(floats(&[1.0]), floats(&[f64::NAN]))
+            .unwrap_err()
+            .to_string()
+            .contains("delay"));
+        assert!(decode(floats(&[1.0]), floats(&[0.5]))
+            .unwrap_err()
+            .to_string()
+            .contains("self-delay"));
+        let extra = serde::Value::Map(vec![
+            ("speeds".into(), floats(&[1.0])),
+            ("delays".into(), floats(&[0.0])),
+            ("cores".into(), serde::Value::UInt(8)),
+        ]);
+        assert!(<Platform as Deserialize>::from_value(&extra)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown field `cores`"));
     }
 }

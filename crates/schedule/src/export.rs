@@ -3,7 +3,7 @@
 use crate::schedule::Schedule;
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Render the within-iteration timeline as an ASCII Gantt chart, one row
 /// per processor (compute occupancy) plus send/receive port rows for
@@ -80,7 +80,7 @@ pub fn gantt(g: &TaskGraph, p: &Platform, sched: &Schedule, width: usize) -> Str
 }
 
 /// Serializable schedule summary (placements, stages, loads, messages).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleSummary {
     /// Fault-tolerance degree.
     pub epsilon: u8,
@@ -99,7 +99,7 @@ pub struct ScheduleSummary {
 }
 
 /// One replica's placement in the summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplicaSummary {
     /// Task name.
     pub task: String,
@@ -116,7 +116,7 @@ pub struct ReplicaSummary {
 }
 
 /// One processor's loads in the summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProcSummary {
     /// Processor index (0-based).
     pub proc: u16,

@@ -5,12 +5,20 @@ use crate::replica::{ReplicaId, SourceChoice};
 use crate::stages;
 use ltf_graph::TaskGraph;
 use ltf_platform::{Platform, ProcId};
+use serde::{Deserialize, Serialize};
 
 /// Raw algorithm output, consumed by [`Schedule::new`].
 ///
 /// All per-replica vectors are indexed densely by
 /// [`ReplicaId::dense`] with `nrep = ε + 1`.
-#[derive(Debug, Clone)]
+///
+/// This is also the full-fidelity *wire form* of a schedule: a
+/// [`Schedule`] round-trips as `to_data` → JSON → [`Schedule::new`]
+/// (the derived quantities — stages, loads — are recomputed on arrival).
+/// Decoded data from an untrusted source must pass
+/// [`ScheduleData::validate_shape`] before being handed to the panicking
+/// constructor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleData {
     /// Fault-tolerance degree ε (each task has `ε + 1` replicas).
     pub epsilon: u8,
@@ -26,6 +34,82 @@ pub struct ScheduleData {
     pub sources: Vec<Vec<SourceChoice>>,
     /// All scheduled inter-processor messages.
     pub comm_events: Vec<CommEvent>,
+}
+
+impl ScheduleData {
+    /// Check that this (possibly hostile, e.g. freshly deserialized) data
+    /// is shape-consistent with `g` and `p`, so that [`Schedule::new`]
+    /// cannot panic and every later index access is in bounds. Semantic
+    /// validity (precedence, ports, throughput) is the job of
+    /// [`crate::validate()`](crate::validate()) on the built schedule.
+    pub fn validate_shape(&self, g: &TaskGraph, p: &Platform) -> Result<(), String> {
+        let nrep = self.epsilon as usize + 1;
+        let n = g.num_tasks() * nrep;
+        if !(self.period.is_finite() && self.period > 0.0) {
+            return Err(format!("bad period {}", self.period));
+        }
+        for (what, len) in [
+            ("proc_of", self.proc_of.len()),
+            ("start", self.start.len()),
+            ("finish", self.finish.len()),
+            ("sources", self.sources.len()),
+        ] {
+            if len != n {
+                return Err(format!("{what} has {len} entries, expected {n}"));
+            }
+        }
+        let m = p.num_procs();
+        if let Some(u) = self.proc_of.iter().find(|u| u.index() >= m) {
+            return Err(format!(
+                "replica placed on {u}, platform has {m} processors"
+            ));
+        }
+        if let Some(x) = self
+            .start
+            .iter()
+            .chain(self.finish.iter())
+            .find(|x| !x.is_finite())
+        {
+            return Err(format!("non-finite replica time {x}"));
+        }
+        let e = g.num_edges();
+        for (r, choices) in self.sources.iter().enumerate() {
+            let task = ReplicaId::from_dense(r, nrep).task;
+            if choices.len() != g.in_degree(task) {
+                return Err(format!(
+                    "replica {} has {} source choices, task has in-degree {}",
+                    ReplicaId::from_dense(r, nrep),
+                    choices.len(),
+                    g.in_degree(task)
+                ));
+            }
+            for c in choices {
+                if c.edge.index() >= e {
+                    return Err(format!("source choice references unknown edge {}", c.edge));
+                }
+                if let Some(&copy) = c.sources.iter().find(|&&copy| copy as usize >= nrep) {
+                    return Err(format!(
+                        "source copy {copy} out of range (ε = {})",
+                        self.epsilon
+                    ));
+                }
+            }
+        }
+        for ev in &self.comm_events {
+            if ev.edge.index() >= e
+                || ev.src.dense(nrep) >= n
+                || ev.dst.dense(nrep) >= n
+                || ev.src_proc.index() >= m
+                || ev.dst_proc.index() >= m
+            {
+                return Err(format!("comm event {ev:?} references out-of-range ids"));
+            }
+            if !(ev.start.is_finite() && ev.finish.is_finite() && ev.finish >= ev.start) {
+                return Err(format!("comm event {ev:?} has an invalid time window"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A complete replicated pipelined schedule.
@@ -132,6 +216,22 @@ impl Schedule {
             sigma,
             cin,
             cout,
+        }
+    }
+
+    /// Extract the raw [`ScheduleData`] this schedule was built from —
+    /// the inverse of [`Schedule::new`], used to put a schedule on the
+    /// wire. Derived state (stages, loads) is dropped and recomputed by
+    /// the receiving constructor.
+    pub fn to_data(&self) -> ScheduleData {
+        ScheduleData {
+            epsilon: self.epsilon,
+            period: self.period,
+            proc_of: self.proc_of.clone(),
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            sources: self.sources.clone(),
+            comm_events: self.comm_events.clone(),
         }
     }
 

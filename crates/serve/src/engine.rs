@@ -1,0 +1,344 @@
+//! The service engine: parses request lines, answers from the LRU cache,
+//! and dispatches the remaining solves onto the shared `ltf_core::par`
+//! pool.
+//!
+//! # Determinism
+//!
+//! [`Service::handle_lines`] is *serially equivalent*: responses, cache
+//! contents, eviction order and hit/miss counters are exactly what a
+//! line-at-a-time loop would produce, regardless of batch size or thread
+//! count. Cache decisions and mutations happen serially in line order;
+//! only the (deterministic, pure) solve calls in between run in
+//! parallel. Service *times* are the one non-deterministic output, and
+//! they only ever appear in `{"cmd":"stats"}` replies — solve responses
+//! are bit-stable, which is what makes pipe-mode golden tests possible.
+
+use crate::cache::{CacheKey, LruCache};
+use crate::proto::{
+    parse_request, to_line, ErrResponse, OkResponse, Request, SolutionWire, SolveRequest,
+};
+use crate::stats::{ServiceStats, StatsReport};
+use ltf_baselines::full_solver;
+use ltf_core::par::{parallel_map, resolve_threads};
+use ltf_core::AlgoConfig;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Tuning knobs of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads for batched solves; `0` = all cores.
+    pub threads: usize,
+    /// LRU capacity in cached solutions; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Reject graphs with more tasks than this (`too-large`).
+    pub max_tasks: usize,
+    /// Reject graphs with more edges than this (`too-large`).
+    pub max_edges: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_capacity: 256,
+            max_tasks: 10_000,
+            max_edges: 100_000,
+        }
+    }
+}
+
+/// One registered heuristic as reported by `{"cmd":"heuristics"}`.
+#[derive(Debug, Clone, Serialize)]
+pub struct HeuristicInfo {
+    /// Canonical name.
+    pub name: String,
+    /// Accepted aliases.
+    pub aliases: Vec<String>,
+}
+
+/// Reply to `{"cmd":"heuristics"}`.
+#[derive(Debug, Clone, Serialize)]
+struct HeuristicsReply {
+    status: String,
+    heuristics: Vec<HeuristicInfo>,
+}
+
+/// Reply to `{"cmd":"stats"}`.
+#[derive(Debug, Clone, Serialize)]
+struct StatsReply {
+    status: String,
+    stats: StatsReport,
+}
+
+/// The scheduler service: registry name table, solution cache and
+/// accounting. One instance serves any number of independent requests;
+/// the graph/platform travel *in* each request, so no instance state
+/// outlives a line except the cache and the counters.
+pub struct Service {
+    config: ServiceConfig,
+    names: Vec<HeuristicInfo>,
+    cache: LruCache,
+    stats: ServiceStats,
+}
+
+/// A solve line after the serial decode pass.
+struct SolveSlot {
+    req: Box<SolveRequest>,
+    cfg: AlgoConfig,
+    canonical: String,
+    key: CacheKey,
+    /// Index into the batch's parallel job list; `None` when the answer
+    /// is expected from the cache.
+    job: Option<usize>,
+    /// Microseconds spent decoding and classifying the line.
+    decode_us: u64,
+}
+
+/// One line's fate after the serial decode pass.
+enum Slot {
+    /// Response already final (control reply or error).
+    Done(String),
+    /// Needs the cache/solve resolution pass.
+    Solve(SolveSlot),
+}
+
+impl Service {
+    /// A service over the full built-in strategy family
+    /// (`ltf_baselines::full_solver`).
+    pub fn new(config: ServiceConfig) -> Self {
+        // Probe the registry once with a throwaway instance to learn the
+        // canonical-name/alias table; per-request lookups then resolve
+        // names without building a solver.
+        let g = ltf_graph::generate::fig1_diamond();
+        let p = ltf_platform::Platform::fig1_platform();
+        let solver = full_solver(&g, &p);
+        let names = solver
+            .heuristics()
+            .map(|h| HeuristicInfo {
+                name: h.name().to_string(),
+                aliases: h.aliases().iter().map(|a| a.to_string()).collect(),
+            })
+            .collect();
+        Self {
+            config,
+            names,
+            cache: LruCache::new(0),
+            stats: ServiceStats::new(),
+        }
+        .with_cache_capacity()
+    }
+
+    fn with_cache_capacity(mut self) -> Self {
+        self.cache = LruCache::new(self.config.cache_capacity);
+        self
+    }
+
+    /// Registered heuristics (canonical name + aliases).
+    pub fn heuristics(&self) -> &[HeuristicInfo] {
+        &self.names
+    }
+
+    /// Resolve a request's heuristic name to its canonical form,
+    /// mirroring the registry's precedence: canonical names win over
+    /// aliases, both case-insensitively.
+    pub fn canonicalize(&self, name: &str) -> Option<&str> {
+        self.names
+            .iter()
+            .find(|h| h.name.eq_ignore_ascii_case(name))
+            .or_else(|| {
+                self.names
+                    .iter()
+                    .find(|h| h.aliases.iter().any(|a| a.eq_ignore_ascii_case(name)))
+            })
+            .map(|h| h.name.as_str())
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats_report(&self) -> StatsReport {
+        self.stats
+            .report(self.cache.hits(), self.cache.misses(), self.cache.len())
+    }
+
+    /// Direct read access to the cache (tests, introspection).
+    pub fn cache(&self) -> &LruCache {
+        &self.cache
+    }
+
+    /// Answer one request line. Never panics on malformed input; every
+    /// line gets exactly one response line.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        self.handle_lines(std::slice::from_ref(&line))
+            .pop()
+            .expect("one response per line")
+    }
+
+    /// Answer a batch of request lines, one response per line, in order.
+    /// Cache misses within the batch are solved concurrently on the
+    /// `ltf_core::par` pool; everything observable is serially
+    /// equivalent (see the module docs).
+    pub fn handle_lines<S: AsRef<str>>(&mut self, lines: &[S]) -> Vec<String> {
+        // Pass 1 (serial, line order): decode, classify, and decide which
+        // lines need a fresh solve. `pending` de-duplicates identical
+        // misses inside the batch: the serial replay would solve the
+        // first and answer the rest from cache.
+        let mut slots = Vec::with_capacity(lines.len());
+        let mut jobs: Vec<(CacheKey, Box<SolveRequest>, AlgoConfig, String)> = Vec::new();
+        let mut pending: HashMap<CacheKey, usize> = HashMap::new();
+        for line in lines {
+            slots.push(self.classify(line.as_ref(), &mut jobs, &mut pending));
+        }
+
+        // Pass 2 (parallel): the actual scheduling work.
+        let threads = resolve_threads(self.config.threads);
+        let solved: Vec<(Result<SolutionWire, ErrResponse>, u64)> =
+            parallel_map(&jobs, threads, |(_, req, cfg, canonical)| {
+                let t0 = Instant::now();
+                let solver = full_solver(&req.graph, &req.platform);
+                let outcome = match solver.solve(canonical, cfg) {
+                    Ok(sol) => Ok(SolutionWire::from_solution(&sol)),
+                    Err(d) => Err(ErrResponse::from_diagnostics(None, &d)),
+                };
+                (outcome, t0.elapsed().as_micros() as u64)
+            });
+        let results: HashMap<&CacheKey, &(Result<SolutionWire, ErrResponse>, u64)> = jobs
+            .iter()
+            .map(|(key, ..)| key)
+            .zip(solved.iter())
+            .collect();
+
+        // Pass 3 (serial, line order): cache counters, insertions and
+        // response assembly — the order-sensitive part.
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(line) => line,
+                Slot::Solve(s) => self.resolve(s, &results),
+            })
+            .collect()
+    }
+
+    fn classify(
+        &mut self,
+        line: &str,
+        jobs: &mut Vec<(CacheKey, Box<SolveRequest>, AlgoConfig, String)>,
+        pending: &mut HashMap<CacheKey, usize>,
+    ) -> Slot {
+        let t0 = Instant::now();
+        let req = match parse_request(line) {
+            Ok(Request::Stats) => {
+                return Slot::Done(to_line(&StatsReply {
+                    status: "ok".to_string(),
+                    stats: self.stats_report(),
+                }))
+            }
+            Ok(Request::Heuristics) => {
+                return Slot::Done(to_line(&HeuristicsReply {
+                    status: "ok".to_string(),
+                    heuristics: self.names.clone(),
+                }))
+            }
+            Ok(Request::Solve(req)) => req,
+            Err((kind, message, id)) => {
+                self.stats
+                    .record_error(kind, t0.elapsed().as_micros() as u64);
+                return Slot::Done(to_line(&ErrResponse::new(id, kind, None, message)));
+            }
+        };
+        let id = req.id;
+        let err = |service: &mut Self, kind: &str, heuristic: Option<String>, message: String| {
+            service
+                .stats
+                .record_error(kind, t0.elapsed().as_micros() as u64);
+            Slot::Done(to_line(&ErrResponse::new(id, kind, heuristic, message)))
+        };
+        if req.graph.num_tasks() > self.config.max_tasks
+            || req.graph.num_edges() > self.config.max_edges
+        {
+            return err(
+                self,
+                "too-large",
+                None,
+                format!(
+                    "graph has {} tasks / {} edges, limits are {} / {}",
+                    req.graph.num_tasks(),
+                    req.graph.num_edges(),
+                    self.config.max_tasks,
+                    self.config.max_edges
+                ),
+            );
+        }
+        let Some(canonical) = self.canonicalize(&req.heuristic).map(str::to_string) else {
+            return err(
+                self,
+                "unknown-heuristic",
+                Some(req.heuristic.clone()),
+                format!("no heuristic named {:?} is registered", req.heuristic),
+            );
+        };
+        let cfg = match req.config.to_algo() {
+            Ok(cfg) => cfg,
+            Err(msg) => return err(self, "bad-request", Some(canonical), msg),
+        };
+        let key = CacheKey::new(&req.graph, &req.platform, &canonical, &cfg);
+        let job = if self.cache.contains(&key) || pending.contains_key(&key) {
+            None
+        } else {
+            pending.insert(key.clone(), jobs.len());
+            jobs.push((key.clone(), req.clone(), cfg.clone(), canonical.clone()));
+            Some(jobs.len() - 1)
+        };
+        Slot::Solve(SolveSlot {
+            req,
+            cfg,
+            canonical,
+            key,
+            job,
+            decode_us: t0.elapsed().as_micros() as u64,
+        })
+    }
+
+    fn resolve(
+        &mut self,
+        s: SolveSlot,
+        results: &HashMap<&CacheKey, &(Result<SolutionWire, ErrResponse>, u64)>,
+    ) -> String {
+        if let Some(wire) = self.cache.get(&s.key) {
+            // Pre-existing entry or a batch-mate's successful solve.
+            self.stats.record_ok(&s.canonical, s.decode_us);
+            return to_line(&OkResponse::new(s.req.id, true, wire));
+        }
+        // Miss (counted by the failed `get`). Three cases: this line is
+        // the primary solver of its key; a duplicate of a primary that
+        // failed (errors are not cached, the serial replay fails again
+        // identically); or the key's entry was evicted by batch-mates'
+        // inserts after the classification pass — then the serial replay
+        // would re-solve, so do exactly that inline (deterministic).
+        let (outcome, solve_us) = match results.get(&s.key).copied() {
+            Some((outcome, us)) if s.job.is_some() || outcome.is_err() => (outcome.clone(), *us),
+            _ => {
+                let t0 = Instant::now();
+                let solver = full_solver(&s.req.graph, &s.req.platform);
+                let outcome = match solver.solve(&s.canonical, &s.cfg) {
+                    Ok(sol) => Ok(SolutionWire::from_solution(&sol)),
+                    Err(d) => Err(ErrResponse::from_diagnostics(None, &d)),
+                };
+                (outcome, t0.elapsed().as_micros() as u64)
+            }
+        };
+        match outcome {
+            Ok(wire) => {
+                self.cache.insert(s.key.clone(), wire.clone());
+                self.stats.record_ok(&s.canonical, s.decode_us + solve_us);
+                to_line(&OkResponse::new(s.req.id, false, wire))
+            }
+            Err(mut err) => {
+                err.id = s.req.id;
+                err.heuristic = Some(s.canonical.clone());
+                self.stats.record_error(&err.kind, s.decode_us + solve_us);
+                to_line(&err)
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Scheduler-as-a-service for the LTF / R-LTF strategy family.
+//!
+//! The `ltf-serve` binary wraps this library: a daemon that reads
+//! line-delimited JSON solve requests (stdin/stdout pipe mode, or a TCP
+//! listener via `--listen`), answers each with a typed solution or a
+//! structured error, memoizes solutions in an LRU keyed by
+//! `(graph fingerprint, platform fingerprint, heuristic, config)`, and
+//! reports per-request service-time statistics on demand.
+//!
+//! * [`proto`] — the wire protocol: request/response types and parsing,
+//! * [`engine`] — the [`Service`]: batched, serially equivalent request
+//!   handling over the `ltf_core::par` pool,
+//! * [`cache`] — the [`LruCache`] and instance fingerprints,
+//! * [`stats`] — service-time percentiles and outcome counters.
+//!
+//! A malformed request line never terminates the service: every input
+//! line gets exactly one response line, errors included.
+
+pub mod cache;
+pub mod engine;
+pub mod proto;
+pub mod stats;
+
+pub use cache::{CacheKey, LruCache};
+pub use engine::{Service, ServiceConfig};
+pub use proto::{ErrResponse, OkResponse, Request, SolutionWire, SolveRequest};
+pub use stats::StatsReport;

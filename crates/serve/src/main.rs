@@ -1,0 +1,274 @@
+//! `ltf-serve` — the scheduling daemon.
+//!
+//! ```text
+//! ltf-serve [--listen ADDR] [--threads N] [--cache-cap N] [--batch N]
+//!           [--max-tasks N] [--max-edges N] [--stats] [--soak N]
+//!
+//! modes:
+//!   (default)      pipe mode: read LDJSON requests from stdin, write one
+//!                  response line per request to stdout, exit at EOF
+//!   --listen ADDR  TCP mode: accept connections on ADDR (e.g.
+//!                  127.0.0.1:7475), serve each line-by-line
+//!   --soak N       self-test: generate N worked-example-sized requests,
+//!                  serve them in-process, assert zero protocol errors
+//!                  and print the service-time percentiles to stderr
+//! ```
+//!
+//! Pipe mode batches up to `--batch` lines (default 64) per dispatch onto
+//! the solver pool; responses stay in request order and are bit-stable
+//! across runs, so piped output can be diffed against goldens. `--stats`
+//! prints a final statistics report to *stderr* at EOF (stderr so the
+//! stdout stream stays golden-diffable).
+
+use ltf_serve::proto::to_line;
+use ltf_serve::{Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::process::exit;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone)]
+struct Opts {
+    listen: Option<String>,
+    threads: usize,
+    cache_cap: usize,
+    batch: usize,
+    max_tasks: usize,
+    max_edges: usize,
+    stats: bool,
+    soak: Option<usize>,
+    help: bool,
+}
+
+fn take<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    expected: &str,
+) -> Result<T, String> {
+    let raw = args
+        .next()
+        .ok_or_else(|| format!("{flag}: missing value, expected {expected}"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: got '{raw}', expected {expected}"))
+}
+
+fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Opts, String> {
+    let defaults = ServiceConfig::default();
+    let mut opts = Opts {
+        listen: None,
+        threads: 0,
+        cache_cap: defaults.cache_capacity,
+        batch: 64,
+        max_tasks: defaults.max_tasks,
+        max_edges: defaults.max_edges,
+        stats: false,
+        soak: None,
+        help: false,
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => opts.listen = Some(take(&mut args, "--listen", "host:port")?),
+            "--threads" => opts.threads = take(&mut args, "--threads", "a thread count")?,
+            "--cache-cap" => opts.cache_cap = take(&mut args, "--cache-cap", "a capacity")?,
+            "--batch" => {
+                opts.batch = take(&mut args, "--batch", "a positive batch size")?;
+                if opts.batch == 0 {
+                    return Err("--batch: got '0', expected a positive batch size".into());
+                }
+            }
+            "--max-tasks" => opts.max_tasks = take(&mut args, "--max-tasks", "a task limit")?,
+            "--max-edges" => opts.max_edges = take(&mut args, "--max-edges", "an edge limit")?,
+            "--stats" => opts.stats = true,
+            "--soak" => opts.soak = Some(take(&mut args, "--soak", "a request count")?),
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn service_config(opts: &Opts) -> ServiceConfig {
+    ServiceConfig {
+        threads: opts.threads,
+        cache_capacity: opts.cache_cap,
+        max_tasks: opts.max_tasks,
+        max_edges: opts.max_edges,
+    }
+}
+
+fn main() {
+    let opts = match parse_args_from(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("ltf-serve: {msg}");
+            eprintln!("usage: ltf-serve [--listen ADDR] [--threads N] [--cache-cap N] [--batch N] [--max-tasks N] [--max-edges N] [--stats] [--soak N]");
+            exit(2);
+        }
+    };
+    if opts.help {
+        println!("ltf-serve: LDJSON scheduling service; see README.md §Service");
+        println!("usage: ltf-serve [--listen ADDR] [--threads N] [--cache-cap N] [--batch N] [--max-tasks N] [--max-edges N] [--stats] [--soak N]");
+        return;
+    }
+    let service = Service::new(service_config(&opts));
+    if let Some(n) = opts.soak {
+        exit(soak(service, n));
+    }
+    match &opts.listen {
+        Some(addr) => serve_tcp(service, addr),
+        None => serve_pipe(service, &opts),
+    }
+}
+
+/// Pipe mode: batch stdin lines, answer in order, exit at EOF.
+fn serve_pipe(mut service: Service, opts: &Opts) {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut batch = Vec::with_capacity(opts.batch);
+    let mut flush = |service: &mut Service, batch: &mut Vec<String>| {
+        for resp in service.handle_lines(batch) {
+            writeln!(out, "{resp}").expect("stdout");
+        }
+        out.flush().expect("stdout");
+        batch.clear();
+    };
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin");
+        if line.trim().is_empty() {
+            continue;
+        }
+        batch.push(line);
+        if batch.len() >= opts.batch {
+            flush(&mut service, &mut batch);
+        }
+    }
+    if !batch.is_empty() {
+        flush(&mut service, &mut batch);
+    }
+    if opts.stats {
+        eprintln!("{}", to_line(&service.stats_report()));
+    }
+}
+
+/// TCP mode: line-by-line request/response per connection; connections
+/// share the cache and the statistics through a mutex.
+fn serve_tcp(service: Service, addr: &str) {
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ltf-serve: cannot listen on {addr}: {e}");
+            exit(1);
+        }
+    };
+    eprintln!("ltf-serve: listening on {addr}");
+    let service = Arc::new(Mutex::new(service));
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ltf-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let peer = stream.peer_addr().map(|a| a.to_string());
+            let mut writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            for line in BufReader::new(stream).lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let resp = service.lock().expect("service mutex").handle_line(&line);
+                if writeln!(writer, "{resp}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            if let Ok(peer) = peer {
+                eprintln!("ltf-serve: {peer} disconnected");
+            }
+        });
+    }
+}
+
+/// Soak mode: hammer the in-process service with `n` worked-example-sized
+/// requests (the paper's Fig. 1 and Fig. 2 instances under rotating
+/// heuristics, ε, periods and seeds), assert that no request draws a
+/// protocol-level error, and report the percentiles. Returns the process
+/// exit code.
+fn soak(mut service: Service, n: usize) -> i32 {
+    let fig1_g = ltf_graph::generate::fig1_diamond();
+    let fig1_p = ltf_platform::Platform::fig1_platform();
+    let fig2_g = ltf_graph::generate::fig2_workflow_variant();
+    let fig2_p = ltf_platform::Platform::homogeneous(8, 1.0, 0.5);
+    let heuristics: Vec<String> = service
+        .heuristics()
+        .iter()
+        .map(|h| h.name.clone())
+        .collect();
+    let periods = [20.0, 30.0, 40.0, 60.0];
+
+    let t0 = std::time::Instant::now();
+    let mut batch = Vec::with_capacity(64);
+    let mut served = 0usize;
+    for i in 0..n {
+        let (g, p) = if i % 2 == 0 {
+            (&fig1_g, &fig1_p)
+        } else {
+            (&fig2_g, &fig2_p)
+        };
+        let heuristic = &heuristics[i % heuristics.len()];
+        let req = ltf_serve::SolveRequest {
+            id: Some(i as u64),
+            heuristic: heuristic.clone(),
+            graph: g.clone(),
+            platform: p.clone(),
+            config: ltf_serve::proto::RequestConfig {
+                epsilon: (i % 3) as u8,
+                period: periods[(i / 3) % periods.len()],
+                chunk_size: None,
+                seed: Some((i % 7) as u64),
+                use_one_to_one: None,
+                rule1: None,
+                rule2: None,
+                cluster_ties: None,
+            },
+        };
+        batch.push(serde_json::to_string(&req).expect("soak request"));
+        if batch.len() == 64 || i + 1 == n {
+            served += service.handle_lines(&batch).len();
+            batch.clear();
+        }
+    }
+    let elapsed = t0.elapsed();
+    let report = service.stats_report();
+    eprintln!(
+        "soak: {served} requests in {:.2}s ({:.0} req/s)",
+        elapsed.as_secs_f64(),
+        served as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    eprintln!("soak: {}", to_line(&report));
+    // Solver-level "infeasible" is a legitimate outcome on these
+    // instances (LTF genuinely fails on Fig. 2 at m = 8 for some ε);
+    // protocol-level errors are not.
+    let protocol_errors: u64 = ["parse", "bad-request", "unknown-heuristic", "too-large"]
+        .iter()
+        .map(|k| report.errors_by_kind.get(*k).copied().unwrap_or(0))
+        .sum();
+    if served != n || protocol_errors != 0 {
+        eprintln!("soak: FAILED ({served}/{n} served, {protocol_errors} protocol errors)");
+        return 1;
+    }
+    eprintln!(
+        "soak: ok (p50 {}us, p90 {}us, p99 {}us, hit ratio {:.3})",
+        report.p50_us, report.p90_us, report.p99_us, report.cache_hit_ratio
+    );
+    0
+}

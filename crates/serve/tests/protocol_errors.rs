@@ -1,0 +1,186 @@
+//! Protocol error corpus: one test per malformed-request class. Every
+//! case asserts (a) a structured error reply with the right `kind`, and
+//! (b) that the service keeps serving — the next well-formed request on
+//! the same instance succeeds. A malformed line must never terminate the
+//! daemon.
+
+use ltf_serve::{Service, ServiceConfig};
+use serde::{Deserialize, Value};
+
+fn service() -> Service {
+    Service::new(ServiceConfig::default())
+}
+
+fn small_service(max_tasks: usize) -> Service {
+    Service::new(ServiceConfig {
+        max_tasks,
+        ..ServiceConfig::default()
+    })
+}
+
+const VALID: &str = r#"{"id":100,"heuristic":"rltf","graph":{"tasks":[{"name":"a","exec":2.0},{"name":"b","exec":3.0}],"edges":[{"src":0,"dst":1,"volume":1.0}]},"platform":{"speeds":[1.0,1.0],"delays":[0.0,0.5,0.5,0.0]},"config":{"epsilon":1,"period":30.0}}"#;
+
+/// Decode a response line's envelope fields.
+fn envelope(line: &str) -> (Option<u64>, String, Option<String>, String) {
+    let v: Value = serde_json::from_str(line).expect("response is valid JSON");
+    let Value::Map(entries) = &v else {
+        panic!("response is not a map: {line}")
+    };
+    let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let id = field("id").and_then(|v| u64::from_value(v).ok());
+    let status = String::from_value(field("status").expect("status field")).unwrap();
+    let kind = field("kind").and_then(|v| String::from_value(v).ok());
+    let message = field("message")
+        .and_then(|v| String::from_value(v).ok())
+        .unwrap_or_default();
+    (id, status, kind, message)
+}
+
+/// Run one malformed line, assert its error class, then prove the service
+/// still answers a valid request.
+fn assert_error_then_recovery(service: &mut Service, line: &str, expect_kind: &str, needle: &str) {
+    let before = service.stats_report().served;
+    let resp = service.handle_line(line);
+    let (_, status, kind, message) = envelope(&resp);
+    assert_eq!(status, "error", "for {line}: {resp}");
+    assert_eq!(kind.as_deref(), Some(expect_kind), "for {line}: {resp}");
+    assert!(
+        message.contains(needle),
+        "message {message:?} misses {needle:?}"
+    );
+    // The daemon keeps serving: same service, next request succeeds.
+    let (id, status, ..) = envelope(&service.handle_line(VALID));
+    assert_eq!((id, status.as_str()), (Some(100), "ok"));
+    assert_eq!(service.stats_report().served, before + 2);
+}
+
+#[test]
+fn truncated_line() {
+    let mut s = service();
+    let truncated = &VALID[..VALID.len() / 2];
+    assert_error_then_recovery(&mut s, truncated, "parse", "");
+    assert_error_then_recovery(&mut s, r#"{"id":1,"heuristic":"ltf""#, "parse", "");
+    assert_eq!(s.stats_report().errors_by_kind["parse"], 2);
+}
+
+#[test]
+fn unknown_field() {
+    let mut s = service();
+    let line = VALID.replace(r#""id":100"#, r#""id":1,"priority":"high""#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "unknown field `priority`");
+    // Unknown fields nested in the config are caught by the same strict
+    // decoding.
+    let line = VALID.replace(r#""epsilon":1"#, r#""epsilon":1,"retries":3"#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "unknown field `retries`");
+}
+
+#[test]
+fn wrong_type() {
+    let mut s = service();
+    let line = VALID.replace(r#""epsilon":1"#, r#""epsilon":"one""#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "epsilon");
+    let line = VALID.replace(r#""speeds":[1.0,1.0]"#, r#""speeds":"fast""#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "platform");
+    let line = VALID.replace(r#""exec":2.0"#, r#""exec":true"#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "exec");
+}
+
+#[test]
+fn missing_field() {
+    let mut s = service();
+    let line = VALID.replace(r#""heuristic":"rltf","#, "");
+    assert_error_then_recovery(&mut s, &line, "bad-request", "missing field `heuristic`");
+}
+
+#[test]
+fn unknown_heuristic_name() {
+    let mut s = service();
+    let line = VALID.replace(r#""heuristic":"rltf""#, r#""heuristic":"magic""#);
+    assert_error_then_recovery(&mut s, &line, "unknown-heuristic", "magic");
+    // The reply echoes the offending name in the heuristic field.
+    let resp = s.handle_line(&line);
+    assert!(resp.contains(r#""heuristic":"magic""#), "{resp}");
+}
+
+#[test]
+fn oversized_graph() {
+    let mut s = small_service(4);
+    // Five tasks against a four-task limit.
+    let tasks: Vec<String> = (0..5)
+        .map(|i| format!(r#"{{"name":"t{i}","exec":1.0}}"#))
+        .collect();
+    let line = format!(
+        r#"{{"id":9,"heuristic":"ltf","graph":{{"tasks":[{}],"edges":[]}},"platform":{{"speeds":[1.0],"delays":[0.0]}},"config":{{"epsilon":0,"period":100.0}}}}"#,
+        tasks.join(",")
+    );
+    let resp = s.handle_line(&line);
+    let (id, status, kind, message) = envelope(&resp);
+    assert_eq!(id, Some(9));
+    assert_eq!(status, "error");
+    assert_eq!(kind.as_deref(), Some("too-large"));
+    assert!(message.contains("5 tasks"), "{message}");
+    // A two-task request (under the limit) still succeeds.
+    let (_, status, ..) = envelope(&s.handle_line(VALID));
+    assert_eq!(status, "ok");
+}
+
+#[test]
+fn invalid_structures_and_values() {
+    let mut s = service();
+    // Structurally invalid graph (cycle) — rejected by construction.
+    let line = VALID.replace(
+        r#""edges":[{"src":0,"dst":1,"volume":1.0}]"#,
+        r#""edges":[{"src":0,"dst":1,"volume":1.0},{"src":1,"dst":0,"volume":1.0}]"#,
+    );
+    assert_error_then_recovery(&mut s, &line, "bad-request", "cyclic");
+    // Invalid platform (non-zero self-delay).
+    let line = VALID.replace(
+        r#""delays":[0.0,0.5,0.5,0.0]"#,
+        r#""delays":[0.9,0.5,0.5,0.0]"#,
+    );
+    assert_error_then_recovery(&mut s, &line, "bad-request", "self-delay");
+    // Non-positive period.
+    let line = VALID.replace(r#""period":30.0"#, r#""period":-1.0"#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "period");
+    // JSON scalar instead of an object.
+    assert_error_then_recovery(&mut s, "42", "bad-request", "");
+    // Unknown control command.
+    assert_error_then_recovery(&mut s, r#"{"cmd":"shutdown"}"#, "bad-request", "shutdown");
+}
+
+#[test]
+fn error_storm_leaves_service_healthy() {
+    // A mixed storm of every malformed class, then a burst of valid work:
+    // counters add up and the cache still functions.
+    let mut s = service();
+    let bad = [
+        "",
+        "{",
+        "null",
+        r#"{"cmd":17}"#,
+        r#"{"id":1}"#,
+        r#"{"id":2,"heuristic":"nope","graph":{"tasks":[{"name":"a","exec":1.0}],"edges":[]},"platform":{"speeds":[1.0],"delays":[0.0]},"config":{"epsilon":0,"period":1.0}}"#,
+    ];
+    let lines: Vec<&str> = bad
+        .iter()
+        .cycle()
+        .take(60)
+        .chain(std::iter::repeat_n(&VALID, 10))
+        .copied()
+        .collect();
+    let responses = s.handle_lines(&lines);
+    assert_eq!(responses.len(), 70);
+    for resp in &responses[..60] {
+        assert!(resp.contains(r#""status":"error""#), "{resp}");
+    }
+    for resp in &responses[60..] {
+        assert!(resp.contains(r#""status":"ok""#), "{resp}");
+    }
+    let report = s.stats_report();
+    assert_eq!(report.served, 70);
+    assert_eq!(report.errors, 60);
+    assert_eq!(report.ok, 10);
+    // One real solve, nine cache hits.
+    assert_eq!(report.cache_misses, 1);
+    assert_eq!(report.cache_hits, 9);
+}

@@ -1,0 +1,206 @@
+//! Typed JSON round-trip properties: for every wire type `T`,
+//! `T → serde_json::to_string → serde_json::from_str::<T> → T` is the
+//! identity. Rust's `{}` float formatting guarantees the shortest
+//! round-trippable decimal, so exact `==` on `f64` fields is sound
+//! (non-finite floats serialize as `null` and are excluded by
+//! construction — every generator below produces finite weights).
+
+use ltf_core::{AlgoConfig, SolutionMetrics};
+use ltf_graph::generate::{fig1_diamond, fig2_workflow_variant, layered, LayeredConfig};
+use ltf_graph::TaskGraph;
+use ltf_platform::Platform;
+use ltf_schedule::export::{summarize, ScheduleSummary};
+use ltf_serve::proto::RequestConfig;
+use ltf_serve::SolutionWire;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
+
+fn roundtrip<T: Serialize + Deserialize>(x: &T) -> T {
+    let text = serde_json::to_string(x).expect("serialize");
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("re-parse of {text}: {e}"))
+}
+
+fn random_config(rng: &mut StdRng) -> AlgoConfig {
+    let mut cfg = AlgoConfig::new(rng.gen_range(0u8..4), rng.gen_range(0.5..100.0));
+    cfg.chunk_size = if rng.gen_bool(0.5) {
+        None
+    } else {
+        Some(rng.gen_range(1usize..64))
+    };
+    cfg.seed = rng.next_u64();
+    cfg.use_one_to_one = rng.gen_bool(0.5);
+    cfg.rule1 = rng.gen_bool(0.5);
+    cfg.rule2 = rng.gen_bool(0.5);
+    cfg.cluster_ties = rng.gen_bool(0.5);
+    cfg
+}
+
+fn random_graph(rng: &mut StdRng, tasks: usize) -> TaskGraph {
+    layered(
+        &LayeredConfig {
+            tasks,
+            exec_range: (0.25, 4.0),
+            volume_range: (0.1, 2.0),
+            ..Default::default()
+        },
+        rng,
+    )
+}
+
+fn random_platform(rng: &mut StdRng) -> Platform {
+    let m = rng.gen_range(2usize..8);
+    let speeds: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..3.5)).collect();
+    let mut delays = vec![0.0; m * m];
+    for k in 0..m {
+        for h in 0..m {
+            if k != h {
+                delays[k * m + h] = rng.gen_range(0.0..1.0);
+            }
+        }
+    }
+    Platform::from_parts(speeds, delays)
+}
+
+#[test]
+fn algo_config_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xA1_60);
+    for _ in 0..200 {
+        let cfg = random_config(&mut rng);
+        assert_eq!(roundtrip(&cfg), cfg);
+        // The request wire form resolves back to the same AlgoConfig.
+        let wire = RequestConfig::from_algo(&cfg);
+        assert_eq!(roundtrip(&wire), wire);
+        assert_eq!(wire.to_algo().expect("valid"), cfg);
+    }
+}
+
+#[test]
+fn graph_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0x96_A9);
+    let mut graphs: Vec<TaskGraph> = (0..40)
+        .map(|i| random_graph(&mut rng, 4 + (i % 20)))
+        .collect();
+    graphs.push(fig1_diamond());
+    graphs.push(fig2_workflow_variant());
+    for g in &graphs {
+        let h: TaskGraph = roundtrip(g);
+        assert_eq!(h.num_tasks(), g.num_tasks());
+        assert_eq!(h.num_edges(), g.num_edges());
+        for t in g.tasks() {
+            assert_eq!(h.name(t), g.name(t));
+            assert_eq!(h.exec(t), g.exec(t));
+        }
+        for id in g.edge_ids() {
+            assert_eq!(h.edge(id), g.edge(id));
+        }
+        // Value-level idempotence: re-serializing the round-tripped graph
+        // yields the identical document.
+        assert_eq!(h.to_value(), g.to_value());
+    }
+}
+
+#[test]
+fn platform_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0x97_1A);
+    for _ in 0..60 {
+        let p = random_platform(&mut rng);
+        let q: Platform = roundtrip(&p);
+        // Platform has no PartialEq; the wire tree is a faithful witness.
+        assert_eq!(q.to_value(), p.to_value());
+        assert_eq!(q.num_procs(), p.num_procs());
+    }
+}
+
+#[test]
+fn schedule_and_solution_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5C_8D);
+    let mut checked = 0;
+    for i in 0..30 {
+        let g = random_graph(&mut rng, 6 + (i % 12));
+        let p = random_platform(&mut rng);
+        let solver = ltf_baselines::full_solver(&g, &p);
+        let cfg = AlgoConfig::new((i % 2) as u8, 1e7).seeded(i as u64);
+        for name in ["ltf", "rltf", "fault-free"] {
+            if name == "fault-free" && cfg.epsilon > 0 {
+                continue;
+            }
+            let Ok(sol) = solver.solve(name, &cfg) else {
+                continue;
+            };
+            // ScheduleData round-trips exactly (PR 3's gap: schedules can
+            // now come back off the wire).
+            let data = sol.schedule.to_data();
+            assert_eq!(roundtrip(&data), data);
+            // Full Solution round-trip through the wire envelope.
+            let wire = SolutionWire::from_solution(&sol);
+            let back = roundtrip(&wire);
+            assert_eq!(back, wire);
+            let rebuilt = back.into_solution(&g, &p).expect("valid wire schedule");
+            assert_eq!(rebuilt.heuristic, sol.heuristic);
+            assert_eq!(rebuilt.schedule.to_data(), data);
+            // Metrics are recomputed on arrival and must agree with the
+            // solve-time originals field by field.
+            let m: SolutionMetrics = roundtrip(&sol.metrics);
+            assert_eq!(m, sol.metrics);
+            assert_eq!(rebuilt.metrics, sol.metrics);
+            // The export summary round-trips, too.
+            let summary = summarize(&g, &p, &sol.schedule);
+            let s2: ScheduleSummary = roundtrip(&summary);
+            assert_eq!(s2, summary);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "only {checked} feasible solves checked");
+}
+
+#[test]
+fn tampered_wire_schedules_are_rejected() {
+    let g = fig1_diamond();
+    let p = Platform::fig1_platform();
+    let solver = ltf_baselines::full_solver(&g, &p);
+    let sol = solver.solve("rltf", &AlgoConfig::new(1, 30.0)).unwrap();
+    let wire = SolutionWire::from_solution(&sol);
+
+    // Shrunk placement vector: Schedule::new would panic, the wire
+    // validation reports instead.
+    let mut bad = wire.clone();
+    bad.schedule.proc_of.pop();
+    assert!(bad.into_solution(&g, &p).unwrap_err().contains("proc_of"));
+
+    // Out-of-range processor.
+    let mut bad = wire.clone();
+    bad.schedule.proc_of[0] = ltf_platform::ProcId(99);
+    assert!(bad.into_solution(&g, &p).unwrap_err().contains("P100"));
+
+    // Non-finite replica time.
+    let mut bad = wire.clone();
+    bad.schedule.start[0] = f64::INFINITY;
+    assert!(bad
+        .into_solution(&g, &p)
+        .unwrap_err()
+        .contains("non-finite"));
+
+    // Source copy beyond ε.
+    let mut bad = wire;
+    for choices in &mut bad.schedule.sources {
+        for c in choices.iter_mut() {
+            c.sources = vec![9];
+        }
+    }
+    assert!(bad
+        .into_solution(&g, &p)
+        .unwrap_err()
+        .contains("out of range"));
+}
+
+#[test]
+fn value_tree_survives_typed_detour() {
+    // `from_str::<Value>` (the journal replay path) and the typed path
+    // agree on the same document.
+    let cfg = AlgoConfig::new(2, 12.5);
+    let text = serde_json::to_string(&cfg).unwrap();
+    let v: Value = serde_json::from_str(&text).unwrap();
+    let direct: AlgoConfig = serde_json::from_str(&text).unwrap();
+    assert_eq!(AlgoConfig::from_value(&v).unwrap(), direct);
+}

@@ -1,11 +1,21 @@
 //! Hermetic, dependency-free subset of the [`serde`] API.
 //!
 //! Provides the [`Serialize`]/[`Deserialize`] traits and their derives for
-//! offline builds. Serialization is tree-based: [`Serialize::to_value`]
-//! lowers a value into the [`Value`] data model, which `serde_json` renders.
-//! `Deserialize` is a marker trait — nothing in this workspace parses JSON
-//! back in yet; the derive emits an empty impl so `#[derive(Deserialize)]`
-//! stays source-compatible with the real crate.
+//! offline builds. Both directions are tree-based: [`Serialize::to_value`]
+//! lowers a value into the [`Value`] data model (which `serde_json`
+//! renders), and [`Deserialize::from_value`] lifts a parsed [`Value`] tree
+//! back into a typed value with structured [`DeError`]s (wrong shape,
+//! missing field, unknown field/variant — each carrying the field path it
+//! occurred under). The derives mirror each other: a
+//! `#[derive(Serialize, Deserialize)]` struct round-trips through
+//! `serde_json::to_string` / `serde_json::from_str`.
+//!
+//! Deliberate differences from the real crate: struct decoding rejects
+//! unknown fields (the real `serde` ignores them unless
+//! `deny_unknown_fields` is set — the service protocol built on this stub
+//! wants strictness), and a missing field is only forgiven for `Option`
+//! fields (via [`Deserialize::absent`]), the moral equivalent of
+//! `#[serde(default)]` on options.
 //!
 //! [`serde`]: https://crates.io/crates/serde
 
@@ -25,13 +35,108 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// A short shape description for error messages ("map", "string", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
 /// Types that can lower themselves into the [`Value`] data model.
 pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker for types the derive declares deserializable.
-pub trait Deserialize: Sized {}
+/// A typed-deserialization failure: what was expected, what was found, and
+/// the field/index path it happened under (innermost first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form error message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// `expected <what>, found <shape of v>`.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self(format!("expected {what}, found {}", got.kind()))
+    }
+
+    /// A required field of `ty` is absent from the map.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Self(format!("missing field `{field}` of `{ty}`"))
+    }
+
+    /// The map carries a key `ty` does not declare (decoding is strict).
+    pub fn unknown_field(field: &str, ty: &str) -> Self {
+        Self(format!("unknown field `{field}` of `{ty}`"))
+    }
+
+    /// The string names no variant of the fieldless enum `ty`.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Self(format!("unknown variant `{variant}` of `{ty}`"))
+    }
+
+    /// Prefix the error with the struct field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        Self(format!("{field}: {}", self.0))
+    }
+
+    /// Prefix the error with the sequence index it occurred at.
+    pub fn at_index(self, index: usize) -> Self {
+        Self(format!("[{index}]: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lift themselves out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Decode a value from a parsed tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value a struct field of this type takes when its key is absent
+    /// from the map: `None` makes the field required (the derive reports a
+    /// missing-field error), `Some(default)` supplies the default.
+    /// `Option<T>` overrides this to `Some(None)`, so optional fields may
+    /// simply be omitted.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Derive-internal helper: pull field `name` of struct `ty` out of a map's
+/// entries, falling back to [`Deserialize::absent`] when the key is
+/// missing. First occurrence wins on duplicate keys, matching the
+/// first-match semantics of value-level lookups elsewhere in the
+/// workspace.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(name)),
+        None => T::absent().ok_or_else(|| DeError::missing_field(name, ty)),
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
@@ -141,5 +246,207 @@ impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
                 .map(|(k, v)| (k.to_string(), v.to_value()))
                 .collect(),
         )
+    }
+}
+
+impl Deserialize for Value {
+    /// A [`Value`] lifts to itself, keeping value-level
+    /// `serde_json::from_str` (checkpoint journals, ad-hoc inspection)
+    /// working through the typed entry point.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    /// Accepts integer tokens too: the JSON writer renders a fractionless
+    /// float as `1.0`, but hand-written requests may say `1`.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError::custom(format!(
+                        "expected single-character string, found {s:?}"
+                    ))),
+                }
+            }
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    /// An omitted `Option` field is `None` (the derive consults this for
+    /// missing keys).
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_value(item).map_err(|e| e.at_index(i)))
+                .collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected {N} elements, found {len}")))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => Ok((
+                A::from_value(&items[0]).map_err(|e| e.at_index(0))?,
+                B::from_value(&items[1]).map_err(|e| e.at_index(1))?,
+            )),
+            other => Err(DeError::expected("2-element sequence", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| {
+                    V::from_value(val)
+                        .map(|decoded| (k.clone(), decoded))
+                        .map_err(|e| e.in_field(k))
+                })
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod de_tests {
+    use super::*;
+
+    #[test]
+    fn scalars_lift() {
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert_eq!(u8::from_value(&Value::UInt(7)), Ok(7));
+        assert_eq!(i64::from_value(&Value::Int(-7)), Ok(-7));
+        assert_eq!(u32::from_value(&Value::Int(12)), Ok(12));
+        assert_eq!(f64::from_value(&Value::UInt(2)), Ok(2.0));
+        assert_eq!(String::from_value(&Value::Str("x".into())), Ok("x".into()));
+        assert_eq!(char::from_value(&Value::Str("ε".into())), Ok('ε'));
+    }
+
+    #[test]
+    fn out_of_range_ints_error() {
+        assert!(u8::from_value(&Value::UInt(256)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(i8::from_value(&Value::UInt(200)).is_err());
+        assert!(u8::from_value(&Value::Float(3.5)).is_err());
+    }
+
+    #[test]
+    fn containers_lift() {
+        let v = Value::Seq(vec![Value::UInt(1), Value::UInt(2)]);
+        assert_eq!(Vec::<u8>::from_value(&v), Ok(vec![1, 2]));
+        assert_eq!(<[u8; 2]>::from_value(&v), Ok([1, 2]));
+        assert!(<[u8; 3]>::from_value(&v).is_err());
+        assert_eq!(<(u8, u8)>::from_value(&v), Ok((1, 2)));
+        let m = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        let tree = std::collections::BTreeMap::<String, u8>::from_value(&m).unwrap();
+        assert_eq!(tree["a"], 1);
+    }
+
+    #[test]
+    fn options_absent_and_null() {
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::UInt(3)), Ok(Some(3)));
+        assert_eq!(Option::<u8>::absent(), Some(None));
+        assert_eq!(u8::absent(), None);
+    }
+
+    #[test]
+    fn errors_carry_paths() {
+        let v = Value::Seq(vec![Value::UInt(1), Value::Str("x".into())]);
+        let err = Vec::<u8>::from_value(&v).unwrap_err();
+        assert_eq!(err.to_string(), "[1]: expected u8, found string");
+        let entries = vec![("a".into(), Value::Str("x".into()))];
+        let err = __field::<u8>(&entries, "a", "T").unwrap_err();
+        assert_eq!(err.to_string(), "a: expected u8, found string");
+        let err = __field::<u8>(&entries, "b", "T").unwrap_err();
+        assert_eq!(err.to_string(), "missing field `b` of `T`");
     }
 }

@@ -10,6 +10,12 @@
 //! * unit structs → `Value::Null`,
 //! * fieldless enums → `Value::Str(variant_name)`.
 //!
+//! `Deserialize` derives the exact mirror of each shape, so derived types
+//! round-trip through `serde_json::to_string` / `from_str`. Struct
+//! decoding is strict — unknown keys error, and a missing key is only
+//! forgiven when the field type's `Deserialize::absent` supplies a value
+//! (`Option` fields).
+//!
 //! Generic types and data-carrying enums are rejected with a compile error
 //! naming this file, so the gap is explicit rather than silent.
 
@@ -246,7 +252,96 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Ok(p) => p,
         Err(e) => return compile_error(&e),
     };
-    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
-        .parse()
-        .unwrap()
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        // Mirror of the Serialize shapes: map in declaration order back to
+        // a named struct (strict: unknown keys are errors, missing keys
+        // fall back to `Deserialize::absent`, i.e. only `Option` fields
+        // may be omitted).
+        Shape::Named(fields) => {
+            let known_arms = fields
+                .iter()
+                .map(|f| format!("{f:?} => {{}}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__entries, {f:?}, {name:?})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __entries = match __v {{\n\
+                     ::serde::Value::Map(entries) => entries,\n\
+                     other => return ::std::result::Result::Err(\n\
+                         ::serde::DeError::expected(concat!(\"map for struct `\", {name:?}, \"`\"), other)),\n\
+                 }};\n\
+                 for (__k, _) in __entries.iter() {{\n\
+                     match __k.as_str() {{\n\
+                         {known_arms}{comma} __other => return ::std::result::Result::Err(\n\
+                             ::serde::DeError::unknown_field(__other, {name:?})),\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                comma = if known_arms.is_empty() { "" } else { "," },
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let inits = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&__items[{i}])\n\
+                             .map_err(|e| e.at_index({i}))?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __items = match __v {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => items,\n\
+                     other => return ::std::result::Result::Err(\n\
+                         ::serde::DeError::expected(concat!(\"{n}-element sequence for `\", {name:?}, \"`\"), other)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Shape::Unit => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(\n\
+                     ::serde::DeError::expected(concat!(\"null for unit struct `\", {name:?}, \"`\"), other)),\n\
+             }}"
+        ),
+        Shape::FieldlessEnum(variants) => {
+            let mut arms = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            arms.push(' ');
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms}\n\
+                         other => ::std::result::Result::Err(\n\
+                             ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(\n\
+                         ::serde::DeError::expected(concat!(\"string for enum `\", {name:?}, \"`\"), other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
 }

@@ -7,8 +7,9 @@ use serde::Value;
 /// allowed, trailing garbage is an error. Number mapping: a token with a
 /// `.`/`e`/`E` parses as [`Value::Float`], a leading `-` as
 /// [`Value::Int`], anything else as [`Value::UInt`] (falling back to
-/// `Float` on overflow).
-pub fn from_str(s: &str) -> Result<Value, Error> {
+/// `Float` on overflow). The public, typed entry point is
+/// [`crate::from_str`].
+pub(crate) fn value_from_str(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -248,6 +249,10 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
     use crate::to_string;
+
+    fn from_str(s: &str) -> Result<Value, Error> {
+        value_from_str(s)
+    }
 
     #[test]
     fn scalars() {

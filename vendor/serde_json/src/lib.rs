@@ -1,23 +1,29 @@
-//! Hermetic JSON *writer and value-level reader* over the vendored
-//! [`serde`] data model.
+//! Hermetic JSON *reader and writer* over the vendored [`serde`] data
+//! model.
 //!
-//! Implements [`to_string`] / [`to_string_pretty`] and the value-level
+//! Implements [`to_string`] / [`to_string_pretty`] and the typed
 //! [`from_str`] — the only entry points the workspace uses. Output follows
 //! RFC 8259: strings are escaped (`"`, `\`, control characters),
 //! non-finite floats serialize as `null` (matching the real `serde_json`'s
 //! lossy float handling in `Value`), and map key order is the struct's
-//! declaration order. [`from_str`] parses any RFC 8259 document back into
-//! a [`Value`] tree (numbers with a fraction/exponent become
-//! [`Value::Float`], negative integers [`Value::Int`], other integers
-//! [`Value::UInt`]); typed deserialization stays out of scope — callers
-//! pattern-match the tree.
+//! declaration order. [`from_str`] parses any RFC 8259 document (numbers
+//! with a fraction/exponent become [`Value::Float`], negative integers
+//! [`Value::Int`], other integers [`Value::UInt`]) and lifts the tree into
+//! any [`serde::Deserialize`] type; `from_str::<Value>` keeps the
+//! value-level access the checkpoint journal replays rely on.
 
 mod de;
 
-pub use de::from_str;
-
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt::Write as _;
+
+/// Parse a JSON document and decode it into `T` (use `T = Value` for raw
+/// tree access). Both failure layers — malformed JSON and a well-formed
+/// document of the wrong shape — surface as [`Error`].
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = de::value_from_str(s)?;
+    T::from_value(&v).map_err(|e| Error::new(e.to_string()))
+}
 
 /// Serialization error. The writer itself is infallible, but the `Result`
 /// return keeps call sites source-compatible with the real `serde_json`.
@@ -162,6 +168,64 @@ mod tests {
     fn non_finite_floats_are_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn typed_from_str_roundtrip() {
+        // The derive pair is exercised end to end: struct with an optional
+        // field, a newtype, and a fieldless enum, through the writer and
+        // back through the typed reader.
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Knob(u32);
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Mode {
+            Fast,
+            Safe,
+        }
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Cfg {
+            name: String,
+            knob: Knob,
+            mode: Mode,
+            scale: f64,
+            limit: Option<u64>,
+        }
+        let cfg = Cfg {
+            name: "svc".into(),
+            knob: Knob(42),
+            mode: Mode::Safe,
+            scale: 1.5,
+            limit: None,
+        };
+        let text = to_string(&cfg).unwrap();
+        assert_eq!(
+            text,
+            r#"{"name":"svc","knob":42,"mode":"Safe","scale":1.5,"limit":null}"#
+        );
+        assert_eq!(from_str::<Cfg>(&text).unwrap(), cfg);
+        // Omitted Option field decodes as None; everything else is strict.
+        let partial = r#"{"name":"svc","knob":1,"mode":"Fast","scale":2.0}"#;
+        assert_eq!(from_str::<Cfg>(partial).unwrap().limit, None);
+        let unknown = r#"{"name":"svc","knob":1,"mode":"Fast","scale":2.0,"z":0}"#;
+        assert!(from_str::<Cfg>(unknown)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown field `z`"));
+        let missing = r#"{"name":"svc","mode":"Fast","scale":2.0}"#;
+        assert!(from_str::<Cfg>(missing)
+            .unwrap_err()
+            .to_string()
+            .contains("missing field `knob`"));
+        let wrong = r#"{"name":"svc","knob":"x","mode":"Fast","scale":2.0}"#;
+        assert!(from_str::<Cfg>(wrong)
+            .unwrap_err()
+            .to_string()
+            .contains("knob"));
+        let variant = r#"{"name":"svc","knob":1,"mode":"Turbo","scale":2.0}"#;
+        assert!(from_str::<Cfg>(variant)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown variant `Turbo`"));
     }
 
     #[test]
