@@ -1,0 +1,417 @@
+//! The supervisor: shard queue, worker lifecycles, crash retry, and the
+//! deterministic merge.
+//!
+//! Both execution modes drain one shared shard queue. **Spawn mode**
+//! runs up to [`RunConfig::workers`] `campaign-worker` child processes
+//! concurrently, each streaming `ItemResult` JSON lines on stdout and a
+//! final `{"done":true,...}` line; a child that exits without the done
+//! line (crash, kill, nonzero exit) has its shard pushed back and rerun
+//! by the next free slot, resuming from its per-shard checkpoint journal
+//! when [`RunConfig::journal_dir`] is set. **Connect mode** sends each
+//! shard as one `{"cmd":"shard",...}` LDJSON request to a remote
+//! `ltf-serve` daemon (one coordinator thread per address, one
+//! connection per shard); an address that fails is retired after its
+//! shard is requeued, so the remaining workers absorb its load.
+//!
+//! Results from any shard, attempt or transport funnel into one
+//! [`Merger`], which re-orders by global item index and rejects
+//! conflicting duplicates — the merged output is byte-identical to
+//! `campaign::run_serial` on the same spec, which the kill-a-worker
+//! tests and the CI smoke assert literally.
+
+use ltf_experiments::campaign::{render_lines, work_items, CampaignSpec, ItemResult, Merger};
+use ltf_experiments::checkpoint::{as_bool, as_str, as_u64, field};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How shards reach their workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// Spawn `campaign-worker` child processes on this machine.
+    Spawn,
+    /// Send shards to remote LDJSON daemons at these addresses.
+    Connect(Vec<String>),
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Shard count (the `N` of `K/N`; every shard is one worker run).
+    pub shards: usize,
+    /// Concurrent child processes in spawn mode (ignored in connect
+    /// mode, where concurrency is one in-flight shard per address).
+    pub workers: usize,
+    /// Transport: spawn children, or connect to remote daemons.
+    pub mode: Mode,
+    /// Per-shard checkpoint journals live here (spawn mode). `None`
+    /// disables journaling: a retried shard recomputes from scratch.
+    pub journal_dir: Option<PathBuf>,
+    /// Worker executable (spawn mode); defaults to this very binary
+    /// (`current_exe`), which carries the `campaign-worker` subcommand.
+    /// `ltf-experiments` works too — the subcommand is identical.
+    pub worker_bin: Option<PathBuf>,
+    /// How many times a shard may be rerun after a crash before the
+    /// campaign fails.
+    pub retries: usize,
+    /// `--threads` forwarded to each spawned worker.
+    pub worker_threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            workers: 2,
+            mode: Mode::Spawn,
+            journal_dir: None,
+            worker_bin: None,
+            retries: 3,
+            worker_threads: 1,
+        }
+    }
+}
+
+/// The outcome of a distributed campaign run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The merged canonical output: one JSON line per front row, in
+    /// global item order — byte-identical to a serial run.
+    pub lines: Vec<String>,
+    /// Work items merged.
+    pub items: usize,
+    /// Shard reruns that were needed (0 on a crash-free run).
+    pub retries_used: usize,
+}
+
+/// The journal path of shard `k` of `n` under `dir`. The shard count is
+/// part of the name: re-running the same spec with a different `N`
+/// repartitions the items, so shard journals must not be shared across
+/// partitions (item keys would cross-replay fine — they are global —
+/// but keeping partitions separate keeps each file a clean prefix of
+/// its own shard).
+pub fn shard_journal(dir: &Path, k: usize, n: usize) -> PathBuf {
+    dir.join(format!("shard-{k}-of-{n}.jsonl"))
+}
+
+/// Run the campaign distributed per `cfg` and merge the result.
+/// `spec_path` is the spec file handed to spawned workers (both sides
+/// re-expand it; connect mode embeds the parsed spec in the request
+/// instead).
+pub fn run_campaign(
+    spec_path: &Path,
+    spec: &CampaignSpec,
+    cfg: &RunConfig,
+) -> Result<RunReport, String> {
+    if cfg.shards == 0 {
+        return Err("campaign: shard count must be ≥ 1".into());
+    }
+    let expected = work_items(&spec.expand().map_err(|e| e.to_string())?).len();
+    if let Some(dir) = &cfg.journal_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("journal dir {}: {e}", dir.display()))?;
+    }
+
+    // The shared shard queue: (shard index, attempts so far).
+    let queue: Mutex<VecDeque<(usize, usize)>> =
+        Mutex::new((0..cfg.shards).map(|k| (k, 0)).collect());
+    let merger = Mutex::new(Merger::new(expected));
+    let retries_used = AtomicUsize::new(0);
+    let fatal: Mutex<Option<String>> = Mutex::new(None);
+
+    let set_fatal = |msg: String| {
+        let mut f = fatal.lock().unwrap();
+        if f.is_none() {
+            *f = Some(msg);
+        }
+    };
+    let pop = || -> Option<(usize, usize)> {
+        if fatal.lock().unwrap().is_some() {
+            return None; // stop draining once the run is doomed
+        }
+        queue.lock().unwrap().pop_front()
+    };
+    // One shard attempt failed: requeue within the retry budget.
+    let handle_failure = |k: usize, attempts: usize, err: String| {
+        if attempts >= cfg.retries {
+            set_fatal(format!(
+                "campaign: shard {k}/{} failed {} time(s), giving up: {err}",
+                cfg.shards,
+                attempts + 1
+            ));
+        } else {
+            eprintln!(
+                "campaign: shard {k}/{} attempt {} failed ({err}); reassigning",
+                cfg.shards,
+                attempts + 1
+            );
+            retries_used.fetch_add(1, Ordering::Relaxed);
+            queue.lock().unwrap().push_back((k, attempts + 1));
+        }
+    };
+    let absorb = |results: Vec<ItemResult>| {
+        let mut m = merger.lock().unwrap();
+        for r in results {
+            if let Err(e) = m.insert(r) {
+                set_fatal(e);
+                return;
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        match &cfg.mode {
+            Mode::Spawn => {
+                for _ in 0..cfg.workers.max(1) {
+                    s.spawn(|| {
+                        while let Some((k, attempts)) = pop() {
+                            match spawn_shard(spec_path, cfg, k) {
+                                Ok(results) => absorb(results),
+                                Err(e) => handle_failure(k, attempts, e),
+                            }
+                        }
+                    });
+                }
+            }
+            Mode::Connect(addrs) => {
+                for addr in addrs {
+                    s.spawn(move || {
+                        while let Some((k, attempts)) = pop() {
+                            match connect_shard(addr, spec, cfg.shards, k) {
+                                Ok(results) => absorb(results),
+                                Err(e) => {
+                                    handle_failure(k, attempts, e);
+                                    // The address failed a whole shard
+                                    // round-trip: retire it and let the
+                                    // surviving addresses take the queue.
+                                    eprintln!("campaign: retiring worker address {addr}");
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    });
+
+    if let Some(msg) = fatal.into_inner().unwrap() {
+        return Err(msg);
+    }
+    // All workers retired with shards still queued (connect mode with
+    // every address dead) surfaces here as missing items.
+    let results = merger.into_inner().unwrap().finish()?;
+    let items = results.len();
+    Ok(RunReport {
+        lines: render_lines(&results),
+        items,
+        retries_used: retries_used.into_inner(),
+    })
+}
+
+/// Run shard `k` as a child process, collecting its streamed results.
+/// Success requires both the `{"done":true,...}` line *and* a clean
+/// exit — a worker killed after its last item but before the done line
+/// still counts as crashed (its journal makes the rerun cheap).
+fn spawn_shard(spec_path: &Path, cfg: &RunConfig, k: usize) -> Result<Vec<ItemResult>, String> {
+    let bin = match &cfg.worker_bin {
+        Some(p) => p.clone(),
+        None => std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+    };
+    let mut cmd = Command::new(&bin);
+    cmd.arg("campaign-worker")
+        .arg("--spec")
+        .arg(spec_path)
+        .arg("--shard")
+        .arg(format!("{k}/{}", cfg.shards))
+        .arg("--threads")
+        .arg(cfg.worker_threads.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped());
+    if let Some(dir) = &cfg.journal_dir {
+        cmd.arg("--checkpoint")
+            .arg(shard_journal(dir, k, cfg.shards));
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut results = Vec::new();
+    let mut saw_done = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // pipe died with the worker; wait() decides
+        };
+        match parse_worker_line(&line) {
+            Some(WorkerLine::Result(r)) => results.push(r),
+            Some(WorkerLine::Done { items }) => saw_done = Some(items),
+            None => {
+                // A torn write from a dying worker, or stray noise:
+                // ignore it — correctness rests on the journal and the
+                // done/exit handshake, not on every stdout byte.
+                eprintln!(
+                    "campaign: ignoring unparseable worker line ({} bytes)",
+                    line.len()
+                );
+            }
+        }
+    }
+    let status = child.wait().map_err(|e| format!("wait: {e}"))?;
+    if !status.success() {
+        return Err(format!("worker exited with {status}"));
+    }
+    match saw_done {
+        None => return Err("worker exited without its done line".into()),
+        Some(n) if n as usize != results.len() => {
+            return Err(format!(
+                "worker reported {n} item(s) but streamed {}",
+                results.len()
+            ));
+        }
+        Some(_) => {}
+    }
+    Ok(results)
+}
+
+/// One parsed worker stdout line.
+enum WorkerLine {
+    Result(ItemResult),
+    Done { items: u64 },
+}
+
+fn parse_worker_line(line: &str) -> Option<WorkerLine> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    if let Some(done) = field(&v, "done").and_then(as_bool) {
+        if done {
+            let items = field(&v, "items").and_then(as_u64).unwrap_or(0);
+            return Some(WorkerLine::Done { items });
+        }
+        return None;
+    }
+    ItemResult::from_value(&v).ok().map(WorkerLine::Result)
+}
+
+/// The `{"cmd":"shard",...}` request line for shard `k` of `n`, with the
+/// parsed spec embedded (the remote worker has no spec file).
+pub fn shard_request_line(spec: &CampaignSpec, k: usize, n: usize, id: u64) -> String {
+    let v = Value::Map(vec![
+        ("cmd".to_string(), Value::Str("shard".to_string())),
+        ("id".to_string(), Value::UInt(id)),
+        ("spec".to_string(), spec.to_value()),
+        ("shard".to_string(), Value::Str(format!("{k}/{n}"))),
+    ]);
+    serde_json::to_string(&v).expect("value writer is infallible")
+}
+
+/// Decode a `shard` response line into its results, surfacing protocol
+/// errors (`"ok":false` replies) as text.
+pub fn parse_shard_response(line: &str) -> Result<Vec<ItemResult>, String> {
+    let v: Value =
+        serde_json::from_str(line).map_err(|e| format!("unparseable shard response: {e}"))?;
+    if field(&v, "ok").and_then(as_bool) != Some(true) {
+        let kind = field(&v, "error").and_then(as_str).unwrap_or("unknown");
+        let msg = field(&v, "message").and_then(as_str).unwrap_or("");
+        return Err(format!("worker rejected shard: {kind}: {msg}"));
+    }
+    let Some(Value::Seq(items)) = field(&v, "results") else {
+        return Err("shard response has no results array".into());
+    };
+    items
+        .iter()
+        .map(|r| ItemResult::from_value(r).map_err(|e| format!("bad result in response: {e}")))
+        .collect()
+}
+
+/// Run shard `k` remotely: one TCP connection, one request line, one
+/// response line.
+fn connect_shard(
+    addr: &str,
+    spec: &CampaignSpec,
+    n: usize,
+    k: usize,
+) -> Result<Vec<ItemResult>, String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let req = shard_request_line(spec, k, n, k as u64);
+    stream
+        .write_all(req.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    if line.is_empty() {
+        return Err(format!("{addr} closed the connection without replying"));
+    }
+    parse_shard_response(line.trim_end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::parse(
+            r#"{"name":"t","graphs":["fig1"],"heuristics":["rltf"],"epsilons":[{"max":1}]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_request_roundtrips_through_value() {
+        let spec = tiny_spec();
+        let line = shard_request_line(&spec, 1, 4, 7);
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(field(&v, "cmd").and_then(as_str), Some("shard"));
+        assert_eq!(field(&v, "shard").and_then(as_str), Some("1/4"));
+        assert_eq!(field(&v, "id").and_then(as_u64), Some(7));
+        let spec_v = field(&v, "spec").unwrap();
+        let decoded = CampaignSpec::from_value(spec_v).unwrap();
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn shard_response_errors_are_surfaced() {
+        let err = parse_shard_response(
+            r#"{"ok":false,"error":"bad-request","message":"spec: axis \"graphs\" is empty"}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("bad-request") && err.contains("graphs"),
+            "{err}"
+        );
+        let err = parse_shard_response("not json").unwrap_err();
+        assert!(err.contains("unparseable"), "{err}");
+        let err = parse_shard_response(r#"{"ok":true}"#).unwrap_err();
+        assert!(err.contains("no results"), "{err}");
+    }
+
+    #[test]
+    fn worker_lines_parse_results_done_and_noise() {
+        assert!(matches!(
+            parse_worker_line(r#"{"done":true,"shard":"0/2","items":3}"#),
+            Some(WorkerLine::Done { items: 3 })
+        ));
+        assert!(parse_worker_line("garbage").is_none());
+        assert!(parse_worker_line(r#"{"done":false}"#).is_none());
+        let r = r#"{"item":4,"experiment":1,"label":"fig1/rltf/eps=all","seed":9,"rows":[]}"#;
+        match parse_worker_line(r) {
+            Some(WorkerLine::Result(ir)) => {
+                assert_eq!(ir.item, 4);
+                assert_eq!(ir.label, "fig1/rltf/eps=all");
+            }
+            _ => panic!("result line must parse"),
+        }
+    }
+
+    #[test]
+    fn shard_journal_names_partition() {
+        let p = shard_journal(Path::new("/tmp/j"), 2, 5);
+        assert_eq!(p, PathBuf::from("/tmp/j/shard-2-of-5.jsonl"));
+    }
+}

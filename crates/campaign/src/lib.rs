@@ -1,0 +1,22 @@
+//! Distributed campaign coordinator for the LTF / R-LTF experiment stack.
+//!
+//! The `ltf-campaign` binary wraps this library: it loads a declarative
+//! JSON campaign spec (see `docs/campaign-spec.md`), shards the expanded
+//! work-item list round-robin across worker processes — either spawned
+//! `campaign-worker` children or remote `ltf-serve` daemons speaking the
+//! LDJSON protocol over TCP (`docs/protocol.md`) — supervises them
+//! (a crashed worker's shard is reassigned and, when journaling is on,
+//! resumed from its partial checkpoint), and merges the per-shard results
+//! into output **byte-identical** to a single-process run.
+//!
+//! The identity is structural, not statistical: sharding is a pure
+//! function of the spec (`ltf_core::shard`), per-item seeds derive from
+//! expansion order alone, and the merge re-orders by global item index —
+//! so worker count, crash timing and arrival interleaving cannot leak
+//! into the output. The merge also cross-checks determinism at runtime:
+//! an item computed twice with different bytes fails the run instead of
+//! silently picking a winner.
+
+pub mod coordinator;
+
+pub use coordinator::{run_campaign, Mode, RunConfig, RunReport};

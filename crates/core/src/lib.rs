@@ -63,6 +63,7 @@ mod engine;
 pub mod par;
 pub mod prio;
 pub mod search;
+pub mod shard;
 pub mod solver;
 
 #[allow(deprecated)]

@@ -184,6 +184,12 @@ pub struct ParetoOptions {
     /// Cap on the swept fault-tolerance degree (default: `m − 1`, the
     /// largest ε any prefix can support).
     pub max_epsilon: Option<u8>,
+    /// Floor on the swept fault-tolerance degree (default: 0). Together
+    /// with [`max_epsilon`](Self::max_epsilon) this restricts the sweep to
+    /// an ε band — campaign specs use it to split one enumeration into
+    /// disjoint ε ranges whose fronts cover exactly the same cells as a
+    /// single full sweep.
+    pub min_epsilon: Option<u8>,
     /// Latency budget: candidate schedules whose guaranteed latency
     /// exceeds it never enter the front.
     pub max_latency: Option<f64>,
@@ -210,6 +216,7 @@ impl Default for ParetoOptions {
     fn default() -> Self {
         Self {
             max_epsilon: None,
+            min_epsilon: None,
             max_latency: None,
             max_procs: None,
             relax_steps: 3,
@@ -252,6 +259,29 @@ impl ParetoOptions {
 /// not an exact oracle, so the true Pareto surface can only be
 /// approximated — same caveat as the single-objective searches); it is
 /// returned sorted by (ε, processors, period) for deterministic output.
+///
+/// ```
+/// use ltf_core::search::pareto::{pareto_front, ParetoOptions};
+/// use ltf_core::Ltf;
+/// use ltf_graph::generate::fig1_diamond;
+/// use ltf_platform::Platform;
+///
+/// let g = fig1_diamond();
+/// let p = Platform::fig1_platform();
+///
+/// // Restrict the sweep to replicated schedules on at most 3 processors.
+/// let opts = ParetoOptions {
+///     min_epsilon: Some(1),
+///     max_procs: Some(3),
+///     ..ParetoOptions::default()
+/// };
+/// let front = pareto_front(&g, &p, &Ltf, &opts);
+/// assert!(!front.is_empty());
+/// assert!(front.iter().all(|pt| pt.objectives.epsilon >= 1));
+/// assert!(front.iter().all(|pt| pt.platform_procs <= 3));
+/// // Every point carries a witness schedule proving it is achievable.
+/// assert!(front.iter().all(|pt| pt.solution.schedule.epsilon() == pt.objectives.epsilon));
+/// ```
 pub fn pareto_front(
     g: &TaskGraph,
     p: &Platform,
@@ -316,7 +346,11 @@ fn cell_sweep(
     if let Some(cap) = opts.max_epsilon {
         eps_cap = eps_cap.min(cap);
     }
-    for eps in 0..=eps_cap {
+    let eps_lo = opts.min_epsilon.unwrap_or(0);
+    if eps_lo > eps_cap {
+        return;
+    }
+    for eps in eps_lo..=eps_cap {
         let sopts = SearchOptions {
             epsilon: eps,
             max_latency: opts.max_latency,
@@ -506,6 +540,45 @@ mod tests {
             * 0.5;
         let capped = pareto_front(&g, &p, &Rltf, &ParetoOptions::with_latency_cap(cap));
         assert!(capped.iter().all(|pt| pt.objectives.latency <= cap + 1e-9));
+    }
+
+    #[test]
+    fn epsilon_band_partitions_sweep() {
+        // Splitting the ε axis into disjoint bands visits exactly the
+        // cells of the full sweep, so pruning the union of the band
+        // candidates must reproduce the full front (this is what lets a
+        // campaign spec shard one enumeration into ε ranges).
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let full = fig1_front();
+        let band = |lo: u8, hi: u8| {
+            pareto_front(
+                &g,
+                &p,
+                &Rltf,
+                &ParetoOptions {
+                    min_epsilon: Some(lo),
+                    max_epsilon: Some(hi),
+                    ..Default::default()
+                },
+            )
+        };
+        let low = band(0, 1);
+        let high = band(2, u8::MAX);
+        assert!(low.iter().all(|pt| pt.objectives.epsilon <= 1));
+        assert!(high.iter().all(|pt| pt.objectives.epsilon >= 2));
+        let mut union: Vec<ParetoPoint> = low;
+        union.extend(high);
+        let merged = prune(union);
+        assert_eq!(merged.len(), full.len());
+        for (a, b) in merged.iter().zip(&full) {
+            assert_eq!(a.objectives, b.objectives);
+        }
+        // An empty band (floor above every reachable ε) yields no points.
+        assert!(band(200, u8::MAX).is_empty());
+        // min_epsilon: None behaves exactly like Some(0).
+        let explicit_zero = band(0, u8::MAX);
+        assert_eq!(explicit_zero.len(), full.len());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Deterministic partitioning of a work-item key space across workers.
+//!
+//! The campaign runner (and any other distributed driver) splits an
+//! ordered list of work items across `of` shards by round-robin on the
+//! item index: shard `k` owns exactly the items `i` with `i % of == k`.
+//! The assignment depends only on `(index, of)` — never on worker count,
+//! timing, or which process asks — so two runs with the same item list
+//! and shard count agree on ownership, a crashed shard can be recomputed
+//! by any other process, and the union of all shards is a partition
+//! (every item owned exactly once, proven by the tests below).
+//!
+//! ```
+//! use ltf_core::shard::Shard;
+//!
+//! let shard: Shard = "1/4".parse().unwrap();
+//! assert!(shard.owns(5) && !shard.owns(6));
+//! assert_eq!(shard.indices(10), vec![1, 5, 9]);
+//! // The trivial shard owns everything (a single-process run).
+//! assert!(Shard::solo().owns(7));
+//! ```
+
+/// One shard of a round-robin partition: this worker's index and the
+/// total shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    index: usize,
+    of: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `of`. Returns an error text when `of` is zero or
+    /// `index` is out of range.
+    pub fn new(index: usize, of: usize) -> Result<Self, String> {
+        if of == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= of {
+            return Err(format!("shard index {index} out of range (0..{of})"));
+        }
+        Ok(Self { index, of })
+    }
+
+    /// The trivial partition: one shard owning every item (the
+    /// single-process run every distributed result is compared against).
+    pub fn solo() -> Self {
+        Self { index: 0, of: 1 }
+    }
+
+    /// This shard's index (0-based).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub fn of(&self) -> usize {
+        self.of
+    }
+
+    /// Whether this shard owns work item `i`.
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.of == self.index
+    }
+
+    /// The indices this shard owns among `total` items, ascending.
+    pub fn indices(&self, total: usize) -> Vec<usize> {
+        (self.index..total).step_by(self.of).collect()
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = String;
+
+    /// Parse `"K/N"` (shard K of N).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (k, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {s:?}: expected K/N"))?;
+        let index: usize = k
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard spec {s:?}: bad index {k:?}"))?;
+        let of: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard spec {s:?}: bad count {n:?}"))?;
+        Self::new(index, of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_item_owned_by_exactly_one_shard() {
+        for of in 1..=7usize {
+            for item in 0..100usize {
+                let owners = (0..of)
+                    .filter(|&k| Shard::new(k, of).unwrap().owns(item))
+                    .count();
+                assert_eq!(owners, 1, "item {item} of {of} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn indices_match_owns() {
+        let shard = Shard::new(2, 3).unwrap();
+        let idx = shard.indices(11);
+        assert_eq!(idx, vec![2, 5, 8]);
+        for i in 0..11 {
+            assert_eq!(shard.owns(i), idx.contains(&i));
+        }
+        assert!(Shard::new(0, 4).unwrap().indices(0).is_empty());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let shard: Shard = "1/4".parse().unwrap();
+        assert_eq!((shard.index(), shard.of()), (1, 4));
+        assert_eq!(shard.to_string(), "1/4");
+        assert_eq!(shard.to_string().parse::<Shard>().unwrap(), shard);
+        assert_eq!(Shard::solo(), "0/1".parse().unwrap());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("".parse::<Shard>().is_err());
+        assert!("3".parse::<Shard>().is_err());
+        assert!("a/4".parse::<Shard>().is_err());
+        assert!("1/x".parse::<Shard>().is_err());
+        assert!("4/4".parse::<Shard>().is_err(), "index out of range");
+        assert!("0/0".parse::<Shard>().is_err(), "zero shards");
+        assert!(Shard::new(0, 0).is_err());
+        assert!(Shard::new(5, 5).is_err());
+    }
+}

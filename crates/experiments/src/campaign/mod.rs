@@ -1,0 +1,28 @@
+//! Declarative experiment campaigns: spec → matrix → sharded, checkpointed
+//! execution → deterministic merge.
+//!
+//! A campaign is described by a JSON [`spec`] file (graph
+//! families × heuristics × ε ranges × platform sizes × instance counts),
+//! expanded into an ordered experiment matrix and flattened into a global
+//! work-item list. The [`worker`] side runs one round-robin
+//! shard of that list — journaling each completed item to a PR 5
+//! checkpoint so a killed worker resumes instead of recomputing — and the
+//! [`merge`] side recombines per-shard results into output
+//! **byte-identical** to a single-process run, failing loudly on missing
+//! items or nondeterministic duplicates.
+//!
+//! The `ltf-campaign` binary builds the multi-process coordinator
+//! (spawned workers or remote LDJSON shards) on top of exactly these
+//! pieces; `ltf-experiments campaign-worker` exposes the shard runner as
+//! a subcommand. See `docs/campaign-spec.md` for the spec format and
+//! `ARCHITECTURE.md` for where campaigns sit in the stack.
+
+pub mod merge;
+pub mod spec;
+pub mod worker;
+
+pub use merge::{render_item, render_lines, run_serial, Merger};
+pub use spec::{CampaignSpec, EpsRange, Experiment, SpecError, DEFAULT_SEED};
+pub use worker::{
+    compute_item, journal_key, run_shard, work_items, worker_main, ItemResult, WorkItem, ABORT_ENV,
+};

@@ -1,0 +1,351 @@
+//! The declarative campaign spec: JSON format, validation, and expansion
+//! into the experiment matrix.
+//!
+//! A spec file declares axes — graph families × heuristics × ε ranges ×
+//! platform sizes × utilizations × granularities — plus an instance count
+//! and shared enumeration budgets. [`CampaignSpec::expand`] validates
+//! every axis and takes the cartesian product into an ordered list of
+//! [`Experiment`]s; the order (and the per-instance seeds derived from
+//! it) depends only on the spec, never on how the work is later sharded,
+//! which is what makes a distributed run byte-identical to a serial one.
+//! See `docs/campaign-spec.md` for the full field reference.
+
+use crate::pareto::ParetoInstance;
+use crate::workload::PaperWorkload;
+use ltf_baselines::full_solver;
+use ltf_core::search::pareto::ParetoOptions;
+use ltf_graph::generate::fig1_diamond;
+use ltf_platform::Platform;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Default base seed of a campaign (`"seed"` absent).
+pub const DEFAULT_SEED: u64 = 0xB10B5EED;
+
+/// One inclusive ε band of the sweep. Both bounds optional: `{}` means
+/// the full `0..=m−1` range, `{"min": 1}` drops the fault-free row,
+/// `{"max": 2}` caps the degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpsRange {
+    /// Smallest swept ε (default 0).
+    pub min: Option<u8>,
+    /// Largest swept ε (default `m − 1` per platform prefix).
+    pub max: Option<u8>,
+}
+
+impl EpsRange {
+    /// Compact label used in experiment names.
+    fn label(&self) -> String {
+        match (self.min, self.max) {
+            (None, None) => "eps=all".to_string(),
+            (Some(a), None) => format!("eps={a}.."),
+            (None, Some(b)) => format!("eps=..{b}"),
+            (Some(a), Some(b)) => format!("eps={a}..{b}"),
+        }
+    }
+}
+
+/// A declarative experiment campaign, as parsed from a JSON spec file.
+///
+/// Every axis field is a list; the expansion is the cartesian product of
+/// all axes. Workload-model axes (`platform_procs`, `utilizations`,
+/// `granularities`, `instances`) only apply to the `"workload"` graph
+/// family — the fig worked examples pin their own platform, so those axes
+/// collapse to a single experiment per (figure, heuristic, ε range).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name: prefixes journal keys and output labels.
+    pub name: String,
+    /// Base seed; per-instance seeds derive deterministically from it
+    /// (default [`DEFAULT_SEED`]).
+    pub seed: Option<u64>,
+    /// Random instances per workload experiment (default 1; must be ≥ 1).
+    pub instances: Option<usize>,
+    /// Graph families: any of `fig1`, `fig2`, `fig2-variant`, `workload`.
+    pub graphs: Vec<String>,
+    /// Heuristic registry names, or `"all"` for the cross-heuristic merge.
+    pub heuristics: Vec<String>,
+    /// ε bands to sweep (default one full-range band).
+    pub epsilons: Option<Vec<EpsRange>>,
+    /// Platform sizes for generated workload instances (default `[20]`).
+    pub platform_procs: Option<Vec<usize>>,
+    /// Target utilizations `U*` for workload calibration (default `[0.25]`).
+    pub utilizations: Option<Vec<f64>>,
+    /// Target granularities `g(G, P)` (default `[1.0]`).
+    pub granularities: Option<Vec<f64>>,
+    /// Latency budget forwarded to the enumeration (`ParetoOptions`).
+    pub max_latency: Option<f64>,
+    /// Processor budget forwarded to the enumeration.
+    pub max_procs: Option<usize>,
+    /// Relaxed-period probe budget per cell (default 3).
+    pub relax_steps: Option<u32>,
+    /// Period-bisection iterations per cell (default 40).
+    pub iterations: Option<u32>,
+}
+
+/// Typed spec rejection: each validation class is its own variant, so
+/// callers (and the error-corpus tests) can tell a malformed document
+/// from an empty axis from a bad ε band without string matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The file could not be read.
+    Io(String),
+    /// Malformed JSON, an unknown field, or a wrong-typed field — the
+    /// strict derived decoder's message, verbatim.
+    Parse(String),
+    /// A declared axis list is empty, so the matrix has no cells.
+    EmptyAxis(&'static str),
+    /// An ε band with `min > max` matches no degree at all.
+    BadEpsilonRange {
+        /// The band's floor.
+        min: u8,
+        /// The band's ceiling.
+        max: u8,
+    },
+    /// A field value outside its domain (zero instances, nonpositive
+    /// utilization…), with the offending field and value named.
+    BadValue(String),
+    /// A graph family name `ParetoInstance::parse` does not know.
+    UnknownGraph(String),
+    /// A heuristic name the solver registry does not know.
+    UnknownHeuristic(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "spec: {e}"),
+            Self::Parse(e) => write!(f, "spec: {e}"),
+            Self::EmptyAxis(axis) => write!(f, "spec: axis {axis:?} is empty"),
+            Self::BadEpsilonRange { min, max } => {
+                write!(f, "spec: epsilon range min={min} > max={max} is empty")
+            }
+            Self::BadValue(msg) => write!(f, "spec: {msg}"),
+            Self::UnknownGraph(g) => write!(
+                f,
+                "spec: unknown graph family {g:?} (known: fig1, fig2, fig2-variant, workload)"
+            ),
+            Self::UnknownHeuristic(h) => write!(f, "spec: unknown heuristic {h:?} (or \"all\")"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One cell of the expanded matrix: everything a worker needs to generate
+/// its instances and enumerate their fronts. Experiments are *not* sent
+/// over the wire — both sides re-expand the spec, and the expansion is
+/// deterministic, so indices and seeds always agree.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Position in the expansion order (stable across runs and shards).
+    pub index: usize,
+    /// Human-readable cell label, e.g. `workload/rltf/eps=all/m=20/u=0.25/g=1`.
+    pub label: String,
+    /// Which instance family the cell enumerates on.
+    pub family: ParetoInstance,
+    /// Heuristic registry name, or `"all"`.
+    pub algo: String,
+    /// Calibrated workload parameters (fig families ignore all but
+    /// `utilization`, which their `build` signature carries through).
+    pub workload: PaperWorkload,
+    /// Random instances in this cell (1 for fig families).
+    pub instances: usize,
+    /// First instance seed of the cell; instance `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Per-instance enumeration options (ε band, budgets; threads = 1 —
+    /// parallelism lives across work items, not inside one).
+    pub opts: ParetoOptions,
+}
+
+impl CampaignSpec {
+    /// Parse a spec document. Unknown fields, wrong types and malformed
+    /// JSON all surface as [`SpecError::Parse`] with the decoder's
+    /// message.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))
+    }
+
+    /// Read and parse a spec file.
+    pub fn load(path: &Path) -> Result<Self, SpecError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// FNV-1a fingerprint of the canonical serialized spec. Journal keys
+    /// embed it so a checkpoint file is never cross-replayed between
+    /// different campaign configurations.
+    pub fn signature(&self) -> u64 {
+        let text = serde_json::to_string(self).expect("value writer is infallible");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Validate every axis and expand the cartesian product into the
+    /// ordered experiment list. The order — and therefore every derived
+    /// index and seed — depends only on the spec.
+    pub fn expand(&self) -> Result<Vec<Experiment>, SpecError> {
+        self.validate()?;
+        let instances = self.instances.unwrap_or(1);
+        let epsilons = self.epsilons.clone().unwrap_or_else(|| {
+            vec![EpsRange {
+                min: None,
+                max: None,
+            }]
+        });
+        let procs_axis = self.platform_procs.clone().unwrap_or_else(|| vec![20]);
+        let util_axis = self.utilizations.clone().unwrap_or_else(|| vec![0.25]);
+        let gran_axis = self.granularities.clone().unwrap_or_else(|| vec![1.0]);
+        let seed = self.seed.unwrap_or(DEFAULT_SEED);
+
+        let mut out = Vec::new();
+        for graph in &self.graphs {
+            let family = ParetoInstance::parse(graph).expect("validated");
+            // Fig worked examples pin their own graph and platform: the
+            // workload axes collapse to one point and instances to 1.
+            let workloadish = family == ParetoInstance::Workload;
+            let one_usize = vec![procs_axis[0]];
+            let one_util = vec![util_axis[0]];
+            let one_gran = vec![gran_axis[0]];
+            let (procs, utils, grans, inst_count) = if workloadish {
+                (&procs_axis, &util_axis, &gran_axis, instances)
+            } else {
+                (&one_usize, &one_util, &one_gran, 1)
+            };
+            for algo in &self.heuristics {
+                for eps in &epsilons {
+                    for &m in procs {
+                        for &u in utils {
+                            for &g in grans {
+                                let index = out.len();
+                                let mut label = format!("{graph}/{algo}/{}", eps.label());
+                                if workloadish {
+                                    label = format!("{label}/m={m}/u={u}/g={g}");
+                                }
+                                out.push(Experiment {
+                                    index,
+                                    label,
+                                    family,
+                                    algo: algo.clone(),
+                                    workload: PaperWorkload {
+                                        procs: m,
+                                        utilization: u,
+                                        granularity: g,
+                                        ..Default::default()
+                                    },
+                                    instances: inst_count,
+                                    base_seed: seed.wrapping_add(
+                                        (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                    ),
+                                    opts: ParetoOptions {
+                                        min_epsilon: eps.min,
+                                        max_epsilon: eps.max,
+                                        max_latency: self.max_latency,
+                                        max_procs: self.max_procs,
+                                        relax_steps: self.relax_steps.unwrap_or(3),
+                                        iterations: self.iterations.unwrap_or(40),
+                                        ..Default::default()
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        if self.name.trim().is_empty() {
+            return Err(SpecError::BadValue("\"name\" must be non-empty".into()));
+        }
+        if self.graphs.is_empty() {
+            return Err(SpecError::EmptyAxis("graphs"));
+        }
+        if self.heuristics.is_empty() {
+            return Err(SpecError::EmptyAxis("heuristics"));
+        }
+        for (axis, empty) in [
+            (
+                "epsilons",
+                self.epsilons.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "platform_procs",
+                self.platform_procs.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "utilizations",
+                self.utilizations.as_ref().is_some_and(Vec::is_empty),
+            ),
+            (
+                "granularities",
+                self.granularities.as_ref().is_some_and(Vec::is_empty),
+            ),
+        ] {
+            if empty {
+                return Err(SpecError::EmptyAxis(axis));
+            }
+        }
+        for eps in self.epsilons.iter().flatten() {
+            if let (Some(min), Some(max)) = (eps.min, eps.max) {
+                if min > max {
+                    return Err(SpecError::BadEpsilonRange { min, max });
+                }
+            }
+        }
+        if self.instances == Some(0) {
+            return Err(SpecError::BadValue("\"instances\" must be ≥ 1".into()));
+        }
+        for &m in self.platform_procs.iter().flatten() {
+            if m == 0 {
+                return Err(SpecError::BadValue(
+                    "\"platform_procs\" entries must be ≥ 1".into(),
+                ));
+            }
+        }
+        for &u in self.utilizations.iter().flatten() {
+            if !(u > 0.0 && u.is_finite()) {
+                return Err(SpecError::BadValue(format!(
+                    "\"utilizations\" entry {u} must be a positive finite number"
+                )));
+            }
+        }
+        for &g in self.granularities.iter().flatten() {
+            if !(g > 0.0 && g.is_finite()) {
+                return Err(SpecError::BadValue(format!(
+                    "\"granularities\" entry {g} must be a positive finite number"
+                )));
+            }
+        }
+        if let Some(l) = self.max_latency {
+            if !(l > 0.0 && l.is_finite()) {
+                return Err(SpecError::BadValue(format!(
+                    "\"max_latency\" {l} must be a positive finite number"
+                )));
+            }
+        }
+        for graph in &self.graphs {
+            if ParetoInstance::parse(graph).is_none() {
+                return Err(SpecError::UnknownGraph(graph.clone()));
+            }
+        }
+        // The registry is instance-independent; probe it on the smallest
+        // worked example (same trick as `workload_sweep`'s pre-check).
+        let g = fig1_diamond();
+        let p = Platform::fig1_platform();
+        let solver = full_solver(&g, &p);
+        for algo in &self.heuristics {
+            if algo != "all" && solver.heuristic(algo).is_none() {
+                return Err(SpecError::UnknownHeuristic(algo.clone()));
+            }
+        }
+        Ok(())
+    }
+}

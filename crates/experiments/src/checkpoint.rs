@@ -28,6 +28,30 @@ use std::io::{self, BufRead, BufReader, BufWriter, Seek, Write};
 use std::path::{Path, PathBuf};
 
 /// An append-only JSON-lines journal of completed work items.
+///
+/// ```
+/// use ltf_experiments::checkpoint::{as_u64, Checkpoint};
+///
+/// let path = std::env::temp_dir().join(format!("ckpt-doc-{}.jsonl", std::process::id()));
+/// let _ = std::fs::remove_file(&path);
+///
+/// // First run: journal two completed items, then stop (crash, kill…).
+/// let mut ckpt = Checkpoint::open(&path, |_, _| unreachable!("fresh journal")).unwrap();
+/// ckpt.record("item=0", &7u64).unwrap();
+/// ckpt.record("item=1", &8u64).unwrap();
+/// drop(ckpt);
+///
+/// // Resume: the completed records replay instead of recomputing.
+/// let mut replayed = Vec::new();
+/// let ckpt = Checkpoint::open(&path, |key, record| {
+///     replayed.push((key.to_string(), as_u64(record).unwrap()));
+///     true // accepted → the key joins the done-set
+/// }).unwrap();
+/// assert_eq!(replayed, [("item=0".to_string(), 7), ("item=1".to_string(), 8)]);
+/// assert!(ckpt.contains("item=0"));
+/// assert_eq!(ckpt.len(), 2);
+/// # std::fs::remove_file(ckpt.path()).unwrap();
+/// ```
 pub struct Checkpoint {
     path: PathBuf,
     out: BufWriter<File>,

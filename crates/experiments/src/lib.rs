@@ -16,14 +16,21 @@
 //!   thousands-of-instances [`pareto::workload_sweep`].
 //! * [`checkpoint`] — streamed JSON-lines journals with kill-safe
 //!   resume-on-restart for the long-running sweeps.
+//! * [`campaign`] — declarative JSON campaign specs expanded into an
+//!   experiment matrix, run as round-robin shards over the checkpoint
+//!   journals, and merged back byte-identical to a serial run (the
+//!   `ltf-campaign` coordinator drives multiple worker processes through
+//!   this module).
 //! * [`stats`], [`ascii`] — aggregation, CSV and terminal charts.
 //!
 //! The `ltf-experiments` binary exposes all of this on the command line;
 //! `cargo run -p ltf-experiments --release -- all` regenerates every
-//! figure of the paper.
+//! figure of the paper, and `ltf-experiments campaign-worker` runs one
+//! shard of a campaign spec (see `docs/campaign-spec.md`).
 
 pub mod ablation;
 pub mod ascii;
+pub mod campaign;
 pub mod checkpoint;
 pub mod figures;
 pub mod pareto;

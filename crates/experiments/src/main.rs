@@ -13,6 +13,7 @@
 //!   fig4      granularity sweep, ε = 3 (panels a, b, c + feasibility)
 //!   solve     one paper-workload instance through the Solver registry
 //!   pareto    Pareto front over (latency, period, ε, processors)
+//!   campaign-worker  one shard of a declarative campaign spec
 //!   scaling   runtime scaling vs v, m, ε (Theorem 1)
 //!   ablation  design ablations (Rule 1 / Rule 2 / one-to-one / chunk)
 //!   all       fig1 fig2 fig3 fig4 (the default; scaling and ablation
@@ -51,6 +52,8 @@ struct Opts {
     max_procs: Option<usize>,
     instances: usize,
     checkpoint: Option<PathBuf>,
+    spec: Option<PathBuf>,
+    shard: ltf_core::shard::Shard,
 }
 
 /// Pull the next argument as `flag`'s value and parse it, turning both
@@ -96,6 +99,8 @@ fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Opts, Strin
         max_procs: None,
         instances: 1,
         checkpoint: None,
+        spec: None,
+        shard: ltf_core::shard::Shard::solo(),
     };
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
@@ -134,6 +139,14 @@ fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Opts, Strin
                     "a journal path",
                 )?))
             }
+            "--spec" => {
+                opts.spec = Some(PathBuf::from(take::<String>(
+                    args,
+                    "--spec",
+                    "a campaign spec path",
+                )?))
+            }
+            "--shard" => opts.shard = take(args, "--shard", "K/N (shard K of N)")?,
             "--help" | "-h" => {
                 opts.command = "help".into();
                 return Ok(opts);
@@ -525,6 +538,30 @@ fn run_pareto_sweep(o: &Opts, popts: ltf_core::search::pareto::ParetoOptions) {
     }
 }
 
+/// Run one shard of a declarative campaign spec, streaming `ItemResult`
+/// JSON lines to stdout for the `ltf-campaign` coordinator (or a human)
+/// to merge. See `docs/campaign-spec.md`.
+fn run_campaign_worker(o: &Opts) {
+    let Some(spec) = &o.spec else {
+        eprintln!("campaign-worker requires --spec FILE\n");
+        std::process::exit(2);
+    };
+    let mut out = std::io::stdout().lock();
+    match ltf_experiments::campaign::worker_main(
+        spec,
+        o.shard,
+        o.threads,
+        o.checkpoint.as_deref(),
+        &mut out,
+    ) {
+        Ok(items) => eprintln!("campaign-worker: shard {} done, {items} item(s)", o.shard),
+        Err(e) => {
+            eprintln!("campaign-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: ltf-experiments [COMMAND] [OPTIONS]\n\
@@ -536,6 +573,8 @@ fn print_usage() {
          \x20 fig4       granularity sweep, ε = 3, c = 2\n\
          \x20 solve      one paper-workload instance through the Solver registry\n\
          \x20 pareto     Pareto front over (latency, period, ε, processors)\n\
+         \x20 campaign-worker  run one shard of a campaign spec (--spec,\n\
+         \x20            --shard K/N, --checkpoint; JSON lines on stdout)\n\
          \x20 scaling    runtime scaling over (v, m, ε)\n\
          \x20 ablation   R-LTF rule ablations\n\
          \x20 all        fig1 fig2 fig3 fig4 (default)\n\
@@ -565,7 +604,10 @@ fn print_usage() {
          \x20                  random instances, streaming compact rows\n\
          \x20 --checkpoint F   journal completed work items to F (JSON lines)\n\
          \x20                  and resume from it on restart; honoured by\n\
-         \x20                  pareto --graph workload, fig3/fig4 and scaling\n\
+         \x20                  pareto --graph workload, fig3/fig4, scaling\n\
+         \x20                  and campaign-worker\n\
+         \x20 --spec F         campaign-worker: the campaign spec file\n\
+         \x20 --shard K/N      campaign-worker: run shard K of N (default 0/1)\n\
          \x20 --help, -h       this message"
     );
 }
@@ -583,6 +625,7 @@ fn main() {
         "fig4" => run_granularity_figure(&o, 3, 2),
         "solve" => run_solve(&o),
         "pareto" => run_pareto(&o),
+        "campaign-worker" => run_campaign_worker(&o),
         "scaling" => {
             let mut cfg = ScalingConfig {
                 seed: o.seed,

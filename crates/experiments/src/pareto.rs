@@ -14,7 +14,7 @@ use ltf_graph::generate::{fig1_diamond, fig2_workflow, fig2_workflow_variant};
 use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
 use ltf_schedule::validate;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Which instance the front is enumerated on.
@@ -144,7 +144,7 @@ pub fn csv_line(instance: &str, pt: &ParetoPoint) -> String {
 /// summary metrics, without the witness schedule (a thousand-instance
 /// sweep cannot afford to journal full schedules, and the witnesses are
 /// re-validated before the row is emitted anyway).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrontRow {
     /// Instance seed the front was enumerated on.
     pub seed: u64,
@@ -167,7 +167,8 @@ pub struct FrontRow {
 }
 
 impl FrontRow {
-    fn new(seed: u64, pt: &ParetoPoint) -> Self {
+    /// Compact one front point, tagged with its instance seed.
+    pub fn new(seed: u64, pt: &ParetoPoint) -> Self {
         let o = &pt.objectives;
         Self {
             seed,
@@ -180,22 +181,6 @@ impl FrontRow {
             stages: pt.solution.metrics.stages,
             comms: pt.solution.metrics.comm_count,
         }
-    }
-
-    /// Decode a row replayed from a checkpoint journal.
-    pub fn from_value(v: &serde::Value) -> Option<Self> {
-        use crate::checkpoint::{as_f64, as_str, as_u64, field};
-        Some(Self {
-            seed: as_u64(field(v, "seed")?)?,
-            heuristic: as_str(field(v, "heuristic")?)?.to_string(),
-            epsilon: as_u64(field(v, "epsilon")?)? as u8,
-            procs: as_u64(field(v, "procs")?)? as usize,
-            platform_procs: as_u64(field(v, "platform_procs")?)? as usize,
-            period: as_f64(field(v, "period")?)?,
-            latency: as_f64(field(v, "latency")?)?,
-            stages: as_u64(field(v, "stages")?)? as u32,
-            comms: as_u64(field(v, "comms")?)? as usize,
-        })
     }
 
     /// CSV row matching [`SWEEP_CSV_HEADER`].
@@ -291,7 +276,7 @@ pub fn workload_sweep(
                     return false;
                 };
                 let decoded: Option<Vec<FrontRow>> =
-                    rows.iter().map(FrontRow::from_value).collect();
+                    rows.iter().map(|r| FrontRow::from_value(r).ok()).collect();
                 match decoded {
                     Some(rows) => {
                         for row in &rows {

@@ -1,0 +1,207 @@
+//! Campaign-spec error corpus and expansion goldens: one test per
+//! rejection class (each asserting the *typed* [`SpecError`] variant, not
+//! just "some error"), plus golden checks on matrix expansion order,
+//! work-item flattening, and shard partition coverage — the properties
+//! the distributed merge's byte-identity rests on.
+
+use ltf_core::shard::Shard;
+use ltf_experiments::campaign::{work_items, CampaignSpec, SpecError, DEFAULT_SEED};
+
+/// A minimal valid spec; each corpus test breaks exactly one thing.
+fn valid() -> String {
+    r#"{
+      "name": "corpus",
+      "graphs": ["fig1"],
+      "heuristics": ["rltf"]
+    }"#
+    .to_string()
+}
+
+#[test]
+fn valid_spec_parses_and_expands() {
+    let spec = CampaignSpec::parse(&valid()).unwrap();
+    let exps = spec.expand().unwrap();
+    assert_eq!(exps.len(), 1);
+    assert_eq!(exps[0].label, "fig1/rltf/eps=all");
+    assert_eq!(exps[0].instances, 1);
+    assert_eq!(exps[0].base_seed, DEFAULT_SEED);
+}
+
+#[test]
+fn malformed_json_is_a_parse_error() {
+    match CampaignSpec::parse(r#"{"name": "x", "graphs": ["#) {
+        Err(SpecError::Parse(_)) => {}
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_field_is_a_parse_error_naming_the_field() {
+    let text = valid().replace(r#""name": "corpus","#, r#""name": "corpus", "grpahs": [],"#);
+    match CampaignSpec::parse(&text) {
+        Err(SpecError::Parse(msg)) => assert!(msg.contains("grpahs"), "{msg}"),
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_typed_field_is_a_parse_error() {
+    let text = valid().replace(r#"["fig1"]"#, r#""fig1""#);
+    match CampaignSpec::parse(&text) {
+        Err(SpecError::Parse(_)) => {}
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_axis_is_typed_and_names_the_axis() {
+    let text = valid().replace(r#"["rltf"]"#, "[]");
+    let spec = CampaignSpec::parse(&text).unwrap();
+    match spec.expand() {
+        Err(SpecError::EmptyAxis(axis)) => assert_eq!(axis, "heuristics"),
+        other => panic!("expected EmptyAxis, got {other:?}"),
+    }
+    // Optional axes declared-but-empty are rejected too (absence means
+    // "default", an empty list means "no cells" — a silent zero-matrix).
+    let mut spec = CampaignSpec::parse(&valid()).unwrap();
+    spec.platform_procs = Some(vec![]);
+    match spec.expand() {
+        Err(SpecError::EmptyAxis(axis)) => assert_eq!(axis, "platform_procs"),
+        other => panic!("expected EmptyAxis, got {other:?}"),
+    }
+}
+
+#[test]
+fn inverted_epsilon_band_is_typed_with_both_bounds() {
+    let text = valid().replace(
+        r#""heuristics": ["rltf"]"#,
+        r#""heuristics": ["rltf"], "epsilons": [{"min": 3, "max": 1}]"#,
+    );
+    let spec = CampaignSpec::parse(&text).unwrap();
+    match spec.expand() {
+        Err(SpecError::BadEpsilonRange { min: 3, max: 1 }) => {}
+        other => panic!("expected BadEpsilonRange{{3,1}}, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_domain_values_are_bad_values() {
+    let mut spec = CampaignSpec::parse(&valid()).unwrap();
+    spec.instances = Some(0);
+    assert!(matches!(spec.expand(), Err(SpecError::BadValue(_))));
+    let mut spec = CampaignSpec::parse(&valid()).unwrap();
+    spec.utilizations = Some(vec![-0.5]);
+    assert!(matches!(spec.expand(), Err(SpecError::BadValue(_))));
+}
+
+#[test]
+fn unknown_graph_and_heuristic_are_distinct_errors() {
+    let spec = CampaignSpec::parse(&valid().replace("fig1", "fig9")).unwrap();
+    match spec.expand() {
+        Err(SpecError::UnknownGraph(name)) => assert_eq!(name, "fig9"),
+        other => panic!("expected UnknownGraph, got {other:?}"),
+    }
+    let spec = CampaignSpec::parse(&valid().replace("rltf", "magic")).unwrap();
+    match spec.expand() {
+        Err(SpecError::UnknownHeuristic(name)) => assert_eq!(name, "magic"),
+        other => panic!("expected UnknownHeuristic, got {other:?}"),
+    }
+}
+
+/// Expansion order is the contract item indices, seeds and the merge all
+/// hang off: graphs × heuristics × ε-bands, outermost first.
+#[test]
+fn expansion_order_is_the_documented_cartesian_product() {
+    let text = r#"{
+      "name": "order",
+      "graphs": ["fig1", "fig2-variant"],
+      "heuristics": ["rltf", "ltf"],
+      "epsilons": [{"max": 1}, {"min": 2, "max": 2}]
+    }"#;
+    let spec = CampaignSpec::parse(text).unwrap();
+    let labels: Vec<String> = spec
+        .expand()
+        .unwrap()
+        .into_iter()
+        .map(|e| e.label)
+        .collect();
+    assert_eq!(
+        labels,
+        [
+            "fig1/rltf/eps=..1",
+            "fig1/rltf/eps=2..2",
+            "fig1/ltf/eps=..1",
+            "fig1/ltf/eps=2..2",
+            "fig2-variant/rltf/eps=..1",
+            "fig2-variant/rltf/eps=2..2",
+            "fig2-variant/ltf/eps=..1",
+            "fig2-variant/ltf/eps=2..2",
+        ]
+    );
+}
+
+#[test]
+fn seeds_are_stable_per_experiment_not_per_run() {
+    let spec = CampaignSpec::parse(&valid()).unwrap();
+    let a = spec.expand().unwrap();
+    let b = spec.expand().unwrap();
+    let key = |e: &ltf_experiments::campaign::Experiment| (e.index, e.label.clone(), e.base_seed);
+    assert_eq!(
+        a.iter().map(&key).collect::<Vec<_>>(),
+        b.iter().map(&key).collect::<Vec<_>>(),
+        "expansion must be a pure function of the spec"
+    );
+    // An explicit seed shifts every experiment deterministically.
+    let mut seeded = spec.clone();
+    seeded.seed = Some(42);
+    let c = seeded.expand().unwrap();
+    assert_ne!(a[0].base_seed, c[0].base_seed);
+}
+
+/// Every work item is owned by exactly one shard, for any shard count —
+/// the partition the coordinator's merge completeness check relies on.
+#[test]
+fn work_items_partition_exactly_across_shards() {
+    let text = r#"{
+      "name": "partition",
+      "graphs": ["workload"],
+      "heuristics": ["rltf"],
+      "instances": 5,
+      "platform_procs": [4, 8]
+    }"#;
+    let spec = CampaignSpec::parse(text).unwrap();
+    let items = work_items(&spec.expand().unwrap());
+    assert_eq!(items.len(), 10, "2 experiments × 5 instances");
+    // Items are globally indexed in order.
+    for (i, wi) in items.iter().enumerate() {
+        assert_eq!(wi.item, i);
+    }
+    for n in 1..=4 {
+        let mut owned = vec![0usize; items.len()];
+        for k in 0..n {
+            let shard = Shard::new(k, n).unwrap();
+            for wi in &items {
+                if shard.owns(wi.item) {
+                    owned[wi.item] += 1;
+                }
+            }
+        }
+        assert!(
+            owned.iter().all(|&c| c == 1),
+            "every item owned exactly once for n={n}: {owned:?}"
+        );
+    }
+}
+
+#[test]
+fn signature_tracks_spec_content() {
+    let a = CampaignSpec::parse(&valid()).unwrap();
+    let mut b = a.clone();
+    assert_eq!(a.signature(), b.signature());
+    b.seed = Some(1);
+    assert_ne!(
+        a.signature(),
+        b.signature(),
+        "journal keys must not collide across different specs"
+    );
+}

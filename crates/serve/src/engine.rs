@@ -15,13 +15,15 @@
 
 use crate::cache::{CacheKey, LruCache};
 use crate::proto::{
-    parse_request, to_line, ErrResponse, OkResponse, Request, SolutionWire, SolveRequest,
+    parse_request, to_line, ErrResponse, OkResponse, Request, ShardRequest, SolutionWire,
+    SolveRequest,
 };
 use crate::stats::{ServiceStats, StatsReport};
 use ltf_baselines::full_solver;
 use ltf_core::par::{parallel_map, resolve_threads};
+use ltf_core::shard::Shard;
 use ltf_core::AlgoConfig;
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -178,6 +180,21 @@ impl Service {
     /// Cache misses within the batch are solved concurrently on the
     /// `ltf_core::par` pool; everything observable is serially
     /// equivalent (see the module docs).
+    ///
+    /// ```
+    /// use ltf_serve::{Service, ServiceConfig};
+    ///
+    /// let mut svc = Service::new(ServiceConfig::default());
+    /// let replies = svc.handle_lines(&[
+    ///     r#"{"cmd":"heuristics"}"#,
+    ///     "definitely not json",
+    /// ]);
+    /// // One reply per line, in order; a bad line yields a structured
+    /// // error instead of poisoning the batch.
+    /// assert_eq!(replies.len(), 2);
+    /// assert!(replies[0].contains(r#""status":"ok""#));
+    /// assert!(replies[1].contains(r#""kind":"parse""#));
+    /// ```
     pub fn handle_lines<S: AsRef<str>>(&mut self, lines: &[S]) -> Vec<String> {
         // Pass 1 (serial, line order): decode, classify, and decide which
         // lines need a fresh solve. `pending` de-duplicates identical
@@ -239,6 +256,16 @@ impl Service {
                     heuristics: self.names.clone(),
                 }))
             }
+            Ok(Request::Shard(req)) => {
+                let line = self.handle_shard(&req);
+                let us = t0.elapsed().as_micros() as u64;
+                if line.starts_with(r#"{"ok":true"#) {
+                    self.stats.record_ok("campaign-shard", us);
+                } else {
+                    self.stats.record_error("shard-failed", us);
+                }
+                return Slot::Done(line);
+            }
             Ok(Request::Solve(req)) => req,
             Err((kind, message, id)) => {
                 self.stats
@@ -297,6 +324,54 @@ impl Service {
             job,
             decode_us: t0.elapsed().as_micros() as u64,
         })
+    }
+
+    /// Compute one campaign shard inline and render the one-line reply:
+    /// `{"ok":true,"id":...,"shard":"K/N","items":N,"results":[...]}` on
+    /// success, `{"ok":false,"id":...,"error":KIND,"message":...}` on
+    /// failure. Runs serially within the request (a shard is a batch of
+    /// work already; the compute parallelizes internally over
+    /// [`ServiceConfig::threads`]), so responses stay bit-stable and the
+    /// campaign merge can cross-check determinism.
+    fn handle_shard(&self, req: &ShardRequest) -> String {
+        let reply = |entries: Vec<(&str, Value)>| {
+            to_line(&Value::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ))
+        };
+        let id = match req.id {
+            Some(id) => Value::UInt(id),
+            None => Value::Null,
+        };
+        let fail = |kind: &str, message: String| {
+            reply(vec![
+                ("ok", Value::Bool(false)),
+                ("id", id.clone()),
+                ("error", Value::Str(kind.to_string())),
+                ("message", Value::Str(message)),
+            ])
+        };
+        let shard: Shard = match req.shard.parse() {
+            Ok(s) => s,
+            Err(e) => return fail("bad-request", e),
+        };
+        let threads = resolve_threads(self.config.threads);
+        let mut results = Vec::new();
+        match ltf_experiments::campaign::run_shard(&req.spec, shard, threads, None, |r| {
+            results.push(r.to_value())
+        }) {
+            Ok(items) => reply(vec![
+                ("ok", Value::Bool(true)),
+                ("id", id),
+                ("shard", Value::Str(shard.to_string())),
+                ("items", Value::UInt(items as u64)),
+                ("results", Value::Seq(results)),
+            ]),
+            Err(e) => fail("shard-failed", e),
+        }
     }
 
     fn resolve(

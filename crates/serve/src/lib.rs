@@ -5,7 +5,8 @@
 //! listener via `--listen`), answers each with a typed solution or a
 //! structured error, memoizes solutions in an LRU keyed by
 //! `(graph fingerprint, platform fingerprint, heuristic, config)`, and
-//! reports per-request service-time statistics on demand.
+//! reports per-request service-time statistics on demand. The wire
+//! formats are specified in `docs/protocol.md` at the repo root.
 //!
 //! * [`proto`] — the wire protocol: request/response types and parsing,
 //! * [`engine`] — the [`Service`]: batched, serially equivalent request
@@ -13,8 +14,23 @@
 //! * [`cache`] — the [`LruCache`] and instance fingerprints,
 //! * [`stats`] — service-time percentiles and outcome counters.
 //!
-//! A malformed request line never terminates the service: every input
-//! line gets exactly one response line, errors included.
+//! Beyond single solves, a daemon doubles as a **campaign worker**: a
+//! `{"cmd":"shard",...}` request ([`ShardRequest`]) carries a full
+//! campaign spec plus a `"K/N"` shard selector, and the reply streams
+//! back that shard's enumerated fronts for the `ltf-campaign`
+//! coordinator to merge (connect mode). The compute path is the same
+//! `ltf_experiments::campaign` code a spawned worker runs, so spawn
+//! mode, connect mode and a serial run are byte-identical by
+//! construction.
+//!
+//! Two properties the tests pin, which everything above relies on:
+//!
+//! * **A malformed request line never terminates the service** — every
+//!   input line gets exactly one response line, errors included
+//!   (`tests/protocol_errors.rs`).
+//! * **Responses are bit-stable** — timings appear only in `stats`
+//!   replies, batching is serially equivalent, so piped output diffs
+//!   cleanly against committed goldens (`tests/golden/`).
 
 pub mod cache;
 pub mod engine;
@@ -23,5 +39,5 @@ pub mod stats;
 
 pub use cache::{CacheKey, LruCache};
 pub use engine::{Service, ServiceConfig};
-pub use proto::{ErrResponse, OkResponse, Request, SolutionWire, SolveRequest};
+pub use proto::{ErrResponse, OkResponse, Request, ShardRequest, SolutionWire, SolveRequest};
 pub use stats::StatsReport;

@@ -161,7 +161,12 @@ fn serve_tcp(service: Service, addr: &str) {
             exit(1);
         }
     };
-    eprintln!("ltf-serve: listening on {addr}");
+    // Print the *resolved* address: with `--listen 127.0.0.1:0` the OS
+    // picks the port, and campaign drivers scrape it from this line.
+    match listener.local_addr() {
+        Ok(local) => eprintln!("ltf-serve: listening on {local}"),
+        Err(_) => eprintln!("ltf-serve: listening on {addr}"),
+    }
     let service = Arc::new(Mutex::new(service));
     for stream in listener.incoming() {
         let stream = match stream {

@@ -11,9 +11,10 @@
 //! ```
 //!
 //! or a **control command** — a map carrying a `cmd` key (`stats`,
-//! `heuristics`). Unknown fields anywhere are rejected (the vendored
-//! derive is strict), so typos surface as structured errors instead of
-//! silently ignored knobs.
+//! `heuristics`, `shard`). Unknown fields anywhere are rejected (the
+//! vendored derive is strict), so typos surface as structured errors
+//! instead of silently ignored knobs. The full wire reference lives in
+//! `docs/protocol.md`.
 
 use ltf_core::{AlgoConfig, Diagnostics, Solution};
 use ltf_graph::TaskGraph;
@@ -103,6 +104,23 @@ pub struct SolveRequest {
     pub config: RequestConfig,
 }
 
+/// One campaign-shard request: the worker half of the `ltf-campaign`
+/// coordinator's connect mode (see `docs/protocol.md` §shard). The spec
+/// travels *in* the request — the remote worker has no spec file — and
+/// `shard` is a `"K/N"` partition selector ([`ltf_core::shard::Shard`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardRequest {
+    /// Always `"shard"` (the dispatch key; kept so the strict derive can
+    /// decode the whole line in one pass).
+    pub cmd: String,
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The full campaign spec to expand.
+    pub spec: ltf_experiments::campaign::CampaignSpec,
+    /// Which shard of the expanded work-item list to compute, as `"K/N"`.
+    pub shard: String,
+}
+
 /// A parsed input line.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -112,6 +130,8 @@ pub enum Request {
     Stats,
     /// `{"cmd":"heuristics"}` — registered heuristic names and aliases.
     Heuristics,
+    /// `{"cmd":"shard",...}` — compute one campaign shard.
+    Shard(Box<ShardRequest>),
 }
 
 /// Parse one input line into a [`Request`].
@@ -146,12 +166,19 @@ pub fn parse_request(line: &str) -> Result<Request, (&'static str, String, Optio
                     ))
                 }
             };
-            if let Some((k, _)) = entries.iter().find(|(k, _)| k != "cmd") {
-                return Err(("bad-request", format!("unknown field `{k}` in command"), id));
-            }
             return match name {
-                "stats" => Ok(Request::Stats),
-                "heuristics" => Ok(Request::Heuristics),
+                "stats" | "heuristics" => {
+                    if let Some((k, _)) = entries.iter().find(|(k, _)| k != "cmd") {
+                        return Err(("bad-request", format!("unknown field `{k}` in command"), id));
+                    }
+                    Ok(match name {
+                        "stats" => Request::Stats,
+                        _ => Request::Heuristics,
+                    })
+                }
+                "shard" => ShardRequest::from_value(&v)
+                    .map(|r| Request::Shard(Box::new(r)))
+                    .map_err(|e| ("bad-request", e.to_string(), id)),
                 other => Err(("bad-request", format!("unknown command {other:?}"), id)),
             };
         }

@@ -1,0 +1,122 @@
+//! Docs-link check: every relative markdown link in the repo's
+//! documentation must resolve to an existing file. A renamed doc or a
+//! typo'd path fails this test (and the CI docs job) instead of shipping
+//! a dangling reference.
+
+use std::path::{Path, PathBuf};
+
+/// The documentation set under the link contract: every `.md` at the
+/// repo root, everything under `docs/`, and the vendor README.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    // PAPER.md / PAPERS.md / SNIPPETS.md are generated research-reference
+    // dumps (they carry links into documents not vendored here), not part
+    // of the maintained docs layer.
+    let generated = ["PAPER.md", "PAPERS.md", "SNIPPETS.md"];
+    for entry in std::fs::read_dir(root).expect("read repo root") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.extension().is_some_and(|e| e == "md") && !generated.contains(&name) {
+            files.push(path);
+        }
+    }
+    let mut stack = vec![root.join("docs")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read docs dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.push(root.join("vendor/README.md"));
+    files.sort();
+    files
+}
+
+/// Extract the targets of inline markdown links `[text](target)`.
+/// Absolute URLs and pure-anchor links are out of scope; `#anchor`
+/// suffixes on relative targets are stripped.
+fn relative_link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(found) = text[i..].find("](") {
+        let start = i + found + 2;
+        let Some(len) = text[start..].find(')') else {
+            break;
+        };
+        i = start + len + 1;
+        let target = &text[start..start + len];
+        let target = target.split('#').next().unwrap_or("");
+        if target.is_empty()
+            || target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        out.push(target.to_string());
+    }
+    out
+}
+
+#[test]
+fn all_relative_doc_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut dangling = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files(root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().expect("doc file has a parent");
+        for target in relative_link_targets(&text) {
+            checked += 1;
+            if !dir.join(&target).exists() {
+                dangling.push(format!(
+                    "{} -> {target}",
+                    file.strip_prefix(root).unwrap_or(&file).display()
+                ));
+            }
+        }
+    }
+    assert!(
+        dangling.is_empty(),
+        "dangling relative links:\n  {}",
+        dangling.join("\n  ")
+    );
+    // The contract is only meaningful if the scan actually sees the
+    // cross-references added with the docs layer.
+    assert!(
+        checked >= 10,
+        "expected the doc set to contain at least 10 relative links, saw {checked}"
+    );
+}
+
+#[test]
+fn the_documented_entry_points_exist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for path in [
+        "ARCHITECTURE.md",
+        "docs/protocol.md",
+        "docs/campaign-spec.md",
+        "docs/examples/worked.json",
+        "docs/examples/workload-small.json",
+    ] {
+        assert!(root.join(path).exists(), "{path} is missing");
+    }
+    // README links all three docs — the acceptance criterion for the
+    // docs layer — so a future rename cannot silently orphan them.
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    for needle in [
+        "ARCHITECTURE.md",
+        "docs/protocol.md",
+        "docs/campaign-spec.md",
+    ] {
+        assert!(
+            readme.contains(needle),
+            "README.md no longer links {needle}"
+        );
+    }
+}
