@@ -18,8 +18,18 @@
 //! conflicting duplicates — the merged output is byte-identical to
 //! `campaign::run_serial` on the same spec, which the kill-a-worker
 //! tests and the CI smoke assert literally.
+//!
+//! The whole pipeline is generic over [`CampaignResult`]: a Pareto
+//! campaign shards front enumerations and merges [`ItemResult`]s, an SLO
+//! campaign (spec with a `failure` block) shards trace blocks and merges
+//! [`SloItemResult`]s into an `ltf_faultlab::SloReport`.
+//! Workers self-dispatch on the spec, so the supervision, wire format,
+//! retry and journaling machinery is shared verbatim between the two.
 
-use ltf_experiments::campaign::{render_lines, work_items, CampaignSpec, ItemResult, Merger};
+use ltf_experiments::campaign::{
+    build_slo_report, render_lines, run_serial, run_slo_serial, slo_cells, slo_work_items,
+    work_items, CampaignResult, CampaignSpec, ItemResult, Merger, SloItemResult,
+};
 use ltf_experiments::checkpoint::{as_bool, as_str, as_u64, field};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
@@ -101,7 +111,9 @@ pub fn shard_journal(dir: &Path, k: usize, n: usize) -> PathBuf {
 /// Run the campaign distributed per `cfg` and merge the result.
 /// `spec_path` is the spec file handed to spawned workers (both sides
 /// re-expand it; connect mode embeds the parsed spec in the request
-/// instead).
+/// instead). Dispatches on the campaign kind: specs with a `failure`
+/// block shard SLO trace blocks and merge the per-cell report, plain
+/// specs shard front enumerations — over the same supervision machinery.
 pub fn run_campaign(
     spec_path: &Path,
     spec: &CampaignSpec,
@@ -110,15 +122,60 @@ pub fn run_campaign(
     if cfg.shards == 0 {
         return Err("campaign: shard count must be ≥ 1".into());
     }
-    let expected = work_items(&spec.expand().map_err(|e| e.to_string())?).len();
+    let exps = spec.expand().map_err(|e| e.to_string())?;
     if let Some(dir) = &cfg.journal_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("journal dir {}: {e}", dir.display()))?;
     }
+    if let Some(f) = &spec.failure {
+        let expected = slo_work_items(f, &slo_cells(&exps)).len();
+        let (results, retries_used) = drive::<SloItemResult>(spec_path, spec, cfg, expected)?;
+        let items = results.len();
+        let report = build_slo_report(spec, &results)?;
+        Ok(RunReport {
+            lines: report.json_lines(),
+            items,
+            retries_used,
+        })
+    } else {
+        let expected = work_items(&exps).len();
+        let (results, retries_used) = drive::<ItemResult>(spec_path, spec, cfg, expected)?;
+        let items = results.len();
+        Ok(RunReport {
+            lines: render_lines(&results),
+            items,
+            retries_used,
+        })
+    }
+}
 
+/// The serial golden reference for `spec`, whichever campaign kind it
+/// is: the rendered lines a distributed [`run_campaign`] must equal
+/// byte-for-byte (`--verify` asserts exactly this).
+pub fn serial_lines(
+    spec: &CampaignSpec,
+    threads: usize,
+    journal: Option<&Path>,
+) -> Result<Vec<String>, String> {
+    if spec.failure.is_some() {
+        Ok(run_slo_serial(spec, threads, journal)?.json_lines())
+    } else {
+        run_serial(spec, threads, journal)
+    }
+}
+
+/// The transport- and kind-agnostic supervisor core: drain the shard
+/// queue through spawned workers or remote daemons, retry crashed
+/// shards, and merge every streamed result into global item order.
+fn drive<R: CampaignResult + Deserialize + Send>(
+    spec_path: &Path,
+    spec: &CampaignSpec,
+    cfg: &RunConfig,
+    expected: usize,
+) -> Result<(Vec<R>, usize), String> {
     // The shared shard queue: (shard index, attempts so far).
     let queue: Mutex<VecDeque<(usize, usize)>> =
         Mutex::new((0..cfg.shards).map(|k| (k, 0)).collect());
-    let merger = Mutex::new(Merger::new(expected));
+    let merger: Mutex<Merger<R>> = Mutex::new(Merger::new(expected));
     let retries_used = AtomicUsize::new(0);
     let fatal: Mutex<Option<String>> = Mutex::new(None);
 
@@ -152,7 +209,7 @@ pub fn run_campaign(
             queue.lock().unwrap().push_back((k, attempts + 1));
         }
     };
-    let absorb = |results: Vec<ItemResult>| {
+    let absorb = |results: Vec<R>| {
         let mut m = merger.lock().unwrap();
         for r in results {
             if let Err(e) = m.insert(r) {
@@ -204,19 +261,18 @@ pub fn run_campaign(
     // All workers retired with shards still queued (connect mode with
     // every address dead) surfaces here as missing items.
     let results = merger.into_inner().unwrap().finish()?;
-    let items = results.len();
-    Ok(RunReport {
-        lines: render_lines(&results),
-        items,
-        retries_used: retries_used.into_inner(),
-    })
+    Ok((results, retries_used.into_inner()))
 }
 
 /// Run shard `k` as a child process, collecting its streamed results.
 /// Success requires both the `{"done":true,...}` line *and* a clean
 /// exit — a worker killed after its last item but before the done line
 /// still counts as crashed (its journal makes the rerun cheap).
-fn spawn_shard(spec_path: &Path, cfg: &RunConfig, k: usize) -> Result<Vec<ItemResult>, String> {
+fn spawn_shard<R: CampaignResult + Deserialize>(
+    spec_path: &Path,
+    cfg: &RunConfig,
+    k: usize,
+) -> Result<Vec<R>, String> {
     let bin = match &cfg.worker_bin {
         Some(p) => p.clone(),
         None => std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
@@ -278,12 +334,12 @@ fn spawn_shard(spec_path: &Path, cfg: &RunConfig, k: usize) -> Result<Vec<ItemRe
 }
 
 /// One parsed worker stdout line.
-enum WorkerLine {
-    Result(ItemResult),
+enum WorkerLine<R> {
+    Result(R),
     Done { items: u64 },
 }
 
-fn parse_worker_line(line: &str) -> Option<WorkerLine> {
+fn parse_worker_line<R: Deserialize>(line: &str) -> Option<WorkerLine<R>> {
     let v: Value = serde_json::from_str(line).ok()?;
     if let Some(done) = field(&v, "done").and_then(as_bool) {
         if done {
@@ -292,7 +348,7 @@ fn parse_worker_line(line: &str) -> Option<WorkerLine> {
         }
         return None;
     }
-    ItemResult::from_value(&v).ok().map(WorkerLine::Result)
+    R::from_value(&v).ok().map(WorkerLine::Result)
 }
 
 /// The `{"cmd":"shard",...}` request line for shard `k` of `n`, with the
@@ -309,7 +365,7 @@ pub fn shard_request_line(spec: &CampaignSpec, k: usize, n: usize, id: u64) -> S
 
 /// Decode a `shard` response line into its results, surfacing protocol
 /// errors (`"ok":false` replies) as text.
-pub fn parse_shard_response(line: &str) -> Result<Vec<ItemResult>, String> {
+pub fn parse_shard_response<R: Deserialize>(line: &str) -> Result<Vec<R>, String> {
     let v: Value =
         serde_json::from_str(line).map_err(|e| format!("unparseable shard response: {e}"))?;
     if field(&v, "ok").and_then(as_bool) != Some(true) {
@@ -322,18 +378,18 @@ pub fn parse_shard_response(line: &str) -> Result<Vec<ItemResult>, String> {
     };
     items
         .iter()
-        .map(|r| ItemResult::from_value(r).map_err(|e| format!("bad result in response: {e}")))
+        .map(|r| R::from_value(r).map_err(|e| format!("bad result in response: {e}")))
         .collect()
 }
 
 /// Run shard `k` remotely: one TCP connection, one request line, one
 /// response line.
-fn connect_shard(
+fn connect_shard<R: CampaignResult + Deserialize>(
     addr: &str,
     spec: &CampaignSpec,
     n: usize,
     k: usize,
-) -> Result<Vec<ItemResult>, String> {
+) -> Result<Vec<R>, String> {
     let mut stream =
         std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let req = shard_request_line(spec, k, n, k as u64);
@@ -377,7 +433,7 @@ mod tests {
 
     #[test]
     fn shard_response_errors_are_surfaced() {
-        let err = parse_shard_response(
+        let err = parse_shard_response::<ItemResult>(
             r#"{"ok":false,"error":"bad-request","message":"spec: axis \"graphs\" is empty"}"#,
         )
         .unwrap_err();
@@ -385,27 +441,36 @@ mod tests {
             err.contains("bad-request") && err.contains("graphs"),
             "{err}"
         );
-        let err = parse_shard_response("not json").unwrap_err();
+        let err = parse_shard_response::<ItemResult>("not json").unwrap_err();
         assert!(err.contains("unparseable"), "{err}");
-        let err = parse_shard_response(r#"{"ok":true}"#).unwrap_err();
+        let err = parse_shard_response::<ItemResult>(r#"{"ok":true}"#).unwrap_err();
         assert!(err.contains("no results"), "{err}");
     }
 
     #[test]
     fn worker_lines_parse_results_done_and_noise() {
         assert!(matches!(
-            parse_worker_line(r#"{"done":true,"shard":"0/2","items":3}"#),
+            parse_worker_line::<ItemResult>(r#"{"done":true,"shard":"0/2","items":3}"#),
             Some(WorkerLine::Done { items: 3 })
         ));
-        assert!(parse_worker_line("garbage").is_none());
-        assert!(parse_worker_line(r#"{"done":false}"#).is_none());
+        assert!(parse_worker_line::<ItemResult>("garbage").is_none());
+        assert!(parse_worker_line::<ItemResult>(r#"{"done":false}"#).is_none());
         let r = r#"{"item":4,"experiment":1,"label":"fig1/rltf/eps=all","seed":9,"rows":[]}"#;
-        match parse_worker_line(r) {
+        match parse_worker_line::<ItemResult>(r) {
             Some(WorkerLine::Result(ir)) => {
                 assert_eq!(ir.item, 4);
                 assert_eq!(ir.label, "fig1/rltf/eps=all");
             }
             _ => panic!("result line must parse"),
+        }
+        // SLO worker lines ride the same wire with a different payload.
+        let r = r#"{"item":2,"cell":1,"label":"fig1/rltf/eps=0/inst=0","feasible":false,"stats":{"traces":0,"items":0,"produced":0,"lost":0,"violations":0,"latency":{"buckets":[],"count":0,"min":null,"max":null}}}"#;
+        match parse_worker_line::<SloItemResult>(r) {
+            Some(WorkerLine::Result(sr)) => {
+                assert_eq!(sr.item, 2);
+                assert!(!sr.feasible);
+            }
+            _ => panic!("slo result line must parse"),
         }
     }
 

@@ -19,4 +19,4 @@
 
 pub mod coordinator;
 
-pub use coordinator::{run_campaign, Mode, RunConfig, RunReport};
+pub use coordinator::{run_campaign, serial_lines, Mode, RunConfig, RunReport};

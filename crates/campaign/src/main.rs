@@ -17,9 +17,9 @@
 //! merged distributed output is byte-identical to the serial one. See
 //! `docs/campaign-spec.md` for the spec format.
 
-use ltf_campaign::{run_campaign, Mode, RunConfig};
+use ltf_campaign::{run_campaign, serial_lines, Mode, RunConfig};
 use ltf_core::shard::Shard;
-use ltf_experiments::campaign::{run_serial, work_items, worker_main, CampaignSpec};
+use ltf_experiments::campaign::{slo_cells, slo_work_items, work_items, worker_main, CampaignSpec};
 use std::path::PathBuf;
 
 #[derive(Debug)]
@@ -215,7 +215,7 @@ fn emit_lines(o: &Opts, lines: &[String]) {
 fn run(o: &Opts) {
     let (path, spec) = require_spec(o);
     if o.serial {
-        match run_serial(&spec, o.threads, o.checkpoint.as_deref()) {
+        match serial_lines(&spec, o.threads, o.checkpoint.as_deref()) {
             Ok(lines) => {
                 eprintln!("campaign: serial run, {} line(s)", lines.len());
                 emit_lines(o, &lines);
@@ -254,7 +254,7 @@ fn run(o: &Opts) {
         report.lines.len()
     );
     if o.verify {
-        let serial = match run_serial(&spec, o.threads, None) {
+        let serial = match serial_lines(&spec, o.threads, None) {
             Ok(lines) => lines,
             Err(e) => fail(&format!("verify (serial rerun): {e}")),
         };
@@ -279,13 +279,35 @@ fn expand(o: &Opts) {
         Ok(e) => e,
         Err(e) => fail(&e.to_string()),
     };
-    let items = work_items(&exps);
     for exp in &exps {
         println!(
             "{:>4}  {}  [{} instance(s)]",
             exp.index, exp.label, exp.instances
         );
     }
+    if let Some(f) = &spec.failure {
+        // SLO campaign: the unit of work is the trace block, cell-major.
+        let cells = slo_cells(&exps);
+        let items = slo_work_items(f, &cells);
+        for cell in &cells {
+            println!(
+                "cell {:>4}  {}  [seed {}]",
+                cell.index, cell.label, cell.seed
+            );
+        }
+        println!(
+            "slo campaign {:?}: {} experiment(s), {} cell(s), {} trace(s)/cell \
+             in {} block(s), signature {:016x}",
+            spec.name,
+            exps.len(),
+            cells.len(),
+            f.traces(),
+            items.len(),
+            spec.signature()
+        );
+        return;
+    }
+    let items = work_items(&exps);
     println!(
         "campaign {:?}: {} experiment(s), {} work item(s), signature {:016x}",
         spec.name,

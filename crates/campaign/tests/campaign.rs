@@ -4,7 +4,7 @@
 //! worker is killed mid-shard and its shard is reassigned and resumed
 //! from the checkpoint journal.
 
-use ltf_campaign::{run_campaign, Mode, RunConfig};
+use ltf_campaign::{run_campaign, serial_lines, Mode, RunConfig};
 use ltf_experiments::campaign::{run_serial, CampaignSpec, ABORT_ENV};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -22,6 +22,18 @@ const SPEC: &str = r#"{
   "epsilons": [{"max": 1}]
 }"#;
 
+/// An SLO campaign over the same graphs: trace blocks instead of front
+/// enumerations, a per-cell distribution report instead of front lines.
+const SLO_SPEC: &str = r#"{
+  "name": "e2e-slo",
+  "graphs": ["fig1"],
+  "heuristics": ["rltf", "ltf"],
+  "epsilons": [{"max": 1}],
+  "failure": {"rate": 0.002, "traces": 4, "items": 6, "block": 2,
+              "period": 30.0, "policy": "reroute"},
+  "slo": {"max_latency": 200.0, "max_violation_rate": 0.25}
+}"#;
+
 /// A fresh scratch dir under the test-scoped target tmpdir.
 fn scratch(tag: &str) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("campaign-{tag}"));
@@ -35,6 +47,12 @@ fn scratch(tag: &str) -> PathBuf {
 fn write_spec(dir: &Path) -> PathBuf {
     let path = dir.join("spec.json");
     std::fs::write(&path, SPEC).expect("write spec");
+    path
+}
+
+fn write_slo_spec(dir: &Path) -> PathBuf {
+    let path = dir.join("slo-spec.json");
+    std::fs::write(&path, SLO_SPEC).expect("write slo spec");
     path
 }
 
@@ -122,6 +140,75 @@ fn exhausted_retries_fail_the_run_with_a_diagnostic() {
     std::env::remove_var(ABORT_ENV);
     let err = result.unwrap_err();
     assert!(err.contains("giving up"), "{err}");
+}
+
+#[test]
+fn slo_spawned_workers_match_serial_byte_for_byte() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dir = scratch("slo-spawn");
+    let spec_path = write_slo_spec(&dir);
+    let spec = CampaignSpec::load(&spec_path).unwrap();
+
+    let serial = serial_lines(&spec, 1, None).unwrap();
+    let report = run_campaign(&spec_path, &spec, &spawn_config(&dir)).unwrap();
+
+    assert!(!serial.is_empty());
+    assert_eq!(report.lines, serial, "sharded SLO report must equal serial");
+    assert_eq!(report.retries_used, 0);
+    // One rendered row per cell: 2 heuristics × 2 ε values, with the
+    // per-cell distribution fields present.
+    assert_eq!(report.lines.len(), 4);
+    for line in &report.lines {
+        assert!(
+            line.contains("\"p99\":") && line.contains("\"slo_ok\":"),
+            "{line}"
+        );
+    }
+}
+
+#[test]
+fn slo_killed_worker_is_reassigned_and_report_is_identical() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let dir = scratch("slo-kill");
+    let spec_path = write_slo_spec(&dir);
+    let spec = CampaignSpec::load(&spec_path).unwrap();
+    let serial = serial_lines(&spec, 1, None).unwrap();
+
+    let marker = dir.join("abort-once.marker");
+    std::env::set_var(ABORT_ENV, &marker);
+    let result = run_campaign(&spec_path, &spec, &spawn_config(&dir));
+    std::env::remove_var(ABORT_ENV);
+    let report = result.unwrap();
+
+    assert!(marker.exists(), "crash hook must actually have fired");
+    assert!(report.retries_used >= 1, "killed shard must be reassigned");
+    assert_eq!(
+        report.lines, serial,
+        "SLO report after a mid-campaign kill must still equal serial"
+    );
+}
+
+#[test]
+fn slo_tcp_workers_match_serial_byte_for_byte() {
+    let dir = scratch("slo-tcp");
+    let spec_path = write_slo_spec(&dir);
+    let spec = CampaignSpec::load(&spec_path).unwrap();
+    let serial = serial_lines(&spec, 1, None).unwrap();
+
+    let cfg = RunConfig {
+        shards: 2,
+        workers: 2,
+        mode: Mode::Connect(vec![start_tcp_worker(), start_tcp_worker()]),
+        journal_dir: None,
+        worker_bin: None,
+        retries: 3,
+        worker_threads: 1,
+    };
+    let report = run_campaign(&spec_path, &spec, &cfg).unwrap();
+    assert_eq!(
+        report.lines, serial,
+        "TCP-sharded SLO report must equal serial"
+    );
 }
 
 /// One accept loop over a shared in-process `ltf-serve` service: each

@@ -65,6 +65,7 @@ pub mod prio;
 pub mod search;
 pub mod shard;
 pub mod solver;
+pub mod stats;
 
 #[allow(deprecated)]
 pub use crate::api::{

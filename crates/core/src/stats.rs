@@ -1,0 +1,94 @@
+//! Shared order-statistics helpers.
+//!
+//! One nearest-rank percentile implementation for the whole workspace:
+//! `serve`'s service-time window, `sim`'s latency reports and `faultlab`'s
+//! SLO digests all quote percentiles, and they must agree on what "p99"
+//! means (and on the edge cases — empty windows, tiny windows, p0/p100)
+//! for cross-layer numbers to be comparable.
+//!
+//! Nearest-rank is the textbook definition: the `p`-th percentile of a
+//! sorted window is the smallest element with at least `p`% of the window
+//! at or below it. It always returns an element of the window (no
+//! interpolation), which keeps results exact for integer data and
+//! bit-stable for floats.
+
+/// Zero-based index of the nearest-rank `pct`-th percentile in a sorted
+/// window of `len` elements; `None` when the window is empty.
+///
+/// `pct` is clamped to `[0, 100]`; a NaN percentile saturates to rank 1
+/// (the minimum) rather than panicking.
+pub fn nearest_rank(len: usize, pct: f64) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    let pct = pct.clamp(0.0, 100.0);
+    // ceil(len · pct / 100): exact for integer quotients (IEEE division is
+    // correctly rounded and every integer below 2^53 is representable).
+    let rank = (len as f64 * pct / 100.0).ceil() as usize;
+    Some(rank.clamp(1, len) - 1)
+}
+
+/// Nearest-rank percentile of an ascending-sorted `u64` window, `0` when
+/// empty (the convention of the serve stats wire format).
+pub fn percentile_sorted_u64(sorted: &[u64], pct: f64) -> u64 {
+    nearest_rank(sorted.len(), pct).map_or(0, |i| sorted[i])
+}
+
+/// Nearest-rank percentile of a `f64` window sorted with [`sort_f64`];
+/// `None` when empty.
+pub fn percentile_sorted_f64(sorted: &[f64], pct: f64) -> Option<f64> {
+    nearest_rank(sorted.len(), pct).map(|i| sorted[i])
+}
+
+/// Sort floats into the IEEE-754 total order ([`f64::total_cmp`]): never
+/// panics, NaNs deterministically sort after `+∞`.
+pub fn sort_f64(values: &mut [f64]) {
+    values.sort_unstable_by(f64::total_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_definition() {
+        // 1..=100: pct maps straight onto the value.
+        assert_eq!(nearest_rank(100, 50.0), Some(49));
+        assert_eq!(nearest_rank(100, 99.0), Some(98));
+        assert_eq!(nearest_rank(100, 100.0), Some(99));
+        assert_eq!(nearest_rank(100, 0.0), Some(0));
+        // p99.9 of 100 needs the max; of 10_000 the 9_990th.
+        assert_eq!(nearest_rank(100, 99.9), Some(99));
+        assert_eq!(nearest_rank(10_000, 99.9), Some(9_989));
+        assert_eq!(nearest_rank(0, 50.0), None);
+        assert_eq!(nearest_rank(1, 50.0), Some(0));
+        // Out-of-range and NaN percentiles are clamped, never panic.
+        assert_eq!(nearest_rank(10, 200.0), Some(9));
+        assert_eq!(nearest_rank(10, -5.0), Some(0));
+        assert_eq!(nearest_rank(10, f64::NAN), Some(0));
+    }
+
+    #[test]
+    fn u64_window() {
+        let w: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted_u64(&w, 50.0), 50);
+        assert_eq!(percentile_sorted_u64(&w, 99.0), 99);
+        assert_eq!(percentile_sorted_u64(&[7], 50.0), 7);
+        assert_eq!(percentile_sorted_u64(&[], 99.0), 0);
+        let w = [10, 20, 30];
+        assert_eq!(percentile_sorted_u64(&w, 50.0), 20);
+        assert_eq!(percentile_sorted_u64(&w, 99.0), 30);
+    }
+
+    #[test]
+    fn f64_window_total_order() {
+        let mut w = vec![3.0, f64::NAN, 1.0, 2.0, f64::INFINITY];
+        sort_f64(&mut w);
+        assert_eq!(w[0], 1.0);
+        assert_eq!(w[2], 3.0);
+        assert!(w[3].is_infinite());
+        assert!(w[4].is_nan());
+        assert_eq!(percentile_sorted_f64(&w, 50.0), Some(3.0));
+        assert_eq!(percentile_sorted_f64(&[], 50.0), None);
+    }
+}

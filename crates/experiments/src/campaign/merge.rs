@@ -18,14 +18,36 @@ use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Accumulates per-item results from all shards of a campaign.
-#[derive(Debug)]
-pub struct Merger {
-    expected: usize,
-    results: BTreeMap<u64, ItemResult>,
+/// What the merger needs from a campaign work-item result. Pareto
+/// campaigns merge [`ItemResult`]s, SLO campaigns merge
+/// [`super::slo::SloItemResult`]s; the merge discipline — global item
+/// order, conflicting duplicates are determinism violations — is
+/// identical, so the [`Merger`] is generic over it.
+pub trait CampaignResult: Clone + PartialEq + std::fmt::Debug {
+    /// Global work-item index (the merge key).
+    fn item_index(&self) -> u64;
+    /// Short description used in determinism-violation diagnostics.
+    fn summary(&self) -> String;
 }
 
-impl Merger {
+impl CampaignResult for ItemResult {
+    fn item_index(&self) -> u64 {
+        self.item
+    }
+
+    fn summary(&self) -> String {
+        format!("{} rows, label {:?}", self.rows.len(), self.label)
+    }
+}
+
+/// Accumulates per-item results from all shards of a campaign.
+#[derive(Debug)]
+pub struct Merger<R: CampaignResult = ItemResult> {
+    expected: usize,
+    results: BTreeMap<u64, R>,
+}
+
+impl<R: CampaignResult> Merger<R> {
     /// A merger expecting the campaign's full work-item count.
     pub fn new(expected: usize) -> Self {
         Self {
@@ -38,26 +60,24 @@ impl Merger {
     /// fine (idempotent — retries and replays do this); a *different*
     /// result under the same item index is a determinism violation and
     /// errors.
-    pub fn insert(&mut self, r: ItemResult) -> Result<(), String> {
-        if r.item >= self.expected as u64 {
+    pub fn insert(&mut self, r: R) -> Result<(), String> {
+        let item = r.item_index();
+        if item >= self.expected as u64 {
             return Err(format!(
-                "merge: item {} out of range (campaign has {} items)",
-                r.item, self.expected
+                "merge: item {item} out of range (campaign has {} items)",
+                self.expected
             ));
         }
-        match self.results.get(&r.item) {
+        match self.results.get(&item) {
             Some(prev) if *prev != r => Err(format!(
-                "merge: determinism violation: item {} computed twice with different results \
-                 ({} rows vs {} rows, label {:?} vs {:?})",
-                r.item,
-                prev.rows.len(),
-                r.rows.len(),
-                prev.label,
-                r.label
+                "merge: determinism violation: item {item} computed twice with different \
+                 results ({} vs {})",
+                prev.summary(),
+                r.summary()
             )),
             Some(_) => Ok(()),
             None => {
-                self.results.insert(r.item, r);
+                self.results.insert(item, r);
                 Ok(())
             }
         }
@@ -87,7 +107,7 @@ impl Merger {
 
     /// Finish the merge: the results in global item order, or an error
     /// naming the missing items.
-    pub fn finish(self) -> Result<Vec<ItemResult>, String> {
+    pub fn finish(self) -> Result<Vec<R>, String> {
         if !self.is_complete() {
             let missing = self.missing();
             return Err(format!(

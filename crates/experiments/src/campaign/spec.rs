@@ -45,6 +45,62 @@ impl EpsRange {
     }
 }
 
+/// The `failure` block: what turns a Pareto campaign into a stochastic
+/// SLO campaign. Declares the per-processor failure model and how many
+/// sampled crash traces each cell replays. See `docs/slo-campaign.md`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Uniform per-processor failure rate λ (crashes per unit time).
+    /// Exactly one of `rate` / `rates` must be set.
+    pub rate: Option<f64>,
+    /// Explicit per-processor rates (heterogeneous hosts); the length
+    /// must match every cell's platform size.
+    pub rates: Option<Vec<f64>>,
+    /// Sampled crash traces per cell (default 16).
+    pub traces: Option<usize>,
+    /// Stream items replayed per trace (default 32).
+    pub items: Option<usize>,
+    /// Traces per work item — the unit of sharding and checkpointing
+    /// (default 4).
+    pub block: Option<usize>,
+    /// Period Δ each cell's witness schedule is solved at. Defaults to
+    /// the workload's calibrated `Δ = 10(ε+1)`; required for fig graph
+    /// families, which carry no natural period.
+    pub period: Option<f64>,
+    /// Recovery policy: `"fail-stop"` (default) or `"reroute"`.
+    pub policy: Option<String>,
+    /// Simulator: `"synchronous"` (default) or `"asap"`.
+    pub engine: Option<String>,
+}
+
+impl FailureSpec {
+    /// Traces per cell.
+    pub fn traces(&self) -> usize {
+        self.traces.unwrap_or(16)
+    }
+
+    /// Stream items per trace.
+    pub fn items(&self) -> usize {
+        self.items.unwrap_or(32)
+    }
+
+    /// Traces per work item.
+    pub fn block(&self) -> usize {
+        self.block.unwrap_or(4)
+    }
+}
+
+/// The `slo` block: the declared objective every cell is judged against
+/// (violations themselves are defined in `ltf-faultlab`: an item is a
+/// violation when lost or produced above `max_latency`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Per-item latency bound (`None` = only losses violate).
+    pub max_latency: Option<f64>,
+    /// Tolerated violation rate in `[0, 1]` (`None` = zero tolerance).
+    pub max_violation_rate: Option<f64>,
+}
+
 /// A declarative experiment campaign, as parsed from a JSON spec file.
 ///
 /// Every axis field is a list; the expansion is the cartesian product of
@@ -52,6 +108,11 @@ impl EpsRange {
 /// `granularities`, `instances`) only apply to the `"workload"` graph
 /// family — the fig worked examples pin their own platform, so those axes
 /// collapse to a single experiment per (figure, heuristic, ε range).
+///
+/// A spec with a `failure` block is an **SLO campaign** instead of a
+/// Pareto campaign: each cell solves one witness schedule and replays
+/// sampled crash traces through it (`ltf-experiments slo`, or any
+/// campaign worker — the worker entry points dispatch on the block).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
     /// Campaign name: prefixes journal keys and output labels.
@@ -81,6 +142,10 @@ pub struct CampaignSpec {
     pub relax_steps: Option<u32>,
     /// Period-bisection iterations per cell (default 40).
     pub iterations: Option<u32>,
+    /// Stochastic failure model: present ⇒ this is an SLO campaign.
+    pub failure: Option<FailureSpec>,
+    /// Declared service-level objective (SLO campaigns only).
+    pub slo: Option<SloSpec>,
 }
 
 /// Typed spec rejection: each validation class is its own variant, so
@@ -344,6 +409,123 @@ impl CampaignSpec {
         for algo in &self.heuristics {
             if algo != "all" && solver.heuristic(algo).is_none() {
                 return Err(SpecError::UnknownHeuristic(algo.clone()));
+            }
+        }
+        self.validate_slo()
+    }
+
+    /// Validation of the SLO blocks (`failure` / `slo`). SLO cells need
+    /// one concrete (ε, schedule) witness each, so the looser Pareto
+    /// conventions — unbounded ε bands, the `"all"` cross-heuristic
+    /// merge — are rejected here rather than silently reinterpreted.
+    fn validate_slo(&self) -> Result<(), SpecError> {
+        let Some(f) = &self.failure else {
+            if self.slo.is_some() {
+                return Err(SpecError::BadValue(
+                    "\"slo\" requires a \"failure\" block".into(),
+                ));
+            }
+            return Ok(());
+        };
+        match (&f.rate, &f.rates) {
+            (Some(_), Some(_)) | (None, None) => {
+                return Err(SpecError::BadValue(
+                    "\"failure\" needs exactly one of \"rate\" / \"rates\"".into(),
+                ));
+            }
+            (Some(r), None) => {
+                if !(r.is_finite() && *r >= 0.0) {
+                    return Err(SpecError::BadValue(format!(
+                        "\"failure.rate\" {r} must be a non-negative finite number"
+                    )));
+                }
+            }
+            (None, Some(rs)) => {
+                if rs.is_empty() {
+                    return Err(SpecError::EmptyAxis("failure.rates"));
+                }
+                if let Some(bad) = rs.iter().find(|r| !(r.is_finite() && **r >= 0.0)) {
+                    return Err(SpecError::BadValue(format!(
+                        "\"failure.rates\" entry {bad} must be a non-negative finite number"
+                    )));
+                }
+                for &m in self.platform_procs.as_deref().unwrap_or(&[20]) {
+                    if self.graphs.iter().any(|g| g == "workload") && m != rs.len() {
+                        return Err(SpecError::BadValue(format!(
+                            "\"failure.rates\" has {} entries but \"platform_procs\" sweeps m={m}",
+                            rs.len()
+                        )));
+                    }
+                }
+            }
+        }
+        for (field, zero) in [
+            ("failure.traces", f.traces == Some(0)),
+            ("failure.items", f.items == Some(0)),
+            ("failure.block", f.block == Some(0)),
+        ] {
+            if zero {
+                return Err(SpecError::BadValue(format!("\"{field}\" must be ≥ 1")));
+            }
+        }
+        match f.period {
+            Some(p) if !(p > 0.0 && p.is_finite()) => {
+                return Err(SpecError::BadValue(format!(
+                    "\"failure.period\" {p} must be a positive finite number"
+                )));
+            }
+            None if self.graphs.iter().any(|g| g != "workload") => {
+                return Err(SpecError::BadValue(
+                    "\"failure.period\" is required for fig graph families".into(),
+                ));
+            }
+            _ => {}
+        }
+        if let Some(p) = &f.policy {
+            if !matches!(p.as_str(), "fail-stop" | "reroute") {
+                return Err(SpecError::BadValue(format!(
+                    "\"failure.policy\" {p:?} must be \"fail-stop\" or \"reroute\""
+                )));
+            }
+        }
+        if let Some(e) = &f.engine {
+            if ltf_faultlab::SimEngine::parse(e).is_none() {
+                return Err(SpecError::BadValue(format!(
+                    "\"failure.engine\" {e:?} must be \"synchronous\" or \"asap\""
+                )));
+            }
+        }
+        // Each cell replays one concrete ε: bands must be explicit and
+        // bounded (the Pareto default "ε up to m−1" depends on a platform
+        // prefix no SLO cell sweeps).
+        let bounded = self
+            .epsilons
+            .as_ref()
+            .is_some_and(|eps| eps.iter().all(|b| b.max.is_some()));
+        if !bounded {
+            return Err(SpecError::BadValue(
+                "SLO campaigns need explicit bounded \"epsilons\" bands (each with \"max\")".into(),
+            ));
+        }
+        if self.heuristics.iter().any(|h| h == "all") {
+            return Err(SpecError::BadValue(
+                "SLO campaigns need concrete heuristics (\"all\" has no single witness)".into(),
+            ));
+        }
+        if let Some(s) = &self.slo {
+            if let Some(l) = s.max_latency {
+                if !(l > 0.0 && l.is_finite()) {
+                    return Err(SpecError::BadValue(format!(
+                        "\"slo.max_latency\" {l} must be a positive finite number"
+                    )));
+                }
+            }
+            if let Some(v) = s.max_violation_rate {
+                if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                    return Err(SpecError::BadValue(format!(
+                        "\"slo.max_violation_rate\" {v} must be in [0, 1]"
+                    )));
+                }
             }
         }
         Ok(())

@@ -189,6 +189,10 @@ pub fn worker_main(
     out: &mut impl Write,
 ) -> Result<usize, String> {
     let spec = CampaignSpec::load(spec_path).map_err(|e| e.to_string())?;
+    if spec.failure.is_some() {
+        // An SLO campaign: same wire, same supervision, different items.
+        return super::slo::slo_worker_main(&spec, shard, threads, journal, out);
+    }
     let abort_marker = std::env::var_os(ABORT_ENV).map(std::path::PathBuf::from);
     let mut io_err: Option<String> = None;
     let emitted = run_shard(&spec, shard, threads, journal, |r| {

@@ -14,6 +14,7 @@
 //!   solve     one paper-workload instance through the Solver registry
 //!   pareto    Pareto front over (latency, period, ε, processors)
 //!   campaign-worker  one shard of a declarative campaign spec
+//!   slo       stochastic failure campaign with SLO distribution report
 //!   scaling   runtime scaling vs v, m, ε (Theorem 1)
 //!   ablation  design ablations (Rule 1 / Rule 2 / one-to-one / chunk)
 //!   all       fig1 fig2 fig3 fig4 (the default; scaling and ablation
@@ -562,6 +563,56 @@ fn run_campaign_worker(o: &Opts) {
     }
 }
 
+/// `slo`: run a whole SLO campaign (a spec with a `failure` block) in
+/// this process and render its report — JSON lines on stdout (CSV with
+/// `--csv`), both files under `--out`. Distributed runs go through
+/// `ltf-campaign` instead; this is the golden serial reference they are
+/// byte-compared against. See `docs/slo-campaign.md`.
+fn run_slo(o: &Opts) {
+    let Some(spec_path) = &o.spec else {
+        eprintln!("slo requires --spec FILE\n");
+        std::process::exit(2);
+    };
+    let spec = match ltf_experiments::campaign::CampaignSpec::load(spec_path) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("slo: {e}");
+            std::process::exit(2);
+        }
+    };
+    if spec.failure.is_none() {
+        eprintln!("slo: spec {} has no \"failure\" block", spec_path.display());
+        std::process::exit(2);
+    }
+    let report = match ltf_experiments::campaign::run_slo_serial(
+        &spec,
+        o.threads,
+        o.checkpoint.as_deref(),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("slo: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = report.json_lines();
+    let csv = report.csv_lines();
+    for line in if o.csv { &csv } else { &json } {
+        println!("{line}");
+    }
+    std::fs::create_dir_all(&o.out).expect("create output dir");
+    let json_path = o.out.join("slo.jsonl");
+    let csv_path = o.out.join("slo.csv");
+    std::fs::write(&json_path, json.join("\n") + "\n").expect("write slo.jsonl");
+    std::fs::write(&csv_path, csv.join("\n") + "\n").expect("write slo.csv");
+    eprintln!(
+        "slo: {} cell(s); wrote {} and {}",
+        report.rows.len(),
+        json_path.display(),
+        csv_path.display()
+    );
+}
+
 fn print_usage() {
     eprintln!(
         "usage: ltf-experiments [COMMAND] [OPTIONS]\n\
@@ -574,7 +625,10 @@ fn print_usage() {
          \x20 solve      one paper-workload instance through the Solver registry\n\
          \x20 pareto     Pareto front over (latency, period, ε, processors)\n\
          \x20 campaign-worker  run one shard of a campaign spec (--spec,\n\
-         \x20            --shard K/N, --checkpoint; JSON lines on stdout)\n\
+         \x20            --shard K/N, --checkpoint; JSON lines on stdout;\n\
+         \x20            specs with a \"failure\" block run the SLO pipeline)\n\
+         \x20 slo        run an SLO campaign serially (--spec with a\n\
+         \x20            \"failure\" block; report on stdout + --out files)\n\
          \x20 scaling    runtime scaling over (v, m, ε)\n\
          \x20 ablation   R-LTF rule ablations\n\
          \x20 all        fig1 fig2 fig3 fig4 (default)\n\
@@ -626,6 +680,7 @@ fn main() {
         "solve" => run_solve(&o),
         "pareto" => run_pareto(&o),
         "campaign-worker" => run_campaign_worker(&o),
+        "slo" => run_slo(&o),
         "scaling" => {
             let mut cfg = ScalingConfig {
                 seed: o.seed,

@@ -5,7 +5,9 @@
 //! the distributed merge's byte-identity rests on.
 
 use ltf_core::shard::Shard;
-use ltf_experiments::campaign::{work_items, CampaignSpec, SpecError, DEFAULT_SEED};
+use ltf_experiments::campaign::{
+    slo_cells, slo_work_items, work_items, CampaignSpec, SpecError, DEFAULT_SEED,
+};
 
 /// A minimal valid spec; each corpus test breaks exactly one thing.
 fn valid() -> String {
@@ -203,5 +205,123 @@ fn signature_tracks_spec_content() {
         a.signature(),
         b.signature(),
         "journal keys must not collide across different specs"
+    );
+}
+
+/// A minimal valid SLO spec; each corpus test below breaks one thing.
+fn valid_slo() -> String {
+    r#"{
+      "name": "slo-corpus",
+      "graphs": ["fig1"],
+      "heuristics": ["rltf"],
+      "epsilons": [{"max": 1}],
+      "failure": {"rate": 0.01, "period": 30.0},
+      "slo": {"max_latency": 100.0, "max_violation_rate": 0.1}
+    }"#
+    .to_string()
+}
+
+/// Expand a broken-by-substitution SLO spec and return its `BadValue`
+/// message (panicking on any other outcome). Validation runs at
+/// expansion, like the rest of the corpus.
+fn slo_bad_value(from: &str, to: &str) -> String {
+    let spec = CampaignSpec::parse(&valid_slo().replace(from, to)).unwrap();
+    match spec.expand() {
+        Err(SpecError::BadValue(msg)) => msg,
+        other => panic!("expected BadValue for {to:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn valid_slo_spec_parses_and_expands_cells() {
+    let spec = CampaignSpec::parse(&valid_slo()).unwrap();
+    let exps = spec.expand().unwrap();
+    let cells = slo_cells(&exps);
+    assert_eq!(cells.len(), 2, "ε ∈ {{0, 1}} × 1 instance");
+    assert_eq!(cells[0].label, "fig1/rltf/eps=..1/eps=0/inst=0");
+    assert_eq!(cells[1].epsilon, 1);
+    let f = spec.failure.as_ref().unwrap();
+    let items = slo_work_items(f, &cells);
+    // Default 16 traces in blocks of 4 → 4 blocks per cell.
+    assert_eq!(items.len(), 8);
+    for (i, wi) in items.iter().enumerate() {
+        assert_eq!(wi.item, i, "global item indices are dense");
+        assert!(wi.t0 < wi.t1 && wi.t1 <= f.traces());
+    }
+}
+
+#[test]
+fn slo_without_failure_is_rejected() {
+    let text = valid_slo().replace(r#""failure": {"rate": 0.01, "period": 30.0},"#, "");
+    let spec = CampaignSpec::parse(&text).unwrap();
+    match spec.expand() {
+        Err(SpecError::BadValue(msg)) => assert!(msg.contains("requires"), "{msg}"),
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn failure_needs_exactly_one_rate_form() {
+    let msg = slo_bad_value(r#""rate": 0.01,"#, "");
+    assert!(msg.contains("exactly one"), "{msg}");
+    let msg = slo_bad_value(r#""rate": 0.01"#, r#""rate": 0.01, "rates": [0.01]"#);
+    assert!(msg.contains("exactly one"), "{msg}");
+    let msg = slo_bad_value(r#""rate": 0.01"#, r#""rate": -0.5"#);
+    assert!(msg.contains("non-negative"), "{msg}");
+}
+
+#[test]
+fn failure_counts_must_be_positive() {
+    for field in ["traces", "items", "block"] {
+        let msg = slo_bad_value(r#""rate": 0.01"#, &format!(r#""rate": 0.01, "{field}": 0"#));
+        assert!(msg.contains(field) && msg.contains("≥ 1"), "{msg}");
+    }
+}
+
+#[test]
+fn fig_families_require_an_explicit_period() {
+    let msg = slo_bad_value(r#", "period": 30.0"#, "");
+    assert!(msg.contains("period"), "{msg}");
+    let msg = slo_bad_value(r#""period": 30.0"#, r#""period": 0.0"#);
+    assert!(msg.contains("positive"), "{msg}");
+}
+
+#[test]
+fn policy_and_engine_domains_are_closed() {
+    let msg = slo_bad_value(r#""period": 30.0"#, r#""period": 30.0, "policy": "heal""#);
+    assert!(msg.contains("fail-stop"), "{msg}");
+    let msg = slo_bad_value(r#""period": 30.0"#, r#""period": 30.0, "engine": "magic""#);
+    assert!(msg.contains("asap"), "{msg}");
+}
+
+#[test]
+fn slo_campaigns_reject_unbounded_bands_and_the_all_heuristic() {
+    let msg = slo_bad_value(r#""epsilons": [{"max": 1}],"#, "");
+    assert!(msg.contains("bounded"), "{msg}");
+    let msg = slo_bad_value(r#"[{"max": 1}]"#, r#"[{"min": 1}]"#);
+    assert!(msg.contains("bounded"), "{msg}");
+    let msg = slo_bad_value(r#"["rltf"]"#, r#"["all"]"#);
+    assert!(msg.contains("witness"), "{msg}");
+}
+
+#[test]
+fn slo_threshold_domains_are_checked() {
+    let msg = slo_bad_value(r#""max_latency": 100.0"#, r#""max_latency": -1.0"#);
+    assert!(msg.contains("max_latency"), "{msg}");
+    let msg = slo_bad_value(
+        r#""max_violation_rate": 0.1"#,
+        r#""max_violation_rate": 1.5"#,
+    );
+    assert!(msg.contains("[0, 1]"), "{msg}");
+}
+
+#[test]
+fn failure_block_feeds_the_signature() {
+    let a = CampaignSpec::parse(&valid_slo()).unwrap();
+    let b = CampaignSpec::parse(&valid_slo().replace("0.01", "0.02")).unwrap();
+    assert_ne!(
+        a.signature(),
+        b.signature(),
+        "trace sampling is keyed by the signature, so failure params must feed it"
     );
 }

@@ -1,0 +1,40 @@
+//! Stochastic failure campaigns with SLO distribution reporting.
+//!
+//! The worst-case analyses elsewhere in the workspace ask *"does this
+//! schedule survive any ε crashes?"*. Production reliability asks a
+//! statistical question instead: given real per-processor failure rates,
+//! what latency distribution, item-loss rate, and SLO violation rate does
+//! each (heuristic, ε, platform) configuration actually deliver? This
+//! crate is the mechanism layer for answering it:
+//!
+//! * [`sample`] — [`FailureModel`] draws per-processor exponential crash
+//!   times into [`ltf_sim::CrashTrace`]s, keyed by *(campaign signature,
+//!   global trace index)* through the split-stream generator so every
+//!   trace is a pure function of the spec;
+//! * [`replay`](mod@replay) — [`replay()`] runs one trace through the chosen
+//!   [`SimEngine`] (stage-synchronous or ASAP) under a
+//!   [`ltf_sim::RecoveryPolicy`];
+//! * [`digest`] — [`LatencyDigest`], a bounded log-bucket histogram with
+//!   exact extrema: integer-only recording, element-wise-additive merging,
+//!   sparse validated serialization;
+//! * [`slo`] — [`CellStats`] accumulation, [`SloRow`] rendering, and the
+//!   [`SloReport`] JSON-lines/CSV outputs the byte-identity contract is
+//!   stated over.
+//!
+//! Policy — which cells exist, how traces shard into work items, where
+//! checkpoints live — stays in `ltf-experiments::campaign::slo`, which
+//! wires these pieces into the PR 5 checkpointed harness and the PR 7
+//! campaign sharding. The layering keeps this crate free of workload
+//! generation and lets the replay-level property tests exercise the
+//! mechanisms directly. See `docs/slo-campaign.md` for the end-to-end
+//! campaign format and determinism contract.
+
+pub mod digest;
+pub mod replay;
+pub mod sample;
+pub mod slo;
+
+pub use crate::digest::LatencyDigest;
+pub use crate::replay::{replay, ReplayConfig, SimEngine};
+pub use crate::sample::FailureModel;
+pub use crate::slo::{CellStats, SloReport, SloRow, SloThreshold};

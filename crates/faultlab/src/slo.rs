@@ -1,0 +1,344 @@
+//! Per-cell SLO accounting and report rows.
+//!
+//! A campaign cell — one (heuristic, ε, platform, …) point — replays many
+//! sampled crash traces and folds every item outcome into one
+//! [`CellStats`]: the latency distribution (a bounded
+//! [`LatencyDigest`]), the produced/lost item
+//! counters, and the count of *SLO violations* — items that were lost
+//! **or** finished above the declared per-item latency bound
+//! ([`SloThreshold::max_latency`]). Stats are mergeable, so trace blocks
+//! computed on different shards recombine into exactly the serial cell.
+//!
+//! [`SloRow`] is the rendered form: one row per cell with p50/p99/p999/max
+//! latency, loss rate, violation rate, and the pass/fail verdict against
+//! the declared violation budget. [`SloReport`] holds the rows of a whole
+//! campaign and renders the two canonical outputs (JSON lines, CSV) the
+//! byte-identity contract is stated over.
+
+use crate::digest::LatencyDigest;
+use ltf_sim::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// The declared service-level objective a cell is judged against.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloThreshold {
+    /// Per-item latency bound; an item produced above it is a violation
+    /// (`None` = only losses violate).
+    pub max_latency: Option<f64>,
+    /// Tolerated violation rate; the cell passes when
+    /// `violations / items ≤` this (`None` = zero tolerance).
+    pub max_violation_rate: Option<f64>,
+}
+
+impl SloThreshold {
+    /// Whether a produced item at latency `l` violates the objective.
+    pub fn violated_by(&self, l: f64) -> bool {
+        self.max_latency.is_some_and(|bound| l > bound)
+    }
+
+    /// Whether a cell with `rate` violations per item passes.
+    pub fn passes(&self, rate: f64) -> bool {
+        rate <= self.max_violation_rate.unwrap_or(0.0)
+    }
+}
+
+/// Mergeable per-cell accumulator over replayed traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Traces folded in.
+    pub traces: u64,
+    /// Stream items across those traces.
+    pub items: u64,
+    /// Items that produced all stream outputs.
+    pub produced: u64,
+    /// Items lost to crashes (always violations).
+    pub lost: u64,
+    /// Items lost or produced above the latency bound.
+    pub violations: u64,
+    /// Latency distribution over produced items.
+    pub latency: LatencyDigest,
+}
+
+impl Default for CellStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CellStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            traces: 0,
+            items: 0,
+            produced: 0,
+            lost: 0,
+            violations: 0,
+            latency: LatencyDigest::new(),
+        }
+    }
+
+    /// Fold one replayed trace's report in, judged against `slo`.
+    pub fn record(&mut self, rep: &SimReport, slo: &SloThreshold) {
+        self.traces += 1;
+        for l in &rep.item_latency {
+            self.items += 1;
+            match l {
+                Some(l) => {
+                    self.produced += 1;
+                    self.latency.record(*l);
+                    if slo.violated_by(*l) {
+                        self.violations += 1;
+                    }
+                }
+                None => {
+                    self.lost += 1;
+                    self.violations += 1;
+                }
+            }
+        }
+    }
+
+    /// Fold another cell accumulator in (counter addition, digest merge).
+    pub fn merge(&mut self, other: &CellStats) {
+        self.traces += other.traces;
+        self.items += other.items;
+        self.produced += other.produced;
+        self.lost += other.lost;
+        self.violations += other.violations;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Fraction of items lost (0 when nothing ran).
+    pub fn loss_rate(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.items as f64
+        }
+    }
+
+    /// Fraction of items violating the SLO (0 when nothing ran).
+    pub fn violation_rate(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.items as f64
+        }
+    }
+}
+
+/// One rendered report row: a cell's identity plus its SLO verdict.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloRow {
+    /// Cell index in campaign expansion order.
+    pub cell: u64,
+    /// Human-readable cell label.
+    pub label: String,
+    /// Whether the cell's witness schedule exists (an infeasible cell
+    /// replays nothing and fails its SLO by definition).
+    pub feasible: bool,
+    /// Traces replayed.
+    pub traces: u64,
+    /// Stream items across those traces.
+    pub items: u64,
+    /// Items produced.
+    pub produced: u64,
+    /// Items lost.
+    pub lost: u64,
+    /// `lost / items`.
+    pub loss_rate: f64,
+    /// Median produced latency (digest bucket edge).
+    pub p50: Option<f64>,
+    /// 99th-percentile produced latency.
+    pub p99: Option<f64>,
+    /// 99.9th-percentile produced latency.
+    pub p999: Option<f64>,
+    /// Exact maximum produced latency.
+    pub max: Option<f64>,
+    /// Items lost or above the latency bound.
+    pub violations: u64,
+    /// `violations / items`.
+    pub violation_rate: f64,
+    /// Whether the violation rate is within the declared budget.
+    pub slo_ok: bool,
+}
+
+impl SloRow {
+    /// Render a cell's accumulated stats against its objective.
+    pub fn from_stats(
+        cell: u64,
+        label: String,
+        feasible: bool,
+        stats: &CellStats,
+        slo: &SloThreshold,
+    ) -> Self {
+        let violation_rate = stats.violation_rate();
+        Self {
+            cell,
+            label,
+            feasible,
+            traces: stats.traces,
+            items: stats.items,
+            produced: stats.produced,
+            lost: stats.lost,
+            loss_rate: stats.loss_rate(),
+            p50: stats.latency.percentile(50.0),
+            p99: stats.latency.percentile(99.0),
+            p999: stats.latency.percentile(99.9),
+            max: stats.latency.max(),
+            violations: stats.violations,
+            violation_rate,
+            slo_ok: feasible && slo.passes(violation_rate),
+        }
+    }
+
+    /// Header line matching [`SloRow::csv_line`].
+    pub const CSV_HEADER: &'static str = "cell,label,feasible,traces,items,produced,lost,\
+         loss_rate,p50,p99,p999,max,violations,violation_rate,slo_ok";
+
+    /// The row as one CSV line (`None` percentiles render empty).
+    pub fn csv_line(&self) -> String {
+        let opt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.cell,
+            self.label,
+            self.feasible,
+            self.traces,
+            self.items,
+            self.produced,
+            self.lost,
+            self.loss_rate,
+            opt(self.p50),
+            opt(self.p99),
+            opt(self.p999),
+            opt(self.max),
+            self.violations,
+            self.violation_rate,
+            self.slo_ok
+        )
+    }
+
+    /// The row as one JSON line.
+    pub fn json_line(&self) -> String {
+        serde_json::to_string(self).expect("value writer is infallible")
+    }
+}
+
+/// A whole campaign's SLO report: one row per cell, expansion order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloReport {
+    /// Per-cell rows in campaign expansion order.
+    pub rows: Vec<SloRow>,
+}
+
+impl SloReport {
+    /// The canonical JSON-lines rendering (one line per cell).
+    pub fn json_lines(&self) -> Vec<String> {
+        self.rows.iter().map(SloRow::json_line).collect()
+    }
+
+    /// The canonical CSV rendering (header + one line per cell).
+    pub fn csv_lines(&self) -> Vec<String> {
+        std::iter::once(SloRow::CSV_HEADER.to_string())
+            .chain(self.rows.iter().map(SloRow::csv_line))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: &[Option<f64>]) -> SimReport {
+        SimReport {
+            item_latency: latencies.to_vec(),
+            item_completion: latencies.to_vec(),
+            makespan: 0.0,
+        }
+    }
+
+    #[test]
+    fn violations_count_losses_and_slow_items() {
+        let slo = SloThreshold {
+            max_latency: Some(50.0),
+            max_violation_rate: Some(0.5),
+        };
+        let mut stats = CellStats::new();
+        stats.record(&report(&[Some(30.0), Some(50.0), Some(60.0), None]), &slo);
+        assert_eq!(
+            (stats.traces, stats.items, stats.produced, stats.lost),
+            (1, 4, 3, 1)
+        );
+        // 60.0 > bound and the loss: two violations; 50.0 is exactly at
+        // the bound and passes.
+        assert_eq!(stats.violations, 2);
+        assert_eq!(stats.violation_rate(), 0.5);
+        assert_eq!(stats.loss_rate(), 0.25);
+
+        let row = SloRow::from_stats(3, "cell".into(), true, &stats, &slo);
+        assert!(row.slo_ok); // 0.5 ≤ budget 0.5
+        assert_eq!(row.max, Some(60.0));
+        // Zero tolerance by default: the same stats fail without a budget.
+        let strict = SloRow::from_stats(3, "cell".into(), true, &stats, &SloThreshold::default());
+        assert!(!strict.slo_ok);
+        // An infeasible cell never passes, whatever its (empty) stats say.
+        let infeasible = SloRow::from_stats(3, "cell".into(), false, &stats, &slo);
+        assert!(!infeasible.slo_ok && !infeasible.feasible);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let slo = SloThreshold {
+            max_latency: Some(25.0),
+            max_violation_rate: None,
+        };
+        let reports = [
+            report(&[Some(10.0), Some(30.0)]),
+            report(&[None, Some(20.0)]),
+            report(&[Some(5.0)]),
+        ];
+        let mut whole = CellStats::new();
+        reports.iter().for_each(|r| whole.record(r, &slo));
+        let mut left = CellStats::new();
+        left.record(&reports[0], &slo);
+        let mut right = CellStats::new();
+        right.record(&reports[1], &slo);
+        right.record(&reports[2], &slo);
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn empty_cell_renders_cleanly() {
+        let row = SloRow::from_stats(
+            0,
+            "idle".into(),
+            true,
+            &CellStats::new(),
+            &SloThreshold::default(),
+        );
+        assert_eq!(
+            (row.items, row.loss_rate, row.violation_rate),
+            (0, 0.0, 0.0)
+        );
+        assert!(row.slo_ok && row.p50.is_none() && row.max.is_none());
+        let rep = SloReport { rows: vec![row] };
+        assert_eq!(rep.csv_lines().len(), 2);
+        assert!(rep.csv_lines()[1].contains(",,,")); // empty percentile cells
+        assert!(rep.json_lines()[0].contains("\"p50\":null"));
+    }
+
+    #[test]
+    fn cell_stats_round_trip_through_json() {
+        let mut stats = CellStats::new();
+        stats.record(
+            &report(&[Some(10.0), None, Some(99.5)]),
+            &SloThreshold::default(),
+        );
+        let text = serde_json::to_string(&stats).unwrap();
+        let back: CellStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, stats);
+    }
+}

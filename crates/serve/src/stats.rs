@@ -2,6 +2,7 @@
 //! recent per-request service times feeding nearest-rank percentiles,
 //! plus lifetime counters per outcome and per heuristic.
 
+use ltf_core::stats::percentile_sorted_u64;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -97,23 +98,12 @@ impl ServiceStats {
                 cache_hits as f64 / lookups as f64
             },
             window: window.len(),
-            p50_us: percentile(&window, 50),
-            p90_us: percentile(&window, 90),
-            p99_us: percentile(&window, 99),
+            p50_us: percentile_sorted_u64(&window, 50.0),
+            p90_us: percentile_sorted_u64(&window, 90.0),
+            p99_us: percentile_sorted_u64(&window, 99.0),
             max_us: window.last().copied().unwrap_or(0),
         }
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted window (0 when empty).
-fn percentile(sorted: &[u64], pct: u32) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    // Nearest-rank: the smallest value with at least pct% of the window
-    // at or below it.
-    let rank = (sorted.len() as u64 * pct as u64).div_ceil(100).max(1) as usize;
-    sorted[rank - 1]
 }
 
 /// Serializable statistics snapshot, the reply to `{"cmd":"stats"}`.
@@ -155,14 +145,16 @@ mod tests {
 
     #[test]
     fn percentiles_nearest_rank() {
+        // The shared helper must keep the wire-format conventions this
+        // report was built on (nearest rank, 0 for an empty window).
         let w: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&w, 50), 50);
-        assert_eq!(percentile(&w, 99), 99);
-        assert_eq!(percentile(&[7], 50), 7);
-        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile_sorted_u64(&w, 50.0), 50);
+        assert_eq!(percentile_sorted_u64(&w, 99.0), 99);
+        assert_eq!(percentile_sorted_u64(&[7], 50.0), 7);
+        assert_eq!(percentile_sorted_u64(&[], 99.0), 0);
         let w = [10, 20, 30];
-        assert_eq!(percentile(&w, 50), 20);
-        assert_eq!(percentile(&w, 99), 30);
+        assert_eq!(percentile_sorted_u64(&w, 50.0), 20);
+        assert_eq!(percentile_sorted_u64(&w, 99.0), 30);
     }
 
     #[test]

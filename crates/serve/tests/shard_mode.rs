@@ -6,7 +6,9 @@
 //! service.
 
 use ltf_core::shard::Shard;
-use ltf_experiments::campaign::{run_shard, CampaignSpec, ItemResult};
+use ltf_experiments::campaign::{
+    run_shard, run_slo_shard, CampaignSpec, ItemResult, SloItemResult,
+};
 use ltf_serve::{Service, ServiceConfig};
 use serde::{Deserialize, Value};
 
@@ -63,6 +65,40 @@ fn shard_reply_matches_in_process_run() {
     let mut want = Vec::new();
     run_shard(&spec, shard, 1, None, |r| want.push(r.clone())).unwrap();
     assert_eq!(got, want, "wire results differ from in-process run_shard");
+    assert_eq!(field(&v, "items"), Some(&Value::UInt(want.len() as u64)));
+}
+
+#[test]
+fn slo_shard_reply_matches_in_process_run() {
+    const SLO_SPEC: &str = r#"{
+      "name": "shard-mode-slo",
+      "graphs": ["fig1"],
+      "heuristics": ["rltf"],
+      "epsilons": [{"max": 1}],
+      "failure": {"rate": 0.002, "traces": 4, "items": 6, "block": 2,
+                  "period": 30.0, "policy": "reroute"},
+      "slo": {"max_latency": 200.0, "max_violation_rate": 0.1}
+    }"#;
+    let mut s = service();
+    let resp = s.handle_line(&shard_line(SLO_SPEC, "0/2", 11));
+    let v: Value = serde_json::from_str(&resp).expect("reply is JSON");
+    assert_eq!(field(&v, "ok"), Some(&Value::Bool(true)), "{resp}");
+    let Some(Value::Seq(results)) = field(&v, "results") else {
+        panic!("no results array: {resp}");
+    };
+    let got: Vec<SloItemResult> = results
+        .iter()
+        .map(|r| SloItemResult::from_value(r).expect("typed slo result"))
+        .collect();
+
+    let spec = CampaignSpec::parse(SLO_SPEC).unwrap();
+    let shard: Shard = "0/2".parse().unwrap();
+    let mut want = Vec::new();
+    run_slo_shard(&spec, shard, 1, None, |r| want.push(r.clone())).unwrap();
+    assert_eq!(
+        got, want,
+        "wire results differ from in-process run_slo_shard"
+    );
     assert_eq!(field(&v, "items"), Some(&Value::UInt(want.len() as u64)));
 }
 

@@ -7,9 +7,20 @@
 //! structure and contend for send/receive ports under the one-port model
 //! (FIFO by readiness). Crashed processors finish nothing and send nothing
 //! from the crash time onward.
+//!
+//! Two entry points share the engine: [`asap`] replays the fixed-set crash
+//! model (all failures at one instant), [`asap_trace`] replays a sampled
+//! [`CrashTrace`] with per-processor crash times and an online
+//! [`RecoveryPolicy`]. Under [`RecoveryPolicy::Reroute`], an in-edge whose
+//! scheduled sources have all died is re-routed mid-stream to a surviving
+//! replica of the predecessor task: re-route messages are injected into
+//! the event world at the real communication cost between the new
+//! processor pair and contend for ports like any scheduled message.
 
+use crate::fault::{CrashTrace, RecoveryPolicy, TraceConfig};
 use crate::report::SimReport;
-use ltf_graph::TaskGraph;
+use ltf_graph::{EdgeId, TaskGraph};
+use ltf_platform::{Platform, ProcId};
 use ltf_schedule::{CrashSet, ReplicaId, Schedule};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -49,300 +60,516 @@ enum Event {
     MsgReady { ev: u32, item: u32 },
     /// A message fully arrived at its destination.
     MsgArrive { ev: u32, item: u32 },
+    /// A processor died (only scheduled under [`RecoveryPolicy::Reroute`]
+    /// — it triggers the bulk re-route scan).
+    ProcCrash { proc: u32 },
+}
+
+/// One point-to-point transfer: the scheduled communication events, plus
+/// any re-route messages injected at runtime.
+#[derive(Debug, Clone)]
+struct Msg {
+    dst_rep: u32,
+    dst_slot: u32,
+    src_proc: usize,
+    dst_proc: usize,
+    dur: f64,
+    /// Injected by the re-route policy (its in-flight flag must be cleared
+    /// if the transfer is cut, so recovery can be retried elsewhere).
+    reroute: bool,
 }
 
 /// Execute the schedule ASAP. Returns per-item latency measurements.
 ///
 /// Panics if `items == 0`.
 pub fn asap(g: &TaskGraph, sched: &Schedule, cfg: &AsapConfig) -> SimReport {
-    assert!(cfg.items > 0, "need at least one item");
-    let nrep = sched.replicas_per_task();
-    let n_rep = g.num_tasks() * nrep;
-    let items = cfg.items;
-    let period = sched.period();
     let m = 1 + sched
         .replicas()
         .map(|r| sched.proc(r).index())
         .max()
         .unwrap_or(0);
-
-    let (crash, crash_at) = match &cfg.crash {
-        Some((c, at)) => (Some(c), *at),
-        None => (None, f64::INFINITY),
+    let trace = match &cfg.crash {
+        Some((c, at)) => CrashTrace::from_crash_set(c, m, *at),
+        None => CrashTrace::never(m),
     };
-    let crashed = |proc: usize, time: f64| -> bool {
-        time > crash_at && crash.is_some_and(|c| c.contains(ltf_platform::ProcId(proc as u16)))
-    };
+    Runner::new(g, None, sched, cfg.items, &trace, RecoveryPolicy::FailStop).run()
+}
 
-    // Static structure: per replica, the number of in-edges; per replica,
-    // outgoing message ids; per message, (src rep, dst rep, dst edge slot).
-    let rep_of = |t: ltf_graph::TaskId, c: u8| ReplicaId::new(t, c).dense(nrep);
-    let mut in_edges_of = vec![0usize; n_rep];
-    // Map (rep, edge) -> slot index within the replica's edge list.
-    let mut edge_slot = vec![Vec::<(u32, usize)>::new(); n_rep];
-    for t in g.tasks() {
-        for c in 0..nrep as u8 {
-            let r = rep_of(t, c);
-            in_edges_of[r] = g.in_degree(t);
-            edge_slot[r] = g
-                .pred_edges(t)
-                .iter()
-                .enumerate()
-                .map(|(i, &e)| (e.0, i))
-                .collect();
+/// Execute the schedule ASAP under a sampled crash trace and recovery
+/// policy. The platform prices re-route messages between processor pairs
+/// the schedule never planned a transfer for.
+///
+/// Panics if `cfg.items == 0` or the trace covers fewer processors than
+/// the schedule uses.
+pub fn asap_trace(g: &TaskGraph, p: &Platform, sched: &Schedule, cfg: &TraceConfig) -> SimReport {
+    Runner::new(g, Some(p), sched, cfg.items, &cfg.trace, cfg.policy).run()
+}
+
+struct Runner<'a> {
+    g: &'a TaskGraph,
+    platform: Option<&'a Platform>,
+    sched: &'a Schedule,
+    trace: &'a CrashTrace,
+    policy: RecoveryPolicy,
+    items: usize,
+    nrep: usize,
+    n_rep: usize,
+    max_deg: usize,
+    // Static structure.
+    proc_of: Vec<usize>,
+    /// Per replica, its in-edges in slot order (`g.pred_edges` order).
+    slot_edges: Vec<Vec<u32>>,
+    /// Per (replica, slot), the processors of the scheduled sources.
+    sched_src_procs: Vec<Vec<Vec<usize>>>,
+    /// Per source replica, local (same-processor) deliveries: (dst, slot).
+    local_out: Vec<Vec<(u32, u32)>>,
+    /// Per source replica, scheduled outgoing message ids.
+    out_msgs: Vec<Vec<u32>>,
+    /// Per task, the (consumer replica, slot) pairs fed by its output.
+    consumers: Vec<Vec<(u32, u32)>>,
+    msgs: Vec<Msg>,
+    // Dynamic state.
+    edge_done: Vec<bool>,
+    reroute_inflight: Vec<bool>,
+    edges_missing: Vec<u32>,
+    job_done_at: Vec<f64>,
+    job_scheduled: Vec<bool>,
+    produced: Vec<bool>,
+    proc_free: Vec<f64>,
+    send_free: Vec<f64>,
+    recv_free: Vec<f64>,
+    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: u64,
+    makespan: f64,
+}
+
+impl<'a> Runner<'a> {
+    fn new(
+        g: &'a TaskGraph,
+        platform: Option<&'a Platform>,
+        sched: &'a Schedule,
+        items: usize,
+        trace: &'a CrashTrace,
+        policy: RecoveryPolicy,
+    ) -> Self {
+        assert!(items > 0, "need at least one item");
+        let nrep = sched.replicas_per_task();
+        let n_rep = g.num_tasks() * nrep;
+        let m = 1 + sched
+            .replicas()
+            .map(|r| sched.proc(r).index())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            trace.num_procs() >= m,
+            "trace covers {} processors, schedule uses {m}",
+            trace.num_procs()
+        );
+        let rep_of = |t: ltf_graph::TaskId, c: u8| ReplicaId::new(t, c).dense(nrep);
+
+        let proc_of: Vec<usize> = sched.replicas().map(|r| sched.proc(r).index()).collect();
+        let mut slot_edges = vec![Vec::new(); n_rep];
+        for t in g.tasks() {
+            let edges: Vec<u32> = g.pred_edges(t).iter().map(|e| e.0).collect();
+            for c in 0..nrep as u8 {
+                slot_edges[rep_of(t, c)] = edges.clone();
+            }
         }
-    }
-    let slot_of = |r: usize, edge: u32| -> usize {
-        edge_slot[r]
-            .iter()
-            .find(|(e, _)| *e == edge)
-            .expect("edge of replica")
-            .1
-    };
+        let slot_of = |slots: &[u32], edge: u32| -> u32 {
+            slots
+                .iter()
+                .position(|e| *e == edge)
+                .expect("edge of replica") as u32
+        };
 
-    // Outgoing messages per source replica (indices into comm_events), and
-    // local (same-processor) deliveries derived from the source structure.
-    let events = sched.comm_events();
-    let mut out_msgs = vec![Vec::<u32>::new(); n_rep];
-    for (i, ev) in events.iter().enumerate() {
-        out_msgs[ev.src.dense(nrep)].push(i as u32);
-    }
-    let mut local_out = vec![Vec::<(u32, u32)>::new(); n_rep]; // (dst rep, edge)
-    for t in g.tasks() {
-        for c in 0..nrep as u8 {
-            let r = rep_of(t, c);
-            for choice in sched.sources(ReplicaId::new(t, c)) {
-                let pred = g.edge(choice.edge).src;
-                for &sc in &choice.sources {
-                    let src = rep_of(pred, sc);
-                    if sched.proc(ReplicaId::new(pred, sc)) == sched.proc(ReplicaId::new(t, c)) {
-                        local_out[src].push((r as u32, choice.edge.0));
+        // Scheduled sources: per (consumer, slot) the source processors
+        // (for the "everything I was wired to is dead" test), local
+        // deliveries, and the reverse consumer index per task.
+        let mut sched_src_procs: Vec<Vec<Vec<usize>>> = slot_edges
+            .iter()
+            .map(|s| vec![Vec::new(); s.len()])
+            .collect();
+        let mut local_out = vec![Vec::<(u32, u32)>::new(); n_rep];
+        let mut consumers = vec![Vec::<(u32, u32)>::new(); g.num_tasks()];
+        for t in g.tasks() {
+            for c in 0..nrep as u8 {
+                let r = rep_of(t, c);
+                for choice in sched.sources(ReplicaId::new(t, c)) {
+                    let pred = g.edge(choice.edge).src;
+                    let slot = slot_of(&slot_edges[r], choice.edge.0);
+                    consumers[pred.index()].push((r as u32, slot));
+                    for &sc in &choice.sources {
+                        let src = rep_of(pred, sc);
+                        sched_src_procs[r][slot as usize].push(proc_of[src]);
+                        if proc_of[src] == proc_of[r] {
+                            local_out[src].push((r as u32, slot));
+                        }
                     }
                 }
             }
         }
-    }
 
-    // Dynamic state.
-    let idx = |rep: usize, item: usize| rep * items + item;
-    let max_deg = in_edges_of.iter().copied().max().unwrap_or(0).max(1);
-    // Which in-edge slots have data (first arrival wins), indexed by
-    // (rep, item, slot).
-    let mut edge_done = vec![false; n_rep * items * max_deg];
-    let mut edges_missing: Vec<u32> = (0..n_rep * items)
-        .map(|i| in_edges_of[i / items] as u32)
-        .collect();
-    let mut job_done_at = vec![f64::NAN; n_rep * items];
-    let mut job_scheduled = vec![false; n_rep * items];
-    let mut produced = vec![false; n_rep * items];
+        let events = sched.comm_events();
+        let mut out_msgs = vec![Vec::<u32>::new(); n_rep];
+        let mut msgs = Vec::with_capacity(events.len());
+        for (i, ev) in events.iter().enumerate() {
+            let dst = ev.dst.dense(nrep);
+            out_msgs[ev.src.dense(nrep)].push(i as u32);
+            msgs.push(Msg {
+                dst_rep: dst as u32,
+                dst_slot: slot_of(&slot_edges[dst], ev.edge.0),
+                src_proc: ev.src_proc.index(),
+                dst_proc: ev.dst_proc.index(),
+                dur: ev.duration(),
+                reroute: false,
+            });
+        }
 
-    let mut proc_free = vec![0.0f64; m];
-    let mut send_free = vec![0.0f64; m];
-    let mut recv_free = vec![0.0f64; m];
-
-    // Event heap ordered by (time, sequence) for deterministic ties.
-    let mut heap: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let key = |t: f64| -> u64 { t.to_bits() }; // times are non-negative finite
-    let push =
-        |heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, seq: &mut u64, t: f64, e: Event| {
-            debug_assert!(t.is_finite() && t >= 0.0);
-            *seq += 1;
-            heap.push(Reverse((key(t), *seq, e)));
-        };
-
-    // Admit entry jobs.
-    for &t in g.entries() {
-        for c in 0..nrep as u8 {
-            let r = rep_of(t, c);
-            for k in 0..items {
-                push(
-                    &mut heap,
-                    &mut seq,
-                    k as f64 * period,
-                    Event::JobReady {
-                        rep: r as u32,
-                        item: k as u32,
-                    },
-                );
-            }
+        let max_deg = slot_edges.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        let edges_missing = (0..n_rep * items)
+            .map(|i| slot_edges[i / items].len() as u32)
+            .collect();
+        Self {
+            g,
+            platform,
+            sched,
+            trace,
+            policy,
+            items,
+            nrep,
+            n_rep,
+            max_deg,
+            proc_of,
+            slot_edges,
+            sched_src_procs,
+            local_out,
+            out_msgs,
+            consumers,
+            msgs,
+            edge_done: vec![false; n_rep * items * max_deg],
+            reroute_inflight: vec![false; n_rep * items * max_deg],
+            edges_missing,
+            job_done_at: vec![f64::NAN; n_rep * items],
+            job_scheduled: vec![false; n_rep * items],
+            produced: vec![false; n_rep * items],
+            proc_free: vec![0.0; m],
+            send_free: vec![0.0; m],
+            recv_free: vec![0.0; m],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            makespan: 0.0,
         }
     }
 
-    let mut makespan = 0.0f64;
-    while let Some(Reverse((tbits, _, event))) = heap.pop() {
-        let now = f64::from_bits(tbits);
-        match event {
-            Event::JobReady { rep, item } => {
-                let (r, k) = (rep as usize, item as usize);
-                if job_scheduled[idx(r, k)] {
-                    continue;
-                }
-                job_scheduled[idx(r, k)] = true;
-                let rid = ReplicaId::from_dense(r, nrep);
-                let u = sched.proc(rid).index();
-                let exec = sched.finish(rid) - sched.start(rid);
-                let start = now.max(proc_free[u]);
-                proc_free[u] = start + exec;
-                push(
-                    &mut heap,
-                    &mut seq,
-                    start + exec,
-                    Event::JobFinish { rep, item },
-                );
-            }
-            Event::JobFinish { rep, item } => {
-                let (r, k) = (rep as usize, item as usize);
-                let rid = ReplicaId::from_dense(r, nrep);
-                let u = sched.proc(rid).index();
-                if crashed(u, now) {
-                    continue; // fail-silent: no output
-                }
-                job_done_at[idx(r, k)] = now;
-                produced[idx(r, k)] = true;
-                makespan = makespan.max(now);
-                // Local deliveries are instantaneous.
-                for &(dst, edge) in &local_out[r] {
-                    deliver(
-                        dst as usize,
-                        k,
-                        slot_of(dst as usize, edge),
-                        now,
-                        items,
-                        max_deg,
-                        &mut edge_done,
-                        &mut edges_missing,
-                        &mut heap,
-                        &mut seq,
-                    );
-                }
-                for &mi in &out_msgs[r] {
-                    push(&mut heap, &mut seq, now, Event::MsgReady { ev: mi, item });
-                }
-            }
-            Event::MsgReady { ev, item } => {
-                let e = &events[ev as usize];
-                let h = e.src_proc.index();
-                let u = e.dst_proc.index();
-                let dur = e.duration();
-                let start = now.max(send_free[h]).max(recv_free[u]);
-                if crashed(h, start) {
-                    continue; // sender dead before transmission
-                }
-                send_free[h] = start + dur;
-                recv_free[u] = start + dur;
-                push(
-                    &mut heap,
-                    &mut seq,
-                    start + dur,
-                    Event::MsgArrive { ev, item },
-                );
-            }
-            Event::MsgArrive { ev, item } => {
-                let e = &events[ev as usize];
-                if crashed(e.src_proc.index(), now) {
-                    // The tail of the transmission was cut off.
-                    continue;
-                }
-                let dst = e.dst.dense(nrep);
-                let k = item as usize;
-                deliver(
-                    dst,
-                    k,
-                    slot_of(dst, e.edge.0),
-                    now,
-                    items,
-                    max_deg,
-                    &mut edge_done,
-                    &mut edges_missing,
-                    &mut heap,
-                    &mut seq,
-                );
-            }
+    #[inline]
+    fn idx(&self, rep: usize, item: usize) -> usize {
+        rep * self.items + item
+    }
+
+    #[inline]
+    fn eidx(&self, rep: usize, item: usize, slot: usize) -> usize {
+        (rep * self.items + item) * self.max_deg + slot
+    }
+
+    /// Strictly dead: the fixed-set convention (`time > crash_at` — work
+    /// completing exactly at the crash instant still counts).
+    #[inline]
+    fn crashed(&self, proc: usize, time: f64) -> bool {
+        self.trace.crashed(proc, time)
+    }
+
+    /// Dead for re-route decisions (`crash_at ≤ now`): at the crash
+    /// instant itself the processor already counts as unrecoverable, so
+    /// the `ProcCrash` event fired at exactly that time sees it dead.
+    #[inline]
+    fn dead_by(&self, proc: usize, time: f64) -> bool {
+        self.trace.crash_time(proc) <= time
+    }
+
+    fn push(&mut self, t: f64, e: Event) {
+        debug_assert!(t.is_finite() && t >= 0.0);
+        self.seq += 1;
+        self.heap.push(Reverse((t.to_bits(), self.seq, e)));
+    }
+
+    /// Record a first-arrival on an in-edge slot; when every in-edge of
+    /// the replica has data, emit `JobReady`.
+    fn deliver(&mut self, dst: usize, slot: usize, item: usize, now: f64) {
+        let ei = self.eidx(dst, item, slot);
+        if self.edge_done[ei] {
+            return; // later copies of the same input are redundant
+        }
+        self.edge_done[ei] = true;
+        let miss = &mut self.edges_missing[dst * self.items + item];
+        *miss -= 1;
+        if *miss == 0 {
+            self.push(
+                now,
+                Event::JobReady {
+                    rep: dst as u32,
+                    item: item as u32,
+                },
+            );
         }
     }
 
-    // Per-item completion: earliest surviving exit replica per exit task.
-    let mut item_latency = Vec::with_capacity(items);
-    let mut item_completion = Vec::with_capacity(items);
-    for k in 0..items {
-        let mut done: Option<f64> = Some(0.0);
-        for &t in g.exits() {
-            let best = (0..nrep as u8)
-                .filter_map(|c| {
-                    let r = rep_of(t, c);
-                    produced[idx(r, k)].then(|| job_done_at[idx(r, k)])
-                })
-                .fold(None, |acc: Option<f64>, v| {
-                    Some(acc.map_or(v, |a| a.min(v)))
-                });
-            done = match (done, best) {
-                (Some(a), Some(b)) => Some(a.max(b)),
-                _ => None,
-            };
-        }
-        match done {
-            Some(d) => {
-                item_completion.push(Some(d));
-                item_latency.push(Some(d - k as f64 * period));
-            }
-            None => {
-                item_completion.push(None);
-                item_latency.push(None);
-            }
-        }
+    /// Whether every scheduled source of `(dst, slot)` is dead by `now`.
+    fn sched_sources_dead(&self, dst: usize, slot: usize, now: f64) -> bool {
+        self.sched_src_procs[dst][slot]
+            .iter()
+            .all(|&u| self.dead_by(u, now))
     }
 
-    SimReport {
-        item_latency,
-        item_completion,
-        makespan,
-    }
-}
-
-/// Record a first-arrival on an in-edge slot; when every in-edge of the
-/// replica has data, emit `JobReady` (admission-gated for entry items is
-/// unnecessary here: non-entry jobs are gated by their inputs).
-#[allow(clippy::too_many_arguments)]
-fn deliver(
-    dst: usize,
-    item: usize,
-    slot: usize,
-    now: f64,
-    items: usize,
-    max_deg: usize,
-    edge_done: &mut [bool],
-    edges_missing: &mut [u32],
-    heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-    seq: &mut u64,
-) {
-    let e_idx = (dst * items + item) * max_deg + slot;
-    if edge_done[e_idx] {
-        return; // later copies of the same input are redundant
-    }
-    edge_done[e_idx] = true;
-    let miss = &mut edges_missing[dst * items + item];
-    *miss -= 1;
-    if *miss == 0 {
-        *seq += 1;
-        heap.push(Reverse((
-            now.to_bits(),
-            *seq,
-            Event::JobReady {
-                rep: dst as u32,
+    /// Try to recover `(dst, slot, item)` from a surviving replica of the
+    /// predecessor task. No-op unless the policy is `Reroute`, the slot is
+    /// still missing, no recovery is already in flight, the consumer is
+    /// alive, and every scheduled source is dead.
+    fn attempt_reroute(&mut self, dst: usize, slot: usize, item: usize, now: f64) {
+        if self.policy != RecoveryPolicy::Reroute {
+            return;
+        }
+        let ei = self.eidx(dst, item, slot);
+        if self.edge_done[ei] || self.reroute_inflight[ei] {
+            return;
+        }
+        let dst_proc = self.proc_of[dst];
+        if self.crashed(dst_proc, now) || !self.sched_sources_dead(dst, slot, now) {
+            return;
+        }
+        let edge = self.slot_edges[dst][slot];
+        let pred = self.g.edge(EdgeId(edge)).src;
+        // Deterministic pick: the lowest-index replica of the predecessor
+        // that has produced the item and strictly outlives `now`.
+        let mut pick = None;
+        for c in 0..self.nrep as u8 {
+            let src = ReplicaId::new(pred, c).dense(self.nrep);
+            if self.produced[self.idx(src, item)] && !self.dead_by(self.proc_of[src], now) {
+                pick = Some(src);
+                break;
+            }
+        }
+        let Some(src) = pick else { return };
+        let src_proc = self.proc_of[src];
+        if src_proc == dst_proc {
+            self.deliver(dst, slot, item, now);
+            return;
+        }
+        let vol = self.g.edge(EdgeId(edge)).volume;
+        let p = self
+            .platform
+            .expect("re-route policy requires a platform for message pricing");
+        let dur = p.comm_time(vol, ProcId(src_proc as u16), ProcId(dst_proc as u16));
+        let mi = self.msgs.len() as u32;
+        self.msgs.push(Msg {
+            dst_rep: dst as u32,
+            dst_slot: slot as u32,
+            src_proc,
+            dst_proc,
+            dur,
+            reroute: true,
+        });
+        self.reroute_inflight[ei] = true;
+        self.push(
+            now,
+            Event::MsgReady {
+                ev: mi,
                 item: item as u32,
             },
-        )));
+        );
+    }
+
+    /// A transfer was cut by its sender's death: clear the in-flight flag
+    /// if it was a re-route message, then try to recover from elsewhere.
+    fn on_msg_cut(&mut self, ev: usize, item: usize, now: f64) {
+        let (dst, slot, reroute) = {
+            let m = &self.msgs[ev];
+            (m.dst_rep as usize, m.dst_slot as usize, m.reroute)
+        };
+        if reroute {
+            let ei = self.eidx(dst, item, slot);
+            self.reroute_inflight[ei] = false;
+        }
+        self.attempt_reroute(dst, slot, item, now);
+    }
+
+    fn run(mut self) -> SimReport {
+        // Crash events drive the bulk re-route scan; without re-routing
+        // they would be pure no-ops, so they are only scheduled under the
+        // policy that uses them (keeping fixed-set runs event-identical to
+        // the pre-trace engine).
+        if self.policy == RecoveryPolicy::Reroute {
+            for u in 0..self.proc_free.len() {
+                let t = self.trace.crash_time(u);
+                if t.is_finite() {
+                    self.push(t.max(0.0), Event::ProcCrash { proc: u as u32 });
+                }
+            }
+        }
+
+        // Admit entry jobs.
+        let period = self.sched.period();
+        for &t in self.g.entries() {
+            for c in 0..self.nrep as u8 {
+                let r = ReplicaId::new(t, c).dense(self.nrep);
+                for k in 0..self.items {
+                    self.push(
+                        k as f64 * period,
+                        Event::JobReady {
+                            rep: r as u32,
+                            item: k as u32,
+                        },
+                    );
+                }
+            }
+        }
+
+        while let Some(Reverse((tbits, _, event))) = self.heap.pop() {
+            let now = f64::from_bits(tbits);
+            match event {
+                Event::JobReady { rep, item } => self.on_job_ready(rep, item, now),
+                Event::JobFinish { rep, item } => self.on_job_finish(rep, item, now),
+                Event::MsgReady { ev, item } => self.on_msg_ready(ev, item, now),
+                Event::MsgArrive { ev, item } => self.on_msg_arrive(ev, item, now),
+                Event::ProcCrash { .. } => self.on_proc_crash(now),
+            }
+        }
+
+        self.finish(period)
+    }
+
+    fn on_job_ready(&mut self, rep: u32, item: u32, now: f64) {
+        let (r, k) = (rep as usize, item as usize);
+        if self.job_scheduled[self.idx(r, k)] {
+            return;
+        }
+        let i = self.idx(r, k);
+        self.job_scheduled[i] = true;
+        let rid = ReplicaId::from_dense(r, self.nrep);
+        let u = self.proc_of[r];
+        let exec = self.sched.finish(rid) - self.sched.start(rid);
+        let start = now.max(self.proc_free[u]);
+        self.proc_free[u] = start + exec;
+        self.push(start + exec, Event::JobFinish { rep, item });
+    }
+
+    fn on_job_finish(&mut self, rep: u32, item: u32, now: f64) {
+        let (r, k) = (rep as usize, item as usize);
+        let u = self.proc_of[r];
+        if self.crashed(u, now) {
+            return; // fail-silent: no output
+        }
+        let i = self.idx(r, k);
+        self.job_done_at[i] = now;
+        self.produced[i] = true;
+        self.makespan = self.makespan.max(now);
+        // Local deliveries are instantaneous.
+        for li in 0..self.local_out[r].len() {
+            let (dst, slot) = self.local_out[r][li];
+            self.deliver(dst as usize, slot as usize, k, now);
+        }
+        for mi in 0..self.out_msgs[r].len() {
+            let ev = self.out_msgs[r][mi];
+            self.push(now, Event::MsgReady { ev, item });
+        }
+        // A late producer is the recovery source for consumers whose
+        // scheduled lanes died before this output existed.
+        if self.policy == RecoveryPolicy::Reroute {
+            let t = ReplicaId::from_dense(r, self.nrep).task;
+            for ci in 0..self.consumers[t.index()].len() {
+                let (dst, slot) = self.consumers[t.index()][ci];
+                self.attempt_reroute(dst as usize, slot as usize, k, now);
+            }
+        }
+    }
+
+    fn on_msg_ready(&mut self, ev: u32, item: u32, now: f64) {
+        let (h, u, dur) = {
+            let m = &self.msgs[ev as usize];
+            (m.src_proc, m.dst_proc, m.dur)
+        };
+        let start = now.max(self.send_free[h]).max(self.recv_free[u]);
+        if self.crashed(h, start) {
+            // Sender dead before transmission.
+            self.on_msg_cut(ev as usize, item as usize, start);
+            return;
+        }
+        self.send_free[h] = start + dur;
+        self.recv_free[u] = start + dur;
+        self.push(start + dur, Event::MsgArrive { ev, item });
+    }
+
+    fn on_msg_arrive(&mut self, ev: u32, item: u32, now: f64) {
+        let (h, dst, slot) = {
+            let m = &self.msgs[ev as usize];
+            (m.src_proc, m.dst_rep as usize, m.dst_slot as usize)
+        };
+        if self.crashed(h, now) {
+            // The tail of the transmission was cut off.
+            self.on_msg_cut(ev as usize, item as usize, now);
+            return;
+        }
+        self.deliver(dst, slot, item as usize, now);
+    }
+
+    /// Bulk recovery scan at a crash instant: every still-missing in-edge
+    /// whose scheduled sources are now all dead gets a re-route attempt
+    /// (items produced only later are picked up by `on_job_finish`).
+    fn on_proc_crash(&mut self, now: f64) {
+        for dst in 0..self.n_rep {
+            for slot in 0..self.slot_edges[dst].len() {
+                for k in 0..self.items {
+                    self.attempt_reroute(dst, slot, k, now);
+                }
+            }
+        }
+    }
+
+    fn finish(self, period: f64) -> SimReport {
+        // Per-item completion: earliest surviving exit replica per exit
+        // task, latest over exit tasks.
+        let mut item_latency = Vec::with_capacity(self.items);
+        let mut item_completion = Vec::with_capacity(self.items);
+        for k in 0..self.items {
+            let mut done: Option<f64> = Some(0.0);
+            for &t in self.g.exits() {
+                let best = (0..self.nrep as u8)
+                    .filter_map(|c| {
+                        let r = ReplicaId::new(t, c).dense(self.nrep);
+                        self.produced[self.idx(r, k)].then(|| self.job_done_at[self.idx(r, k)])
+                    })
+                    .fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.min(v)))
+                    });
+                done = match (done, best) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+            }
+            match done {
+                Some(d) => {
+                    item_completion.push(Some(d));
+                    item_latency.push(Some(d - k as f64 * period));
+                }
+                None => {
+                    item_completion.push(None);
+                    item_latency.push(None);
+                }
+            }
+        }
+        SimReport {
+            item_latency,
+            item_completion,
+            makespan: self.makespan,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltf_platform::{Platform, ProcId};
     use ltf_schedule::{CommEvent, ScheduleData, SourceChoice};
 
-    fn sample() -> (TaskGraph, Schedule) {
+    fn sample() -> (TaskGraph, Platform, Schedule) {
         let mut b = ltf_graph::GraphBuilder::new();
         let t0 = b.add_task(4.0);
         let t1 = b.add_task(2.0);
@@ -387,12 +614,12 @@ mod tests {
             ],
         };
         let s = Schedule::new(&g, &p, data);
-        (g, s)
+        (g, p, s)
     }
 
     #[test]
     fn asap_latency_at_most_synchronous() {
-        let (g, s) = sample();
+        let (g, _, s) = sample();
         let rep = asap(&g, &s, &AsapConfig::new(4));
         assert_eq!(rep.produced(), 4);
         // First item: t0 done at 4, msg 4..7, t1 done at 9 -> latency 9,
@@ -405,7 +632,7 @@ mod tests {
 
     #[test]
     fn asap_steady_state_period_respected() {
-        let (g, s) = sample();
+        let (g, _, s) = sample();
         let rep = asap(&g, &s, &AsapConfig::new(20));
         // Period 10 is far above the bottleneck load (4): completions are
         // period-spaced.
@@ -415,7 +642,7 @@ mod tests {
 
     #[test]
     fn crash_from_start_uses_surviving_lane() {
-        let (g, s) = sample();
+        let (g, _, s) = sample();
         let crash = CrashSet::from_procs(&[ProcId(2)], 4);
         let rep = asap(&g, &s, &AsapConfig::with_crash(4, crash, 0.0));
         assert_eq!(rep.produced(), 4);
@@ -425,7 +652,7 @@ mod tests {
 
     #[test]
     fn mid_stream_crash_loses_late_items_when_both_lanes_cut() {
-        let (g, s) = sample();
+        let (g, _, s) = sample();
         let crash = CrashSet::from_procs(&[ProcId(2), ProcId(3)], 4);
         // Both exit hosts die at t=25: items completing before that
         // survive, later ones are lost.
@@ -436,9 +663,84 @@ mod tests {
 
     #[test]
     fn double_crash_from_start_loses_all() {
-        let (g, s) = sample();
+        let (g, _, s) = sample();
         let crash = CrashSet::from_procs(&[ProcId(2), ProcId(3)], 4);
         let rep = asap(&g, &s, &AsapConfig::with_crash(3, crash, 0.0));
+        assert_eq!(rep.produced(), 0);
+    }
+
+    #[test]
+    fn trace_never_matches_failure_free() {
+        let (g, p, s) = sample();
+        let base = asap(&g, &s, &AsapConfig::new(8));
+        for policy in [RecoveryPolicy::FailStop, RecoveryPolicy::Reroute] {
+            let cfg = TraceConfig::new(8, CrashTrace::never(4), policy);
+            let rep = asap_trace(&g, &p, &s, &cfg);
+            assert_eq!(rep.item_latency, base.item_latency);
+            assert_eq!(rep.item_completion, base.item_completion);
+            assert_eq!(rep.makespan.to_bits(), base.makespan.to_bits());
+        }
+    }
+
+    #[test]
+    fn trace_fixed_set_matches_fail_stop_crash_injection() {
+        let (g, p, s) = sample();
+        let crash = CrashSet::from_procs(&[ProcId(2), ProcId(3)], 4);
+        let base = asap(&g, &s, &AsapConfig::with_crash(6, crash.clone(), 25.0));
+        let cfg = TraceConfig::new(
+            6,
+            CrashTrace::from_crash_set(&crash, 4, 25.0),
+            RecoveryPolicy::FailStop,
+        );
+        let rep = asap_trace(&g, &p, &s, &cfg);
+        assert_eq!(rep.item_latency, base.item_latency);
+        assert_eq!(rep.item_completion, base.item_completion);
+    }
+
+    #[test]
+    fn reroute_recovers_items_fail_stop_loses() {
+        let (g, p, s) = sample();
+        // t0's lane-0 host (P1) dies at t=15: from item ~2 onward, lane 0's
+        // consumer (t1 on P3) starves under fail-stop... but its sibling
+        // t0^2 on P2 survives, so re-routing keeps feeding it. Meanwhile
+        // lane 1 stays fully alive, so nothing is lost either way — kill
+        // P2's t1 host (P4... ProcId(3)) too, leaving only the crossed
+        // path t0^2 (P2) -> re-route -> t1^1 (P3).
+        let trace = CrashTrace::from_crash_times(vec![15.0, f64::INFINITY, f64::INFINITY, 15.0]);
+        let failstop = asap_trace(
+            &g,
+            &p,
+            &s,
+            &TraceConfig::new(8, trace.clone(), RecoveryPolicy::FailStop),
+        );
+        let reroute = asap_trace(
+            &g,
+            &p,
+            &s,
+            &TraceConfig::new(8, trace, RecoveryPolicy::Reroute),
+        );
+        assert!(
+            reroute.produced() > failstop.produced(),
+            "re-route should recover items fail-stop loses ({} vs {})",
+            reroute.produced(),
+            failstop.produced()
+        );
+        // With one entry and one exit replica surviving, every item should
+        // still be produced via the re-routed path.
+        assert_eq!(reroute.produced(), 8);
+    }
+
+    #[test]
+    fn reroute_without_any_survivor_still_loses() {
+        let (g, p, s) = sample();
+        // Both exit hosts die: no amount of re-routing produces outputs.
+        let trace = CrashTrace::from_crash_times(vec![f64::INFINITY, f64::INFINITY, 5.0, 5.0]);
+        let rep = asap_trace(
+            &g,
+            &p,
+            &s,
+            &TraceConfig::new(6, trace, RecoveryPolicy::Reroute),
+        );
         assert_eq!(rep.produced(), 0);
     }
 }

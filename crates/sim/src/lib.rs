@@ -21,11 +21,22 @@
 //!
 //! Crash injection is fail-silent/fail-stop: from the crash time onward a
 //! crashed processor finishes nothing and sends nothing.
+//!
+//! Both disciplines also replay *sampled* failure scenarios: a
+//! [`CrashTrace`] carries per-processor crash times (instead of one fixed
+//! set failing at one instant) and a [`RecoveryPolicy`] decides whether
+//! consumers starve when their scheduled sources die
+//! ([`RecoveryPolicy::FailStop`]) or re-route the fetch to a surviving
+//! replica mid-stream ([`RecoveryPolicy::Reroute`]). See
+//! [`synchronous_trace`] and [`asap_trace`]; `ltf-faultlab` builds its
+//! stochastic SLO campaigns on these entry points.
 
 pub mod asap;
+pub mod fault;
 pub mod report;
 pub mod synchronous;
 
-pub use crate::asap::{asap, AsapConfig};
+pub use crate::asap::{asap, asap_trace, AsapConfig};
+pub use crate::fault::{CrashTrace, RecoveryPolicy, TraceConfig};
 pub use crate::report::SimReport;
-pub use crate::synchronous::{synchronous, SynchronousConfig};
+pub use crate::synchronous::{synchronous, synchronous_trace, SynchronousConfig};

@@ -34,6 +34,18 @@ impl SimReport {
         (n > 0).then(|| sum / n as f64)
     }
 
+    /// Nearest-rank `pct`-th percentile latency over produced items
+    /// (`None` when nothing was produced).
+    ///
+    /// NaN-safe: latencies are ordered by [`f64::total_cmp`], so a
+    /// pathological NaN sorts after `+∞` instead of poisoning the sort,
+    /// and the result is bit-stable for a given report.
+    pub fn percentile(&self, pct: f64) -> Option<f64> {
+        let mut produced: Vec<f64> = self.item_latency.iter().flatten().copied().collect();
+        ltf_core::stats::sort_f64(&mut produced);
+        ltf_core::stats::percentile_sorted_f64(&produced, pct)
+    }
+
     /// Maximum latency over produced items.
     pub fn max_latency(&self) -> Option<f64> {
         self.item_latency
@@ -72,6 +84,28 @@ mod tests {
         assert_eq!(r.mean_latency(), Some(15.0));
         assert_eq!(r.max_latency(), Some(20.0));
         assert_eq!(r.achieved_period(), Some(20.0));
+        assert_eq!(r.percentile(50.0), Some(10.0));
+        assert_eq!(r.percentile(99.0), Some(20.0));
+    }
+
+    #[test]
+    fn percentile_skips_lost_items_and_tolerates_nan() {
+        let r = SimReport {
+            item_latency: vec![Some(30.0), None, Some(10.0), Some(20.0), Some(f64::NAN)],
+            item_completion: vec![Some(30.0), None, Some(20.0), Some(40.0), Some(50.0)],
+            makespan: 50.0,
+        };
+        // NaN sorts last under total_cmp; the median of the four produced
+        // latencies is still well-defined and the call never panics.
+        assert_eq!(r.percentile(50.0), Some(20.0));
+        assert_eq!(r.percentile(0.0), Some(10.0));
+        assert!(r.percentile(100.0).unwrap().is_nan());
+        let empty = SimReport {
+            item_latency: vec![None],
+            item_completion: vec![None],
+            makespan: 0.0,
+        };
+        assert_eq!(empty.percentile(50.0), None);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   comparison strategies (`ltf-baselines`);
 //! * [`sim`] — discrete-event pipelined-execution simulation with crash
 //!   injection (`ltf-sim`);
+//! * [`faultlab`] — stochastic failure campaigns: crash-trace sampling,
+//!   replay, and SLO distribution reporting (`ltf-faultlab`);
 //! * [`experiments`] — the paper's full evaluation harness
 //!   (`ltf-experiments`).
 //!
@@ -71,6 +73,7 @@
 pub use ltf_baselines as baselines;
 pub use ltf_core as core;
 pub use ltf_experiments as experiments;
+pub use ltf_faultlab as faultlab;
 pub use ltf_graph as graph;
 pub use ltf_platform as platform;
 pub use ltf_schedule as schedule;
