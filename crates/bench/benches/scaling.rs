@@ -37,7 +37,7 @@ fn bench_axis<F: Fn(u64) -> PaperWorkload>(
 
 fn main() {
     let mut c: Criterion = quick_criterion();
-    bench_axis(&mut c, "scaling_tasks", &[50, 100, 200], |v| {
+    bench_axis(&mut c, "scaling_tasks", &[50, 100, 200, 500, 1000], |v| {
         PaperWorkload {
             tasks: (v as usize, v as usize),
             epsilon: 1,

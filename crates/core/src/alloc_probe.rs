@@ -1,0 +1,83 @@
+//! A counting global allocator for the unit-test binary.
+//!
+//! The scratch-arena discipline in [`crate::driver`] and [`crate::engine`]
+//! claims that steady-state placement loops never touch the heap. Claims
+//! like that rot silently — a stray `to_vec()` in a hot loop compiles and
+//! passes every functional test. This module makes the property testable:
+//! the test binary's global allocator counts allocations on the current
+//! thread while a measurement is armed, and the allocation tests in
+//! `driver` assert exact-zero (warm LTF probe sweep) and bounded-per-task
+//! (full R-LTF run) counts.
+//!
+//! Only compiled into `ltf-core`'s unit-test binary (`#[cfg(test)]` in
+//! `lib.rs`); production builds keep the system allocator untouched.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static COUNT: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+#[inline]
+fn note() {
+    ARMED.with(|a| {
+        if a.get() {
+            COUNT.with(|c| c.set(c.get() + 1));
+        }
+    });
+}
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation counting armed on this thread; returns the
+/// number of heap allocations (including reallocations) it performed,
+/// alongside its result.
+pub(crate) fn measure<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    COUNT.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
+    let r = f();
+    ARMED.with(|a| a.set(false));
+    (COUNT.with(|c| c.get()), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::measure;
+
+    #[test]
+    fn counter_sees_allocations_and_disarms() {
+        let (n, v) = measure(|| Vec::<u64>::with_capacity(8));
+        assert_eq!(n, 1);
+        drop(v);
+        let (n, _) = measure(|| 1 + 1);
+        assert_eq!(n, 0);
+    }
+}

@@ -70,13 +70,14 @@ pub fn rltf_schedule(
     rltf_cached(&PreparedInstance::new(g, p), cfg)
 }
 
-/// R-LTF over a prepared instance, reusing its reversed graph and cache.
+/// R-LTF over a prepared instance, reusing its reversed graph, level cache
+/// and reversal slot table.
 pub(crate) fn rltf_cached(
     inst: &PreparedInstance<'_>,
     cfg: &AlgoConfig,
 ) -> Result<Schedule, ScheduleError> {
     let (g, p) = (inst.graph(), inst.platform());
-    let mut engine = Engine::new(inst.reversed(), p, cfg);
+    let mut engine = Engine::new_reversed(inst.reversed(), g, inst.reversal(), p, cfg);
     driver::run(&mut engine, cfg, Policy::Rltf, inst.levels_reversed())?;
     Ok(convert::reversed_schedule(
         engine,
@@ -122,6 +123,7 @@ pub struct PreparedInstance<'a> {
     rev: OnceLock<TaskGraph>,
     fwd_cache: OnceLock<LevelCache>,
     rev_cache: OnceLock<LevelCache>,
+    rev_slots: OnceLock<Vec<u32>>,
 }
 
 impl<'a> PreparedInstance<'a> {
@@ -134,6 +136,7 @@ impl<'a> PreparedInstance<'a> {
             rev: OnceLock::new(),
             fwd_cache: OnceLock::new(),
             rev_cache: OnceLock::new(),
+            rev_slots: OnceLock::new(),
         }
     }
 
@@ -167,6 +170,24 @@ impl<'a> PreparedInstance<'a> {
             .get_or_init(|| LevelCache::compute(self.reversed(), self.p))
     }
 
+    /// Reversal slot table (computed on first use): `slots[e]` is the
+    /// position of edge `e` in `g.pred_edges(dst(e))`. A reverse-mode
+    /// engine uses it to maintain the forward source relation
+    /// incrementally, so the reversal transposition is cached per instance
+    /// instead of re-derived per solve (see
+    /// [`crate::convert::reversed_schedule`]).
+    pub(crate) fn reversal(&self) -> &[u32] {
+        self.rev_slots.get_or_init(|| {
+            let mut slots = vec![0u32; self.g.num_edges()];
+            for y in self.g.tasks() {
+                for (i, &e) in self.g.pred_edges(y).iter().enumerate() {
+                    slots[e.index()] = i as u32;
+                }
+            }
+            slots
+        })
+    }
+
     /// Schedule with the chosen built-in heuristic, reusing the cached
     /// derivations.
     #[deprecated(
@@ -198,12 +219,13 @@ pub fn fault_free_reference(
     rltf_cached(&PreparedInstance::new(g, p), &cfg)
 }
 
-/// Schedule through the snapshot-based reference driver: R-LTF's
-/// task-level modes are compared via whole-engine clones (the
-/// pre-incremental control flow) instead of the undo journal, isolating
-/// the journal/rollback/replay machinery for differential testing. The
-/// probe, interval-index and stage layers are shared with the production
-/// path — their equivalence with naive recomputation is covered
+/// Schedule through the frozen snapshot-based reference implementation
+/// ([`crate::reference`]): the pre-arena parallel-`Vec` engine, the
+/// clone-based R-LTF speculation and the batch reversal transposition,
+/// kept as an independent oracle for differential testing of the
+/// production path (struct-of-arrays state, scratch arenas, undo journal,
+/// incremental reversal). The overlay probe and interval-index layers are
+/// shared — their equivalence with naive recomputation is covered
 /// separately by the property tests in `ltf-schedule`. Must produce
 /// schedules identical to the production heuristics on every input.
 #[doc(hidden)]
@@ -213,31 +235,5 @@ pub fn schedule_with_reference(
     p: &Platform,
     cfg: &AlgoConfig,
 ) -> Result<Schedule, ScheduleError> {
-    match kind {
-        AlgoKind::Ltf => {
-            let cache = LevelCache::compute(g, p);
-            let mut engine = Engine::new(g, p, cfg);
-            driver::run_reference(&mut engine, cfg, Policy::Ltf, &cache)?;
-            Ok(convert::forward_schedule(
-                engine,
-                g,
-                p,
-                cfg.epsilon,
-                cfg.period,
-            ))
-        }
-        AlgoKind::Rltf => {
-            let rev = g.reversed();
-            let cache = LevelCache::compute(&rev, p);
-            let mut engine = Engine::new(&rev, p, cfg);
-            driver::run_reference(&mut engine, cfg, Policy::Rltf, &cache)?;
-            Ok(convert::reversed_schedule(
-                engine,
-                g,
-                p,
-                cfg.epsilon,
-                cfg.period,
-            ))
-        }
-    }
+    crate::reference::schedule(kind, g, p, cfg)
 }

@@ -10,9 +10,9 @@
 //! (edge ids are shared between `G` and `Ĝ`).
 
 use crate::engine::Engine;
-use ltf_graph::{EdgeId, TaskGraph};
+use ltf_graph::TaskGraph;
 use ltf_platform::Platform;
-use ltf_schedule::{CommEvent, ReplicaId, Schedule, ScheduleData, SourceChoice};
+use ltf_schedule::{CommEvent, Schedule, ScheduleData};
 
 /// Build the schedule when the engine ran on the original graph (LTF).
 /// The engine's per-commit stage vector *is* the guaranteed stage vector
@@ -44,19 +44,30 @@ pub(crate) fn forward_schedule(
 
 /// Build the schedule when the engine ran on `g.reversed()` (R-LTF).
 ///
-/// `g` is the ORIGINAL application graph.
+/// `g` is the ORIGINAL application graph. The engine must have run in
+/// reverse mode ([`Engine::new_reversed`]): the forward source relation —
+/// the transposition of the `Ĝ`-direction decisions — was maintained
+/// incrementally at every commit, so the conversion takes it ready-made
+/// (per-replica lists in the original graph's in-edge order, source copies
+/// ascending) instead of re-deriving it from the whole reverse relation on
+/// every solve.
 pub(crate) fn reversed_schedule(
-    engine: Engine<'_>,
+    mut engine: Engine<'_>,
     g: &TaskGraph,
     p: &Platform,
     epsilon: u8,
     period: f64,
 ) -> Schedule {
-    let nrep = epsilon as usize + 1;
-    let n = g.num_tasks() * nrep;
+    let fwd_sources = engine.take_fwd_sources();
+    // A complete run fills every slot: one-to-one pairs the copies
+    // bijectively per edge and receive-from-all covers them all.
+    debug_assert!(fwd_sources
+        .iter()
+        .all(|list| list.iter().all(|c| !c.sources.is_empty())));
     // Reverse-direction stages do not transpose into forward guaranteed
     // stages (source roles flip), so the assembly recomputes them.
-    let (proc_of, start_rev, finish_rev, _stage_rev, sources_rev, events_rev) = engine.into_parts();
+    let (proc_of, start_rev, finish_rev, _stage_rev, _sources_rev, events_rev) =
+        engine.into_parts();
 
     // Reflection reference: everything must stay ≥ 0 after the flip.
     let t_ref = start_rev
@@ -67,36 +78,6 @@ pub(crate) fn reversed_schedule(
 
     let start: Vec<f64> = finish_rev.iter().map(|&f| t_ref - f).collect();
     let finish: Vec<f64> = start_rev.iter().map(|&s| t_ref - s).collect();
-
-    // Transpose the source relation: replica (x, i) receiving from (y, j)
-    // over Ĝ-edge e  ⇒  forward source of (y, j) on original edge e is i.
-    let mut fwd_sources: Vec<Vec<SourceChoice>> = (0..n).map(|_| Vec::new()).collect();
-    for (ridx, choices) in sources_rev.iter().enumerate() {
-        let x_rep = ReplicaId::from_dense(ridx, nrep);
-        for choice in choices {
-            // Original edge: x -> y (Ĝ in-edge of x shares the id).
-            let y = g.edge(choice.edge).dst;
-            debug_assert_eq!(g.edge(choice.edge).src, x_rep.task);
-            for &j in &choice.sources {
-                let tgt = ReplicaId::new(y, j).dense(nrep);
-                push_source(&mut fwd_sources[tgt], choice.edge, x_rep.copy);
-            }
-        }
-    }
-    // Deterministic ordering: per replica follow the graph's in-edge order.
-    for (ridx, list) in fwd_sources.iter_mut().enumerate() {
-        let rep = ReplicaId::from_dense(ridx, nrep);
-        let order = g.pred_edges(rep.task);
-        list.sort_by_key(|c| {
-            order
-                .iter()
-                .position(|&e| e == c.edge)
-                .unwrap_or(usize::MAX)
-        });
-        for c in list.iter_mut() {
-            c.sources.sort_unstable();
-        }
-    }
 
     let comm_events: Vec<CommEvent> = events_rev
         .iter()
@@ -124,18 +105,4 @@ pub(crate) fn reversed_schedule(
             comm_events,
         },
     )
-}
-
-fn push_source(list: &mut Vec<SourceChoice>, edge: EdgeId, copy: u8) {
-    match list.iter_mut().find(|c| c.edge == edge) {
-        Some(c) => {
-            if !c.sources.contains(&copy) {
-                c.sources.push(copy);
-            }
-        }
-        None => list.push(SourceChoice {
-            edge,
-            sources: vec![copy],
-        }),
-    }
 }

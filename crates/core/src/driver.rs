@@ -34,20 +34,29 @@
 //! Both disciplines are verified by exhaustive crash enumeration in the
 //! test suite.
 //!
-//! ### Incremental speculation
+//! ### Scratch arenas and incremental speculation
+//!
+//! The whole mapping loop runs out of one [`ProbeScratch`] arena: chunk
+//! selection buffers, per-candidate source plans, probe outcomes,
+//! incumbent/candidate double buffers (promoted by `mem::swap`, never
+//! copied), closure bitsets and the replay records. Everything is
+//! `clear()`ed and reused, so the steady-state placement loops perform no
+//! heap allocation (pinned by the counting-allocator tests in
+//! [`crate::alloc_probe`]).
 //!
 //! R-LTF's two task-level attempts used to be compared by snapshotting the
 //! whole engine (three `Engine::clone`s per task — the dominant cost at
-//! scale). The production path now runs both attempts under an engine
-//! checkpoint: the losing attempt is unwound through the undo journal and
-//! the winning one-to-one attempt is *replayed* from its recorded
-//! `(probe, plan, closure)` decisions, which is pure bookkeeping — no
-//! placement logic re-runs. The snapshot-based speculation procedure is
-//! retained as [`run_reference`] and the differential tests assert both
-//! paths produce identical schedules; this isolates the
-//! journal/rollback/replay machinery specifically (both paths share the
-//! overlay probe and interval index, whose own equivalence with naive
-//! recomputation is pinned by property tests in `ltf-schedule`).
+//! scale). Both attempts now run under one engine checkpoint: the
+//! receive-from-all attempt goes first and records its per-copy probes,
+//! the journal unwinds it, the one-to-one attempt runs second. A
+//! one-to-one win keeps its state in place (nothing to replay — no clone
+//! of the closure sets either); a receive-from-all win unwinds the
+//! one-to-one attempt and re-applies the recorded probes, which is pure
+//! bookkeeping — no placement logic re-runs. Rollback restores engine
+//! state bit-for-bit and both scores depend only on the probes and the
+//! ready tracker, so the attempt order cannot change the decision; the
+//! snapshot-era control flow survives verbatim in [`crate::reference`] and
+//! the differential suite pins both paths to identical schedules.
 //!
 //! ### Placement policy
 //!
@@ -63,7 +72,7 @@
 //!   sections, and remaining ties go to the earlier aggregate finish time.
 
 use crate::config::{AlgoConfig, ScheduleError};
-use crate::engine::{Engine, Probe, ProcMask, ReplicaSet, SourcePlan};
+use crate::engine::{Engine, PlanBuf, ProbeBuf, ProbeWorkspace, ProcMask, ReplicaSet};
 use crate::prio::{LevelCache, PrioTracker};
 use ltf_graph::traversal::ReadyTracker;
 use ltf_graph::{TaskGraph, TaskId};
@@ -79,35 +88,75 @@ pub(crate) enum Policy {
     Rltf,
 }
 
-/// Run the chunked mapping loop to completion on the incremental
-/// (undo-journal) path.
+/// Sentinel marking a consumed head copy in the flat `remaining` table.
+const CONSUMED: u8 = u8::MAX;
+
+/// Chunk-selection buffers, reused across rounds.
+#[derive(Default)]
+struct SelectScratch {
+    beta: Vec<TaskId>,
+    tied: Vec<usize>,
+    newly: Vec<TaskId>,
+    ctxs: Vec<LtfCtx>,
+}
+
+/// One recorded receive-from-all commit, replayable after a rollback.
+/// Slots are recycled (`rfa_len` marks the live prefix) so the probe
+/// buffers warm up once.
+struct RfaCommit {
+    copy: u8,
+    probe: ProbeBuf,
+}
+
+/// Per-placement working memory: candidate/incumbent double buffers for
+/// probes, plans, head choices and closure bitsets, the probe workspace,
+/// the one-to-one head-consumption table and the receive-from-all replay
+/// records. Split from [`SelectScratch`] so the chunk loop can hold a
+/// mutable `LtfCtx` while placement borrows this half.
+#[derive(Default)]
+struct PlaceScratch {
+    ws: ProbeWorkspace,
+    cand: ProbeBuf,
+    best: ProbeBuf,
+    plan: PlanBuf,
+    best_plan: PlanBuf,
+    heads: Vec<u8>,
+    best_heads: Vec<u8>,
+    cand_dset: ReplicaSet,
+    best_dset: ReplicaSet,
+    /// Flat `in_degree × nrep` table of unconsumed head copies
+    /// ([`CONSUMED`] marks a used slot).
+    remaining: Vec<u8>,
+    rfa: Vec<RfaCommit>,
+    rfa_len: usize,
+}
+
+/// The per-run scratch arena (see the module docs). Created once per
+/// [`run`]; every placement loop below draws its buffers from here.
+struct ProbeScratch {
+    sel: SelectScratch,
+    place: PlaceScratch,
+}
+
+impl ProbeScratch {
+    fn new() -> Self {
+        Self {
+            sel: SelectScratch::default(),
+            place: PlaceScratch {
+                plan: PlanBuf::new(),
+                best_plan: PlanBuf::new(),
+                ..PlaceScratch::default()
+            },
+        }
+    }
+}
+
+/// Run the chunked mapping loop to completion.
 pub(crate) fn run(
     engine: &mut Engine<'_>,
     cfg: &AlgoConfig,
     policy: Policy,
     cache: &LevelCache,
-) -> Result<(), ScheduleError> {
-    run_impl(engine, cfg, policy, cache, false)
-}
-
-/// Run the chunked mapping loop on the snapshot-based reference path:
-/// pre-incremental speculation control flow (engine clones instead of the
-/// undo journal), kept for differential testing of the journal machinery.
-pub(crate) fn run_reference(
-    engine: &mut Engine<'_>,
-    cfg: &AlgoConfig,
-    policy: Policy,
-    cache: &LevelCache,
-) -> Result<(), ScheduleError> {
-    run_impl(engine, cfg, policy, cache, true)
-}
-
-fn run_impl(
-    engine: &mut Engine<'_>,
-    cfg: &AlgoConfig,
-    policy: Policy,
-    cache: &LevelCache,
-    snapshots: bool,
 ) -> Result<(), ScheduleError> {
     let g = engine.g;
     let p = engine.p;
@@ -132,42 +181,42 @@ fn run_impl(
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut tracker = ReadyTracker::new(g);
+    let mut scratch = ProbeScratch::new();
     let mut alpha: Vec<TaskId> = g.entries().to_vec();
     let chunk_cap = cfg.chunk_size.unwrap_or(p.num_procs()).max(1);
 
     while !alpha.is_empty() {
         // Select the chunk β of up to B highest-priority ready tasks.
         prio.flush(g);
-        let mut beta = Vec::with_capacity(chunk_cap.min(alpha.len()));
-        while beta.len() < chunk_cap && !alpha.is_empty() {
-            let idx = head_index(&alpha, prio.values(), &mut rng);
-            beta.push(alpha.swap_remove(idx));
+        scratch.sel.beta.clear();
+        while scratch.sel.beta.len() < chunk_cap && !alpha.is_empty() {
+            let idx = head_index(&alpha, prio.values(), &mut rng, &mut scratch.sel.tied);
+            scratch.sel.beta.push(alpha.swap_remove(idx));
         }
 
         match policy {
             Policy::Ltf => {
-                let mut ctxs: Vec<LtfCtx> = beta.iter().map(|&t| LtfCtx::new(t)).collect();
+                scratch.sel.ctxs.clear();
+                scratch
+                    .sel
+                    .ctxs
+                    .extend(scratch.sel.beta.iter().map(|&t| LtfCtx::new(t)));
                 for copy in 0..engine.nrep as u8 {
-                    for ctx in &mut ctxs {
-                        ltf_place_copy(engine, cfg, ctx, copy)?;
+                    for ctx in &mut scratch.sel.ctxs {
+                        ltf_place_copy(engine, cfg, ctx, copy, &mut scratch.place)?;
                     }
                 }
             }
             Policy::Rltf => {
-                for &t in &beta {
-                    if snapshots {
-                        rltf_place_task_snapshot(engine, cfg, t, &tracker)?;
-                    } else {
-                        rltf_place_task(engine, cfg, t, &tracker)?;
-                    }
+                for &t in &scratch.sel.beta {
+                    rltf_place_task(engine, cfg, t, &tracker, &mut scratch.place)?;
                 }
             }
         }
 
-        for &t in &beta {
-            for s in tracker.complete(g, t) {
-                alpha.push(s);
-            }
+        for &t in &scratch.sel.beta {
+            tracker.complete_into(g, t, &mut scratch.sel.newly);
+            alpha.extend_from_slice(&scratch.sel.newly);
             // Dynamic top-level refinement: successors inherit the actual
             // task finish plus the averaged edge weight.
             prio.mark_finished(t, engine.task_finish(t));
@@ -179,16 +228,15 @@ fn run_impl(
 }
 
 /// The head function `H(ℓ)`: index of a maximum-priority task, ties broken
-/// randomly (paper §2).
-fn head_index(alpha: &[TaskId], prio: &[f64], rng: &mut StdRng) -> usize {
+/// randomly (paper §2). `tied` is scratch for the tie set.
+fn head_index(alpha: &[TaskId], prio: &[f64], rng: &mut StdRng, tied: &mut Vec<usize>) -> usize {
     debug_assert!(!alpha.is_empty());
     let best = alpha
         .iter()
         .map(|t| prio[t.index()])
         .fold(f64::NEG_INFINITY, f64::max);
-    let tied: Vec<usize> = (0..alpha.len())
-        .filter(|&i| prio[alpha[i].index()] >= best - EPS)
-        .collect();
+    tied.clear();
+    tied.extend((0..alpha.len()).filter(|&i| prio[alpha[i].index()] >= best - EPS));
     tied[rng.gen_range(0..tied.len())]
 }
 
@@ -214,14 +262,14 @@ fn ltf_place_copy(
     cfg: &AlgoConfig,
     ctx: &mut LtfCtx,
     copy: u8,
+    s: &mut PlaceScratch,
 ) -> Result<(), ScheduleError> {
     let t = ctx.task;
     // Fair-share cone budget: with ε+1 lanes on m processors a copy whose
     // crash cone exceeds ⌈m/(ε+1)⌉ processors starves its later siblings
     // of cone-free hosts.
     let cone_budget = engine.p.num_procs().div_ceil(engine.nrep) as u32;
-    let chosen = ltf_best_placement(engine, ctx, copy, cone_budget, cfg.use_one_to_one);
-    let Some((probe, plan)) = chosen else {
+    if !ltf_best_placement(engine, ctx, copy, cone_budget, cfg.use_one_to_one, s) {
         if std::env::var_os("LTF_DEBUG").is_some() {
             let m = engine.p.num_procs();
             let free = (0..m).filter(|&u| ctx.used >> u & 1 == 0).count();
@@ -232,15 +280,16 @@ fn ltf_place_copy(
             );
         }
         return Err(ScheduleError::Infeasible { task: t, copy });
-    };
-    ctx.used |= probe.kill;
-    engine.commit(t, copy, &probe, &plan);
+    }
+    ctx.used |= s.best.kill;
+    engine.commit(t, copy, &s.best, &s.best_plan);
     Ok(())
 }
 
 /// LTF placement for one copy: probe every processor outside the task's
 /// used cone with a per-edge source plan, and keep the placement with the
-/// earliest finish time (budget-respecting cones preferred).
+/// earliest finish time (budget-respecting cones preferred). On success
+/// the winner sits in `s.best` / `s.best_plan`.
 ///
 /// The per-edge plan generalizes Algorithm 4.2: an edge uses the
 /// cone-disjoint head with the earliest communication finish onto the
@@ -258,17 +307,18 @@ fn ltf_best_placement(
     copy: u8,
     cone_budget: u32,
     one_to_one: bool,
-) -> Option<(Probe, SourcePlan)> {
+    s: &mut PlaceScratch,
+) -> bool {
     let g = engine.g;
     let t = ctx.task;
     let pred_edges = g.pred_edges(t);
-    let mut best: Option<(Probe, SourcePlan)> = None;
+    let mut have_best = false;
 
     for u in engine.p.procs() {
         if ctx.used >> u.index() & 1 == 1 {
             continue;
         }
-        let mut plan = Vec::with_capacity(pred_edges.len());
+        s.plan.clear();
         let mut acc_kill: ProcMask = 1u128 << u.index();
         for &eid in pred_edges.iter() {
             let pred = g.edge(eid).src;
@@ -292,28 +342,26 @@ fn ltf_best_placement(
             match pick {
                 Some((_, _, c)) => {
                     acc_kill |= engine.kill_of(pred, c);
-                    plan.push((eid, vec![c]));
+                    s.plan.push_single(eid, c);
                 }
                 // No affordable single source: receive from every copy
                 // (cone contribution: the empty intersection).
-                None => plan.push((eid, (0..engine.nrep as u8).collect())),
+                None => s.plan.push_all(eid, engine.nrep),
             }
         }
-        let plan = SourcePlan { per_edge: plan };
-        let Some(probe) = engine.probe(t, copy, u, &plan) else {
-            continue;
-        };
-        if probe.kill & ctx.used != 0 {
+        if !engine.probe(t, u, &s.plan, &mut s.ws, &mut s.cand) {
             continue;
         }
-        if best
-            .as_ref()
-            .is_none_or(|(b, _)| probe.finish < b.finish - EPS)
-        {
-            best = Some((probe, plan));
+        if s.cand.kill & ctx.used != 0 {
+            continue;
+        }
+        if !have_best || s.cand.finish < s.best.finish - EPS {
+            std::mem::swap(&mut s.cand, &mut s.best);
+            std::mem::swap(&mut s.plan, &mut s.best_plan);
+            have_best = true;
         }
     }
-    best
+    have_best
 }
 
 // ---------------------------------------------------------------------------
@@ -324,16 +372,6 @@ fn ltf_best_placement(
 struct AttemptScore {
     max_stage: u32,
     total_finish: f64,
-}
-
-/// One committed copy of a winning one-to-one attempt, with everything
-/// needed to re-apply it after a rollback without re-running placement.
-struct RltfCommit {
-    copy: u8,
-    probe: Probe,
-    plan: SourcePlan,
-    dset: ReplicaSet,
-    host: usize,
 }
 
 /// Decide between the two task-level modes given their scores.
@@ -358,89 +396,65 @@ fn pick_one_to_one(
 }
 
 /// Incremental R-LTF task placement: both modes run under one engine
-/// checkpoint; the loser is unwound through the undo journal and a winning
-/// one-to-one attempt is replayed from its recorded decisions.
+/// checkpoint. Receive-from-all goes first, recording its probes; the
+/// journal unwinds it and one-to-one runs second, so a one-to-one win —
+/// the common case — keeps its committed state in place with nothing to
+/// replay, and a receive-from-all win re-applies the records. Both
+/// attempts start from bit-identical state and the decision depends only
+/// on their scores, so the order flip cannot change the outcome (the
+/// differential suite pins this against the snapshot-era reference).
 fn rltf_place_task(
     engine: &mut Engine<'_>,
     cfg: &AlgoConfig,
     t: TaskId,
     tracker: &ReadyTracker,
+    s: &mut PlaceScratch,
 ) -> Result<(), ScheduleError> {
     let mark = engine.checkpoint();
 
-    let mut oto_commits: Vec<RltfCommit> = Vec::new();
+    s.rfa_len = 0;
+    let rfa_score = rltf_try_receive_from_all(engine, t, cfg.cluster_ties, s);
+    // A failed attempt leaves partial placements behind: always restart
+    // the one-to-one attempt from the checkpoint.
+    engine.rollback_to(mark);
     let oto_score = if cfg.use_one_to_one {
-        rltf_try_one_to_one(engine, t, cfg.cluster_ties, Some(&mut oto_commits))
+        rltf_try_one_to_one(engine, t, cfg.cluster_ties, s)
     } else {
         None
     };
-    // A failed attempt leaves partial placements behind: always restart
-    // the receive-from-all attempt from the checkpoint.
-    engine.rollback_to(mark);
-    let rfa_score = rltf_try_receive_from_all(engine, t, cfg.cluster_ties);
 
-    let replay_oto = match (&oto_score, &rfa_score) {
+    let keep_oto = match (&oto_score, &rfa_score) {
         (None, None) => {
-            // The engine stays in the (failed, partially mutated) RFA
-            // state; the caller aborts anyway.
+            // The engine stays in the (failed, partially mutated)
+            // one-to-one state; the caller aborts anyway.
             engine.discard_journal();
             return Err(ScheduleError::Infeasible { task: t, copy: 0 });
         }
         (Some(_), None) => true,
-        (None, Some(_)) => false, // engine already holds the RFA state
+        (None, Some(_)) => false,
         (Some(o), Some(r)) => pick_one_to_one(engine, cfg, t, tracker, o, r),
     };
-    if replay_oto {
+    if keep_oto {
+        // The winner's commits are already in place.
+        engine.discard_journal();
+    } else {
         engine.rollback_to(mark);
         engine.discard_journal();
-        for c in &oto_commits {
-            engine.commit(t, c.copy, &c.probe, &c.plan);
-            let rep = engine.dense(t, c.copy);
-            engine.set_down(rep, c.dset.clone());
-            engine.register_upstream_host(rep, c.host);
+        // Replay the recorded receive-from-all decisions: pure
+        // bookkeeping, no placement logic re-runs.
+        s.plan.fill_receive_from_all(engine.g, t, engine.nrep);
+        for k in 0..s.rfa_len {
+            let rec = &s.rfa[k];
+            engine.commit(t, rec.copy, &rec.probe, &s.plan);
+            let rep = engine.dense(t, rec.copy);
+            let host = rec.probe.proc.index();
+            let mut dset = engine.take_set();
+            dset.insert(rep);
+            engine.set_down(rep, dset);
+            engine.register_upstream_host(rep, host);
         }
-    } else {
-        engine.discard_journal();
     }
     Ok(())
-}
-
-/// Snapshot-based R-LTF task placement: the pre-incremental speculation
-/// procedure (three engine clones per task), kept verbatim as the
-/// reference the differential tests compare the journal path against.
-fn rltf_place_task_snapshot(
-    engine: &mut Engine<'_>,
-    cfg: &AlgoConfig,
-    t: TaskId,
-    tracker: &ReadyTracker,
-) -> Result<(), ScheduleError> {
-    let before = engine.clone();
-
-    let oto_score = if cfg.use_one_to_one {
-        rltf_try_one_to_one(engine, t, cfg.cluster_ties, None)
-    } else {
-        None
-    };
-    let oto_state = oto_score.is_some().then(|| engine.clone());
-    // A failed attempt leaves partial placements behind: always restart
-    // the receive-from-all attempt from the snapshot.
-    *engine = before;
-    let rfa_score = rltf_try_receive_from_all(engine, t, cfg.cluster_ties);
-
-    match (oto_score, rfa_score) {
-        (None, None) => Err(ScheduleError::Infeasible { task: t, copy: 0 }),
-        (Some(_), None) => {
-            *engine = oto_state.expect("saved with score");
-            Ok(())
-        }
-        (None, Some(_)) => Ok(()), // engine already holds the RFA state
-        (Some(o), Some(r)) => {
-            if pick_one_to_one(engine, cfg, t, tracker, &o, &r) {
-                *engine = oto_state.expect("saved with score");
-            }
-            Ok(())
-        }
-    }
 }
 
 /// The paper's Rule 2 condition, evaluated on the scheduling-direction
@@ -459,43 +473,43 @@ fn rule2_condition(g: &TaskGraph, t: TaskId, tracker: &ReadyTracker) -> bool {
 
 /// Attempt to place all copies of `t` with one-to-one pairings forming a
 /// perfect matching per in-edge. Mutates the engine; on failure the caller
-/// rolls back. When `record` is given, every committed copy's decisions
-/// are captured for replay.
+/// rolls back.
 fn rltf_try_one_to_one(
     engine: &mut Engine<'_>,
     t: TaskId,
     cluster: bool,
-    mut record: Option<&mut Vec<RltfCommit>>,
+    s: &mut PlaceScratch,
 ) -> Option<AttemptScore> {
     let g = engine.g;
     let nrep = engine.nrep;
-    let pred_edges: Vec<_> = g.pred_edges(t).to_vec();
-    // Unconsumed head copies per in-edge (perfect matching across copies).
-    let mut remaining: Vec<Vec<u8>> = pred_edges
-        .iter()
-        .map(|_| (0..nrep as u8).collect())
-        .collect();
+    let pred_edges = g.pred_edges(t);
+    // Unconsumed head copies per in-edge (perfect matching across copies),
+    // flat `in_degree × nrep`.
+    s.remaining.clear();
+    for _ in 0..pred_edges.len() {
+        s.remaining.extend(0..nrep as u8);
+    }
 
     let mut max_stage = 0u32;
     let mut total_finish = 0.0f64;
-    // Scratch closure reused across candidate processors; cloned only when
-    // a candidate becomes the incumbent.
-    let mut scratch = ReplicaSet::with_capacity(engine.num_replicas());
 
     for copy in 0..nrep as u8 {
         let rep_dense = ReplicaId::new(t, copy).dense(nrep);
-        let mut best: Option<(Probe, SourcePlan, Vec<u8>, ReplicaSet, ProcMask)> = None;
+        let mut have_best = false;
 
-        for u in engine.p.procs() {
+        'procs: for u in engine.p.procs() {
             // Head per in-edge: smallest (stage contribution, arrival)
             // among unconsumed copies.
-            let mut plan = Vec::with_capacity(pred_edges.len());
-            let mut heads = Vec::with_capacity(pred_edges.len());
-            let mut ok = true;
+            s.plan.clear();
+            s.heads.clear();
             for (i, &eid) in pred_edges.iter().enumerate() {
                 let pred = g.edge(eid).src;
                 let mut pick: Option<(u32, f64, u8)> = None;
-                for &c in &remaining[i] {
+                for k in 0..nrep {
+                    let c = s.remaining[i * nrep + k];
+                    if c == CONSUMED {
+                        continue;
+                    }
                     let src = ReplicaId::new(pred, c);
                     let key = (
                         engine.stage_contribution(src, u),
@@ -508,96 +522,99 @@ fn rltf_try_one_to_one(
                 }
                 match pick {
                     Some((_, _, c)) => {
-                        plan.push((eid, vec![c]));
-                        heads.push(c);
+                        s.plan.push_single(eid, c);
+                        s.heads.push(c);
                     }
-                    None => {
-                        ok = false;
-                        break;
-                    }
+                    // No heads left for some edge: no copy can pair (the
+                    // consumption table is processor-independent).
+                    None => break 'procs,
                 }
-            }
-            if !ok {
-                break; // no heads left for some edge: no copy can pair
             }
 
             // Downstream closure of the would-be replica, and the validity
             // checks (no two copies of one task downstream; host outside
             // every sibling's upstream hosts).
-            scratch.clear();
-            scratch.insert(rep_dense);
+            s.cand_dset.clear();
+            s.cand_dset.insert(rep_dense);
             for (i, &eid) in pred_edges.iter().enumerate() {
                 let pred = g.edge(eid).src;
-                let head = ReplicaId::new(pred, heads[i]).dense(nrep);
-                scratch.union_with(&engine.down[head]);
+                let head = ReplicaId::new(pred, s.heads[i]).dense(nrep);
+                s.cand_dset.union_with(&engine.state.down[head]);
             }
-            if closure_has_copy_conflict(&scratch, nrep) {
+            if closure_has_copy_conflict(&s.cand_dset, nrep) {
                 continue;
             }
-            let forbid = forbidden_hosts(engine, &scratch, nrep);
+            let forbid = forbidden_hosts(engine, &s.cand_dset, nrep);
             if forbid >> u.index() & 1 == 1 {
                 continue;
             }
 
-            let plan = SourcePlan { per_edge: plan };
-            let Some(probe) = engine.probe(t, copy, u, &plan) else {
+            if !engine.probe(t, u, &s.plan, &mut s.ws, &mut s.cand) {
                 continue;
-            };
+            }
             // Stage first; then prefer processors already in use — in
             // reverse time the finish value carries no latency meaning,
             // and spreading stage-tied replicas across fresh processors
             // would deny every upstream task a co-location target (its
             // consumers would sit on different processors, forcing a new
             // stage per level). Finish time breaks the remaining ties.
-            let key = (probe.stage, cluster && !engine.proc_used(u), probe.finish);
-            let better = best.as_ref().is_none_or(|(b, ..)| {
-                key < (b.stage, cluster && !engine.proc_used(b.proc), b.finish)
-            });
+            let key = (s.cand.stage, cluster && !engine.proc_used(u), s.cand.finish);
+            let better = !have_best
+                || key
+                    < (
+                        s.best.stage,
+                        cluster && !engine.proc_used(s.best.proc),
+                        s.best.finish,
+                    );
             if better {
-                best = Some((probe, plan, heads, scratch.clone(), forbid));
+                std::mem::swap(&mut s.cand, &mut s.best);
+                std::mem::swap(&mut s.plan, &mut s.best_plan);
+                std::mem::swap(&mut s.heads, &mut s.best_heads);
+                std::mem::swap(&mut s.cand_dset, &mut s.best_dset);
+                have_best = true;
             }
         }
 
-        let (probe, plan, heads, dset, _) = best?;
-        // Consume the heads.
-        for (i, &c) in heads.iter().enumerate() {
-            remaining[i].retain(|&x| x != c);
+        if !have_best {
+            return None;
         }
-        max_stage = max_stage.max(probe.stage);
-        total_finish += probe.finish;
-        let host = probe.proc.index();
-        engine.commit(t, copy, &probe, &plan);
-        if let Some(rec) = record.as_deref_mut() {
-            engine.set_down(rep_dense, dset.clone());
-            engine.register_upstream_host(rep_dense, host);
-            rec.push(RltfCommit {
-                copy,
-                probe,
-                plan,
-                dset,
-                host,
-            });
-        } else {
-            engine.set_down(rep_dense, dset);
-            engine.register_upstream_host(rep_dense, host);
+        // Consume the heads (each copy value appears at most once per row).
+        for (i, &c) in s.best_heads.iter().enumerate() {
+            for k in 0..nrep {
+                if s.remaining[i * nrep + k] == c {
+                    s.remaining[i * nrep + k] = CONSUMED;
+                    break;
+                }
+            }
         }
+        max_stage = max_stage.max(s.best.stage);
+        total_finish += s.best.finish;
+        let host = s.best.proc.index();
+        engine.commit(t, copy, &s.best, &s.best_plan);
+        // Hand the incumbent closure to the engine, backfilling the slot
+        // from the recycling pool.
+        let dset = std::mem::replace(&mut s.best_dset, engine.take_set());
+        engine.set_down(rep_dense, dset);
+        engine.register_upstream_host(rep_dense, host);
     }
 
     Some(AttemptScore {
-        max_stage: max_stage.max(engine.max_stage),
+        max_stage: max_stage.max(engine.state.max_stage),
         total_finish,
     })
 }
 
-/// Attempt to place all copies of `t` receive-from-all. Mutates the
-/// engine; on failure the caller rolls back.
+/// Attempt to place all copies of `t` receive-from-all, recording every
+/// committed probe into the scratch's replay slots. Mutates the engine; on
+/// failure the caller rolls back.
 fn rltf_try_receive_from_all(
     engine: &mut Engine<'_>,
     t: TaskId,
     cluster: bool,
+    s: &mut PlaceScratch,
 ) -> Option<AttemptScore> {
     let nrep = engine.nrep;
-    let plan = SourcePlan::receive_from_all(engine.g, t, nrep);
+    s.plan.fill_receive_from_all(engine.g, t, nrep);
     let mut max_stage = 0u32;
     let mut total_finish = 0.0f64;
 
@@ -605,37 +622,56 @@ fn rltf_try_receive_from_all(
         let rep_dense = ReplicaId::new(t, copy).dense(nrep);
         // Sibling upstream hosts are forbidden (their crash must not be
         // able to take out this copy as well).
-        let forbid = engine.allush[t.index()];
-        let mut best: Option<Probe> = None;
+        let forbid = engine.state.allush[t.index()];
+        let mut have_best = false;
         for u in engine.p.procs() {
             if forbid >> u.index() & 1 == 1 {
                 continue;
             }
-            let Some(probe) = engine.probe(t, copy, u, &plan) else {
+            if !engine.probe(t, u, &s.plan, &mut s.ws, &mut s.cand) {
                 continue;
-            };
+            }
             // Same clustering tie-break as the one-to-one attempt.
-            let key = (probe.stage, cluster && !engine.proc_used(u), probe.finish);
-            let better = best
-                .as_ref()
-                .is_none_or(|b| key < (b.stage, cluster && !engine.proc_used(b.proc), b.finish));
+            let key = (s.cand.stage, cluster && !engine.proc_used(u), s.cand.finish);
+            let better = !have_best
+                || key
+                    < (
+                        s.best.stage,
+                        cluster && !engine.proc_used(s.best.proc),
+                        s.best.finish,
+                    );
             if better {
-                best = Some(probe);
+                std::mem::swap(&mut s.cand, &mut s.best);
+                have_best = true;
             }
         }
-        let probe = best?;
-        max_stage = max_stage.max(probe.stage);
-        total_finish += probe.finish;
-        let host = probe.proc;
-        engine.commit(t, copy, &probe, &plan);
-        let mut dset = ReplicaSet::with_capacity(engine.num_replicas());
+        if !have_best {
+            return None;
+        }
+        max_stage = max_stage.max(s.best.stage);
+        total_finish += s.best.finish;
+        let host = s.best.proc;
+        engine.commit(t, copy, &s.best, &s.plan);
+        let mut dset = engine.take_set();
         dset.insert(rep_dense);
         engine.set_down(rep_dense, dset);
         engine.register_upstream_host(rep_dense, host.index());
+
+        // Record for replay (slots recycled across tasks).
+        if s.rfa_len == s.rfa.len() {
+            s.rfa.push(RfaCommit {
+                copy,
+                probe: ProbeBuf::new(),
+            });
+        }
+        let rec = &mut s.rfa[s.rfa_len];
+        rec.copy = copy;
+        rec.probe.copy_from(&s.best);
+        s.rfa_len += 1;
     }
 
     Some(AttemptScore {
-        max_stage: max_stage.max(engine.max_stage),
+        max_stage: max_stage.max(engine.state.max_stage),
         total_finish,
     })
 }
@@ -661,7 +697,97 @@ fn forbidden_hosts(engine: &Engine<'_>, dset: &ReplicaSet, nrep: usize) -> ProcM
     for idx in dset.iter() {
         let task = idx / nrep;
         // Disjointness invariant lets us subtract this copy's own hosts.
-        forbid |= engine.allush[task] & !engine.ushost[idx];
+        forbid |= engine.state.allush[task] & !engine.state.ushost[idx];
     }
     forbid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_probe::measure;
+    use ltf_graph::GraphBuilder;
+    use ltf_platform::Platform;
+
+    /// Two entry tasks feeding one join, replicated twice.
+    fn join_graph() -> (TaskGraph, [TaskId; 3]) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let t = b.add_task(1.0);
+        b.add_edge(a, t, 1.0);
+        b.add_edge(c, t, 1.0);
+        (b.build().unwrap(), [a, c, t])
+    }
+
+    /// The steady-state LTF placement sweep — plan building, probing every
+    /// processor, incumbent promotion — performs zero heap allocations
+    /// once the scratch arena is warm.
+    #[test]
+    fn ltf_placement_sweep_allocates_nothing_when_warm() {
+        let (g, [a, c, t]) = join_graph();
+        let p = Platform::homogeneous(4, 1.0, 1.0);
+        let cfg = AlgoConfig::new(1, 100.0);
+        let mut engine = Engine::new(&g, &p, &cfg);
+        let mut s = PlaceScratch::default();
+        let budget = p.num_procs().div_ceil(engine.nrep) as u32;
+
+        // Place both copies of both entry tasks through the real path.
+        for task in [a, c] {
+            let mut ctx = LtfCtx::new(task);
+            for copy in 0..engine.nrep as u8 {
+                assert!(ltf_best_placement(
+                    &engine, &ctx, copy, budget, true, &mut s
+                ));
+                ctx.used |= s.best.kill;
+                engine.commit(task, copy, &s.best, &s.best_plan);
+            }
+        }
+
+        // Warm the scratch on the join task, then measure an identical
+        // (read-only) sweep.
+        let ctx = LtfCtx::new(t);
+        assert!(ltf_best_placement(&engine, &ctx, 0, budget, true, &mut s));
+        let (allocs, found) =
+            measure(|| ltf_best_placement(&engine, &ctx, 0, budget, true, &mut s));
+        assert!(found);
+        assert_eq!(allocs, 0, "steady-state LTF probe sweep hit the heap");
+    }
+
+    /// A full R-LTF run allocates a bounded (small-constant-per-replica)
+    /// number of times: committed source lists, event-log growth and arena
+    /// warm-up — never per-probe or per-candidate traffic. The snapshot
+    /// era cloned the whole engine three times per task (hundreds of
+    /// allocations each); this bound is far below one clone.
+    #[test]
+    fn rltf_run_allocations_bounded() {
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_task(1.0);
+        for i in 0..40 {
+            let t = b.add_task(1.0 + f64::from(i % 3));
+            b.add_edge(prev, t, 1.0);
+            prev = t;
+        }
+        let g = b.build().unwrap();
+        let rev = g.reversed();
+        let mut slots = vec![0u32; g.num_edges()];
+        for y in g.tasks() {
+            for (i, &e) in g.pred_edges(y).iter().enumerate() {
+                slots[e.index()] = i as u32;
+            }
+        }
+        let p = Platform::homogeneous(6, 1.0, 0.1);
+        let cfg = AlgoConfig::new(1, 60.0);
+        let cache = LevelCache::compute(&rev, &p);
+        let mut engine = Engine::new_reversed(&rev, &g, &slots, &p, &cfg);
+        let n = engine.num_replicas();
+
+        let (allocs, res) = measure(|| run(&mut engine, &cfg, Policy::Rltf, &cache));
+        res.unwrap();
+        assert!(engine.all_placed());
+        assert!(
+            allocs <= 40 * n + 500,
+            "R-LTF run made {allocs} allocations for {n} replicas"
+        );
+    }
 }

@@ -13,22 +13,44 @@
 //! pipeline stage, and whether condition (1) (the throughput constraint)
 //! holds. [`Engine::commit`] then applies the chosen probe.
 //!
-//! ### Incremental evaluation
+//! ### Memory layout
 //!
-//! Both phases are engineered so the search loops in [`crate::driver`]
-//! never copy or rebuild engine state per candidate:
+//! The committed schedule lives in [`EngineState`], a struct-of-arrays
+//! block indexed by dense replica id (`task.index() * nrep + copy`) on the
+//! replica axis and by `ProcId::index()` on the processor axis. The probe
+//! loops in [`crate::driver`] never touch the allocator in steady state:
 //!
-//! * **Probing** evaluates port contention against [`OverlayView`]s — the
+//! * Every per-probe buffer — the flattened transfer list, the per-port
+//!   overlay deltas, the planned-message list — lives in a caller-owned
+//!   [`ProbeWorkspace`] / [`ProbeBuf`] and is `clear()`ed, not rebuilt.
+//!   Source plans are flat [`PlanBuf`] arenas (edge list + offset table +
+//!   copy pool) instead of nested `Vec<(EdgeId, Vec<u8>)>`.
+//! * Probing evaluates port contention against [`OverlayView`]s — the
 //!   committed per-processor timelines from the bucketed [`IntervalIndex`]
 //!   plus a small delta of the candidate's own planned messages. Rejected
 //!   candidates leave nothing to clean up, and no `IntervalSet` is ever
 //!   cloned on the probe path.
-//! * **Committing** can be journaled: between [`Engine::checkpoint`] and
+//! * Committing can be journaled: between [`Engine::checkpoint`] and
 //!   [`Engine::rollback_to`] every mutation records its exact inverse
-//!   (old float values, not deltas, so rollback is bit-exact), which is
-//!   how R-LTF compares its two task-level placement modes without
-//!   snapshotting the engine. The journal is dropped wholesale with
-//!   [`Engine::discard_journal`] once a decision is final.
+//!   (old float values, not deltas, so rollback is bit-exact). The journal
+//!   itself is flat — fixed-size records plus two side stacks for the
+//!   variable-length parts — and its buffers are retained across
+//!   [`Engine::discard_journal`], so speculation allocates nothing once
+//!   warm. Downstream-closure bitsets released by a rollback are recycled
+//!   through a free pool ([`Engine::take_set`]).
+//!
+//! ### Incremental reversal (R-LTF)
+//!
+//! A reverse-mode engine ([`Engine::new_reversed`]) additionally maintains
+//! the *forward* source relation while it schedules `Ĝ`: committing copy
+//! `i` of `x` with source copies `J` of `y` over edge `e` records `i` as a
+//! forward source of each `(y, j)` on `e`, into a slot pre-laid in the
+//! original graph's in-edge order (the per-instance slot table comes from
+//! [`crate::api::PreparedInstance`]). Rollback pops the same entries, so
+//! after a complete run [`crate::convert::reversed_schedule`] takes the
+//! transposed relation ready-made instead of re-deriving it per solve.
+//! Copies commit in ascending order, so each slot's source list is sorted
+//! by construction — bit-identical to the batch transposition it replaces.
 
 use crate::config::AlgoConfig;
 use ltf_graph::{EdgeId, TaskGraph, TaskId};
@@ -36,23 +58,70 @@ use ltf_platform::{Platform, ProcId};
 use ltf_schedule::intervals::earliest_common_fit;
 use ltf_schedule::{CommEvent, IntervalIndex, OverlayDelta, ReplicaId, SourceChoice, EPS};
 
-/// Which predecessor copies feed each in-edge of a replica being placed.
-#[derive(Debug, Clone)]
-pub(crate) struct SourcePlan {
-    /// `(in-edge, copies of the predecessor task on that edge)`.
-    pub per_edge: Vec<(EdgeId, Vec<u8>)>,
+/// A flat source plan: which predecessor copies feed each in-edge of a
+/// replica being placed. Replaces the nested `Vec<(EdgeId, Vec<u8>)>` so a
+/// plan can be rebuilt per candidate without heap traffic: `edges[i]` is
+/// fed by `copies[offs[i]..offs[i + 1]]`.
+#[derive(Debug, Default)]
+pub(crate) struct PlanBuf {
+    edges: Vec<EdgeId>,
+    offs: Vec<u32>,
+    copies: Vec<u8>,
 }
 
-impl SourcePlan {
-    /// Receive-from-all plan: every copy of every predecessor.
-    pub fn receive_from_all(g: &TaskGraph, t: TaskId, nrep: usize) -> Self {
+impl PlanBuf {
+    pub fn new() -> Self {
         Self {
-            per_edge: g
-                .pred_edges(t)
-                .iter()
-                .map(|&e| (e, (0..nrep as u8).collect()))
-                .collect(),
+            edges: Vec::new(),
+            offs: vec![0],
+            copies: Vec::new(),
         }
+    }
+
+    /// Reset to the empty plan, keeping all three buffers.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.copies.clear();
+        self.offs.truncate(1);
+        if self.offs.is_empty() {
+            self.offs.push(0); // Default-constructed buffer.
+        }
+    }
+
+    /// Append an edge fed by a single copy.
+    pub fn push_single(&mut self, e: EdgeId, c: u8) {
+        self.edges.push(e);
+        self.copies.push(c);
+        self.offs.push(self.copies.len() as u32);
+    }
+
+    /// Append an edge fed by every copy (receive-from-all).
+    pub fn push_all(&mut self, e: EdgeId, nrep: usize) {
+        self.edges.push(e);
+        self.copies.extend(0..nrep as u8);
+        self.offs.push(self.copies.len() as u32);
+    }
+
+    /// Rebuild as the full receive-from-all plan of `t`.
+    pub fn fill_receive_from_all(&mut self, g: &TaskGraph, t: TaskId, nrep: usize) {
+        self.clear();
+        for &e in g.pred_edges(t) {
+            self.push_all(e, nrep);
+        }
+    }
+
+    /// Iterate `(edge, feeding copies)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, &[u8])> + '_ {
+        self.edges.iter().enumerate().map(move |(i, &e)| {
+            let lo = self.offs[i] as usize;
+            let hi = self.offs[i + 1] as usize;
+            (e, &self.copies[lo..hi])
+        })
+    }
+
+    /// Number of edges in the plan.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
     }
 }
 
@@ -70,25 +139,38 @@ struct PlannedComm {
 pub(crate) type ProcMask = u128;
 
 /// A set of replicas (dense indices) as a growable bitset. Used to track
-/// downstream closures through single-source feeding chains.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// downstream closures through single-source feeding chains. Grows lazily
+/// on insertion, so the engine's `n`-element closure table costs `O(n)`
+/// empty sets up front instead of `O(n²)` words.
+#[derive(Debug, Clone, Eq, Default)]
 pub(crate) struct ReplicaSet {
     words: Vec<u64>,
 }
 
-impl ReplicaSet {
-    pub fn with_capacity(n: usize) -> Self {
-        Self {
-            words: vec![0; n.div_ceil(64)],
-        }
+/// Set equality (a lazily-grown set equals its fixed-capacity twin).
+impl PartialEq for ReplicaSet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.words.len().min(other.words.len());
+        self.words[..n] == other.words[..n]
+            && self.words[n..].iter().all(|&w| w == 0)
+            && other.words[n..].iter().all(|&w| w == 0)
     }
+}
 
+impl ReplicaSet {
     #[inline]
     pub fn insert(&mut self, idx: usize) {
-        self.words[idx / 64] |= 1u64 << (idx % 64);
+        let w = idx / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (idx % 64);
     }
 
     pub fn union_with(&mut self, other: &ReplicaSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= *b;
         }
@@ -117,9 +199,11 @@ impl ReplicaSet {
     }
 }
 
-/// Result of probing one `(replica, processor)` placement.
-#[derive(Debug, Clone)]
-pub(crate) struct Probe {
+/// Result of probing one `(replica, processor)` placement. Reusable: the
+/// driver keeps a candidate and an incumbent buffer and swaps them, so the
+/// planned-message list is never reallocated in steady state.
+#[derive(Debug)]
+pub(crate) struct ProbeBuf {
     /// Candidate processor.
     pub proc: ProcId,
     /// Computed start time (insertion-based).
@@ -135,6 +219,94 @@ pub(crate) struct Probe {
     planned: Vec<PlannedComm>,
 }
 
+impl Default for ProbeBuf {
+    fn default() -> Self {
+        Self {
+            proc: ProcId(0),
+            start: 0.0,
+            finish: 0.0,
+            stage: 0,
+            kill: 0,
+            planned: Vec::new(),
+        }
+    }
+}
+
+impl ProbeBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite with `other`'s contents, reusing the planned buffer.
+    pub fn copy_from(&mut self, other: &ProbeBuf) {
+        self.proc = other.proc;
+        self.start = other.start;
+        self.finish = other.finish;
+        self.stage = other.stage;
+        self.kill = other.kill;
+        self.planned.clear();
+        self.planned.extend_from_slice(&other.planned);
+    }
+
+    /// Number of planned (cross-processor, non-zero) incoming messages.
+    #[cfg(test)]
+    pub fn num_planned(&self) -> usize {
+        self.planned.len()
+    }
+
+    /// Start times of the planned messages (test inspection).
+    #[cfg(test)]
+    pub fn planned_starts(&self) -> Vec<f64> {
+        self.planned.iter().map(|pc| pc.start).collect()
+    }
+}
+
+/// Per-probe working memory: the flattened transfer list and the one-port
+/// overlay deltas. Owned by the driver's scratch arena and reused for
+/// every candidate; a steady-state probe performs no heap allocation.
+#[derive(Debug, Default)]
+pub(crate) struct ProbeWorkspace {
+    items: Vec<(EdgeId, ReplicaId)>,
+    send: Vec<SendSlot>,
+    send_len: usize,
+    recv: OverlayDelta,
+}
+
+/// Tentative reservations on one touched source processor's send port.
+/// Few per probe: linear keying beats an `m`-sized scratch vector.
+#[derive(Debug)]
+struct SendSlot {
+    proc: usize,
+    delta: OverlayDelta,
+    load: f64,
+}
+
+impl ProbeWorkspace {
+    /// Index of the slot for `proc`, reusing retired slots before growing.
+    fn send_slot(&mut self, proc: usize) -> usize {
+        for i in 0..self.send_len {
+            if self.send[i].proc == proc {
+                return i;
+            }
+        }
+        let i = self.send_len;
+        if i == self.send.len() {
+            self.send.push(SendSlot {
+                proc,
+                delta: OverlayDelta::new(),
+                load: 0.0,
+            });
+        } else {
+            let s = &mut self.send[i];
+            s.proc = proc;
+            s.delta.clear();
+            s.load = 0.0;
+        }
+        self.send_len += 1;
+        i
+    }
+}
+
 /// Saved metadata of a replica slot, restored verbatim on rollback.
 #[derive(Debug, Clone, Copy)]
 struct ReplicaMeta {
@@ -146,7 +318,7 @@ struct ReplicaMeta {
 }
 
 /// Inverse of one committed message: where its port reservations and load
-/// contributions went.
+/// contributions went. Lives on the journal's flat side stack.
 #[derive(Debug, Clone, Copy)]
 struct CommUndo {
     src_proc: usize,
@@ -157,55 +329,64 @@ struct CommUndo {
 
 /// One journaled mutation with everything needed to revert it exactly.
 /// Old values (not deltas) are recorded so floating-point state is
-/// restored bit-for-bit.
-#[derive(Debug, Clone)]
+/// restored bit-for-bit. Variable-length payloads (message undos, touched
+/// upstream entries) live on the journal's side stacks; the records here
+/// only carry counts, so pushing and popping them never allocates.
+#[derive(Debug)]
 enum UndoRec {
-    /// Inverse of [`Engine::commit`].
+    /// Inverse of [`Engine::commit`]; pops `n_comms` entries off the
+    /// comm-undo stack.
     Commit {
-        r: usize,
+        r: u32,
         proc: ProcId,
         old_meta: ReplicaMeta,
         old_sigma: f64,
         old_cin: f64,
         old_max_stage: u32,
         cpu_iv: (f64, f64),
-        comms: Vec<CommUndo>,
+        n_comms: u32,
     },
-    /// Inverse of [`Engine::set_down`].
-    Down { r: usize, old: ReplicaSet },
-    /// Inverse of [`Engine::register_upstream_host`]: per touched replica
-    /// its old `ushost` and its task's old `allush`.
-    Upstream {
-        touched: Vec<(usize, ProcMask, ProcMask)>,
-    },
+    /// Inverse of [`Engine::set_down`]; the displaced set is recycled into
+    /// the free pool on rollback or discard.
+    Down { r: u32, old: ReplicaSet },
+    /// Inverse of [`Engine::register_upstream_host`]; pops `n` entries off
+    /// the upstream-undo stack.
+    Upstream { n: u32 },
+}
+
+/// Flat undo journal. All buffers are retained across
+/// [`Engine::discard_journal`], so a warm speculation cycle is
+/// allocation-free.
+#[derive(Debug, Default)]
+struct Journal {
+    active: bool,
+    recs: Vec<UndoRec>,
+    comms: Vec<CommUndo>,
+    upstream: Vec<(u32, ProcMask, ProcMask)>,
 }
 
 /// Position in the undo journal returned by [`Engine::checkpoint`].
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct EngineMark(usize);
 
-/// Partially-built schedule state.
-pub(crate) struct Engine<'a> {
-    pub g: &'a TaskGraph,
-    pub p: &'a Platform,
-    pub period: f64,
-    pub nrep: usize,
-    placed: Vec<bool>,
-    proc_of: Vec<ProcId>,
-    start: Vec<f64>,
-    finish: Vec<f64>,
-    stage: Vec<u32>,
-    sources: Vec<Vec<SourceChoice>>,
-    comm_events: Vec<CommEvent>,
-    sigma: Vec<f64>,
-    cin: Vec<f64>,
-    cout: Vec<f64>,
-    cpu: IntervalIndex,
-    send: IntervalIndex,
-    recv: IntervalIndex,
-    /// Crash cone of each placed replica (see [`Probe::kill`]); meaningful
-    /// in forward (LTF) mode, where predecessors are placed first.
-    kill: Vec<ProcMask>,
+/// The committed schedule, struct-of-arrays. Replica attributes are dense
+/// vectors over `task.index() * nrep + copy`; processor attributes over
+/// `ProcId::index()`. Read-mostly: only [`Engine::commit`] and the
+/// closure/upstream trackers write to it, every probe merely reads.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineState {
+    // Per replica.
+    pub placed: Vec<bool>,
+    pub proc_of: Vec<ProcId>,
+    pub start: Vec<f64>,
+    pub finish: Vec<f64>,
+    pub stage: Vec<u32>,
+    /// Crash cone of each placed replica (see [`ProbeBuf::kill`]);
+    /// meaningful in forward (LTF) mode, where predecessors are placed
+    /// first.
+    pub kill: Vec<ProcMask>,
+    /// Committed source structure (scheduling-direction).
+    pub sources: Vec<Vec<SourceChoice>>,
     /// Reverse (R-LTF) mode: downstream closure of each replica — the set
     /// of replicas it transitively feeds through single-source edges
     /// (in application-graph direction). Fixed at placement time.
@@ -214,47 +395,73 @@ pub(crate) struct Engine<'a> {
     /// each replica (its own host plus the hosts of every replica known to
     /// feed it through single-source chains).
     pub ushost: Vec<ProcMask>,
+    // Per task.
     /// Reverse mode: per task, the union of `ushost` over its copies.
     pub allush: Vec<ProcMask>,
-    /// Largest stage assigned so far (scheduling-direction); drives R-LTF's
-    /// Rule 1.
+    // Per processor.
+    pub sigma: Vec<f64>,
+    pub cin: Vec<f64>,
+    pub cout: Vec<f64>,
+    pub cpu: IntervalIndex,
+    pub send: IntervalIndex,
+    pub recv: IntervalIndex,
+    // Scalars / event log.
+    pub comm_events: Vec<CommEvent>,
+    /// Largest stage assigned so far (scheduling-direction); drives
+    /// R-LTF's Rule 1.
     pub max_stage: u32,
-    /// Undo journal; mutations are recorded only while a checkpoint is
-    /// outstanding (`Some`).
-    journal: Option<Vec<UndoRec>>,
 }
 
-/// The journal never travels with a snapshot: a cloned engine starts with
-/// journaling disabled (the clone-based reference path relies on whole
-/// snapshots, not on undo records).
-impl Clone for Engine<'_> {
-    fn clone(&self) -> Self {
+impl EngineState {
+    fn new(n: usize, num_tasks: usize, m: usize) -> Self {
         Self {
-            g: self.g,
-            p: self.p,
-            period: self.period,
-            nrep: self.nrep,
-            placed: self.placed.clone(),
-            proc_of: self.proc_of.clone(),
-            start: self.start.clone(),
-            finish: self.finish.clone(),
-            stage: self.stage.clone(),
-            sources: self.sources.clone(),
-            comm_events: self.comm_events.clone(),
-            sigma: self.sigma.clone(),
-            cin: self.cin.clone(),
-            cout: self.cout.clone(),
-            cpu: self.cpu.clone(),
-            send: self.send.clone(),
-            recv: self.recv.clone(),
-            kill: self.kill.clone(),
-            down: self.down.clone(),
-            ushost: self.ushost.clone(),
-            allush: self.allush.clone(),
-            max_stage: self.max_stage,
-            journal: None,
+            placed: vec![false; n],
+            proc_of: vec![ProcId(0); n],
+            start: vec![0.0; n],
+            finish: vec![0.0; n],
+            stage: vec![0; n],
+            kill: vec![0; n],
+            sources: vec![Vec::new(); n],
+            down: vec![ReplicaSet::default(); n],
+            ushost: vec![0; n],
+            allush: vec![0; num_tasks],
+            sigma: vec![0.0; m],
+            cin: vec![0.0; m],
+            cout: vec![0.0; m],
+            cpu: IntervalIndex::new(m),
+            send: IntervalIndex::new(m),
+            recv: IntervalIndex::new(m),
+            comm_events: Vec::new(),
+            max_stage: 0,
         }
     }
+}
+
+/// Reverse-mode companion state: the forward source relation, maintained
+/// incrementally as `Ĝ` commits happen (see the module docs).
+struct RevView<'a> {
+    /// The ORIGINAL application graph `G`.
+    orig: &'a TaskGraph,
+    /// `edge_slot[e]` = position of `e` in `G.pred_edges(dst_G(e))`; comes
+    /// from the prepared instance, computed once per `(G, P)` pair.
+    edge_slot: &'a [u32],
+    /// Forward sources per original-direction replica, pre-laid with one
+    /// (initially empty) [`SourceChoice`] per in-edge of the task in `G`.
+    fwd_sources: Vec<Vec<SourceChoice>>,
+}
+
+/// Partially-built schedule state.
+pub(crate) struct Engine<'a> {
+    pub g: &'a TaskGraph,
+    pub p: &'a Platform,
+    pub period: f64,
+    pub nrep: usize,
+    pub state: EngineState,
+    rev: Option<RevView<'a>>,
+    journal: Journal,
+    /// Recycled closure bitsets: rollbacks and discards return the sets
+    /// they displace, [`Engine::take_set`] hands them back out.
+    free_sets: Vec<ReplicaSet>,
 }
 
 impl<'a> Engine<'a> {
@@ -268,32 +475,50 @@ impl<'a> Engine<'a> {
             p,
             period: cfg.period,
             nrep,
-            placed: vec![false; n],
-            proc_of: vec![ProcId(0); n],
-            start: vec![0.0; n],
-            finish: vec![0.0; n],
-            stage: vec![0; n],
-            sources: vec![Vec::new(); n],
-            comm_events: Vec::new(),
-            sigma: vec![0.0; m],
-            cin: vec![0.0; m],
-            cout: vec![0.0; m],
-            cpu: IntervalIndex::new(m),
-            send: IntervalIndex::new(m),
-            recv: IntervalIndex::new(m),
-            kill: vec![0; n],
-            down: vec![ReplicaSet::with_capacity(n); n],
-            ushost: vec![0; n],
-            allush: vec![0; g.num_tasks()],
-            max_stage: 0,
-            journal: None,
+            state: EngineState::new(n, g.num_tasks(), m),
+            rev: None,
+            journal: Journal::default(),
+            free_sets: Vec::new(),
         }
+    }
+
+    /// Reverse-mode engine: schedules `rev` (`= orig.reversed()`) while
+    /// maintaining the forward source relation for
+    /// [`crate::convert::reversed_schedule`]. `edge_slot` is the
+    /// per-instance slot table (see [`RevView::edge_slot`]).
+    pub fn new_reversed(
+        rev: &'a TaskGraph,
+        orig: &'a TaskGraph,
+        edge_slot: &'a [u32],
+        p: &'a Platform,
+        cfg: &AlgoConfig,
+    ) -> Self {
+        let mut e = Self::new(rev, p, cfg);
+        let nrep = e.nrep;
+        let mut fwd_sources: Vec<Vec<SourceChoice>> = vec![Vec::new(); e.num_replicas()];
+        for y in orig.tasks() {
+            let pe = orig.pred_edges(y);
+            for j in 0..nrep as u8 {
+                fwd_sources[ReplicaId::new(y, j).dense(nrep)].extend(pe.iter().map(|&edge| {
+                    SourceChoice {
+                        edge,
+                        sources: Vec::new(),
+                    }
+                }));
+            }
+        }
+        e.rev = Some(RevView {
+            orig,
+            edge_slot,
+            fwd_sources,
+        });
+        e
     }
 
     /// Total number of replicas (`v · (ε+1)`).
     #[inline]
     pub fn num_replicas(&self) -> usize {
-        self.placed.len()
+        self.state.placed.len()
     }
 
     #[inline]
@@ -304,34 +529,45 @@ impl<'a> Engine<'a> {
     /// Test helper: whether a replica has been committed.
     #[cfg(test)]
     pub fn is_placed(&self, t: TaskId, copy: u8) -> bool {
-        self.placed[self.dense(t, copy)]
+        self.state.placed[self.dense(t, copy)]
     }
 
     /// Test helper: host of a committed replica.
     #[cfg(test)]
     pub fn proc_of(&self, t: TaskId, copy: u8) -> ProcId {
-        self.proc_of[self.dense(t, copy)]
+        self.state.proc_of[self.dense(t, copy)]
     }
 
     /// Latest finish time over the copies of `t` (used for dynamic priority
     /// updates).
     pub fn task_finish(&self, t: TaskId) -> f64 {
         (0..self.nrep)
-            .map(|c| self.finish[self.dense(t, c as u8)])
+            .map(|c| self.state.finish[self.dense(t, c as u8)])
             .fold(0.0, f64::max)
     }
 
     /// Crash cone of a placed replica.
     #[inline]
     pub fn kill_of(&self, t: TaskId, copy: u8) -> ProcMask {
-        self.kill[self.dense(t, copy)]
+        self.state.kill[self.dense(t, copy)]
     }
 
     /// Whether any replica has been committed to `u` yet (drives R-LTF's
     /// clustering tie-break).
     #[inline]
     pub fn proc_used(&self, u: ProcId) -> bool {
-        self.sigma[u.index()] > 0.0
+        self.state.sigma[u.index()] > 0.0
+    }
+
+    /// A cleared closure bitset from the recycling pool (or a fresh one).
+    pub fn take_set(&mut self) -> ReplicaSet {
+        match self.free_sets.pop() {
+            Some(mut s) => {
+                s.clear();
+                s
+            }
+            None => ReplicaSet::default(),
+        }
     }
 
     /// Estimated arrival time of data from a placed source replica onto
@@ -339,193 +575,195 @@ impl<'a> Engine<'a> {
     /// heads, the paper's sort of `B(t_i)` by communication finish times).
     pub fn arrival_estimate(&self, edge: EdgeId, src: ReplicaId, u: ProcId) -> f64 {
         let sidx = src.dense(self.nrep);
-        debug_assert!(self.placed[sidx], "source not placed");
-        let h = self.proc_of[sidx];
+        debug_assert!(self.state.placed[sidx], "source not placed");
+        let h = self.state.proc_of[sidx];
         let vol = self.g.edge(edge).volume;
-        self.finish[sidx] + self.p.comm_time(vol, h, u)
+        self.state.finish[sidx] + self.p.comm_time(vol, h, u)
     }
 
     /// Stage the replica would take from a single source over `edge` when
     /// hosted on `u`.
     pub fn stage_contribution(&self, src: ReplicaId, u: ProcId) -> u32 {
         let sidx = src.dense(self.nrep);
-        self.stage[sidx] + u32::from(self.proc_of[sidx] != u)
+        self.state.stage[sidx] + u32::from(self.state.proc_of[sidx] != u)
     }
 
-    /// Probe placing copy `copy` of `t` on `u` with the given sources.
-    /// Returns `None` when condition (1) — the throughput constraint —
-    /// would be violated. Does not mutate the engine.
+    /// Probe placing a copy of `t` on `u` with the given sources, writing
+    /// the outcome into `out`. Returns `false` when condition (1) — the
+    /// throughput constraint — would be violated. Does not mutate the
+    /// engine, and performs no heap allocation once `ws`/`out` are warm.
     ///
     /// Port contention is evaluated against overlays of the committed
     /// timelines; no per-candidate `IntervalSet` clone takes place.
-    pub fn probe(&self, t: TaskId, _copy: u8, u: ProcId, plan: &SourcePlan) -> Option<Probe> {
+    pub fn probe(
+        &self,
+        t: TaskId,
+        u: ProcId,
+        plan: &PlanBuf,
+        ws: &mut ProbeWorkspace,
+        out: &mut ProbeBuf,
+    ) -> bool {
+        let st = &self.state;
         let ui = u.index();
         let exec = self.p.exec_time(self.g.exec(t), u);
-        if self.sigma[ui] + exec > self.period + EPS {
-            return None;
+        if st.sigma[ui] + exec > self.period + EPS {
+            return false;
         }
 
         // Flatten and order incoming transfers by producer finish time so
-        // the port reservations are deterministic.
-        let mut items: Vec<(EdgeId, ReplicaId)> = Vec::new();
-        for (edge, copies) in &plan.per_edge {
-            let pred = self.g.edge(*edge).src;
+        // the port reservations are deterministic. The comparator is a
+        // strict total order over the (distinct) items, so the unstable
+        // sort is deterministic too.
+        ws.items.clear();
+        for (edge, copies) in plan.iter() {
+            let pred = self.g.edge(edge).src;
             for &c in copies {
-                items.push((*edge, ReplicaId::new(pred, c)));
+                ws.items.push((edge, ReplicaId::new(pred, c)));
             }
         }
-        items.sort_by(|a, b| {
-            let fa = self.finish[a.1.dense(self.nrep)];
-            let fb = self.finish[b.1.dense(self.nrep)];
+        ws.items.sort_unstable_by(|a, b| {
+            let fa = st.finish[a.1.dense(self.nrep)];
+            let fb = st.finish[b.1.dense(self.nrep)];
             fa.partial_cmp(&fb)
                 .expect("finite times")
                 .then(a.0.cmp(&b.0))
                 .then(a.1.copy.cmp(&b.1.copy))
         });
 
-        // Tentative reservations per touched source processor (few per
-        // probe: linear keying beats an m-sized scratch vector) and for the
-        // candidate's receive port.
-        let mut send_deltas: Vec<(usize, OverlayDelta, f64)> = Vec::new();
-        let mut recv_delta = OverlayDelta::new();
+        ws.send_len = 0;
+        ws.recv.clear();
         let mut cin_add = 0.0f64;
         let mut ready = 0.0f64;
         let mut stage = 1u32;
-        let mut planned = Vec::new();
+        out.planned.clear();
 
         // Crash cone: host plus, per in-edge, the intersection of the
         // sources' cones (a single crash starves the edge only when it is
         // in every source's cone; with a single source this is its cone).
         let mut kill: ProcMask = 1u128 << ui;
-        for (edge, copies) in &plan.per_edge {
-            let pred = self.g.edge(*edge).src;
+        for (edge, copies) in plan.iter() {
+            let pred = self.g.edge(edge).src;
             let mut edge_kill: ProcMask = !0;
             for &c in copies {
-                edge_kill &= self.kill[self.dense(pred, c)];
+                edge_kill &= st.kill[self.dense(pred, c)];
             }
             if !copies.is_empty() {
                 kill |= edge_kill;
             }
         }
 
-        for (edge, src) in items {
+        for k in 0..ws.items.len() {
+            let (edge, src) = ws.items[k];
             let sidx = src.dense(self.nrep);
-            debug_assert!(self.placed[sidx], "predecessor replica not placed");
-            let h = self.proc_of[sidx];
+            debug_assert!(st.placed[sidx], "predecessor replica not placed");
+            let h = st.proc_of[sidx];
             if h == u {
-                ready = ready.max(self.finish[sidx]);
-                stage = stage.max(self.stage[sidx]);
+                ready = ready.max(st.finish[sidx]);
+                stage = stage.max(st.stage[sidx]);
                 continue;
             }
-            stage = stage.max(self.stage[sidx] + 1);
+            stage = stage.max(st.stage[sidx] + 1);
             let dur = self.p.comm_time(self.g.edge(edge).volume, h, u);
             if dur <= EPS {
                 // Zero-volume transfer: crosses processors (η = 1) but
                 // occupies no port time.
-                ready = ready.max(self.finish[sidx]);
+                ready = ready.max(st.finish[sidx]);
                 continue;
             }
             let hi = h.index();
-            let slot = match send_deltas.iter().position(|(p, ..)| *p == hi) {
-                Some(i) => i,
-                None => {
-                    send_deltas.push((hi, OverlayDelta::new(), 0.0));
-                    send_deltas.len() - 1
-                }
+            let slot = ws.send_slot(hi);
+            let start = {
+                let sv = st.send.overlay(hi, &ws.send[slot].delta);
+                let rv = st.recv.overlay(ui, &ws.recv);
+                earliest_common_fit(&sv, &rv, st.finish[sidx], dur)
             };
-            let st = {
-                let sv = self.send.overlay(hi, &send_deltas[slot].1);
-                let rv = self.recv.overlay(ui, &recv_delta);
-                earliest_common_fit(&sv, &rv, self.finish[sidx], dur)
-            };
-            send_deltas[slot].1.insert(st, st + dur);
-            recv_delta.insert(st, st + dur);
+            ws.send[slot].delta.insert(start, start + dur);
+            ws.recv.insert(start, start + dur);
             cin_add += dur;
-            send_deltas[slot].2 += dur;
-            if self.cout[hi] + send_deltas[slot].2 > self.period + EPS {
-                return None;
+            ws.send[slot].load += dur;
+            if st.cout[hi] + ws.send[slot].load > self.period + EPS {
+                return false;
             }
-            planned.push(PlannedComm {
+            out.planned.push(PlannedComm {
                 edge,
                 src,
                 src_proc: h,
-                start: st,
+                start,
                 dur,
             });
-            ready = ready.max(st + dur);
+            ready = ready.max(start + dur);
         }
-        if self.cin[ui] + cin_add > self.period + EPS {
-            return None;
+        if st.cin[ui] + cin_add > self.period + EPS {
+            return false;
         }
 
-        let start = self.cpu.bucket(ui).next_fit(ready, exec);
-        Some(Probe {
-            proc: u,
-            start,
-            finish: start + exec,
-            stage,
-            kill,
-            planned,
-        })
+        let start = st.cpu.bucket(ui).next_fit(ready, exec);
+        out.proc = u;
+        out.start = start;
+        out.finish = start + exec;
+        out.stage = stage;
+        out.kill = kill;
+        true
     }
 
     /// Apply a probe: place the replica, reserve ports and CPU, record the
-    /// communication events and the source structure. Journaled when a
-    /// checkpoint is outstanding.
-    pub fn commit(&mut self, t: TaskId, copy: u8, probe: &Probe, plan: &SourcePlan) {
-        let r = self.dense(t, copy);
-        assert!(!self.placed[r], "replica committed twice");
+    /// communication events and the source structure (and, in reverse
+    /// mode, the transposed forward sources). Journaled when a checkpoint
+    /// is outstanding.
+    pub fn commit(&mut self, t: TaskId, copy: u8, probe: &ProbeBuf, plan: &PlanBuf) {
+        let st = &mut self.state;
+        let r = self.nrep * t.index() + copy as usize;
+        debug_assert_eq!(r, ReplicaId::new(t, copy).dense(self.nrep));
+        assert!(!st.placed[r], "replica committed twice");
         let u = probe.proc;
         let ui = u.index();
         let rep = ReplicaId::new(t, copy);
 
-        let rec = self.journal.is_some().then(|| UndoRec::Commit {
-            r,
-            proc: u,
-            old_meta: ReplicaMeta {
-                proc: self.proc_of[r],
-                start: self.start[r],
-                finish: self.finish[r],
-                stage: self.stage[r],
-                kill: self.kill[r],
-            },
-            old_sigma: self.sigma[ui],
-            old_cin: self.cin[ui],
-            old_max_stage: self.max_stage,
-            cpu_iv: (probe.start, probe.finish),
-            comms: probe
-                .planned
-                .iter()
-                .map(|pc| CommUndo {
+        if self.journal.active {
+            for pc in &probe.planned {
+                self.journal.comms.push(CommUndo {
                     src_proc: pc.src_proc.index(),
                     start: pc.start,
                     end: pc.start + pc.dur,
-                    old_cout: self.cout[pc.src_proc.index()],
-                })
-                .collect(),
-        });
-        if let (Some(j), Some(rec)) = (self.journal.as_mut(), rec) {
-            j.push(rec);
+                    old_cout: st.cout[pc.src_proc.index()],
+                });
+            }
+            self.journal.recs.push(UndoRec::Commit {
+                r: r as u32,
+                proc: u,
+                old_meta: ReplicaMeta {
+                    proc: st.proc_of[r],
+                    start: st.start[r],
+                    finish: st.finish[r],
+                    stage: st.stage[r],
+                    kill: st.kill[r],
+                },
+                old_sigma: st.sigma[ui],
+                old_cin: st.cin[ui],
+                old_max_stage: st.max_stage,
+                cpu_iv: (probe.start, probe.finish),
+                n_comms: probe.planned.len() as u32,
+            });
         }
 
-        self.placed[r] = true;
-        self.proc_of[r] = u;
-        self.start[r] = probe.start;
-        self.finish[r] = probe.finish;
-        self.stage[r] = probe.stage;
-        self.kill[r] = probe.kill;
-        self.max_stage = self.max_stage.max(probe.stage);
+        st.placed[r] = true;
+        st.proc_of[r] = u;
+        st.start[r] = probe.start;
+        st.finish[r] = probe.finish;
+        st.stage[r] = probe.stage;
+        st.kill[r] = probe.kill;
+        st.max_stage = st.max_stage.max(probe.stage);
 
-        self.sigma[ui] += probe.finish - probe.start;
-        self.cpu.insert(ui, probe.start, probe.finish);
+        st.sigma[ui] += probe.finish - probe.start;
+        st.cpu.insert(ui, probe.start, probe.finish);
 
         for pc in &probe.planned {
-            self.send
+            st.send
                 .insert(pc.src_proc.index(), pc.start, pc.start + pc.dur);
-            self.recv.insert(ui, pc.start, pc.start + pc.dur);
-            self.cout[pc.src_proc.index()] += pc.dur;
-            self.cin[ui] += pc.dur;
-            self.comm_events.push(CommEvent {
+            st.recv.insert(ui, pc.start, pc.start + pc.dur);
+            st.cout[pc.src_proc.index()] += pc.dur;
+            st.cin[ui] += pc.dur;
+            st.comm_events.push(CommEvent {
                 edge: pc.edge,
                 src: pc.src,
                 dst: rep,
@@ -536,22 +774,39 @@ impl<'a> Engine<'a> {
             });
         }
 
-        self.sources[r] = plan
-            .per_edge
-            .iter()
-            .map(|(edge, copies)| SourceChoice {
-                edge: *edge,
-                sources: copies.clone(),
-            })
-            .collect();
+        debug_assert!(st.sources[r].is_empty());
+        st.sources[r].reserve(plan.num_edges());
+        for (edge, copies) in plan.iter() {
+            st.sources[r].push(SourceChoice {
+                edge,
+                sources: copies.to_vec(),
+            });
+        }
+
+        // Reverse mode: record the transposed forward sources. Copies
+        // commit in ascending order, so each slot stays sorted.
+        if let Some(rev) = self.rev.as_mut() {
+            let nrep = self.nrep;
+            for (edge, copies) in plan.iter() {
+                let y = rev.orig.edge(edge).dst;
+                let slot = rev.edge_slot[edge.index()] as usize;
+                for &j in copies {
+                    rev.fwd_sources[ReplicaId::new(y, j).dense(nrep)][slot]
+                        .sources
+                        .push(copy);
+                }
+            }
+        }
     }
 
     /// Record the downstream closure of a freshly committed replica
     /// (reverse mode). Journaled when a checkpoint is outstanding.
     pub fn set_down(&mut self, r: usize, dset: ReplicaSet) {
-        let old = std::mem::replace(&mut self.down[r], dset);
-        if let Some(j) = self.journal.as_mut() {
-            j.push(UndoRec::Down { r, old });
+        let old = std::mem::replace(&mut self.state.down[r], dset);
+        if self.journal.active {
+            self.journal.recs.push(UndoRec::Down { r: r as u32, old });
+        } else {
+            self.free_sets.push(old);
         }
     }
 
@@ -561,36 +816,41 @@ impl<'a> Engine<'a> {
     pub fn register_upstream_host(&mut self, r: usize, host: usize) {
         let bit: ProcMask = 1 << host;
         let nrep = self.nrep;
-        let dset = std::mem::take(&mut self.down[r]);
-        let mut touched = Vec::new();
-        let record = self.journal.is_some();
+        let record = self.journal.active;
+        let dset = std::mem::take(&mut self.state.down[r]);
+        let mut n = 0u32;
         for idx in dset.iter() {
             if record {
-                touched.push((idx, self.ushost[idx], self.allush[idx / nrep]));
+                self.journal.upstream.push((
+                    idx as u32,
+                    self.state.ushost[idx],
+                    self.state.allush[idx / nrep],
+                ));
+                n += 1;
             }
-            self.ushost[idx] |= bit;
-            self.allush[idx / nrep] |= bit;
+            self.state.ushost[idx] |= bit;
+            self.state.allush[idx / nrep] |= bit;
         }
-        self.down[r] = dset;
-        if let Some(j) = self.journal.as_mut() {
-            j.push(UndoRec::Upstream { touched });
+        self.state.down[r] = dset;
+        if record {
+            self.journal.recs.push(UndoRec::Upstream { n });
         }
     }
 
     /// Start (or extend) speculative execution: subsequent mutations are
     /// journaled and can be reverted with [`Engine::rollback_to`].
     pub fn checkpoint(&mut self) -> EngineMark {
-        let j = self.journal.get_or_insert_with(Vec::new);
-        EngineMark(j.len())
+        self.journal.active = true;
+        EngineMark(self.journal.recs.len())
     }
 
     /// Revert every mutation journaled after `mark`, restoring the exact
     /// engine state (floats included) at checkpoint time. Journaling stays
     /// enabled so a second attempt can be rolled back to the same mark.
     pub fn rollback_to(&mut self, mark: EngineMark) {
-        let mut j = self.journal.take().expect("rollback without checkpoint");
-        while j.len() > mark.0 {
-            match j.pop().expect("length checked") {
+        debug_assert!(self.journal.active, "rollback without checkpoint");
+        while self.journal.recs.len() > mark.0 {
+            match self.journal.recs.pop().expect("length checked") {
                 UndoRec::Commit {
                     r,
                     proc,
@@ -599,50 +859,97 @@ impl<'a> Engine<'a> {
                     old_cin,
                     old_max_stage,
                     cpu_iv,
-                    comms,
+                    n_comms,
                 } => {
+                    let r = r as usize;
+                    let st = &mut self.state;
                     let ui = proc.index();
-                    for cu in comms.iter().rev() {
-                        self.comm_events.pop();
-                        self.send.remove(cu.src_proc, cu.start, cu.end);
-                        self.recv.remove(ui, cu.start, cu.end);
-                        self.cout[cu.src_proc] = cu.old_cout;
+                    for _ in 0..n_comms {
+                        let cu = self.journal.comms.pop().expect("comm undo underflow");
+                        st.comm_events.pop();
+                        st.send.remove(cu.src_proc, cu.start, cu.end);
+                        st.recv.remove(ui, cu.start, cu.end);
+                        st.cout[cu.src_proc] = cu.old_cout;
                     }
-                    self.cpu.remove(ui, cpu_iv.0, cpu_iv.1);
-                    self.sigma[ui] = old_sigma;
-                    self.cin[ui] = old_cin;
-                    self.max_stage = old_max_stage;
-                    self.placed[r] = false;
-                    self.proc_of[r] = old_meta.proc;
-                    self.start[r] = old_meta.start;
-                    self.finish[r] = old_meta.finish;
-                    self.stage[r] = old_meta.stage;
-                    self.kill[r] = old_meta.kill;
-                    self.sources[r].clear();
+                    st.cpu.remove(ui, cpu_iv.0, cpu_iv.1);
+                    st.sigma[ui] = old_sigma;
+                    st.cin[ui] = old_cin;
+                    st.max_stage = old_max_stage;
+                    st.placed[r] = false;
+                    st.proc_of[r] = old_meta.proc;
+                    st.start[r] = old_meta.start;
+                    st.finish[r] = old_meta.finish;
+                    st.stage[r] = old_meta.stage;
+                    st.kill[r] = old_meta.kill;
+                    // Reverse mode: pop the transposed entries this commit
+                    // pushed (strictly LIFO across commits, so each slot's
+                    // last element is ours).
+                    if let Some(rev) = self.rev.as_mut() {
+                        let nrep = self.nrep;
+                        let copy = (r % nrep) as u8;
+                        for choice in self.state.sources[r].iter().rev() {
+                            let y = rev.orig.edge(choice.edge).dst;
+                            let slot = rev.edge_slot[choice.edge.index()] as usize;
+                            for &j in choice.sources.iter().rev() {
+                                let popped = rev.fwd_sources[ReplicaId::new(y, j).dense(nrep)]
+                                    [slot]
+                                    .sources
+                                    .pop();
+                                debug_assert_eq!(popped, Some(copy));
+                            }
+                        }
+                    }
+                    self.state.sources[r].clear();
                 }
                 UndoRec::Down { r, old } => {
-                    self.down[r] = old;
+                    let cur = std::mem::replace(&mut self.state.down[r as usize], old);
+                    self.free_sets.push(cur);
                 }
-                UndoRec::Upstream { touched } => {
-                    for &(idx, old_ushost, old_allush) in touched.iter().rev() {
-                        self.ushost[idx] = old_ushost;
-                        self.allush[idx / self.nrep] = old_allush;
+                UndoRec::Upstream { n } => {
+                    for _ in 0..n {
+                        let (idx, old_ushost, old_allush) = self
+                            .journal
+                            .upstream
+                            .pop()
+                            .expect("upstream undo underflow");
+                        self.state.ushost[idx as usize] = old_ushost;
+                        self.state.allush[idx as usize / self.nrep] = old_allush;
                     }
                 }
             }
         }
-        self.journal = Some(j);
     }
 
     /// End speculative execution: drop all undo records and stop
-    /// journaling. Call once the current decision is final.
+    /// journaling. Call once the current decision is final. Buffers (and
+    /// the closure sets held by `Down` records) are retained for reuse.
     pub fn discard_journal(&mut self) {
-        self.journal = None;
+        self.journal.active = false;
+        for rec in self.journal.recs.drain(..) {
+            if let UndoRec::Down { old, .. } = rec {
+                self.free_sets.push(old);
+            }
+        }
+        self.journal.comms.clear();
+        self.journal.upstream.clear();
     }
 
     /// `true` once every replica of every task is placed.
     pub fn all_placed(&self) -> bool {
-        self.placed.iter().all(|&b| b)
+        self.state.placed.iter().all(|&b| b)
+    }
+
+    /// Reverse mode: take the incrementally maintained forward source
+    /// relation (one entry per in-edge of each task in the original graph,
+    /// in `pred_edges` order, sources ascending).
+    pub fn take_fwd_sources(&mut self) -> Vec<Vec<SourceChoice>> {
+        std::mem::take(
+            &mut self
+                .rev
+                .as_mut()
+                .expect("forward sources on a reverse-mode engine")
+                .fwd_sources,
+        )
     }
 
     /// Consume the engine into its raw parts
@@ -662,12 +969,12 @@ impl<'a> Engine<'a> {
         Vec<CommEvent>,
     ) {
         (
-            self.proc_of,
-            self.start,
-            self.finish,
-            self.stage,
-            self.sources,
-            self.comm_events,
+            self.state.proc_of,
+            self.state.start,
+            self.state.finish,
+            self.state.stage,
+            self.state.sources,
+            self.state.comm_events,
         )
     }
 }
@@ -685,18 +992,31 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// Convenience wrapper around the buffer-based probe for tests.
+    fn probe(e: &Engine<'_>, t: TaskId, u: ProcId, plan: &PlanBuf) -> Option<ProbeBuf> {
+        let mut ws = ProbeWorkspace::default();
+        let mut out = ProbeBuf::new();
+        e.probe(t, u, plan, &mut ws, &mut out).then_some(out)
+    }
+
+    fn rfa_plan(g: &TaskGraph, t: TaskId, nrep: usize) -> PlanBuf {
+        let mut plan = PlanBuf::new();
+        plan.fill_receive_from_all(g, t, nrep);
+        plan
+    }
+
     #[test]
     fn probe_and_commit_entry_task() {
         let g = chain2();
         let p = Platform::homogeneous(2, 1.0, 1.0);
         let cfg = AlgoConfig::new(0, 10.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let plan = SourcePlan { per_edge: vec![] };
-        let probe = e.probe(TaskId(0), 0, ProcId(0), &plan).unwrap();
-        assert_eq!(probe.start, 0.0);
-        assert_eq!(probe.finish, 4.0);
-        assert_eq!(probe.stage, 1);
-        e.commit(TaskId(0), 0, &probe, &plan);
+        let plan = PlanBuf::new();
+        let pr = probe(&e, TaskId(0), ProcId(0), &plan).unwrap();
+        assert_eq!(pr.start, 0.0);
+        assert_eq!(pr.finish, 4.0);
+        assert_eq!(pr.stage, 1);
+        e.commit(TaskId(0), 0, &pr, &plan);
         assert!(e.is_placed(TaskId(0), 0));
         assert_eq!(e.proc_of(TaskId(0), 0), ProcId(0));
         assert_eq!(e.task_finish(TaskId(0)), 4.0);
@@ -708,18 +1028,18 @@ mod tests {
         let p = Platform::homogeneous(2, 1.0, 1.0);
         let cfg = AlgoConfig::new(0, 10.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let empty = SourcePlan { per_edge: vec![] };
-        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        let empty = PlanBuf::new();
+        let pr = probe(&e, TaskId(0), ProcId(0), &empty).unwrap();
         e.commit(TaskId(0), 0, &pr, &empty);
 
-        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
+        let plan = rfa_plan(&g, TaskId(1), 1);
         // Remote placement: message of duration 3 after t0 ends at 4.
-        let pr = e.probe(TaskId(1), 0, ProcId(1), &plan).unwrap();
+        let pr = probe(&e, TaskId(1), ProcId(1), &plan).unwrap();
         assert_eq!(pr.start, 7.0);
         assert_eq!(pr.finish, 9.0);
         assert_eq!(pr.stage, 2);
         // Local placement: no message.
-        let pr_local = e.probe(TaskId(1), 0, ProcId(0), &plan).unwrap();
+        let pr_local = probe(&e, TaskId(1), ProcId(0), &plan).unwrap();
         assert_eq!(pr_local.start, 4.0);
         assert_eq!(pr_local.stage, 1);
     }
@@ -730,12 +1050,12 @@ mod tests {
         let p = Platform::homogeneous(1, 1.0, 1.0);
         let cfg = AlgoConfig::new(0, 5.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let empty = SourcePlan { per_edge: vec![] };
-        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        let empty = PlanBuf::new();
+        let pr = probe(&e, TaskId(0), ProcId(0), &empty).unwrap();
         e.commit(TaskId(0), 0, &pr, &empty);
         // 4 + 2 = 6 > 5: infeasible.
-        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
-        assert!(e.probe(TaskId(1), 0, ProcId(0), &plan).is_none());
+        let plan = rfa_plan(&g, TaskId(1), 1);
+        assert!(probe(&e, TaskId(1), ProcId(0), &plan).is_none());
     }
 
     #[test]
@@ -748,14 +1068,14 @@ mod tests {
         let p = Platform::homogeneous(2, 1.0, 1.0);
         let cfg = AlgoConfig::new(0, 5.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let empty = SourcePlan { per_edge: vec![] };
-        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        let empty = PlanBuf::new();
+        let pr = probe(&e, TaskId(0), ProcId(0), &empty).unwrap();
         e.commit(TaskId(0), 0, &pr, &empty);
         // Message of 6 > period 5 on both ports: remote infeasible,
         // local fine.
-        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
-        assert!(e.probe(TaskId(1), 0, ProcId(1), &plan).is_none());
-        assert!(e.probe(TaskId(1), 0, ProcId(0), &plan).is_some());
+        let plan = rfa_plan(&g, TaskId(1), 1);
+        assert!(probe(&e, TaskId(1), ProcId(1), &plan).is_none());
+        assert!(probe(&e, TaskId(1), ProcId(0), &plan).is_some());
     }
 
     #[test]
@@ -772,18 +1092,19 @@ mod tests {
         let p = Platform::homogeneous(3, 1.0, 1.0);
         let cfg = AlgoConfig::new(0, 10.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let empty = SourcePlan { per_edge: vec![] };
+        let empty = PlanBuf::new();
         for (task, proc) in [(a, ProcId(0)), (c, ProcId(1))] {
-            let pr = e.probe(task, 0, proc, &empty).unwrap();
+            let pr = probe(&e, task, proc, &empty).unwrap();
             e.commit(task, 0, &pr, &empty);
         }
-        let plan = SourcePlan::receive_from_all(&g, t, 1);
-        let pr = e.probe(t, 0, ProcId(2), &plan).unwrap();
+        let plan = rfa_plan(&g, t, 1);
+        let pr = probe(&e, t, ProcId(2), &plan).unwrap();
         // Both messages ready at 2, each lasts 4; serialized on the
         // receive port: arrivals at 6 and 10.
         assert_eq!(pr.start, 10.0);
-        assert_eq!(pr.planned.len(), 2);
-        let (s0, s1) = (pr.planned[0].start, pr.planned[1].start);
+        assert_eq!(pr.num_planned(), 2);
+        let starts = pr.planned_starts();
+        let (s0, s1) = (starts[0], starts[1]);
         assert_eq!(s0.min(s1), 2.0);
         assert_eq!(s0.max(s1), 6.0);
     }
@@ -794,8 +1115,8 @@ mod tests {
         let p = Platform::homogeneous(2, 1.0, 2.0);
         let cfg = AlgoConfig::new(0, 20.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let empty = SourcePlan { per_edge: vec![] };
-        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        let empty = PlanBuf::new();
+        let pr = probe(&e, TaskId(0), ProcId(0), &empty).unwrap();
         e.commit(TaskId(0), 0, &pr, &empty);
         let src = ReplicaId::new(TaskId(0), 0);
         // Volume 3 × delay 2 = 6 after finish 4.
@@ -819,81 +1140,152 @@ mod tests {
         let p = Platform::homogeneous(3, 1.0, 1.0);
         let cfg = AlgoConfig::new(0, 20.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let empty = SourcePlan { per_edge: vec![] };
+        let empty = PlanBuf::new();
         for (task, proc) in [(a, ProcId(0)), (c, ProcId(1))] {
-            let pr = e.probe(task, 0, proc, &empty).unwrap();
+            let pr = probe(&e, task, proc, &empty).unwrap();
             e.commit(task, 0, &pr, &empty);
         }
-        let snapshot = e.clone();
+        let snapshot = e.state.clone();
 
         let mark = e.checkpoint();
-        let plan = SourcePlan::receive_from_all(&g, t, 1);
-        let pr = e.probe(t, 0, ProcId(2), &plan).unwrap();
+        let plan = rfa_plan(&g, t, 1);
+        let pr = probe(&e, t, ProcId(2), &plan).unwrap();
         e.commit(t, 0, &pr, &plan);
         let r = e.dense(t, 0);
-        let mut dset = ReplicaSet::with_capacity(e.num_replicas());
+        let mut dset = e.take_set();
         dset.insert(r);
         e.set_down(r, dset);
         e.register_upstream_host(r, 2);
         assert!(e.is_placed(t, 0));
-        assert_ne!(e.ushost[r], snapshot.ushost[r]);
+        assert_ne!(e.state.ushost[r], snapshot.ushost[r]);
 
         e.rollback_to(mark);
         e.discard_journal();
         assert!(!e.is_placed(t, 0));
-        assert_eq!(e.sigma, snapshot.sigma);
-        assert_eq!(e.cin, snapshot.cin);
-        assert_eq!(e.cout, snapshot.cout);
-        assert_eq!(e.comm_events.len(), snapshot.comm_events.len());
-        assert_eq!(e.max_stage, snapshot.max_stage);
-        assert_eq!(e.ushost, snapshot.ushost);
-        assert_eq!(e.allush, snapshot.allush);
-        assert_eq!(e.down, snapshot.down);
+        assert_eq!(e.state.sigma, snapshot.sigma);
+        assert_eq!(e.state.cin, snapshot.cin);
+        assert_eq!(e.state.cout, snapshot.cout);
+        assert_eq!(e.state.comm_events.len(), snapshot.comm_events.len());
+        assert_eq!(e.state.max_stage, snapshot.max_stage);
+        assert_eq!(e.state.ushost, snapshot.ushost);
+        assert_eq!(e.state.allush, snapshot.allush);
+        assert_eq!(e.state.down, snapshot.down);
         for u in 0..3 {
             assert_eq!(
-                e.cpu.bucket(u).intervals(),
+                e.state.cpu.bucket(u).intervals(),
                 snapshot.cpu.bucket(u).intervals()
             );
             assert_eq!(
-                e.send.bucket(u).intervals(),
+                e.state.send.bucket(u).intervals(),
                 snapshot.send.bucket(u).intervals()
             );
             assert_eq!(
-                e.recv.bucket(u).intervals(),
+                e.state.recv.bucket(u).intervals(),
                 snapshot.recv.bucket(u).intervals()
             );
         }
 
         // The freed capacity is reusable: the same placement succeeds again.
-        let pr2 = e.probe(t, 0, ProcId(2), &plan).unwrap();
+        let pr2 = probe(&e, t, ProcId(2), &plan).unwrap();
         assert_eq!(pr2.start, pr.start);
         e.commit(t, 0, &pr2, &plan);
         assert!(e.is_placed(t, 0));
     }
 
     /// Two speculative attempts rolled back to the same mark leave the
-    /// engine identical each time.
+    /// engine identical each time — and the displaced closure sets flow
+    /// through the recycling pool instead of the allocator.
     #[test]
     fn double_rollback_to_same_mark() {
         let g = chain2();
         let p = Platform::homogeneous(2, 1.0, 1.0);
         let cfg = AlgoConfig::new(0, 10.0);
         let mut e = Engine::new(&g, &p, &cfg);
-        let empty = SourcePlan { per_edge: vec![] };
-        let pr = e.probe(TaskId(0), 0, ProcId(0), &empty).unwrap();
+        let empty = PlanBuf::new();
+        let pr = probe(&e, TaskId(0), ProcId(0), &empty).unwrap();
         e.commit(TaskId(0), 0, &pr, &empty);
-        let snapshot = e.clone();
+        let snapshot = e.state.clone();
 
         let mark = e.checkpoint();
-        let plan = SourcePlan::receive_from_all(&g, TaskId(1), 1);
+        let plan = rfa_plan(&g, TaskId(1), 1);
         for u in [ProcId(1), ProcId(0)] {
-            let pr = e.probe(TaskId(1), 0, u, &plan).unwrap();
+            let pr = probe(&e, TaskId(1), u, &plan).unwrap();
             e.commit(TaskId(1), 0, &pr, &plan);
+            let r = e.dense(TaskId(1), 0);
+            let mut dset = e.take_set();
+            dset.insert(r);
+            e.set_down(r, dset);
             e.rollback_to(mark);
             assert!(!e.is_placed(TaskId(1), 0));
-            assert_eq!(e.sigma, snapshot.sigma);
-            assert_eq!(e.comm_events.len(), snapshot.comm_events.len());
+            assert_eq!(e.state.sigma, snapshot.sigma);
+            assert_eq!(e.state.comm_events.len(), snapshot.comm_events.len());
         }
         e.discard_journal();
+        // Both rollbacks and the discard recycled their sets.
+        assert!(!e.free_sets.is_empty());
+    }
+
+    /// The lazily-grown replica set equals its eagerly-sized twin, and
+    /// clearing keeps capacity.
+    #[test]
+    fn replica_set_grows_and_compares() {
+        let mut lazy = ReplicaSet::default();
+        let mut sized = ReplicaSet::default();
+        sized.insert(200);
+        sized.clear();
+        assert_eq!(lazy, sized); // both empty, different word lengths
+        lazy.insert(130);
+        assert_ne!(lazy, sized);
+        sized.insert(130);
+        assert_eq!(lazy, sized);
+        let mut other = ReplicaSet::default();
+        other.insert(5);
+        lazy.union_with(&other);
+        assert_eq!(lazy.iter().collect::<Vec<_>>(), vec![5, 130]);
+    }
+
+    /// Reverse-mode bookkeeping: commits push transposed forward sources,
+    /// rollback pops them exactly.
+    #[test]
+    fn reverse_mode_maintains_fwd_sources() {
+        // G: 0 -> 1 (edge 0). Reverse-mode engine schedules Ĝ: 1 -> 0.
+        let g = chain2();
+        let rev = g.reversed();
+        // edge_slot[e] = position of e in G.pred_edges(dst(e)).
+        let edge_slot = vec![0u32];
+        let p = Platform::homogeneous(2, 1.0, 1.0);
+        let cfg = AlgoConfig::new(0, 20.0);
+        let mut e = Engine::new_reversed(&rev, &g, &edge_slot, &p, &cfg);
+
+        // Place task 1 (entry of Ĝ), then task 0 receiving from it.
+        let empty = PlanBuf::new();
+        let pr = probe(&e, TaskId(1), ProcId(0), &empty).unwrap();
+        e.commit(TaskId(1), 0, &pr, &empty);
+
+        let plan = rfa_plan(&rev, TaskId(0), 1);
+        let mark = e.checkpoint();
+        let pr = probe(&e, TaskId(0), ProcId(1), &plan).unwrap();
+        e.commit(TaskId(0), 0, &pr, &plan);
+        {
+            let fwd = &e.rev.as_ref().unwrap().fwd_sources;
+            // Forward: replica (1, 0) is fed on edge 0 by copy 0 of task 0.
+            let tgt = ReplicaId::new(TaskId(1), 0).dense(1);
+            assert_eq!(fwd[tgt].len(), 1);
+            assert_eq!(fwd[tgt][0].edge, EdgeId(0));
+            assert_eq!(fwd[tgt][0].sources, vec![0]);
+        }
+        e.rollback_to(mark);
+        {
+            let fwd = &e.rev.as_ref().unwrap().fwd_sources;
+            let tgt = ReplicaId::new(TaskId(1), 0).dense(1);
+            assert!(fwd[tgt][0].sources.is_empty());
+        }
+        e.discard_journal();
+
+        let pr = probe(&e, TaskId(0), ProcId(1), &plan).unwrap();
+        e.commit(TaskId(0), 0, &pr, &plan);
+        let fwd = e.take_fwd_sources();
+        let tgt = ReplicaId::new(TaskId(1), 0).dense(1);
+        assert_eq!(fwd[tgt][0].sources, vec![0]);
     }
 }

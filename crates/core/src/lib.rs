@@ -55,6 +55,8 @@
 //! [`rltf_schedule`], [`schedule_with`], [`fault_free_reference`]) remain
 //! as deprecated shims; see the README's migration table.
 
+#[cfg(test)]
+mod alloc_probe;
 mod api;
 mod config;
 mod convert;
@@ -62,6 +64,7 @@ mod driver;
 mod engine;
 pub mod par;
 pub mod prio;
+mod reference;
 pub mod search;
 pub mod shard;
 pub mod solver;

@@ -54,10 +54,22 @@ impl ReadyTracker {
     /// # Panics
     /// If `t` is not currently ready (double-scheduling or missing preds).
     pub fn complete(&mut self, g: &TaskGraph, t: TaskId) -> Vec<TaskId> {
+        let mut newly = Vec::new();
+        self.complete_into(g, t, &mut newly);
+        newly
+    }
+
+    /// Allocation-free [`ReadyTracker::complete`]: `newly` is cleared and
+    /// filled with the successors that just became ready, reusing its
+    /// capacity (for hot loops that call this once per scheduled task).
+    ///
+    /// # Panics
+    /// If `t` is not currently ready (double-scheduling or missing preds).
+    pub fn complete_into(&mut self, g: &TaskGraph, t: TaskId, newly: &mut Vec<TaskId>) {
         assert!(self.is_ready(t), "task {t} completed while not ready");
         self.done[t.index()] = true;
         self.n_done += 1;
-        let mut newly = Vec::new();
+        newly.clear();
         for s in g.succs(t) {
             let r = &mut self.remaining_preds[s.index()];
             *r -= 1;
@@ -65,7 +77,6 @@ impl ReadyTracker {
                 newly.push(s);
             }
         }
-        newly
     }
 
     /// Number of completed tasks.

@@ -101,6 +101,64 @@ fn incremental_matches_reference_on_series_parallel() {
     }
 }
 
+/// The paper's worked examples: the Fig. 1 diamond on its heterogeneous
+/// 3-processor platform and the Fig. 2 workflow reconstruction on 8
+/// homogeneous processors — including the feasibility edge the fig2
+/// variant sits on. Small enough that a single misplaced message shows up
+/// as a direct field mismatch.
+#[test]
+fn incremental_matches_reference_on_worked_examples() {
+    use ltf_sched::graph::generate::{fig1_diamond, fig2_workflow_variant};
+
+    let g1 = fig1_diamond();
+    let p1 = Platform::fig1_platform();
+    for eps in [0u8, 1] {
+        for period in [20.0, 30.0, 60.0] {
+            for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
+                let cfg = AlgoConfig::new(eps, period).seeded(7);
+                let ctx = format!("fig1 {kind} eps={eps} T=1/{period}");
+                compare_paths(kind, &g1, &p1, &cfg, &ctx);
+            }
+        }
+    }
+
+    let g2 = fig2_workflow_variant();
+    let p2 = Platform::homogeneous(8, 1.0, 1.0);
+    for eps in [0u8, 1] {
+        for period in [20.0, 40.0] {
+            for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
+                let cfg = AlgoConfig::new(eps, period).seeded(7);
+                let ctx = format!("fig2v {kind} eps={eps} T=1/{period}");
+                compare_paths(kind, &g2, &p2, &cfg, &ctx);
+            }
+        }
+    }
+}
+
+/// Random layered DAGs (the paper's §5 workload family) across the full
+/// replication range, exercising deep rollback/replay chains: ε = 3 means
+/// four copies per task and heavy receive-from-all fall-backs.
+#[test]
+fn incremental_matches_reference_on_layered_graphs() {
+    use ltf_sched::graph::generate::{layered, LayeredConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    for eps in [0u8, 1, 3] {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(0x1A7E ^ (seed << 4) ^ ((eps as u64) << 32));
+            let g = layered(&LayeredConfig::with_tasks(60), &mut rng);
+            let p = Platform::homogeneous(16, 1.0, 0.005);
+            // Scale headroom with replication: each task runs ε+1 times.
+            let period = g.total_exec() * (eps as f64 + 1.0) / 8.0;
+            for kind in [AlgoKind::Ltf, AlgoKind::Rltf] {
+                let cfg = AlgoConfig::new(eps, period).seeded(seed);
+                let ctx = format!("layered {kind} eps={eps} seed={seed}");
+                compare_paths(kind, &g, &p, &cfg, &ctx);
+            }
+        }
+    }
+}
+
 /// Infeasible configurations must fail identically through both paths.
 #[test]
 fn incremental_matches_reference_on_infeasible_periods() {
