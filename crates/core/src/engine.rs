@@ -55,7 +55,7 @@
 use crate::config::AlgoConfig;
 use ltf_graph::{EdgeId, TaskGraph, TaskId};
 use ltf_platform::{Platform, ProcId};
-use ltf_schedule::intervals::earliest_common_fit;
+use ltf_schedule::intervals::{earliest_common_fit, BusyTimeline};
 use ltf_schedule::{CommEvent, IntervalIndex, OverlayDelta, ReplicaId, SourceChoice, EPS};
 
 /// A flat source plan: which predecessor copies feed each in-edge of a
@@ -270,6 +270,13 @@ pub(crate) struct ProbeWorkspace {
     send: Vec<SendSlot>,
     send_len: usize,
     recv: OverlayDelta,
+    /// Tentative per-link reservations (contended comm model only; stays
+    /// untouched — and unallocated — under the uniform model).
+    links: Vec<LinkSlot>,
+    links_len: usize,
+    /// Slot indices of the current message's route links (cleared per
+    /// message, capacity retained).
+    route_slots: Vec<usize>,
 }
 
 /// Tentative reservations on one touched source processor's send port.
@@ -277,6 +284,15 @@ pub(crate) struct ProbeWorkspace {
 #[derive(Debug)]
 struct SendSlot {
     proc: usize,
+    delta: OverlayDelta,
+    load: f64,
+}
+
+/// Tentative reservations on one touched physical link (contended comm
+/// model). Linear-keyed and recycled exactly like [`SendSlot`].
+#[derive(Debug)]
+struct LinkSlot {
+    link: usize,
     delta: OverlayDelta,
     load: f64,
 }
@@ -305,6 +321,31 @@ impl ProbeWorkspace {
         self.send_len += 1;
         i
     }
+
+    /// Index of the slot for physical link `link`, reusing retired slots
+    /// before growing.
+    fn link_slot(&mut self, link: usize) -> usize {
+        for i in 0..self.links_len {
+            if self.links[i].link == link {
+                return i;
+            }
+        }
+        let i = self.links_len;
+        if i == self.links.len() {
+            self.links.push(LinkSlot {
+                link,
+                delta: OverlayDelta::new(),
+                load: 0.0,
+            });
+        } else {
+            let s = &mut self.links[i];
+            s.link = link;
+            s.delta.clear();
+            s.load = 0.0;
+        }
+        self.links_len += 1;
+        i
+    }
 }
 
 /// Saved metadata of a replica slot, restored verbatim on rollback.
@@ -325,6 +366,9 @@ struct CommUndo {
     start: f64,
     end: f64,
     old_cout: f64,
+    /// Number of link-undo entries this message pushed (0 under the
+    /// uniform comm model).
+    n_links: u32,
 }
 
 /// One journaled mutation with everything needed to revert it exactly.
@@ -362,6 +406,9 @@ struct Journal {
     active: bool,
     recs: Vec<UndoRec>,
     comms: Vec<CommUndo>,
+    /// Per-link inverses `(link, old_load)` of committed messages; popped
+    /// `CommUndo::n_links` at a time.
+    links: Vec<(u32, f64)>,
     upstream: Vec<(u32, ProcMask, ProcMask)>,
 }
 
@@ -405,6 +452,12 @@ pub(crate) struct EngineState {
     pub cpu: IntervalIndex,
     pub send: IntervalIndex,
     pub recv: IntervalIndex,
+    // Per physical link (contended comm model; both empty under uniform).
+    /// Busy timeline of each physical link.
+    pub link: IntervalIndex,
+    /// Committed transfer load per physical link (the link-capacity side
+    /// of condition (1): each must stay ≤ the period).
+    pub lload: Vec<f64>,
     // Scalars / event log.
     pub comm_events: Vec<CommEvent>,
     /// Largest stage assigned so far (scheduling-direction); drives
@@ -413,7 +466,7 @@ pub(crate) struct EngineState {
 }
 
 impl EngineState {
-    fn new(n: usize, num_tasks: usize, m: usize) -> Self {
+    fn new(n: usize, num_tasks: usize, m: usize, nlinks: usize) -> Self {
         Self {
             placed: vec![false; n],
             proc_of: vec![ProcId(0); n],
@@ -431,6 +484,8 @@ impl EngineState {
             cpu: IntervalIndex::new(m),
             send: IntervalIndex::new(m),
             recv: IntervalIndex::new(m),
+            link: IntervalIndex::new(nlinks),
+            lload: vec![0.0; nlinks],
             comm_events: Vec::new(),
             max_stage: 0,
         }
@@ -475,7 +530,7 @@ impl<'a> Engine<'a> {
             p,
             period: cfg.period,
             nrep,
-            state: EngineState::new(n, g.num_tasks(), m),
+            state: EngineState::new(n, g.num_tasks(), m, p.num_links()),
             rev: None,
             journal: Journal::default(),
             free_sets: Vec::new(),
@@ -631,6 +686,7 @@ impl<'a> Engine<'a> {
         });
 
         ws.send_len = 0;
+        ws.links_len = 0;
         ws.recv.clear();
         let mut cin_add = 0.0f64;
         let mut ready = 0.0f64;
@@ -672,13 +728,56 @@ impl<'a> Engine<'a> {
             }
             let hi = h.index();
             let slot = ws.send_slot(hi);
-            let start = {
+            let route = self.p.route(h, u);
+            let start = if route.is_empty() {
+                // Uniform comm model (or a routed pair with no links —
+                // impossible for distinct processors of a connected
+                // topology): the original two-timeline fit, bit-identical
+                // to the pre-`CommModel` engine.
                 let sv = st.send.overlay(hi, &ws.send[slot].delta);
                 let rv = st.recv.overlay(ui, &ws.recv);
                 earliest_common_fit(&sv, &rv, st.finish[sidx], dur)
+            } else {
+                // Contended: the message must hold the send port, the
+                // receive port and every link on its route for one common
+                // window. Generalizes `earliest_common_fit`'s fixpoint to
+                // n timelines: sweep all of them until a full pass leaves
+                // the candidate unchanged — each `next_fit` is monotone,
+                // so the first stationary point is the least common fit.
+                ws.route_slots.clear();
+                for &l in route {
+                    let li = ws.link_slot(l.index());
+                    ws.route_slots.push(li);
+                }
+                let sv = st.send.overlay(hi, &ws.send[slot].delta);
+                let rv = st.recv.overlay(ui, &ws.recv);
+                let mut t = st.finish[sidx];
+                loop {
+                    let t_pass = t;
+                    t = sv.next_fit(t, dur);
+                    t = rv.next_fit(t, dur);
+                    for &li in &ws.route_slots {
+                        let lv = st.link.overlay(ws.links[li].link, &ws.links[li].delta);
+                        t = lv.next_fit(t, dur);
+                    }
+                    if t - t_pass <= EPS {
+                        break t;
+                    }
+                }
             };
             ws.send[slot].delta.insert(start, start + dur);
             ws.recv.insert(start, start + dur);
+            for i in 0..route.len() {
+                let li = ws.route_slots[i];
+                let ls = &mut ws.links[li];
+                ls.delta.insert(start, start + dur);
+                ls.load += dur;
+                // Link capacity: total traffic over a physical link must
+                // fit the period, like the endpoint IO loads.
+                if st.lload[ls.link] + ls.load > self.period + EPS {
+                    return false;
+                }
+            }
             cin_add += dur;
             ws.send[slot].load += dur;
             if st.cout[hi] + ws.send[slot].load > self.period + EPS {
@@ -721,11 +820,16 @@ impl<'a> Engine<'a> {
 
         if self.journal.active {
             for pc in &probe.planned {
+                let route = self.p.route(pc.src_proc, u);
+                for &l in route {
+                    self.journal.links.push((l.0, st.lload[l.index()]));
+                }
                 self.journal.comms.push(CommUndo {
                     src_proc: pc.src_proc.index(),
                     start: pc.start,
                     end: pc.start + pc.dur,
                     old_cout: st.cout[pc.src_proc.index()],
+                    n_links: route.len() as u32,
                 });
             }
             self.journal.recs.push(UndoRec::Commit {
@@ -761,6 +865,10 @@ impl<'a> Engine<'a> {
             st.send
                 .insert(pc.src_proc.index(), pc.start, pc.start + pc.dur);
             st.recv.insert(ui, pc.start, pc.start + pc.dur);
+            for &l in self.p.route(pc.src_proc, u) {
+                st.link.insert(l.index(), pc.start, pc.start + pc.dur);
+                st.lload[l.index()] += pc.dur;
+            }
             st.cout[pc.src_proc.index()] += pc.dur;
             st.cin[ui] += pc.dur;
             st.comm_events.push(CommEvent {
@@ -870,6 +978,12 @@ impl<'a> Engine<'a> {
                         st.send.remove(cu.src_proc, cu.start, cu.end);
                         st.recv.remove(ui, cu.start, cu.end);
                         st.cout[cu.src_proc] = cu.old_cout;
+                        for _ in 0..cu.n_links {
+                            let (l, old_load) =
+                                self.journal.links.pop().expect("link undo underflow");
+                            st.link.remove(l as usize, cu.start, cu.end);
+                            st.lload[l as usize] = old_load;
+                        }
                     }
                     st.cpu.remove(ui, cpu_iv.0, cpu_iv.1);
                     st.sigma[ui] = old_sigma;
@@ -931,6 +1045,7 @@ impl<'a> Engine<'a> {
             }
         }
         self.journal.comms.clear();
+        self.journal.links.clear();
         self.journal.upstream.clear();
     }
 
@@ -1223,6 +1338,160 @@ mod tests {
         e.discard_journal();
         // Both rollbacks and the discard recycled their sets.
         assert!(!e.free_sets.is_empty());
+    }
+
+    /// Two tasks on distinct processors feed two consumers on two other
+    /// distinct processors: every endpoint port is free, but on a chain
+    /// the two messages share a middle link — the contended model
+    /// serializes them, the uniform model does not.
+    #[test]
+    fn contended_shared_link_serializes() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2.0);
+        let c = b.add_task(2.0);
+        let x = b.add_task(1.0);
+        let y = b.add_task(1.0);
+        b.add_edge(a, x, 4.0);
+        b.add_edge(c, y, 4.0);
+        let g = b.build().unwrap();
+        let cfg = AlgoConfig::new(0, 20.0);
+
+        let run = |p: &Platform| {
+            let mut e = Engine::new(&g, p, &cfg);
+            let empty = PlanBuf::new();
+            for (task, proc) in [(a, ProcId(0)), (c, ProcId(1))] {
+                let pr = probe(&e, task, proc, &empty).unwrap();
+                e.commit(task, 0, &pr, &empty);
+            }
+            let plan_x = rfa_plan(&g, x, 1);
+            let pr = probe(&e, x, ProcId(2), &plan_x).unwrap();
+            e.commit(x, 0, &pr, &plan_x);
+            let plan_y = rfa_plan(&g, y, 1);
+            probe(&e, y, ProcId(3), &plan_y).unwrap().start
+        };
+
+        // Uniform: message P1 → P3 starts at 2 (all ports free), y at 6.
+        let uniform = Platform::homogeneous(4, 1.0, 1.0);
+        assert_eq!(run(&uniform), 6.0);
+        // Contended chain: both routes cross link P2 – P3, busy [2, 6)
+        // from x's message, so y's message waits and y starts at 10.
+        let contended = ltf_platform::Topology::chain(vec![1.0; 4], 1.0)
+            .into_contended_platform()
+            .unwrap();
+        assert_eq!(run(&contended), 10.0);
+    }
+
+    /// Link capacity extends condition (1): traffic over one physical
+    /// link must fit the period even when every endpoint port has room.
+    #[test]
+    fn contended_link_capacity_rejects() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let x = b.add_task(1.0);
+        let y = b.add_task(1.0);
+        b.add_edge(a, x, 4.0);
+        b.add_edge(c, y, 4.0);
+        let g = b.build().unwrap();
+        // Period 7: each endpoint port carries 4 ≤ 7, but the shared
+        // middle link would carry 8 > 7.
+        let cfg = AlgoConfig::new(0, 7.0);
+        let contended = ltf_platform::Topology::chain(vec![1.0; 4], 1.0)
+            .into_contended_platform()
+            .unwrap();
+        let uniform = Platform::homogeneous(4, 1.0, 1.0);
+
+        let run = |p: &Platform| {
+            let mut e = Engine::new(&g, p, &cfg);
+            let empty = PlanBuf::new();
+            for (task, proc) in [(a, ProcId(0)), (c, ProcId(1))] {
+                let pr = probe(&e, task, proc, &empty).unwrap();
+                e.commit(task, 0, &pr, &empty);
+            }
+            let plan_x = rfa_plan(&g, x, 1);
+            let pr = probe(&e, x, ProcId(2), &plan_x).unwrap();
+            e.commit(x, 0, &pr, &plan_x);
+            probe(&e, y, ProcId(3), &rfa_plan(&g, y, 1)).is_some()
+        };
+        assert!(run(&uniform));
+        assert!(!run(&contended));
+    }
+
+    /// Probe-level monotonicity: with identical committed state, the
+    /// contended model never places a message (hence a replica) earlier
+    /// than the uniform model — extra timelines only delay the fit.
+    #[test]
+    fn contended_probe_never_beats_uniform() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2.0);
+        let c = b.add_task(3.0);
+        let t = b.add_task(1.0);
+        b.add_edge(a, t, 2.0);
+        b.add_edge(c, t, 5.0);
+        let g = b.build().unwrap();
+        let cfg = AlgoConfig::new(0, 50.0);
+        let uniform = Platform::homogeneous(5, 1.0, 1.0);
+        let contended = ltf_platform::Topology::star(vec![1.0; 5], 1.0)
+            .into_contended_platform()
+            .unwrap();
+        for (pa, pc) in [(1, 2), (1, 1), (0, 3), (4, 2)] {
+            let place = |p: &Platform| {
+                let mut e = Engine::new(&g, p, &cfg);
+                let empty = PlanBuf::new();
+                let pr = probe(&e, a, ProcId(pa), &empty).unwrap();
+                e.commit(a, 0, &pr, &empty);
+                let pr = probe(&e, c, ProcId(pc), &empty).unwrap();
+                e.commit(c, 0, &pr, &empty);
+                let plan = rfa_plan(&g, t, 1);
+                probe(&e, t, ProcId(3), &plan).map(|pr| pr.start)
+            };
+            let (u, k) = (place(&uniform), place(&contended));
+            let (u, k) = (u.unwrap(), k.unwrap());
+            assert!(k >= u, "contended start {k} beats uniform {u}");
+        }
+    }
+
+    /// Rollback restores link timelines and loads bit-exactly on a
+    /// contended platform.
+    #[test]
+    fn contended_rollback_restores_link_state() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2.0);
+        let t = b.add_task(1.0);
+        b.add_edge(a, t, 3.0);
+        let g = b.build().unwrap();
+        let p = ltf_platform::Topology::chain(vec![1.0; 3], 1.0)
+            .into_contended_platform()
+            .unwrap();
+        let cfg = AlgoConfig::new(0, 20.0);
+        let mut e = Engine::new(&g, &p, &cfg);
+        let empty = PlanBuf::new();
+        let pr = probe(&e, a, ProcId(0), &empty).unwrap();
+        e.commit(a, 0, &pr, &empty);
+        let snapshot = e.state.clone();
+
+        let mark = e.checkpoint();
+        let plan = rfa_plan(&g, t, 1);
+        // P1 → P3 crosses both chain links.
+        let pr = probe(&e, t, ProcId(2), &plan).unwrap();
+        e.commit(t, 0, &pr, &plan);
+        assert_eq!(e.state.lload, vec![3.0, 3.0]);
+        assert_eq!(e.state.link.bucket(0).len(), 1);
+
+        e.rollback_to(mark);
+        e.discard_journal();
+        assert_eq!(e.state.lload, snapshot.lload);
+        for l in 0..2 {
+            assert_eq!(
+                e.state.link.bucket(l).intervals(),
+                snapshot.link.bucket(l).intervals()
+            );
+        }
+        // The freed link capacity is reusable bit-for-bit.
+        let pr2 = probe(&e, t, ProcId(2), &plan).unwrap();
+        assert_eq!(pr2.start, pr.start);
+        e.commit(t, 0, &pr2, &plan);
+        assert_eq!(e.state.lload, vec![3.0, 3.0]);
     }
 
     /// The lazily-grown replica set equals its eagerly-sized twin, and

@@ -33,7 +33,10 @@ pub use slo::{
     build_slo_report, compute_slo_item, run_slo_serial, run_slo_shard, slo_cells, slo_journal_key,
     slo_work_items, SloCell, SloItemResult, SloWorkItem,
 };
-pub use spec::{CampaignSpec, EpsRange, Experiment, FailureSpec, SloSpec, SpecError, DEFAULT_SEED};
+pub use spec::{
+    CampaignSpec, EpsRange, Experiment, FailureSpec, SloSpec, SpecError, TopologyShape,
+    TopologySpec, DEFAULT_SEED,
+};
 pub use worker::{
     compute_item, journal_key, run_shard, work_items, worker_main, ItemResult, WorkItem, ABORT_ENV,
 };

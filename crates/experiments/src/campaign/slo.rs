@@ -30,7 +30,7 @@ use super::worker::ABORT_ENV;
 use crate::checkpoint::{resume_chunks, Checkpoint};
 use crate::figures::window_for;
 use crate::pareto::ParetoInstance;
-use crate::workload::gen_instance;
+use crate::workload::gen_instance_on;
 use ltf_baselines::full_solver;
 use ltf_core::shard::Shard;
 use ltf_core::AlgoConfig;
@@ -202,7 +202,7 @@ pub fn compute_slo_item(
         ParetoInstance::Workload => {
             let mut wl = exp.workload.clone();
             wl.epsilon = cell.epsilon;
-            let inst = gen_instance(&wl, cell.seed);
+            let inst = gen_instance_on(&wl, cell.seed, exp.topology.as_ref());
             let period = f.period.unwrap_or(inst.period);
             (inst.graph, inst.platform, period)
         }

@@ -15,7 +15,7 @@ use crate::workload::PaperWorkload;
 use ltf_baselines::full_solver;
 use ltf_core::search::pareto::ParetoOptions;
 use ltf_graph::generate::fig1_diamond;
-use ltf_platform::Platform;
+use ltf_platform::{CommMode, Platform, Topology};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -90,6 +90,110 @@ impl FailureSpec {
     }
 }
 
+/// The `topology` block: routes generated workload platforms through a
+/// declared physical interconnect instead of the paper's random complete
+/// delay matrix. Processor speeds are still drawn per instance; only the
+/// communication layer changes. Applies to the `"workload"` graph family
+/// only — the fig worked examples pin their own platforms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Interconnect shape, instantiated at every swept `platform_procs`
+    /// size.
+    pub shape: TopologyShape,
+    /// Communication model over the links (default
+    /// [`CommMode::Contended`]).
+    pub mode: Option<CommMode>,
+}
+
+/// Declarative interconnect shapes. Wire form is externally tagged:
+/// `{"Chain": 0.5}`, `{"Star": 0.4}`, or
+/// `{"Links": [[0, 1, 0.5], [1, 2, 0.25]]}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologyShape {
+    /// Linear chain `P1 - P2 - … - Pm` with this uniform link delay.
+    Chain(f64),
+    /// Star around hub processor 0 with this per-spoke delay.
+    Star(f64),
+    /// Explicit undirected `(a, b, unit_delay)` links. Endpoints must be
+    /// valid (and the graph connected) at every swept platform size.
+    Links(Vec<(usize, usize, f64)>),
+}
+
+impl TopologySpec {
+    /// The effective communication model.
+    pub fn comm_mode(&self) -> CommMode {
+        self.mode.unwrap_or(CommMode::Contended)
+    }
+
+    /// Build the routed platform over the given processor speeds.
+    ///
+    /// # Panics
+    /// When the shape is invalid at `speeds.len()` processors. Campaign
+    /// specs are validated before expansion, so worker-side construction
+    /// never fails on a spec that passed [`CampaignSpec::expand`].
+    pub fn build_platform(&self, speeds: Vec<f64>) -> Platform {
+        self.topology(speeds)
+            .into_platform_with(self.comm_mode())
+            .expect("validated: topology is connected")
+    }
+
+    fn topology(&self, speeds: Vec<f64>) -> Topology {
+        match &self.shape {
+            TopologyShape::Chain(d) => Topology::chain(speeds, *d),
+            TopologyShape::Star(d) => Topology::star(speeds, *d),
+            TopologyShape::Links(links) => {
+                let mut t = Topology::new(speeds);
+                for &(a, b, d) in links {
+                    t = t.link(a, b, d);
+                }
+                t
+            }
+        }
+    }
+
+    /// Check the shape against one platform size (the campaign validator
+    /// calls this per swept `platform_procs` entry; the CLI calls it once
+    /// for its fixed instance size).
+    pub fn validate_for(&self, m: usize) -> Result<(), SpecError> {
+        match &self.shape {
+            TopologyShape::Chain(d) | TopologyShape::Star(d) => {
+                if !(*d > 0.0 && d.is_finite()) {
+                    return Err(SpecError::BadTopology(format!(
+                        "link delay {d} must be a positive finite number"
+                    )));
+                }
+            }
+            TopologyShape::Links(links) => {
+                if links.is_empty() {
+                    return Err(SpecError::BadTopology(
+                        "\"Links\" must declare at least one link".into(),
+                    ));
+                }
+                for &(a, b, d) in links {
+                    if a >= m || b >= m {
+                        return Err(SpecError::BadTopology(format!(
+                            "link ({a}, {b}) endpoint out of range at m={m}"
+                        )));
+                    }
+                    if a == b {
+                        return Err(SpecError::BadTopology(format!("self-link ({a}, {b})")));
+                    }
+                    if !(d > 0.0 && d.is_finite()) {
+                        return Err(SpecError::BadTopology(format!(
+                            "link ({a}, {b}) delay {d} must be a positive finite number"
+                        )));
+                    }
+                }
+            }
+        }
+        // Connectivity at this size: every pair needs a route.
+        if self.topology(vec![1.0; m]).route_table().is_none() {
+            return Err(SpecError::BadTopology(format!("disconnected at m={m}")));
+        }
+        Ok(())
+    }
+}
+
 /// The `slo` block: the declared objective every cell is judged against
 /// (violations themselves are defined in `ltf-faultlab`: an item is a
 /// violation when lost or produced above `max_latency`).
@@ -134,6 +238,9 @@ pub struct CampaignSpec {
     pub utilizations: Option<Vec<f64>>,
     /// Target granularities `g(G, P)` (default `[1.0]`).
     pub granularities: Option<Vec<f64>>,
+    /// Physical interconnect for generated workload platforms (default:
+    /// the paper's random complete delay matrix).
+    pub topology: Option<TopologySpec>,
     /// Latency budget forwarded to the enumeration (`ParetoOptions`).
     pub max_latency: Option<f64>,
     /// Processor budget forwarded to the enumeration.
@@ -170,6 +277,9 @@ pub enum SpecError {
     /// A field value outside its domain (zero instances, nonpositive
     /// utilization…), with the offending field and value named.
     BadValue(String),
+    /// A malformed `topology` block: bad delay, bad link endpoints, or a
+    /// shape that leaves some swept platform size disconnected.
+    BadTopology(String),
     /// A graph family name `ParetoInstance::parse` does not know.
     UnknownGraph(String),
     /// A heuristic name the solver registry does not know.
@@ -186,6 +296,7 @@ impl std::fmt::Display for SpecError {
                 write!(f, "spec: epsilon range min={min} > max={max} is empty")
             }
             Self::BadValue(msg) => write!(f, "spec: {msg}"),
+            Self::BadTopology(msg) => write!(f, "spec: topology: {msg}"),
             Self::UnknownGraph(g) => write!(
                 f,
                 "spec: unknown graph family {g:?} (known: fig1, fig2, fig2-variant, workload)"
@@ -214,6 +325,10 @@ pub struct Experiment {
     /// Calibrated workload parameters (fig families ignore all but
     /// `utilization`, which their `build` signature carries through).
     pub workload: PaperWorkload,
+    /// Declared interconnect for generated platforms (`None` = the
+    /// paper's random complete delay matrix; always `None` for fig
+    /// families, which pin their own platforms).
+    pub topology: Option<TopologySpec>,
     /// Random instances in this cell (1 for fig families).
     pub instances: usize,
     /// First instance seed of the cell; instance `k` uses `base_seed + k`.
@@ -302,6 +417,11 @@ impl CampaignSpec {
                                         utilization: u,
                                         granularity: g,
                                         ..Default::default()
+                                    },
+                                    topology: if workloadish {
+                                        self.topology.clone()
+                                    } else {
+                                        None
                                     },
                                     instances: inst_count,
                                     base_seed: seed.wrapping_add(
@@ -399,6 +519,16 @@ impl CampaignSpec {
         for graph in &self.graphs {
             if ParetoInstance::parse(graph).is_none() {
                 return Err(SpecError::UnknownGraph(graph.clone()));
+            }
+        }
+        if let Some(t) = &self.topology {
+            if self.graphs.iter().any(|g| g != "workload") {
+                return Err(SpecError::BadTopology(
+                    "\"topology\" applies only to the \"workload\" graph family".into(),
+                ));
+            }
+            for &m in self.platform_procs.as_deref().unwrap_or(&[20]) {
+                t.validate_for(m)?;
             }
         }
         // The registry is instance-independent; probe it on the smallest

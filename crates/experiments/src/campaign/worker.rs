@@ -14,7 +14,7 @@ use super::spec::{CampaignSpec, Experiment};
 use crate::checkpoint::{resume_chunks, Checkpoint};
 use crate::figures::window_for;
 use crate::pareto::{enumerate, validate_front, FrontRow, ParetoInstance};
-use crate::workload::gen_instance;
+use crate::workload::gen_instance_on;
 use ltf_core::shard::Shard;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -84,7 +84,7 @@ pub fn compute_item(exps: &[Experiment], wi: &WorkItem) -> ItemResult {
     let exp = &exps[wi.experiment];
     let (g, p) = match exp.family {
         ParetoInstance::Workload => {
-            let inst = gen_instance(&exp.workload, wi.seed);
+            let inst = gen_instance_on(&exp.workload, wi.seed, exp.topology.as_ref());
             (inst.graph, inst.platform)
         }
         fam => {

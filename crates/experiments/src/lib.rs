@@ -43,4 +43,4 @@ pub use crate::checkpoint::Checkpoint;
 pub use crate::figures::{panel, sweep, sweep_checkpointed, Panel, SweepConfig, SweepData};
 pub use crate::runner::{measure_instance, parallel_map, RunRecord};
 pub use crate::stats::{Figure, Series, SeriesPoint};
-pub use crate::workload::{gen_instance, Instance, PaperWorkload};
+pub use crate::workload::{gen_instance, gen_instance_on, Instance, PaperWorkload};

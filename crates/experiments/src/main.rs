@@ -28,7 +28,7 @@ use ltf_experiments::ascii;
 use ltf_experiments::figures::{feasibility, panel, sweep_checkpointed, Panel, SweepConfig};
 use ltf_experiments::scaling::{scaling_sweep_checkpointed, table as scaling_table, ScalingConfig};
 use ltf_experiments::stats::Figure;
-use ltf_experiments::workload::{gen_instance, PaperWorkload};
+use ltf_experiments::workload::{gen_instance_on, PaperWorkload};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
@@ -54,6 +54,7 @@ struct Opts {
     instances: usize,
     checkpoint: Option<PathBuf>,
     spec: Option<PathBuf>,
+    topology: Option<PathBuf>,
     shard: ltf_core::shard::Shard,
 }
 
@@ -101,6 +102,7 @@ fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Opts, Strin
         instances: 1,
         checkpoint: None,
         spec: None,
+        topology: None,
         shard: ltf_core::shard::Shard::solo(),
     };
     let mut args = args.into_iter();
@@ -145,6 +147,13 @@ fn parse_args_from(args: impl IntoIterator<Item = String>) -> Result<Opts, Strin
                     args,
                     "--spec",
                     "a campaign spec path",
+                )?))
+            }
+            "--topology" => {
+                opts.topology = Some(PathBuf::from(take::<String>(
+                    args,
+                    "--topology",
+                    "a topology spec path",
                 )?))
             }
             "--shard" => opts.shard = take(args, "--shard", "K/N (shard K of N)")?,
@@ -356,6 +365,22 @@ fn run_fig2(json: bool) {
     }
 }
 
+/// Load and validate a `--topology` file: the `TopologySpec` wire form,
+/// e.g. `{"shape": {"Chain": 0.5}, "mode": "Contended"}`.
+fn load_topology(path: &Path, procs: usize) -> ltf_experiments::campaign::TopologySpec {
+    let bail = |msg: String| -> ! {
+        eprintln!("error: --topology {}: {msg}", path.display());
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| bail(e.to_string()));
+    let spec: ltf_experiments::campaign::TopologySpec =
+        serde_json::from_str(&text).unwrap_or_else(|e| bail(e.to_string()));
+    if let Err(e) = spec.validate_for(procs) {
+        bail(e.to_string());
+    }
+    spec
+}
+
 /// Run one paper-workload instance through the full Solver registry (the
 /// paper's heuristics plus every baseline), by name.
 fn run_solve(o: &Opts) {
@@ -364,7 +389,8 @@ fn run_solve(o: &Opts) {
         utilization: o.utilization,
         ..Default::default()
     };
-    let inst = gen_instance(&wl, o.seed);
+    let topology = o.topology.as_ref().map(|p| load_topology(p, wl.procs));
+    let inst = gen_instance_on(&wl, o.seed, topology.as_ref());
     let solver = full_solver(&inst.graph, &inst.platform);
     let period = o.period.unwrap_or(inst.period);
     let cfg = AlgoConfig::new(o.eps, period).seeded(o.seed);
@@ -380,15 +406,20 @@ fn run_solve(o: &Opts) {
     };
 
     if o.json {
-        let instance = format!("paper-workload seed={:#x}", o.seed);
+        let routed = if topology.is_some() { " routed" } else { "" };
+        let instance = format!("paper-workload seed={:#x}{routed}", o.seed);
         let records: Vec<OutcomeRecord> = outcomes
             .iter()
             .map(|(n, r)| OutcomeRecord::new(&instance, inst.platform.num_procs(), n, r))
             .collect();
         println!("{}", serde_json::to_string_pretty(&records).unwrap());
     } else {
+        let routed = match &topology {
+            Some(t) => format!(" links={} ({:?})", inst.platform.num_links(), t.comm_mode()),
+            None => String::new(),
+        };
         println!(
-            "instance: seed={:#x} v={} m={} ε={} Δ={:.3}  (registered: {})",
+            "instance: seed={:#x} v={} m={} ε={} Δ={:.3}{routed}  (registered: {})",
             o.seed,
             inst.graph.num_tasks(),
             inst.platform.num_procs(),
@@ -661,6 +692,9 @@ fn print_usage() {
          \x20                  pareto --graph workload, fig3/fig4, scaling\n\
          \x20                  and campaign-worker\n\
          \x20 --spec F         campaign-worker: the campaign spec file\n\
+         \x20 --topology F     solve: route the generated platform through a\n\
+         \x20                  topology spec file, e.g. {{\"shape\":{{\"Chain\":0.5}}}}\n\
+         \x20                  (shapes: Chain, Star, Links; mode: Contended|Uniform)\n\
          \x20 --shard K/N      campaign-worker: run shard K of N (default 0/1)\n\
          \x20 --help, -h       this message"
     );

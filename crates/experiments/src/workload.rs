@@ -12,6 +12,7 @@
 //! volumes, preserving `g`) pinning the average replicated processor
 //! utilization `(ε+1)·ΣE·mean(1/s) / (m·Δ)` to a fixed `U*`.
 
+use crate::campaign::TopologySpec;
 use ltf_graph::generate::{layered, LayeredConfig};
 use ltf_graph::TaskGraph;
 use ltf_platform::{HeterogeneousConfig, Platform};
@@ -86,6 +87,21 @@ pub struct Instance {
 
 /// Generate a calibrated instance. Deterministic in `(cfg, seed)`.
 pub fn gen_instance(cfg: &PaperWorkload, seed: u64) -> Instance {
+    gen_instance_on(cfg, seed, None)
+}
+
+/// Generate a calibrated instance, optionally routing the platform through
+/// a declared interconnect. With `topology = None` this is exactly
+/// [`gen_instance`]; with a topology the processor speeds are still drawn
+/// from `cfg.speeds`, but the delay matrix is derived from the declared
+/// links (and, under the contended model, the platform keeps link
+/// identity) instead of being sampled from `cfg.delays`. Deterministic in
+/// `(cfg, seed, topology)`.
+pub fn gen_instance_on(
+    cfg: &PaperWorkload,
+    seed: u64,
+    topology: Option<&TopologySpec>,
+) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let v = if cfg.tasks.0 == cfg.tasks.1 {
         cfg.tasks.0
@@ -99,13 +115,23 @@ pub fn gen_instance(cfg: &PaperWorkload, seed: u64) -> Instance {
         ..Default::default()
     };
     let mut graph = layered(&gcfg, &mut rng);
-    let platform = HeterogeneousConfig {
-        procs: cfg.procs,
-        speed_range: cfg.speeds,
-        delay_range: cfg.delays,
-        symmetric: true,
-    }
-    .build(&mut rng);
+    let platform = match topology {
+        None => HeterogeneousConfig {
+            procs: cfg.procs,
+            speed_range: cfg.speeds,
+            delay_range: cfg.delays,
+            symmetric: true,
+        }
+        .build(&mut rng),
+        Some(t) => {
+            let (lo, hi) = cfg.speeds;
+            assert!(lo <= hi && lo > 0.0, "invalid speed range");
+            let speeds = (0..cfg.procs)
+                .map(|_| if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+                .collect();
+            t.build_platform(speeds)
+        }
+    };
 
     // Granularity scaling: execution times only.
     if let Some(f) = granularity_scale_factor(&graph, &platform, cfg.granularity) {

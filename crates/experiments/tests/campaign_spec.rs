@@ -6,8 +6,9 @@
 
 use ltf_core::shard::Shard;
 use ltf_experiments::campaign::{
-    slo_cells, slo_work_items, work_items, CampaignSpec, SpecError, DEFAULT_SEED,
+    slo_cells, slo_work_items, work_items, CampaignSpec, SpecError, TopologyShape, DEFAULT_SEED,
 };
+use ltf_experiments::{gen_instance, gen_instance_on};
 
 /// A minimal valid spec; each corpus test breaks exactly one thing.
 fn valid() -> String {
@@ -313,6 +314,137 @@ fn slo_threshold_domains_are_checked() {
         r#""max_violation_rate": 1.5"#,
     );
     assert!(msg.contains("[0, 1]"), "{msg}");
+}
+
+/// A minimal valid routed-workload spec; the topology corpus below breaks
+/// one thing per case.
+fn valid_topology() -> String {
+    r#"{
+      "name": "topo-corpus",
+      "graphs": ["workload"],
+      "heuristics": ["rltf"],
+      "platform_procs": [4],
+      "topology": {"shape": {"Chain": 0.5}}
+    }"#
+    .to_string()
+}
+
+/// Expand a broken-by-substitution topology spec and return its
+/// `BadTopology` message (panicking on any other outcome).
+fn topology_rejection(from: &str, to: &str) -> String {
+    let spec = CampaignSpec::parse(&valid_topology().replace(from, to)).unwrap();
+    match spec.expand() {
+        Err(SpecError::BadTopology(msg)) => msg,
+        other => panic!("expected BadTopology for {to:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn topology_spec_builds_routed_platforms() {
+    let spec = CampaignSpec::parse(&valid_topology()).unwrap();
+    let exps = spec.expand().unwrap();
+    assert_eq!(exps.len(), 1);
+    let topo = exps[0].topology.as_ref().expect("carried into the cell");
+    // Default model is Contended: the platform keeps link identity — a
+    // 4-processor chain has 3 physical links.
+    let inst = gen_instance_on(&exps[0].workload, exps[0].base_seed, Some(topo));
+    assert!(inst.platform.is_contended());
+    assert_eq!(inst.platform.num_procs(), 4);
+    assert_eq!(inst.platform.num_links(), 3);
+    // Uniform mode flattens: same matrix, no links kept.
+    let text =
+        valid_topology().replace(r#"{"Chain": 0.5}"#, r#"{"Chain": 0.5}, "mode": "Uniform""#);
+    let uni = CampaignSpec::parse(&text).unwrap().expand().unwrap();
+    let flat = gen_instance_on(&uni[0].workload, uni[0].base_seed, uni[0].topology.as_ref());
+    assert!(!flat.platform.is_contended());
+    for k in flat.platform.procs() {
+        assert_eq!(flat.platform.speed(k), inst.platform.speed(k));
+        for h in flat.platform.procs() {
+            assert_eq!(
+                flat.platform.unit_delay(k, h).to_bits(),
+                inst.platform.unit_delay(k, h).to_bits()
+            );
+        }
+    }
+    // Without a topology, `gen_instance_on` is exactly `gen_instance`.
+    let a = gen_instance(&exps[0].workload, 7);
+    let b = gen_instance_on(&exps[0].workload, 7, None);
+    assert_eq!(a.graph.num_tasks(), b.graph.num_tasks());
+    for k in a.platform.procs() {
+        for h in a.platform.procs() {
+            assert_eq!(
+                a.platform.unit_delay(k, h).to_bits(),
+                b.platform.unit_delay(k, h).to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn topology_shapes_round_trip_through_the_wire_format() {
+    // The `Links` shape rides the externally-tagged enum encoding with
+    // `(a, b, delay)` triples.
+    let text = valid_topology().replace(
+        r#"{"Chain": 0.5}"#,
+        r#"{"Links": [[0, 1, 0.5], [1, 2, 0.25], [2, 3, 0.5]]}"#,
+    );
+    let spec = CampaignSpec::parse(&text).unwrap();
+    match &spec.topology.as_ref().unwrap().shape {
+        TopologyShape::Links(links) => assert_eq!(links[1], (1, 2, 0.25)),
+        other => panic!("expected Links, got {other:?}"),
+    }
+    let reparsed = CampaignSpec::parse(&serde_json::to_string(&spec).unwrap()).unwrap();
+    assert_eq!(reparsed, spec);
+    assert_eq!(reparsed.signature(), spec.signature());
+    // Star parses too, and expansion accepts it.
+    let star = valid_topology().replace("Chain", "Star");
+    assert!(CampaignSpec::parse(&star).unwrap().expand().is_ok());
+}
+
+#[test]
+fn topology_rejections_are_typed() {
+    let msg = topology_rejection("0.5", "0.0");
+    assert!(msg.contains("positive"), "{msg}");
+    let msg = topology_rejection(r#"["workload"]"#, r#"["fig1"]"#);
+    assert!(msg.contains("workload"), "{msg}");
+    let links = |to: &str| topology_rejection(r#"{"Chain": 0.5}"#, to);
+    let msg = links(r#"{"Links": []}"#);
+    assert!(msg.contains("at least one"), "{msg}");
+    let msg = links(r#"{"Links": [[0, 9, 0.5]]}"#);
+    assert!(msg.contains("out of range"), "{msg}");
+    let msg = links(r#"{"Links": [[1, 1, 0.5]]}"#);
+    assert!(msg.contains("self-link"), "{msg}");
+    let msg = links(r#"{"Links": [[0, 1, -2.0]]}"#);
+    assert!(msg.contains("delay -2"), "{msg}");
+    let msg = links(r#"{"Links": [[0, 1, 0.5]]}"#);
+    assert!(msg.contains("disconnected at m=4"), "{msg}");
+    // A shape valid at one swept size but not another names the bad size.
+    let text = valid_topology().replace("[4]", "[4, 8]").replace(
+        r#"{"Chain": 0.5}"#,
+        r#"{"Links": [[0, 1, 0.5], [1, 2, 0.5], [2, 3, 0.5]]}"#,
+    );
+    match CampaignSpec::parse(&text).unwrap().expand() {
+        Err(SpecError::BadTopology(msg)) => {
+            assert!(msg.contains("disconnected at m=8"), "{msg}")
+        }
+        other => panic!("expected BadTopology, got {other:?}"),
+    }
+    // An unknown shape tag is a strict-decoder parse error.
+    let text = valid_topology().replace("Chain", "Torus");
+    assert!(matches!(
+        CampaignSpec::parse(&text),
+        Err(SpecError::Parse(_))
+    ));
+}
+
+#[test]
+fn topology_block_feeds_the_signature() {
+    let a = CampaignSpec::parse(&valid_topology()).unwrap();
+    let b = CampaignSpec::parse(&valid_topology().replace("Chain", "Star")).unwrap();
+    let mut plain = a.clone();
+    plain.topology = None;
+    assert_ne!(a.signature(), b.signature());
+    assert_ne!(a.signature(), plain.signature());
 }
 
 #[test]

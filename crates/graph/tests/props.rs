@@ -153,6 +153,68 @@ proptest! {
         prop_assert_eq!(d, l.iter().max().unwrap() + 1);
     }
 
+    /// Shape invariants of the `fork_join` generator, for any size and
+    /// weights: counts, the unique entry/exit, per-branch degrees, depth,
+    /// and the weight totals its uniform parameters imply.
+    #[test]
+    fn fork_join_shape_invariants(
+        branches in 1usize..48,
+        exec in 0.1f64..20.0,
+        volume in 0.1f64..20.0,
+    ) {
+        let g = ltf_graph::generate::fork_join(branches, exec, volume);
+        prop_assert_eq!(g.num_tasks(), branches + 2);
+        prop_assert_eq!(g.num_edges(), 2 * branches);
+        prop_assert_eq!(g.entries().len(), 1);
+        prop_assert_eq!(g.exits().len(), 1);
+        let (fork, join) = (g.entries()[0], g.exits()[0]);
+        prop_assert_eq!(g.name(fork), "fork");
+        prop_assert_eq!(g.name(join), "join");
+        prop_assert_eq!(g.out_degree(fork), branches);
+        prop_assert_eq!(g.in_degree(join), branches);
+        for t in g.tasks() {
+            prop_assert_eq!(g.exec(t), exec);
+            if t != fork && t != join {
+                prop_assert_eq!((g.in_degree(t), g.out_degree(t)), (1, 1));
+                prop_assert!(g.has_edge(fork, t) && g.has_edge(t, join));
+            }
+        }
+        prop_assert_eq!(depth(&g), 3);
+        prop_assert!((g.total_exec() - exec * (branches + 2) as f64).abs() < 1e-9 * g.total_exec());
+        prop_assert!((g.total_volume() - volume * (2 * branches) as f64).abs()
+            < 1e-9 * (1.0 + g.total_volume()));
+    }
+
+    /// Shape invariants of the `wavefront` grid generator: cell count,
+    /// interior-edge count, the unique corner entry/exit, per-cell degrees
+    /// determined by grid position, and the anti-diagonal depth.
+    #[test]
+    fn wavefront_shape_invariants(width in 1usize..14, steps in 1usize..14) {
+        let g = ltf_graph::generate::apps::wavefront(width, steps);
+        prop_assert_eq!(g.num_tasks(), width * steps);
+        prop_assert_eq!(g.num_edges(), steps * (width - 1) + width * (steps - 1));
+        prop_assert_eq!(g.entries().len(), 1);
+        prop_assert_eq!(g.exits().len(), 1);
+        prop_assert_eq!(g.name(g.entries()[0]), "cell[0,0]");
+        prop_assert_eq!(
+            g.name(g.exits()[0]),
+            &format!("cell[{},{}]", width - 1, steps - 1)
+        );
+        // Task ids are row-major: cell (i, j) = j·width + i, and its
+        // in-degree counts exactly its west and north neighbours.
+        for j in 0..steps {
+            for i in 0..width {
+                let t = TaskId((j * width + i) as u32);
+                prop_assert_eq!(g.name(t), &format!("cell[{i},{j}]"));
+                let expect_in = usize::from(i > 0) + usize::from(j > 0);
+                let expect_out = usize::from(i + 1 < width) + usize::from(j + 1 < steps);
+                prop_assert_eq!(g.in_degree(t), expect_in);
+                prop_assert_eq!(g.out_degree(t), expect_out);
+            }
+        }
+        prop_assert_eq!(depth(&g), width + steps - 1);
+    }
+
     #[test]
     fn scaling_preserves_structure(g in arb_generated(), f in 0.1f64..10.0) {
         let mut scaled = g.clone();

@@ -14,9 +14,13 @@
 //! only describes the hardware.
 
 pub mod builders;
+pub mod comm;
 pub mod platform;
 pub mod topology;
 
 pub use crate::builders::HeterogeneousConfig;
+pub use crate::comm::{
+    CommDispatch, CommMode, CommModel, Contended, Link, LinkId, Route, RouteTable, Uniform,
+};
 pub use crate::platform::{AverageWeights, AverageWeightsInput, Platform, ProcId};
 pub use crate::topology::Topology;

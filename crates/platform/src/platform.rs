@@ -1,6 +1,11 @@
 //! The platform structure.
 
+use crate::comm::{
+    CommDispatch, CommMode, CommModel, Contended, Link, LinkId, RouteTable, Uniform,
+};
+use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Dense identifier of a processor, `0..m`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -22,31 +27,154 @@ impl std::fmt::Display for ProcId {
 }
 
 /// A fully-interconnected heterogeneous platform.
-#[derive(Debug, Clone, Serialize)]
+///
+/// The logical view is always the `m × m` unit-delay matrix (the paper's
+/// model). A platform built from a [`Topology`] under
+/// [`CommMode::Contended`] additionally carries the routed
+/// [`CommDispatch`]: the delay matrix still holds the bottleneck delays
+/// (so every formula over `d_kh` is unchanged), but placement engines also
+/// see the physical links behind each pair and reserve their capacity.
+#[derive(Debug, Clone)]
 pub struct Platform {
     speeds: Vec<f64>,
     /// Row-major `m × m` unit message delays; `delay[u][u] = 0`.
     delays: Vec<f64>,
+    /// How placement engines model communication (uniform matrix by
+    /// default; routed links for contended topology platforms).
+    comm: CommDispatch,
+}
+
+impl serde::Serialize for Platform {
+    /// Matrix platforms keep the historical `{"speeds", "delays"}` wire
+    /// form bit-for-bit; routed (contended) platforms emit the
+    /// `{"speeds", "topology"}` form instead, so link identity survives
+    /// the round-trip.
+    fn to_value(&self) -> serde::Value {
+        let speeds = (
+            String::from("speeds"),
+            serde::Serialize::to_value(&self.speeds),
+        );
+        match self.comm.route_table() {
+            None => serde::Value::Map(vec![
+                speeds,
+                (
+                    String::from("delays"),
+                    serde::Serialize::to_value(&self.delays),
+                ),
+            ]),
+            Some(table) => {
+                let links = table
+                    .links()
+                    .iter()
+                    .map(|l| {
+                        serde::Value::Seq(vec![
+                            serde::Value::UInt(l.a as u64),
+                            serde::Value::UInt(l.b as u64),
+                            serde::Value::Float(l.delay),
+                        ])
+                    })
+                    .collect();
+                let topo = serde::Value::Map(vec![
+                    (String::from("links"), serde::Value::Seq(links)),
+                    (
+                        String::from("model"),
+                        serde::Serialize::to_value(&CommMode::Contended),
+                    ),
+                ]);
+                serde::Value::Map(vec![speeds, (String::from("topology"), topo)])
+            }
+        }
+    }
+}
+
+/// Decode the `"topology"` block of the wire form: physical links plus the
+/// optional `"model"` tag (default [`CommMode::Contended`] — describing a
+/// topology and then flattening it away is the exceptional case).
+fn topology_from_value(speeds: Vec<f64>, v: &serde::Value) -> Result<Platform, serde::DeError> {
+    let entries = match v {
+        serde::Value::Map(entries) => entries,
+        other => {
+            return Err(serde::DeError::expected(
+                "map for platform field `topology`",
+                other,
+            ))
+        }
+    };
+    for (k, _) in entries.iter() {
+        if k != "links" && k != "model" {
+            return Err(serde::DeError::unknown_field(k, "topology"));
+        }
+    }
+    let m = speeds.len();
+    let mut topo = Topology::new(speeds);
+    let links = match entries.iter().find(|(k, _)| k == "links") {
+        Some((_, serde::Value::Seq(items))) => items,
+        Some((_, other)) => {
+            return Err(serde::DeError::expected(
+                "sequence for topology field `links`",
+                other,
+            ))
+        }
+        None => return Err(serde::DeError::custom("topology is missing `links`")),
+    };
+    for (i, item) in links.iter().enumerate() {
+        let triple = match item {
+            serde::Value::Seq(t) if t.len() == 3 => t,
+            other => {
+                return Err(serde::DeError::expected(
+                    "[from, to, delay] triple for a physical link",
+                    other,
+                ))
+            }
+        };
+        let a: usize = serde::Deserialize::from_value(&triple[0]).map_err(|e| e.at_index(i))?;
+        let b: usize = serde::Deserialize::from_value(&triple[1]).map_err(|e| e.at_index(i))?;
+        let d: f64 = serde::Deserialize::from_value(&triple[2]).map_err(|e| e.at_index(i))?;
+        if a >= m || b >= m {
+            return Err(serde::DeError::custom(format!(
+                "link {i} endpoint out of range for {m} processors"
+            )));
+        }
+        if a == b {
+            return Err(serde::DeError::custom(format!(
+                "link {i} is a self-link on P{}",
+                a + 1
+            )));
+        }
+        if !d.is_finite() || d <= 0.0 {
+            return Err(serde::DeError::custom(format!("link {i} delay is {d}")));
+        }
+        topo = topo.link(a, b, d);
+    }
+    let mode = match entries.iter().find(|(k, _)| k == "model") {
+        Some((_, v)) => CommMode::from_value(v)?,
+        None => CommMode::Contended,
+    };
+    topo.into_platform_with(mode)
+        .ok_or_else(|| serde::DeError::custom("topology is disconnected"))
 }
 
 impl serde::Deserialize for Platform {
-    /// Decode `{"speeds": [...], "delays": [...]}` with full validation:
-    /// every invariant [`Platform::from_parts`] would *panic* on (size
-    /// mismatch, non-positive speed, negative or non-zero diagonal delay)
-    /// comes back as a typed error instead, so a malformed service request
-    /// can never take the process down.
+    /// Decode either wire form with full validation: the matrix form
+    /// `{"speeds": [...], "delays": [...]}` or the topology form
+    /// `{"speeds": [...], "topology": {"links": [[a, b, delay], ...],
+    /// "model": "Uniform"|"Contended"}}`. Every invariant
+    /// [`Platform::from_parts`] would *panic* on (size mismatch,
+    /// non-positive speed, negative or non-zero diagonal delay) — and every
+    /// topology defect (bad endpoints, self-links, non-positive link delay,
+    /// disconnection) — comes back as a typed error instead, so a malformed
+    /// service request can never take the process down.
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         let entries = match v {
             serde::Value::Map(entries) => entries,
             other => return Err(serde::DeError::expected("map for struct `Platform`", other)),
         };
         for (k, _) in entries.iter() {
-            if k != "speeds" && k != "delays" {
+            if k != "speeds" && k != "delays" && k != "topology" {
                 return Err(serde::DeError::unknown_field(k, "Platform"));
             }
         }
         let speeds: Vec<f64> = serde::__field(entries, "speeds", "Platform")?;
-        let delays: Vec<f64> = serde::__field(entries, "delays", "Platform")?;
         let m = speeds.len();
         if m == 0 {
             return Err(serde::DeError::custom(
@@ -56,13 +184,6 @@ impl serde::Deserialize for Platform {
         if m > u16::MAX as usize {
             return Err(serde::DeError::custom("too many processors"));
         }
-        if delays.len() != m * m {
-            return Err(serde::DeError::custom(format!(
-                "delay matrix has {} entries, expected {m}x{m} = {}",
-                delays.len(),
-                m * m
-            )));
-        }
         for (i, &s) in speeds.iter().enumerate() {
             if !s.is_finite() || s <= 0.0 {
                 return Err(serde::DeError::custom(format!(
@@ -70,6 +191,30 @@ impl serde::Deserialize for Platform {
                     i + 1
                 )));
             }
+        }
+        let has_delays = entries.iter().any(|(k, _)| k == "delays");
+        let topology = entries.iter().find(|(k, _)| k == "topology");
+        match (has_delays, topology) {
+            (true, Some(_)) => {
+                return Err(serde::DeError::custom(
+                    "platform takes either `delays` or `topology`, not both",
+                ))
+            }
+            (false, Some((_, t))) => return topology_from_value(speeds, t),
+            (false, None) => {
+                return Err(serde::DeError::custom(
+                    "platform needs `delays` or `topology`",
+                ))
+            }
+            (true, None) => {}
+        }
+        let delays: Vec<f64> = serde::__field(entries, "delays", "Platform")?;
+        if delays.len() != m * m {
+            return Err(serde::DeError::custom(format!(
+                "delay matrix has {} entries, expected {m}x{m} = {}",
+                delays.len(),
+                m * m
+            )));
         }
         for k in 0..m {
             for h in 0..m {
@@ -89,7 +234,11 @@ impl serde::Deserialize for Platform {
                 }
             }
         }
-        Ok(Self { speeds, delays })
+        Ok(Self {
+            speeds,
+            delays,
+            comm: CommDispatch::default(),
+        })
     }
 }
 
@@ -122,7 +271,74 @@ impl Platform {
                 }
             }
         }
-        Self { speeds, delays }
+        Self {
+            speeds,
+            delays,
+            comm: CommDispatch::default(),
+        }
+    }
+
+    /// Build a routed platform from a topology's [`RouteTable`]: the delay
+    /// matrix holds the effective (bottleneck) delay of every cached route,
+    /// and under [`CommMode::Contended`] the comm model keeps the links.
+    /// Crate-internal; reached through [`Topology::into_platform_with`].
+    pub(crate) fn routed(speeds: Vec<f64>, table: RouteTable, mode: CommMode) -> Self {
+        let m = speeds.len();
+        debug_assert_eq!(table.num_procs(), m);
+        let mut delays = vec![0.0f64; m * m];
+        for k in 0..m {
+            for h in 0..m {
+                if k != h {
+                    delays[k * m + h] = table.route(ProcId(k as u16), ProcId(h as u16)).delay();
+                }
+            }
+        }
+        let comm = match mode {
+            CommMode::Uniform => CommDispatch::Uniform(Uniform),
+            CommMode::Contended => CommDispatch::Contended(Contended::new(Arc::new(table))),
+        };
+        let mut p = Self::from_parts(speeds, delays);
+        p.comm = comm;
+        p
+    }
+
+    /// The communication model placement engines schedule messages through.
+    #[inline]
+    pub fn comm(&self) -> &CommDispatch {
+        &self.comm
+    }
+
+    /// `true` when transfers reserve per-link capacity (routed contended
+    /// platform).
+    #[inline]
+    pub fn is_contended(&self) -> bool {
+        self.comm.is_contended()
+    }
+
+    /// Number of physical links the comm model reserves capacity on
+    /// (0 for the uniform matrix model).
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.comm.num_links()
+    }
+
+    /// The physical links a `k → h` message traverses (empty for the
+    /// uniform model or a co-located pair).
+    #[inline]
+    pub fn route(&self, k: ProcId, h: ProcId) -> &[LinkId] {
+        self.comm.route(k, h)
+    }
+
+    /// Unit delay of one physical link of the routed model.
+    #[inline]
+    pub fn link_delay(&self, l: LinkId) -> f64 {
+        self.comm.link_delay(l)
+    }
+
+    /// The physical links of the routed model, in `LinkId` order (empty
+    /// for the uniform matrix model).
+    pub fn topology_links(&self) -> &[Link] {
+        self.comm.route_table().map_or(&[], RouteTable::links)
     }
 
     /// Fully homogeneous platform: `m` processors of speed `speed`, all
@@ -267,6 +483,11 @@ impl Platform {
 
     /// A sub-platform keeping only the first `m` processors (used by
     /// processor-count searches).
+    ///
+    /// A routed platform keeps its full route table: processors beyond the
+    /// prefix no longer compute, but the physical links through them still
+    /// forward traffic — shrinking the compute pool does not rewire the
+    /// interconnect. The table is shared, so the prefix is cheap.
     pub fn prefix(&self, m: usize) -> Platform {
         assert!(m >= 1 && m <= self.num_procs());
         let old_m = self.num_procs();
@@ -277,7 +498,9 @@ impl Platform {
                 delays[k * m + h] = self.delays[k * old_m + h];
             }
         }
-        Platform::from_parts(speeds, delays)
+        let mut p = Platform::from_parts(speeds, delays);
+        p.comm = self.comm.clone();
+        p
     }
 
     /// HEFT-style averaged weights for priority computation: node weight
@@ -405,6 +628,135 @@ mod tests {
         let q = <Platform as Deserialize>::from_value(&v).unwrap();
         assert_eq!(q.speeds, p.speeds);
         assert_eq!(q.delays, p.delays);
+    }
+
+    #[test]
+    fn contended_platform_roundtrips_topology_form() {
+        let p = Topology::new(vec![1.0, 2.0, 1.0])
+            .link(0, 1, 0.5)
+            .link(1, 2, 1.5)
+            .into_contended_platform()
+            .expect("connected");
+        let v = serde::Serialize::to_value(&p);
+        // The topology form is emitted, not the matrix form.
+        if let serde::Value::Map(entries) = &v {
+            assert!(entries.iter().any(|(k, _)| k == "topology"));
+            assert!(!entries.iter().any(|(k, _)| k == "delays"));
+        } else {
+            panic!("expected map");
+        }
+        let q = <Platform as Deserialize>::from_value(&v).unwrap();
+        assert!(q.is_contended());
+        assert_eq!(q.speeds, p.speeds);
+        assert_eq!(q.delays, p.delays);
+        assert_eq!(q.num_links(), 2);
+        assert_eq!(q.route(ProcId(0), ProcId(2)), p.route(ProcId(0), ProcId(2)));
+    }
+
+    #[test]
+    fn uniform_topology_form_flattens() {
+        let v = serde::Value::Map(vec![
+            (
+                "speeds".into(),
+                serde::Value::Seq(vec![serde::Value::Float(1.0), serde::Value::Float(1.0)]),
+            ),
+            (
+                "topology".into(),
+                serde::Value::Map(vec![
+                    (
+                        "links".into(),
+                        serde::Value::Seq(vec![serde::Value::Seq(vec![
+                            serde::Value::UInt(0),
+                            serde::Value::UInt(1),
+                            serde::Value::Float(2.0),
+                        ])]),
+                    ),
+                    ("model".into(), serde::Value::Str("Uniform".into())),
+                ]),
+            ),
+        ]);
+        let p = <Platform as Deserialize>::from_value(&v).unwrap();
+        assert!(!p.is_contended());
+        assert_eq!(p.unit_delay(ProcId(0), ProcId(1)), 2.0);
+        // Uniform platforms serialize in the matrix form.
+        let back = serde::Serialize::to_value(&p);
+        if let serde::Value::Map(entries) = &back {
+            assert!(entries.iter().any(|(k, _)| k == "delays"));
+        } else {
+            panic!("expected map");
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_bad_topologies() {
+        fn topo_value(links: Vec<serde::Value>, model: Option<&str>) -> serde::Value {
+            let mut topo = vec![("links".to_string(), serde::Value::Seq(links))];
+            if let Some(m) = model {
+                topo.push(("model".to_string(), serde::Value::Str(m.into())));
+            }
+            serde::Value::Map(vec![
+                (
+                    "speeds".into(),
+                    serde::Value::Seq(vec![
+                        serde::Value::Float(1.0),
+                        serde::Value::Float(1.0),
+                        serde::Value::Float(1.0),
+                    ]),
+                ),
+                ("topology".into(), serde::Value::Map(topo)),
+            ])
+        }
+        let link = |a: u64, b: u64, d: f64| {
+            serde::Value::Seq(vec![
+                serde::Value::UInt(a),
+                serde::Value::UInt(b),
+                serde::Value::Float(d),
+            ])
+        };
+        let err = |v: &serde::Value| {
+            <Platform as Deserialize>::from_value(v)
+                .unwrap_err()
+                .to_string()
+        };
+        assert!(err(&topo_value(vec![link(0, 7, 1.0)], None)).contains("out of range"));
+        assert!(err(&topo_value(vec![link(1, 1, 1.0)], None)).contains("self-link"));
+        assert!(err(&topo_value(vec![link(0, 1, -2.0)], None)).contains("delay is -2"));
+        assert!(err(&topo_value(vec![link(0, 1, 1.0)], None)).contains("disconnected"));
+        assert!(err(&topo_value(
+            vec![link(0, 1, 1.0), link(1, 2, 1.0)],
+            Some("Turbo")
+        ))
+        .contains("unknown variant"));
+        // Both forms at once, and neither form at all.
+        let both = serde::Value::Map(vec![
+            (
+                "speeds".into(),
+                serde::Value::Seq(vec![serde::Value::Float(1.0)]),
+            ),
+            (
+                "delays".into(),
+                serde::Value::Seq(vec![serde::Value::Float(0.0)]),
+            ),
+            ("topology".into(), serde::Value::Map(vec![])),
+        ]);
+        assert!(err(&both).contains("not both"));
+        let neither = serde::Value::Map(vec![(
+            "speeds".into(),
+            serde::Value::Seq(vec![serde::Value::Float(1.0)]),
+        )]);
+        assert!(err(&neither).contains("`delays` or `topology`"));
+    }
+
+    #[test]
+    fn prefix_keeps_routed_comm() {
+        let p = Topology::chain(vec![1.0; 4], 0.5)
+            .into_contended_platform()
+            .expect("connected");
+        let q = p.prefix(2);
+        assert!(q.is_contended());
+        assert_eq!(q.num_links(), 3);
+        assert_eq!(q.route(ProcId(0), ProcId(1)).len(), 1);
+        assert_eq!(q.unit_delay(ProcId(0), ProcId(1)), 0.5);
     }
 
     #[test]

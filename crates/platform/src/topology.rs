@@ -11,6 +11,7 @@
 //! delay (equivalently, maximizing the slowest link's bandwidth), computed
 //! with a Dijkstra variant under the minimax metric.
 
+use crate::comm::{CommMode, Link, LinkId, Route, RouteTable};
 use crate::platform::Platform;
 
 /// A physical interconnect: undirected links with unit message delays.
@@ -116,6 +117,113 @@ impl Topology {
         }
         Some(Platform::from_parts(self.speeds, delays))
     }
+
+    /// Derive the logical platform while keeping link identity: the
+    /// returned platform carries this topology's [`RouteTable`] and places
+    /// communications under the chosen [`CommMode`]. With
+    /// [`CommMode::Uniform`] the result schedules bit-identically to
+    /// [`Topology::into_platform`]; with [`CommMode::Contended`] every
+    /// transfer additionally reserves the physical links on its route.
+    ///
+    /// Returns `None` when the topology is disconnected.
+    pub fn into_platform_with(self, mode: CommMode) -> Option<Platform> {
+        let table = self.route_table()?;
+        Some(Platform::routed(self.speeds, table, mode))
+    }
+
+    /// Shorthand for [`Topology::into_platform_with`] under
+    /// [`CommMode::Contended`].
+    pub fn into_contended_platform(self) -> Option<Platform> {
+        self.into_platform_with(CommMode::Contended)
+    }
+
+    /// The physical links added so far, in declaration (`LinkId`) order.
+    pub fn links(&self) -> &[(usize, usize, f64)] {
+        &self.links
+    }
+
+    /// Processor speeds.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Compute the per-pair route cache: for every ordered pair the
+    /// bottleneck-optimal physical path (minimal largest link delay, ties
+    /// broken by fewest hops, then smallest predecessor id — so the
+    /// extracted paths are deterministic) and its effective delay.
+    ///
+    /// The effective delays agree exactly with the matrix
+    /// [`Topology::into_platform`] computes: the hop/id tie-breaks only
+    /// choose *which* optimal path is cached, never its bottleneck value.
+    ///
+    /// Returns `None` when some pair has no path at all.
+    pub fn route_table(&self) -> Option<RouteTable> {
+        let m = self.speeds.len();
+        let mut adj = vec![Vec::<(usize, usize)>::new(); m];
+        for (i, &(a, b, _)) in self.links.iter().enumerate() {
+            adj[a].push((b, i));
+            adj[b].push((a, i));
+        }
+        let links: Vec<Link> = self
+            .links
+            .iter()
+            .map(|&(a, b, delay)| Link { a, b, delay })
+            .collect();
+        let mut routes = vec![Route::default(); m * m];
+        let mut path = Vec::new();
+        for src in 0..m {
+            // Minimax Dijkstra under the lexicographic (bottleneck, hops)
+            // metric, recording the parent link of each settled node.
+            let mut bott = vec![f64::INFINITY; m];
+            let mut hops = vec![usize::MAX; m];
+            let mut parent: Vec<Option<(usize, usize)>> = vec![None; m];
+            bott[src] = 0.0;
+            hops[src] = 0;
+            let mut done = vec![false; m];
+            for _ in 0..m {
+                let mut u = usize::MAX;
+                for v in 0..m {
+                    if !done[v]
+                        && bott[v].is_finite()
+                        && (u == usize::MAX || (bott[v], hops[v]) < (bott[u], hops[u]))
+                    {
+                        u = v;
+                    }
+                }
+                if u == usize::MAX {
+                    break;
+                }
+                done[u] = true;
+                for &(v, link) in &adj[u] {
+                    let d = self.links[link].2;
+                    let cand = (bott[u].max(d), hops[u] + 1);
+                    if cand < (bott[v], hops[v]) {
+                        bott[v] = cand.0;
+                        hops[v] = cand.1;
+                        parent[v] = Some((u, link));
+                    }
+                }
+            }
+            for v in 0..m {
+                if v == src {
+                    continue;
+                }
+                if !bott[v].is_finite() {
+                    return None;
+                }
+                path.clear();
+                let mut cur = v;
+                while let Some((pred, link)) = parent[cur] {
+                    path.push(LinkId(link as u32));
+                    cur = pred;
+                }
+                debug_assert_eq!(cur, src);
+                path.reverse();
+                routes[src * m + v] = Route::from_parts(path.clone(), bott[v]);
+            }
+        }
+        Some(RouteTable::from_parts(m, links, routes))
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +284,94 @@ mod tests {
             .expect("connected");
         assert_eq!(p.unit_delay(ProcId(0), ProcId(2)), 0.25);
         assert_eq!(p.speed(ProcId(1)), 2.0);
+    }
+
+    #[test]
+    fn route_table_extracts_paths() {
+        let t = Topology::new(vec![1.0; 4])
+            .link(0, 1, 1.0)
+            .link(1, 2, 3.0)
+            .link(2, 3, 2.0);
+        let table = t.route_table().expect("connected");
+        assert_eq!(table.num_links(), 3);
+        let r = table.route(ProcId(0), ProcId(3));
+        assert_eq!(r.links(), &[LinkId(0), LinkId(1), LinkId(2)]);
+        assert_eq!(r.delay(), 3.0);
+        assert_eq!(r.hops(), 3);
+        // Reverse direction traverses the same links, reversed.
+        let back = table.route(ProcId(3), ProcId(0));
+        assert_eq!(back.links(), &[LinkId(2), LinkId(1), LinkId(0)]);
+        // Self-routes are empty.
+        assert!(table.route(ProcId(2), ProcId(2)).links().is_empty());
+    }
+
+    #[test]
+    fn route_prefers_better_bottleneck_then_fewer_hops() {
+        // 0 → 2: direct slow link (5) loses to two fast hops (2, 2).
+        let t = Topology::new(vec![1.0; 3])
+            .link(0, 2, 5.0)
+            .link(0, 1, 2.0)
+            .link(1, 2, 2.0);
+        let table = t.route_table().expect("connected");
+        assert_eq!(
+            table.route(ProcId(0), ProcId(2)).links(),
+            &[LinkId(1), LinkId(2)]
+        );
+        // Equal bottleneck: the direct hop wins over a detour.
+        let t = Topology::new(vec![1.0; 3])
+            .link(0, 2, 2.0)
+            .link(0, 1, 2.0)
+            .link(1, 2, 2.0);
+        let table = t.route_table().expect("connected");
+        assert_eq!(table.route(ProcId(0), ProcId(2)).links(), &[LinkId(0)]);
+    }
+
+    #[test]
+    fn route_table_disconnected_rejected() {
+        let t = Topology::new(vec![1.0; 3]).link(0, 1, 1.0);
+        assert!(t.route_table().is_none());
+        assert!(Topology::new(vec![1.0; 3])
+            .link(0, 1, 1.0)
+            .into_contended_platform()
+            .is_none());
+    }
+
+    #[test]
+    fn contended_platform_matches_uniform_matrix() {
+        // The routed delay matrix is bit-identical to the flattened one.
+        let build = || {
+            Topology::new(vec![1.5, 1.0, 1.0, 2.0])
+                .link(0, 1, 1.0)
+                .link(1, 2, 3.0)
+                .link(2, 3, 2.0)
+                .link(0, 3, 7.0)
+        };
+        let flat = build().into_platform().expect("connected");
+        let routed = build().into_contended_platform().expect("connected");
+        assert!(routed.is_contended());
+        assert_eq!(routed.num_links(), 4);
+        for k in flat.procs() {
+            for h in flat.procs() {
+                assert_eq!(flat.unit_delay(k, h), routed.unit_delay(k, h));
+            }
+        }
+        // Uniform-mode topology platform: same matrix, no links kept.
+        let uni = build()
+            .into_platform_with(CommMode::Uniform)
+            .expect("connected");
+        assert!(!uni.is_contended());
+        assert_eq!(uni.num_links(), 0);
+        assert_eq!(uni.unit_delay(ProcId(0), ProcId(3)), 3.0);
+    }
+
+    #[test]
+    fn star_routes_two_hops_through_hub() {
+        let p = Topology::star(vec![1.0; 4], 0.5)
+            .into_contended_platform()
+            .expect("connected");
+        assert_eq!(p.route(ProcId(1), ProcId(3)).len(), 2);
+        assert_eq!(p.route(ProcId(0), ProcId(2)).len(), 1);
+        assert_eq!(p.link_delay(LinkId(0)), 0.5);
     }
 
     #[test]

@@ -327,6 +327,23 @@ impl Schedule {
         self.comm_events.len()
     }
 
+    /// Peak per-link utilization `max_l (busy_l / Δ)` under the platform's
+    /// routed communication model: every message charges its duration to
+    /// each physical link on its route (circuit-style, matching the
+    /// engine's per-link capacity accounting). `None` when the platform
+    /// keeps no route table — matrix platforms have no link identity to
+    /// measure against.
+    pub fn max_link_utilization(&self, p: &Platform) -> Option<f64> {
+        let table = p.comm().route_table()?;
+        let mut load = vec![0.0f64; table.num_links()];
+        for ev in &self.comm_events {
+            for &l in table.route(ev.src_proc, ev.dst_proc).links() {
+                load[l.index()] += ev.duration();
+            }
+        }
+        Some(load.iter().fold(0.0f64, |a, &x| a.max(x)) / self.period)
+    }
+
     /// Compute load `Σ_u` of a processor per iteration.
     #[inline]
     pub fn sigma(&self, u: ProcId) -> f64 {

@@ -65,7 +65,11 @@ pub fn graph_fingerprint(g: &TaskGraph) -> u64 {
     h.0
 }
 
-/// Fingerprint of a [`Platform`]: the full speed vector and delay matrix.
+/// Fingerprint of a [`Platform`]: the full speed vector and delay matrix,
+/// plus — for routed platforms — the physical links and the contended
+/// flag. A contended platform schedules differently from its flattened
+/// twin even though the two share a delay matrix, so the link layer must
+/// disambiguate the key; matrix platforms hash exactly as before.
 pub fn platform_fingerprint(p: &Platform) -> u64 {
     let mut h = Fnv::new();
     let m = p.num_procs();
@@ -76,6 +80,15 @@ pub fn platform_fingerprint(p: &Platform) -> u64 {
     for u in p.procs() {
         for v in p.procs() {
             h.write_f64(p.unit_delay(u, v));
+        }
+    }
+    if p.is_contended() {
+        h.write_str("contended");
+        h.write_u64(p.num_links() as u64);
+        for l in p.topology_links() {
+            h.write_u64(l.a as u64);
+            h.write_u64(l.b as u64);
+            h.write_f64(l.delay);
         }
     }
     h.0

@@ -108,6 +108,20 @@ fn fingerprints_separate_instances() {
     let mut h = g.clone();
     h.scale_exec_times(1.0000001);
     assert_ne!(graph_fingerprint(&g), graph_fingerprint(&h));
+
+    // A contended platform shares its delay matrix with its flattened twin
+    // but schedules differently, so the fingerprints must differ; the
+    // Uniform-mode lowering is matrix-equivalent and hashes identically.
+    use ltf_platform::{CommMode, Topology};
+    let chain = || Topology::chain(vec![1.0; 4], 0.5);
+    let flat = chain().into_platform().unwrap();
+    let uniform = chain().into_platform_with(CommMode::Uniform).unwrap();
+    let contended = chain().into_contended_platform().unwrap();
+    assert_eq!(platform_fingerprint(&flat), platform_fingerprint(&uniform));
+    assert_ne!(
+        platform_fingerprint(&flat),
+        platform_fingerprint(&contended)
+    );
 }
 
 /// Replay a random request stream against the LRU and against a naive

@@ -148,6 +148,50 @@ fn invalid_structures_and_values() {
     assert_error_then_recovery(&mut s, r#"{"cmd":"shutdown"}"#, "bad-request", "shutdown");
 }
 
+/// The topology platform form: every structural rejection class of the
+/// `{"topology": {...}}` block surfaces as a typed `bad-request`, and a
+/// well-formed routed request actually solves.
+#[test]
+fn topology_platform_rejections() {
+    let mut s = service();
+    let with_topology = |links: &str, model: &str| {
+        VALID.replace(
+            r#""delays":[0.0,0.5,0.5,0.0]"#,
+            &format!(r#""topology":{{"links":{links}{model}}}"#),
+        )
+    };
+    // Endpoint out of the speed vector's range.
+    let line = with_topology("[[0,7,0.5]]", "");
+    assert_error_then_recovery(&mut s, &line, "bad-request", "out of range");
+    // Self-link.
+    let line = with_topology("[[1,1,0.5]]", "");
+    assert_error_then_recovery(&mut s, &line, "bad-request", "self-link");
+    // Non-positive link delay.
+    let line = with_topology("[[0,1,-0.5]]", "");
+    assert_error_then_recovery(&mut s, &line, "bad-request", "delay is -0.5");
+    // Disconnected topology (no links at all between the two processors).
+    let line = with_topology("[]", "");
+    assert_error_then_recovery(&mut s, &line, "bad-request", "disconnected");
+    // Unknown communication model tag.
+    let line = with_topology("[[0,1,0.5]]", r#","model":"Turbo""#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "unknown variant");
+    // Unknown field inside the topology block.
+    let line = with_topology("[[0,1,0.5]]", r#","wires":3"#);
+    assert_error_then_recovery(&mut s, &line, "bad-request", "wires");
+    // Both forms at once.
+    let line = VALID.replace(
+        r#""delays":[0.0,0.5,0.5,0.0]"#,
+        r#""delays":[0.0,0.5,0.5,0.0],"topology":{"links":[[0,1,0.5]]}"#,
+    );
+    assert_error_then_recovery(&mut s, &line, "bad-request", "not both");
+    // And the well-formed routed request solves (both modes).
+    for model in ["", r#","model":"Contended""#, r#","model":"Uniform""#] {
+        let line = with_topology("[[0,1,0.5]]", model).replace(r#""id":100"#, r#""id":101"#);
+        let (id, status, ..) = envelope(&s.handle_line(&line));
+        assert_eq!((id, status.as_str()), (Some(101), "ok"), "model {model:?}");
+    }
+}
+
 #[test]
 fn error_storm_leaves_service_healthy() {
     // A mixed storm of every malformed class, then a burst of valid work:

@@ -11,7 +11,13 @@
 //! Two entry points share the engine: [`asap`] replays the fixed-set crash
 //! model (all failures at one instant), [`asap_trace`] replays a sampled
 //! [`CrashTrace`] with per-processor crash times and an online
-//! [`RecoveryPolicy`]. Under [`RecoveryPolicy::Reroute`], an in-edge whose
+//! [`RecoveryPolicy`]. When the platform models routed communication
+//! (`Contended`), trace replay additionally charges **link contention**: a
+//! message holds every physical link on its route for its whole transfer
+//! window, so transfers sharing a link serialize even between distinct
+//! port pairs — mirroring the placement engine's reservation discipline.
+//! Matrix and `Uniform`-mode platforms replay event-identically to the
+//! pre-routing engine. Under [`RecoveryPolicy::Reroute`], an in-edge whose
 //! scheduled sources have all died is re-routed mid-stream to a surviving
 //! replica of the predecessor task: re-route messages are injected into
 //! the event world at the real communication cost between the new
@@ -138,6 +144,10 @@ struct Runner<'a> {
     proc_free: Vec<f64>,
     send_free: Vec<f64>,
     recv_free: Vec<f64>,
+    /// Next-free time of each physical link (empty unless the platform is
+    /// routed: ASAP keeps scalar horizons, not interval sets, because
+    /// replay only ever appends at the FIFO frontier).
+    link_free: Vec<f64>,
     heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
     seq: u64,
     makespan: f64,
@@ -255,6 +265,7 @@ impl<'a> Runner<'a> {
             proc_free: vec![0.0; m],
             send_free: vec![0.0; m],
             recv_free: vec![0.0; m],
+            link_free: vec![0.0; platform.map_or(0, |p| p.num_links())],
             heap: BinaryHeap::new(),
             seq: 0,
             makespan: 0.0,
@@ -487,7 +498,20 @@ impl<'a> Runner<'a> {
             let m = &self.msgs[ev as usize];
             (m.src_proc, m.dst_proc, m.dur)
         };
-        let start = now.max(self.send_free[h]).max(self.recv_free[u]);
+        let mut start = now.max(self.send_free[h]).max(self.recv_free[u]);
+        // Routed platforms: the transfer also waits for — and then holds —
+        // every physical link on its route (circuit-style, like the
+        // placement engine's reservations).
+        let route = match self.platform {
+            Some(p) if !self.link_free.is_empty() => {
+                let route = p.route(ProcId(h as u16), ProcId(u as u16));
+                for &l in route {
+                    start = start.max(self.link_free[l.index()]);
+                }
+                route
+            }
+            _ => &[],
+        };
         if self.crashed(h, start) {
             // Sender dead before transmission.
             self.on_msg_cut(ev as usize, item as usize, start);
@@ -495,6 +519,9 @@ impl<'a> Runner<'a> {
         }
         self.send_free[h] = start + dur;
         self.recv_free[u] = start + dur;
+        for &l in route {
+            self.link_free[l.index()] = start + dur;
+        }
         self.push(start + dur, Event::MsgArrive { ev, item });
     }
 
@@ -728,6 +755,70 @@ mod tests {
         // With one entry and one exit replica surviving, every item should
         // still be produced via the re-routed path.
         assert_eq!(reroute.produced(), 8);
+    }
+
+    #[test]
+    fn trace_replay_serializes_messages_sharing_a_link() {
+        use ltf_platform::{CommMode, Topology};
+        // Two independent pipelines on a 4-processor chain. Their messages
+        // use disjoint port pairs (P1→P4 and P2→P3) but both routes cross
+        // the middle link P2–P3.
+        let mut b = ltf_graph::GraphBuilder::new();
+        let t0 = b.add_task(4.0);
+        let t1 = b.add_task(2.0);
+        let t2 = b.add_task(4.0);
+        let t3 = b.add_task(2.0);
+        let e0 = b.add_edge(t0, t1, 3.0);
+        let e1 = b.add_edge(t2, t3, 3.0);
+        let g = b.build().unwrap();
+        let chain = || Topology::chain(vec![1.0; 4], 1.0);
+        let flat = chain().into_platform().unwrap();
+        let routed = chain().into_platform_with(CommMode::Contended).unwrap();
+        let mk = |p: &Platform| {
+            let data = ScheduleData {
+                epsilon: 0,
+                period: 20.0,
+                proc_of: vec![ProcId(0), ProcId(3), ProcId(1), ProcId(2)],
+                start: vec![0.0, 7.0, 0.0, 7.0],
+                finish: vec![4.0, 9.0, 4.0, 9.0],
+                sources: vec![
+                    vec![],
+                    vec![SourceChoice::one(e0, 0)],
+                    vec![],
+                    vec![SourceChoice::one(e1, 0)],
+                ],
+                comm_events: vec![
+                    CommEvent {
+                        edge: e0,
+                        src: ReplicaId::new(t0, 0),
+                        dst: ReplicaId::new(t1, 0),
+                        src_proc: ProcId(0),
+                        dst_proc: ProcId(3),
+                        start: 4.0,
+                        finish: 7.0,
+                    },
+                    CommEvent {
+                        edge: e1,
+                        src: ReplicaId::new(t2, 0),
+                        dst: ReplicaId::new(t3, 0),
+                        src_proc: ProcId(1),
+                        dst_proc: ProcId(2),
+                        start: 4.0,
+                        finish: 7.0,
+                    },
+                ],
+            };
+            Schedule::new(&g, p, data)
+        };
+        let cfg = TraceConfig::new(1, CrashTrace::never(4), RecoveryPolicy::FailStop);
+        // Matrix platform: ports are free, both transfers run 4..7 and both
+        // sinks finish at 9.
+        let base = asap_trace(&g, &flat, &mk(&flat), &cfg);
+        assert_eq!(base.item_latency[0], Some(9.0));
+        // Contended platform: the second transfer waits for the shared
+        // middle link (7..10), so its sink finishes at 12.
+        let routed_rep = asap_trace(&g, &routed, &mk(&routed), &cfg);
+        assert_eq!(routed_rep.item_latency[0], Some(12.0));
     }
 
     #[test]

@@ -239,6 +239,16 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
 impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Map(
@@ -375,6 +385,19 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
                 B::from_value(&items[1]).map_err(|e| e.at_index(1))?,
             )),
             other => Err(DeError::expected("2-element sequence", other)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0]).map_err(|e| e.at_index(0))?,
+                B::from_value(&items[1]).map_err(|e| e.at_index(1))?,
+                C::from_value(&items[2]).map_err(|e| e.at_index(2))?,
+            )),
+            other => Err(DeError::expected("3-element sequence", other)),
         }
     }
 }

@@ -8,16 +8,21 @@
 //! * tuple structs with one field (newtypes) → the inner value,
 //! * tuple structs with several fields → `Value::Seq`,
 //! * unit structs → `Value::Null`,
-//! * fieldless enums → `Value::Str(variant_name)`.
+//! * enum unit variants → `Value::Str(variant_name)`,
+//! * enum newtype variants → `Value::Map([(variant_name, inner)])` —
+//!   the externally-tagged convention of upstream serde.
 //!
 //! `Deserialize` derives the exact mirror of each shape, so derived types
 //! round-trip through `serde_json::to_string` / `from_str`. Struct
 //! decoding is strict — unknown keys error, and a missing key is only
 //! forgiven when the field type's `Deserialize::absent` supplies a value
-//! (`Option` fields).
+//! (`Option` fields). Enum decoding is strict too: an unknown variant
+//! name (string or map key) errors, and a tag map must carry exactly one
+//! entry.
 //!
-//! Generic types and data-carrying enums are rejected with a compile error
-//! naming this file, so the gap is explicit rather than silent.
+//! Generic types, multi-field tuple variants and struct variants are
+//! rejected with a compile error naming this file, so the remaining gap
+//! is explicit rather than silent.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -25,7 +30,13 @@ enum Shape {
     Named(Vec<String>),
     Tuple(usize),
     Unit,
-    FieldlessEnum(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant: unit (`Mode`) or newtype (`Mode(Inner)`).
+struct Variant {
+    name: String,
+    newtype: bool,
 }
 
 struct Input {
@@ -81,7 +92,7 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
             let body: Vec<TokenTree> = g.stream().into_iter().collect();
             if is_enum {
-                Shape::FieldlessEnum(parse_fieldless_variants(&name, &body)?)
+                Shape::Enum(parse_variants(&name, &body)?)
             } else {
                 Shape::Named(parse_named_fields(&body))
             }
@@ -156,20 +167,33 @@ fn count_tuple_fields(body: &[TokenTree]) -> usize {
     count
 }
 
-fn parse_fieldless_variants(name: &str, body: &[TokenTree]) -> Result<Vec<String>, String> {
+fn parse_variants(name: &str, body: &[TokenTree]) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     let mut idx = 0;
     while idx < body.len() {
         match &body[idx] {
             TokenTree::Punct(p) if p.as_char() == '#' => idx = skip_attr(body, idx),
             TokenTree::Ident(id) => {
-                variants.push(id.to_string());
+                let vname = id.to_string();
                 idx += 1;
                 match body.get(idx) {
-                    None => {}
-                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+                    None => variants.push(Variant {
+                        name: vname,
+                        newtype: false,
+                    }),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        variants.push(Variant {
+                            name: vname,
+                            newtype: false,
+                        });
+                        idx += 1;
+                    }
                     // `= discriminant` runs to the next comma.
                     Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        variants.push(Variant {
+                            name: vname,
+                            newtype: false,
+                        });
                         while idx < body.len()
                             && !matches!(&body[idx], TokenTree::Punct(p) if p.as_char() == ',')
                         {
@@ -177,9 +201,30 @@ fn parse_fieldless_variants(name: &str, body: &[TokenTree]) -> Result<Vec<String
                         }
                         idx += 1;
                     }
+                    // `Variant(Inner)` — a newtype variant. Multi-field
+                    // tuple variants and struct variants stay rejected.
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if count_tuple_fields(&inner) != 1 || inner.is_empty() {
+                            return Err(format!(
+                                "vendored serde derive only supports unit and newtype \
+                                 variants; `{name}::{vname}` carries several fields"
+                            ));
+                        }
+                        variants.push(Variant {
+                            name: vname,
+                            newtype: true,
+                        });
+                        idx += 1;
+                        if matches!(body.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+                        {
+                            idx += 1;
+                        }
+                    }
                     Some(TokenTree::Group(_)) => {
                         return Err(format!(
-                            "vendored serde derive does not support data-carrying enum `{name}`"
+                            "vendored serde derive only supports unit and newtype \
+                             variants; `{name}::{vname}` is a struct variant"
                         ))
                     }
                     other => return Err(format!("unexpected token in enum `{name}`: {other:?}")),
@@ -224,13 +269,23 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             format!("::serde::Value::Seq(::std::vec![{entries}])")
         }
         Shape::Unit => "::serde::Value::Null".to_owned(),
-        Shape::FieldlessEnum(variants) => {
+        Shape::Enum(variants) => {
             let arms = variants
                 .iter()
                 .map(|v| {
-                    format!(
-                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
-                    )
+                    let vn = &v.name;
+                    if v.newtype {
+                        // Externally tagged: {"Variant": inner}.
+                        format!(
+                            "{name}::{vn}(__x) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}),\
+                                 ::serde::Serialize::to_value(__x))])"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        )
+                    }
                 })
                 .collect::<Vec<_>>()
                 .join(", ");
@@ -314,24 +369,65 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                      ::serde::DeError::expected(concat!(\"null for unit struct `\", {name:?}, \"`\"), other)),\n\
              }}"
         ),
-        Shape::FieldlessEnum(variants) => {
-            let mut arms = variants
+        Shape::Enum(variants) => {
+            let mut unit_arms = variants
                 .iter()
-                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .filter(|v| !v.newtype)
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.name, v.name))
                 .collect::<Vec<_>>()
                 .join(" ");
-            arms.push(' ');
-            format!(
-                "match __v {{\n\
-                     ::serde::Value::Str(s) => match s.as_str() {{\n\
-                         {arms}\n\
+            unit_arms.push(' ');
+            if variants.iter().all(|v| !v.newtype) {
+                // Pure fieldless enum: the historical (and simplest) shape.
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\n\
+                             other => ::std::result::Result::Err(\n\
+                                 ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                         }},\n\
                          other => ::std::result::Result::Err(\n\
-                             ::serde::DeError::unknown_variant(other, {name:?})),\n\
-                     }},\n\
-                     other => ::std::result::Result::Err(\n\
-                         ::serde::DeError::expected(concat!(\"string for enum `\", {name:?}, \"`\"), other)),\n\
-                 }}"
-            )
+                             ::serde::DeError::expected(concat!(\"string for enum `\", {name:?}, \"`\"), other)),\n\
+                     }}"
+                )
+            } else {
+                // Mixed enum: unit variants arrive as strings, newtype
+                // variants as single-entry `{"Variant": inner}` maps.
+                let mut tag_arms = variants
+                    .iter()
+                    .filter(|v| v.newtype)
+                    .map(|v| {
+                        format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\n\
+                                 ::serde::Deserialize::from_value(__inner)\n\
+                                     .map_err(|e| e.in_field({vn:?}))?)),",
+                            vn = v.name
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                tag_arms.push(' ');
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\n\
+                             other => ::std::result::Result::Err(\n\
+                                 ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                         }},\n\
+                         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                             let (__tag, __inner) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {tag_arms}\n\
+                                 other => ::std::result::Result::Err(\n\
+                                     ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                             }}\n\
+                         }}\n\
+                         other => ::std::result::Result::Err(\n\
+                             ::serde::DeError::expected(\n\
+                                 concat!(\"string or single-entry map for enum `\", {name:?}, \"`\"), other)),\n\
+                     }}"
+                )
+            }
         }
     };
     format!(
